@@ -1,0 +1,150 @@
+//! Criterion microbenchmarks for the pluggable-policy surfaces added on
+//! top of the core stack: GC victim selection under each policy, engine
+//! pool routing, trace-file encode/decode, and latency-histogram
+//! recording.
+//!
+//! Engineering benchmarks (simulator throughput), not paper
+//! reproductions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use fdpcache_cache::builder::{build_device, StoreKind};
+use fdpcache_cache::pool::EnginePool;
+use fdpcache_cache::value::Value;
+use fdpcache_cache::{CacheConfig, NvmConfig};
+use fdpcache_core::RoundRobinPolicy;
+use fdpcache_ftl::{Ftl, FtlConfig, GcPolicy};
+use fdpcache_metrics::Histogram;
+use fdpcache_workloads::tracefile::{self, FileReplay, RequestSource, TraceReader};
+use fdpcache_workloads::WorkloadProfile;
+
+/// Random-overwrite churn with GC active, under the given policy.
+fn churn(ftl: &mut Ftl, writes: u64) {
+    let n = ftl.exported_lbas();
+    let mut x = 1u64;
+    for _ in 0..writes {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        ftl.write(x % n, 0).unwrap();
+    }
+}
+
+fn bench_gc_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gc_policy_churn");
+    g.throughput(Throughput::Elements(1));
+    for (name, policy) in [
+        ("greedy", GcPolicy::Greedy),
+        ("fifo", GcPolicy::Fifo),
+        ("sampled_d8", GcPolicy::SampledGreedy { d: 8 }),
+        ("cost_benefit", GcPolicy::CostBenefit),
+    ] {
+        g.bench_function(name, |b| {
+            let mut cfg = FtlConfig::tiny_test();
+            cfg.gc_policy = policy;
+            let mut ftl = Ftl::new(cfg).unwrap();
+            let n = ftl.exported_lbas();
+            churn(&mut ftl, n * 2); // warm into steady GC
+            let mut x = 77u64;
+            b.iter(|| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ftl.write(black_box(x % n), 0).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_pool");
+    g.throughput(Throughput::Elements(1));
+    for pairs in [1usize, 4] {
+        g.bench_function(format!("put_route_{pairs}_pairs"), |b| {
+            let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Null, true).unwrap();
+            let config = CacheConfig {
+                ram_bytes: 8192,
+                ram_item_overhead: 0,
+                nvm: NvmConfig {
+                    soc_fraction: 0.2,
+                    region_bytes: 8 * 4096,
+                    ..NvmConfig::default()
+                },
+                use_fdp: true,
+            };
+            let mut pool = EnginePool::new(&ctrl, &config, pairs, 0.9, || {
+                Box::new(RoundRobinPolicy::new())
+            })
+            .unwrap();
+            let mut k = 0u64;
+            b.iter(|| {
+                pool.put(black_box(k), Value::synthetic(64)).unwrap();
+                k += 1;
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tracefile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracefile");
+    // A 100k-request capture used by both directions.
+    let mut gen = WorkloadProfile::meta_kv_cache().generator(100_000, 5);
+    let mut buf = Vec::new();
+    tracefile::record(&mut gen, 100_000, &mut buf).unwrap();
+
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("decode_100k", |b| {
+        b.iter(|| {
+            let mut r = TraceReader::new(black_box(&buf[..])).unwrap();
+            black_box(r.read_all().unwrap().len())
+        });
+    });
+
+    g.bench_function("encode_100k", |b| {
+        let mut replay = FileReplay::load(&buf[..]).unwrap();
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            tracefile::record(&mut replay, 100_000, &mut out).unwrap();
+            black_box(out.len())
+        });
+    });
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("replay_next", |b| {
+        let mut replay = FileReplay::load(&buf[..]).unwrap();
+        b.iter(|| black_box(replay.next_request()));
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("record", |b| {
+        let mut h = Histogram::new();
+        let mut x = 3u64;
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(black_box(x % 1_000_000));
+        });
+    });
+    g.bench_function("p99", |b| {
+        let mut h = Histogram::new();
+        let mut x = 3u64;
+        for _ in 0..100_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 1_000_000);
+        }
+        b.iter(|| black_box(h.p99()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gc_policies, bench_pool, bench_tracefile, bench_histogram);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Ablation (paper Insight 5): initially vs persistently isolated RUHs.
+//!
+//! The paper argues the cheap *initially isolated* handle type suffices
+//! for CacheLib because only SOC data is ever relocated, so GC-time
+//! intermixing across handles barely matters. This ablation runs the
+//! same experiment with both types; the DLWA gap should be small.
+
+use fdpcache_bench::{run_experiment, summary_table, Cli, ExpConfig};
+use fdpcache_ftl::RuhType;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut base = ExpConfig::paper_default();
+    base.utilization = 1.0;
+    base.fdp = true;
+    let base = if cli.quick { base.quick() } else { base };
+
+    println!("== Ablation: RUH isolation type (KV Cache, 100% utilization, FDP) ==\n");
+    let mut initially =
+        run_experiment(&ExpConfig { ruh_type: RuhType::InitiallyIsolated, ..base.clone() });
+    initially.label = "InitiallyIsolated".into();
+    let mut persistently =
+        run_experiment(&ExpConfig { ruh_type: RuhType::PersistentlyIsolated, ..base.clone() });
+    persistently.label = "PersistentlyIsolated".into();
+
+    println!("{}", summary_table(&[&initially, &persistently]));
+    let gap = (persistently.dlwa_steady - initially.dlwa_steady).abs();
+    println!(
+        "DLWA gap: {gap:.3} (paper Insight 5: initially isolated suffices — expect a small gap)"
+    );
+    let _ = cli;
+}

@@ -1,0 +1,119 @@
+//! Calibration scratch binary: sweeps workload size-mixtures and prints
+//! per-owner GC attribution, used to tune the synthetic profiles until
+//! the DLWA shape matches the paper. Not part of the figure set.
+
+use fdpcache_bench::{run_experiment, ExpConfig};
+use fdpcache_cache::builder::{build_stack, StoreKind};
+use fdpcache_ftl::FdpEvent;
+use fdpcache_workloads::{ReplayConfig, Replayer, SizeDist, WorkloadProfile};
+use fdpcache_workloads::sizes::SizeBand;
+
+fn profile_with_tail(tail_weight: f64, tail_hi: u32) -> WorkloadProfile {
+    let mut p = WorkloadProfile::meta_kv_cache();
+    let small = 1.0 - 0.06 - tail_weight;
+    p.sizes = SizeDist::new(vec![
+        SizeBand { lo: 50, hi: 300, weight: small * 0.78 },
+        SizeBand { lo: 301, hi: 1000, weight: small * 0.22 },
+        SizeBand { lo: 1001, hi: 2000, weight: 0.06 },
+        SizeBand { lo: 4001, hi: tail_hi, weight: tail_weight },
+    ]);
+    p
+}
+
+fn run_detailed(cfg: &ExpConfig) {
+    // Rebuild the stack manually so we can drain events with owners.
+    let r = run_experiment(cfg);
+    println!(
+        "  {}: dlwa={:.2} steady={:.2} alwa={:.2} gc={} hit={:.1}%",
+        cfg.label(),
+        r.dlwa,
+        r.dlwa_steady,
+        r.alwa,
+        r.gc_events,
+        r.hit_ratio * 100.0
+    );
+}
+
+fn owner_breakdown(cfg: &ExpConfig) {
+    let ftl = {
+        let g = fdpcache_nand::Geometry::with_capacity(cfg.device_gib << 30, cfg.ru_mib << 20, 4096)
+            .unwrap();
+        fdpcache_ftl::FtlConfig {
+            geometry: g,
+            op_fraction: cfg.op_fraction,
+            num_ruhs: 8,
+            num_rgs: 1,
+            ruh_type: cfg.ruh_type,
+            gc_policy: cfg.gc_policy,
+            gc_threshold_rus: 4,
+            pe_limit: u32::MAX,
+            latency: Default::default(),
+            seed: cfg.seed,
+            event_log_capacity: 1 << 22,
+        }
+    };
+    let cache_cfg = fdpcache_cache::CacheConfig {
+        ram_bytes: ((cfg.device_gib << 30) as f64 * cfg.utilization * 0.93 * cfg.dram_fraction)
+            as u64,
+        ram_item_overhead: 31,
+        nvm: fdpcache_cache::NvmConfig {
+            soc_fraction: cfg.soc_fraction,
+            region_bytes: cfg.region_mib << 20,
+            ..Default::default()
+        },
+        use_fdp: cfg.fdp,
+    };
+    let (ctrl, mut cache) =
+        build_stack(ftl, StoreKind::Null, cfg.fdp, cfg.utilization, &cache_cfg).unwrap();
+    let ns_bytes = cache.navy().io().capacity_bytes();
+    let keyspace = cfg.workload.keyspace_for(ns_bytes, cfg.keyspace_multiple);
+    let mut gen = cfg.workload.generator(keyspace, cfg.seed);
+    let device_bytes = (cfg.device_gib << 30) as f64;
+    let replayer = Replayer::new(ReplayConfig {
+        warmup_host_bytes: (device_bytes * cfg.warmup_turnovers) as u64,
+        measure_host_bytes: (device_bytes * cfg.measure_turnovers) as u64,
+        interval_host_bytes: 1 << 40,
+        max_ops: u64::MAX,
+        report_workers: 1,
+    });
+    let r = replayer.run(cfg.label(), cfg.workload.name, &mut cache, &ctrl, &mut gen).unwrap();
+    let mut by_owner: std::collections::BTreeMap<String, u64> = Default::default();
+    {
+        let mut c = ctrl.lock();
+        for e in c.drain_fdp_events() {
+            if let FdpEvent::MediaRelocated { owner, relocated_pages, .. } = e {
+                *by_owner.entry(format!("{owner:?}")).or_default() += relocated_pages;
+            }
+        }
+        let ruh_pages = c.ftl().ruh_host_pages().to_vec();
+        println!("  host pages per RUH: {ruh_pages:?}");
+    }
+    println!(
+        "  {} dlwa={:.2} relocated by victim owner: {:?}",
+        cfg.label(),
+        r.dlwa,
+        by_owner
+    );
+}
+
+fn main() {
+    let mut base = ExpConfig::paper_default().quick();
+    base.measure_turnovers = 2.0;
+    for (w, hi) in [(0.02, 400_000u32), (0.04, 600_000), (0.06, 600_000)] {
+        println!("tail weight {w}, hi {hi}:");
+        for util in [0.5, 1.0] {
+            for fdp in [true, false] {
+                let cfg = ExpConfig {
+                    utilization: util,
+                    fdp,
+                    workload: profile_with_tail(w, hi),
+                    ..base.clone()
+                };
+                print!("  util {util}:");
+                run_detailed(&cfg);
+            }
+        }
+    }
+    println!("\nowner breakdown at util=1.0, FDP, default profile:");
+    owner_breakdown(&ExpConfig { utilization: 1.0, fdp: true, ..base.clone() });
+}

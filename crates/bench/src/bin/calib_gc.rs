@@ -1,0 +1,46 @@
+//! Calibration scratch binary: sweeps the `SampledGreedy` sample size
+//! `d` to pick the experiment default. The target endpoints are the
+//! paper's Figure 5/6 anchors: Non-FDP ≈ 1.3 at 50% utilization and
+//! ≈ 3.5 at 100%, with FDP ≈ 1.03 at both. Not part of the figure set.
+
+use fdpcache_bench::{run_experiment, ExpConfig};
+use fdpcache_ftl::GcPolicy;
+
+fn main() {
+    let base = ExpConfig::paper_default();
+    println!("baseline (global greedy):");
+    for util in [0.5, 1.0] {
+        for fdp in [true, false] {
+            let cfg = ExpConfig { utilization: util, fdp, ..base.clone() };
+            let r = run_experiment(&cfg);
+            println!(
+                "  util {util:>4}: {:<7} dlwa={:.2} steady={:.2} gc={}",
+                cfg.label(),
+                r.dlwa,
+                r.dlwa_steady,
+                r.gc_events
+            );
+        }
+    }
+    for d in [2u16, 4, 8, 16, 32] {
+        println!("sampled greedy d={d}:");
+        for util in [0.5, 1.0] {
+            for fdp in [true, false] {
+                let cfg = ExpConfig {
+                    utilization: util,
+                    fdp,
+                    gc_policy: GcPolicy::SampledGreedy { d },
+                    ..base.clone()
+                };
+                let r = run_experiment(&cfg);
+                println!(
+                    "  util {util:>4}: {:<7} dlwa={:.2} steady={:.2} gc={}",
+                    cfg.label(),
+                    r.dlwa,
+                    r.dlwa_steady,
+                    r.gc_events
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Calibration scratch binary: measures the SOC:LOC device-write byte
+//! split and sweeps the workload's large-object tail to land the paper's
+//! DLWA anchors with global-greedy GC (Non-FDP ≈ 1.3 at 50% utilization,
+//! ≈ 3.5 at 100%; FDP ≈ 1.03 at both). Not part of the figure set.
+//!
+//! Why the split matters: mixed RUs amplify only while they still hold
+//! *live* LOC pages when GC reaches them. The LOC "death horizon" in
+//! host bytes is `LOC span / LOC byte share`; the conveyor age of a
+//! greedy victim is roughly the physical slack. Landing Non-FDP ≈ 1.3 at
+//! 50% utilization requires horizon slightly above slack, i.e. a SOC
+//! share near half the device write bytes.
+
+use fdpcache_bench::{run_experiment, ExpConfig};
+use fdpcache_cache::builder::{build_stack, StoreKind};
+use fdpcache_workloads::sizes::SizeBand;
+use fdpcache_workloads::{ReplayConfig, Replayer, SizeDist, WorkloadProfile};
+
+fn profile_with_tail(tail_weight: f64, tail_lo: u32, tail_hi: u32) -> WorkloadProfile {
+    let mut p = WorkloadProfile::meta_kv_cache();
+    let small = 1.0 - tail_weight;
+    p.sizes = SizeDist::new(vec![
+        SizeBand { lo: 50, hi: 300, weight: small * 0.735 },
+        SizeBand { lo: 301, hi: 1000, weight: small * 0.204 },
+        SizeBand { lo: 1001, hi: 2000, weight: small * 0.061 },
+        SizeBand { lo: tail_lo, hi: tail_hi, weight: tail_weight },
+    ]);
+    p
+}
+
+/// Replays briefly under FDP and prints the per-handle device byte
+/// split (RUH 0 = default/metadata, then SOC, then LOC by allocation
+/// order).
+fn split_probe(profile: &WorkloadProfile) -> (f64, f64) {
+    let base = ExpConfig { workload: profile.clone(), utilization: 1.0, ..ExpConfig::paper_default() };
+    let ftl = base.ftl_config();
+    let (ctrl, mut cache) =
+        build_stack(ftl, StoreKind::Null, true, base.utilization, &base.cache_config_for_build())
+            .expect("stack");
+    let ns_bytes = cache.navy().io().capacity_bytes();
+    let keyspace = base.workload.keyspace_for(ns_bytes, base.keyspace_multiple);
+    let mut gen = base.workload.generator(keyspace, base.seed);
+    let replayer = Replayer::new(ReplayConfig {
+        warmup_host_bytes: 1 << 30,
+        measure_host_bytes: 4 << 30,
+        interval_host_bytes: 1 << 40,
+        max_ops: u64::MAX,
+        report_workers: 1,
+    });
+    replayer.run("probe", profile.name, &mut cache, &ctrl, &mut gen).expect("replay");
+    let pages = ctrl.lock().ftl().ruh_host_pages().to_vec();
+    let soc = pages[0] as f64; // RR policy: soc-0 gets dspec 0 → RUH 0
+    let loc = pages[1] as f64;
+    let total = soc + loc;
+    (soc / total, loc / total)
+}
+
+fn main() {
+    for (w, lo, hi) in [
+        (0.02, 4001u32, 400_000u32),
+        (0.01, 4001, 400_000),
+        (0.005, 4001, 400_000),
+        (0.01, 4001, 200_000),
+        (0.005, 4001, 200_000),
+        (0.0025, 4001, 200_000),
+    ] {
+        let p = profile_with_tail(w, lo, hi);
+        let (soc_share, loc_share) = split_probe(&p);
+        println!(
+            "tail w={w} [{lo},{hi}]: device-byte split SOC {:.0}% / LOC {:.0}%",
+            soc_share * 100.0,
+            loc_share * 100.0
+        );
+        for util in [0.5, 1.0] {
+            for fdp in [true, false] {
+                let cfg = ExpConfig {
+                    utilization: util,
+                    fdp,
+                    workload: p.clone(),
+                    ..ExpConfig::paper_default()
+                };
+                let r = run_experiment(&cfg);
+                println!(
+                    "    util {util:>4}: {:<7} dlwa={:.2} steady={:.2} gc={} alwa={:.2} hit={:.1}%",
+                    cfg.label(),
+                    r.dlwa,
+                    r.dlwa_steady,
+                    r.gc_events,
+                    r.alwa,
+                    r.hit_ratio * 100.0
+                );
+            }
+        }
+    }
+}

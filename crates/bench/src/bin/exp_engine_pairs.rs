@@ -1,0 +1,94 @@
+//! Engine-pair scaling experiment (paper §2.3/§5.3).
+//!
+//! A CacheLib instance can run multiple `<SOC, LOC>` engine pairs, and
+//! the placement allocator gives each pair its own handles. The paper's
+//! device exposes 8 initially isolated RUHs — exactly enough for 4
+//! pairs. This experiment runs the KV Cache workload over 1, 2 and 4
+//! pairs at 100% device utilization and verifies that FDP keeps DLWA at
+//! ~1 regardless of how many engine pairs share the device, while the
+//! intermixed baseline does not.
+
+use fdpcache_bench::{Cli, ExpConfig};
+use fdpcache_cache::builder::{build_device, StoreKind};
+use fdpcache_cache::pool::EnginePool;
+use fdpcache_cache::value::Value;
+use fdpcache_core::RoundRobinPolicy;
+use fdpcache_metrics::Table;
+use fdpcache_workloads::trace::Op;
+
+fn run_pool(cfg: &ExpConfig, pairs: usize) -> (f64, f64, u64) {
+    let ftl = cfg.ftl_config();
+    let ctrl = build_device(ftl, StoreKind::Null, cfg.fdp).unwrap_or_else(|e| panic!("device: {e}"));
+    let mut pool = EnginePool::new(
+        &ctrl,
+        &cfg.cache_config_for_build(),
+        pairs,
+        cfg.utilization,
+        || Box::new(RoundRobinPolicy::new()),
+    )
+    .unwrap_or_else(|e| panic!("pool: {e}"));
+
+    let shard_bytes = pool.shard(0).expect("pair 0").navy().io().capacity_bytes();
+    let keyspace = cfg.workload.keyspace_for(shard_bytes * pairs as u64, cfg.keyspace_multiple);
+    let mut gen = cfg.workload.generator(keyspace, cfg.seed);
+
+    let device_bytes = (cfg.device_gib << 30) as f64;
+    let warmup = (device_bytes * cfg.warmup_turnovers) as u64;
+    let measure = (device_bytes * cfg.measure_turnovers) as u64;
+
+    let mut step = |pool: &mut EnginePool| {
+        let req = gen.next_request();
+        match req.op {
+            Op::Get => {
+                pool.get(req.key).unwrap_or_else(|e| panic!("get: {e}"));
+            }
+            Op::Set => match pool.put(req.key, Value::synthetic(req.size)) {
+                Ok(()) | Err(fdpcache_cache::CacheError::ObjectTooLarge { .. }) => {}
+                Err(e) => panic!("put: {e}"),
+            },
+            Op::Delete => {
+                pool.delete(req.key).unwrap_or_else(|e| panic!("del: {e}"));
+            }
+        }
+    };
+
+    while ctrl.lock().fdp_stats_log().host_bytes_written < warmup {
+        step(&mut pool);
+    }
+    let log0 = ctrl.lock().fdp_stats_log();
+    let stats0 = pool.stats();
+    while ctrl.lock().fdp_stats_log().host_bytes_written < log0.host_bytes_written + measure {
+        step(&mut pool);
+    }
+    let dlog = ctrl.lock().fdp_stats_log().delta(&log0);
+    let hit = pool.stats().delta(&stats0).hit_ratio();
+    (dlog.dlwa(), hit, dlog.media_relocated_events)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let mut base = ExpConfig::paper_default();
+    base.utilization = 1.0;
+    let base = if cli.quick { base.quick() } else { base };
+
+    println!("== Engine pairs on one device: KV Cache, 100% utilization ==\n");
+    let mut t = Table::new(vec!["pairs", "config", "DLWA", "hit%", "GC events"]).numeric();
+    for pairs in [1usize, 2, 4] {
+        for fdp in [true, false] {
+            let cfg = ExpConfig { fdp, ..base.clone() };
+            let (dlwa, hit, gc) = run_pool(&cfg, pairs);
+            t.row(vec![
+                format!("{pairs}"),
+                cfg.label().to_string(),
+                format!("{dlwa:.2}"),
+                format!("{:.1}", hit * 100.0),
+                format!("{gc}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "(expectation: FDP holds DLWA ≈ 1 at every pair count — 4 pairs consume all 8 of \
+         the device's RUHs, the paper's full PM9D3 configuration)"
+    );
+}

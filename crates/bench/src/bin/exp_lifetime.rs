@@ -1,0 +1,97 @@
+//! Lifetime-to-wear-out experiment (supports §2.2 and Theorem 2).
+//!
+//! The paper's carbon argument rests on "the lifetime of an SSD is
+//! inversely proportional to the device-level write amplification": a
+//! DLWA of 2 halves the host bytes a device can absorb before its NAND
+//! endurance budget is gone. This experiment tests that end to end —
+//! the same cache workload runs on an endurance-limited simulated device
+//! with and without FDP segregation until the device retires enough
+//! reclaim units to reach end of life, and we report the total host
+//! bytes written (TBW) at death.
+//!
+//! Expectation: TBW(FDP) / TBW(Non-FDP) ≈ DLWA(Non-FDP) / DLWA(FDP).
+
+use fdpcache_bench::{Cli, ExpConfig};
+use fdpcache_cache::builder::{build_stack, StoreKind};
+use fdpcache_cache::value::Value;
+use fdpcache_metrics::Table;
+use fdpcache_workloads::trace::Op;
+
+struct Outcome {
+    label: &'static str,
+    tbw_gib: f64,
+    dlwa: f64,
+    retired_rus: u64,
+    mean_pe: f64,
+}
+
+fn run_until_death(cfg: &ExpConfig, pe_limit: u32) -> Outcome {
+    let mut ftl = cfg.ftl_config();
+    ftl.pe_limit = pe_limit;
+    let (ctrl, mut cache) =
+        build_stack(ftl, StoreKind::Null, cfg.fdp, cfg.utilization, &cfg.cache_config_for_build())
+            .unwrap_or_else(|e| panic!("stack: {e}"));
+    let ns_bytes = cache.navy().io().capacity_bytes();
+    let keyspace = cfg.workload.keyspace_for(ns_bytes, cfg.keyspace_multiple);
+    let mut gen = cfg.workload.generator(keyspace, cfg.seed);
+
+    // Run until any cache operation surfaces a device error (end of
+    // life). Every loop is bounded by the endurance budget: each host
+    // page consumes media endurance, so termination is guaranteed.
+    loop {
+        let req = gen.next_request();
+        let result = match req.op {
+            Op::Get => cache.get(req.key).map(|_| ()),
+            Op::Set => match cache.put(req.key, Value::synthetic(req.size)) {
+                Err(fdpcache_cache::CacheError::ObjectTooLarge { .. }) => Ok(()),
+                r => r,
+            },
+            Op::Delete => cache.delete(req.key).map(|_| ()),
+        };
+        if result.is_err() {
+            break;
+        }
+    }
+
+    let c = ctrl.lock();
+    let log = c.fdp_stats_log();
+    let stats = c.ftl().stats();
+    let wear = c.ftl().wear();
+    Outcome {
+        label: if cfg.fdp { "FDP" } else { "Non-FDP" },
+        tbw_gib: log.host_bytes_written as f64 / (1u64 << 30) as f64,
+        dlwa: log.dlwa(),
+        retired_rus: stats.retired_rus,
+        mean_pe: wear.mean_pe,
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let mut base = ExpConfig::paper_default();
+    base.utilization = 1.0; // highest-DLWA regime: clearest lifetime gap
+    base.device_gib = 4; // endurance runs write the device hundreds of times over
+    let pe_limit = if cli.quick { 40 } else { 120 };
+
+    println!("== Lifetime to wear-out: KV Cache at 100% utilization, pe_limit={pe_limit} ==\n");
+    let fdp = run_until_death(&ExpConfig { fdp: true, ..base.clone() }, pe_limit);
+    let non = run_until_death(&ExpConfig { fdp: false, ..base.clone() }, pe_limit);
+
+    let mut t = Table::new(vec!["config", "TBW (GiB)", "DLWA", "retired RUs", "mean P/E"]).numeric();
+    for o in [&fdp, &non] {
+        t.row(vec![
+            o.label.to_string(),
+            format!("{:.1}", o.tbw_gib),
+            format!("{:.2}", o.dlwa),
+            format!("{}", o.retired_rus),
+            format!("{:.0}", o.mean_pe),
+        ]);
+    }
+    println!("{}", t.render());
+    let tbw_ratio = fdp.tbw_gib / non.tbw_gib.max(1e-9);
+    let dlwa_ratio = non.dlwa / fdp.dlwa.max(1e-9);
+    println!(
+        "\nTBW ratio (FDP/Non-FDP) = {tbw_ratio:.2}, inverse DLWA ratio = {dlwa_ratio:.2} \
+         (paper §2.2: lifetime is inversely proportional to DLWA)"
+    );
+}

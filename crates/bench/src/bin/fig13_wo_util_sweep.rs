@@ -1,0 +1,58 @@
+//! Figure 13 (Appendix B): WO KV Cache utilization sweep — DLWA and
+//! p99 read/write latency.
+//!
+//! Paper result: at 100% utilization FDP delivers 3.5x lower DLWA,
+//! 2.2x better p99 read latency and 9.5x better p99 write latency.
+
+use fdpcache_bench::{run_experiment, Cli, ExpConfig};
+use fdpcache_metrics::{csv, Table};
+use fdpcache_workloads::WorkloadProfile;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut base = ExpConfig::paper_default();
+    base.workload = WorkloadProfile::wo_kv_cache();
+    let base = if cli.quick { base.quick() } else { base };
+    let utils = if cli.quick { vec![0.5, 1.0] } else { vec![0.5, 0.9, 0.95, 1.0] };
+
+    println!("== Figure 13: WO KV utilization sweep ==\n");
+    let mut t = Table::new(vec!["util%", "config", "DLWA", "p99 rd (us)", "p99 wr (us)"]).numeric();
+    let mut rows = Vec::new();
+    let mut at_full = Vec::new();
+    for &util in &utils {
+        for fdp in [true, false] {
+            let r = run_experiment(&ExpConfig { utilization: util, fdp, ..base.clone() });
+            t.row(vec![
+                format!("{:.0}", util * 100.0),
+                r.label.clone(),
+                format!("{:.2}", r.dlwa_steady),
+                format!("{:.0}", r.p99_read_us),
+                format!("{:.0}", r.p99_write_us),
+            ]);
+            rows.push(vec![
+                format!("{util}"),
+                r.label.clone(),
+                format!("{}", r.dlwa_steady),
+                format!("{}", r.p99_read_us),
+                format!("{}", r.p99_write_us),
+            ]);
+            if util == 1.0 {
+                at_full.push(r);
+            }
+        }
+    }
+    println!("{}", t.render());
+    if at_full.len() == 2 {
+        let (f, n) = (&at_full[0], &at_full[1]);
+        println!(
+            "at 100%: DLWA {:.1}x, p99 read {:.1}x, p99 write {:.1}x better with FDP (paper: 3.5x / 2.2x / 9.5x)",
+            n.dlwa_steady / f.dlwa_steady.max(1e-9),
+            n.p99_read_us / f.p99_read_us.max(1e-9),
+            n.p99_write_us / f.p99_write_us.max(1e-9),
+        );
+    }
+    cli.write_csv(
+        "fig13_wo_util_sweep.csv",
+        &csv::render(&["util", "config", "dlwa", "p99_read_us", "p99_write_us"], &rows),
+    );
+}

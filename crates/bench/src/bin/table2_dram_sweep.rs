@@ -1,0 +1,54 @@
+//! Table 2: DRAM-size sweep at 100% device utilization, 4% SOC —
+//! hit ratio, NVM hit ratio, KGET/s and CO2e for FDP vs non-FDP.
+//!
+//! Paper result (scaled DRAM of 4/20/42 GB against 1.88 TB flash):
+//! less DRAM costs hit ratio and throughput but improves carbon;
+//! FDP makes the low-DRAM, 100%-utilization deployments viable at all
+//! (non-FDP pays DLWA 3.5 ⇒ ~3x the embodied carbon).
+
+use fdpcache_bench::{run_experiment, Cli, ExpConfig};
+use fdpcache_metrics::{csv, Table};
+use fdpcache_model::{embodied_co2e_kg, CarbonParams};
+
+fn main() {
+    let cli = Cli::parse();
+    let mut base = ExpConfig::paper_default();
+    base.utilization = 1.0;
+    let base = if cli.quick { base.quick() } else { base };
+    // The paper's 4 / 20 / 42 GB DRAM against a 930 GB cache namespace.
+    let drams: Vec<(f64, &str)> =
+        vec![(4.0 / 930.0, "4GB"), (20.0 / 930.0, "20GB"), (42.0 / 930.0, "42GB")];
+
+    println!("== Table 2: DRAM sweep, KV Cache @ 100% utilization, 4% SOC ==\n");
+    let mut t =
+        Table::new(vec!["Configuration", "Hit Ratio (%)", "NVM Hit Ratio (%)", "KGET/s", "CO2e (Kg)"])
+            .numeric();
+    let params = CarbonParams::default();
+    let mut rows = Vec::new();
+    for &(frac, name) in &drams {
+        for fdp in [true, false] {
+            let r = run_experiment(&ExpConfig { dram_fraction: frac, fdp, ..base.clone() });
+            let co2 = embodied_co2e_kg(r.dlwa_steady, &params);
+            t.row(vec![
+                format!("{} {name}", r.label),
+                format!("{:.2}", r.hit_ratio * 100.0),
+                format!("{:.2}", r.nvm_hit_ratio * 100.0),
+                format!("{:.1}", r.kgets),
+                format!("{:.1}", co2),
+            ]);
+            rows.push(vec![
+                format!("{} {name}", r.label),
+                format!("{}", r.hit_ratio),
+                format!("{}", r.nvm_hit_ratio),
+                format!("{}", r.kgets),
+                format!("{co2}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    cli.write_csv(
+        "table2_dram_sweep.csv",
+        &csv::render(&["config", "hit_ratio", "nvm_hit_ratio", "kgets", "co2e_kg"], &rows),
+    );
+    println!("(paper: smaller DRAM -> lower hit ratio & KGET/s, higher NVM hit ratio; FDP CO2e ~350-410 vs non-FDP ~1080-1140)");
+}

@@ -1,0 +1,10 @@
+//! # fdpcache-bench
+//!
+//! Experiment harness: shared runner utilities plus one binary per paper
+//! figure/table (see DESIGN.md §4 for the index). The binaries print the
+//! same rows/series the paper reports and emit CSV for re-plotting.
+
+#![warn(missing_docs)]
+pub mod harness;
+
+pub use harness::*;

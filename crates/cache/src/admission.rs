@@ -1,0 +1,195 @@
+//! Flash admission policies.
+//!
+//! Production flash caches gate RAM evictions before flash insertion to
+//! protect device endurance (paper §2.3: "the use of host
+//! overprovisioning and threshold admission policy is common for reducing
+//! DLWA"). We implement CacheLib's two practical policies plus
+//! admit-all:
+//!
+//! * [`AdmissionConfig::AdmitAll`] — every eviction is inserted.
+//! * [`AdmissionConfig::Probability`] — "reject first"-style fixed-rate
+//!   random admission.
+//! * [`AdmissionConfig::DynamicRandom`] — adjusts the admit probability
+//!   so flash write bandwidth tracks a target (CacheLib's
+//!   `DynamicRandomAP`), evaluated over fixed op windows in simulated
+//!   ops rather than wall seconds.
+
+use crate::Key;
+
+/// Admission policy configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionConfig {
+    /// Admit every eviction.
+    AdmitAll,
+    /// Admit with a fixed probability in `[0, 1]`.
+    Probability(f64),
+    /// Adapt the admit probability to meet a byte-rate target per window
+    /// of admissions-considered operations.
+    DynamicRandom {
+        /// Target flash-write bytes per window.
+        target_bytes_per_window: u64,
+        /// Window length in considered operations.
+        window_ops: u64,
+    },
+}
+
+/// Stateful admission decider.
+#[derive(Debug)]
+pub struct AdmissionPolicy {
+    config: AdmissionConfig,
+    rng: u64,
+    prob: f64,
+    window_bytes: u64,
+    window_count: u64,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl AdmissionPolicy {
+    /// Creates a policy; `seed` drives the deterministic RNG.
+    pub fn new(config: AdmissionConfig, seed: u64) -> Self {
+        let prob = match &config {
+            AdmissionConfig::AdmitAll => 1.0,
+            AdmissionConfig::Probability(p) => p.clamp(0.0, 1.0),
+            AdmissionConfig::DynamicRandom { .. } => 1.0,
+        };
+        AdmissionPolicy {
+            config,
+            rng: if seed == 0 { 0xABCD_EF01 } else { seed },
+            prob,
+            window_bytes: 0,
+            window_count: 0,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Current admit probability.
+    pub fn probability(&self) -> f64 {
+        self.prob
+    }
+
+    /// Items admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Items rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decides whether to admit an object of `size` bytes.
+    pub fn admit(&mut self, _key: Key, size: usize) -> bool {
+        if let AdmissionConfig::DynamicRandom { target_bytes_per_window, window_ops } = self.config
+        {
+            self.window_count += 1;
+            if self.window_count >= window_ops {
+                // Adjust: if we overshot the byte target, shrink the
+                // probability proportionally; if under, grow it.
+                let target = target_bytes_per_window.max(1) as f64;
+                let actual = self.window_bytes.max(1) as f64;
+                self.prob = (self.prob * target / actual).clamp(0.01, 1.0);
+                self.window_count = 0;
+                self.window_bytes = 0;
+            }
+        }
+        let admit = self.prob >= 1.0 || self.next_f64() < self.prob;
+        if admit {
+            self.admitted += 1;
+            if matches!(self.config, AdmissionConfig::DynamicRandom { .. }) {
+                self.window_bytes += size as u64;
+            }
+        } else {
+            self.rejected += 1;
+        }
+        admit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_all_admits_everything() {
+        let mut p = AdmissionPolicy::new(AdmissionConfig::AdmitAll, 1);
+        for k in 0..100 {
+            assert!(p.admit(k, 100));
+        }
+        assert_eq!(p.admitted(), 100);
+        assert_eq!(p.rejected(), 0);
+    }
+
+    #[test]
+    fn probability_zero_rejects_everything() {
+        let mut p = AdmissionPolicy::new(AdmissionConfig::Probability(0.0), 1);
+        for k in 0..100 {
+            assert!(!p.admit(k, 100));
+        }
+        assert_eq!(p.rejected(), 100);
+    }
+
+    #[test]
+    fn probability_half_is_roughly_half() {
+        let mut p = AdmissionPolicy::new(AdmissionConfig::Probability(0.5), 42);
+        let admitted = (0..10_000).filter(|&k| p.admit(k, 100)).count();
+        assert!((4_000..6_000).contains(&admitted), "admitted {admitted}");
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let p = AdmissionPolicy::new(AdmissionConfig::Probability(7.0), 1);
+        assert_eq!(p.probability(), 1.0);
+        let p = AdmissionPolicy::new(AdmissionConfig::Probability(-3.0), 1);
+        assert_eq!(p.probability(), 0.0);
+    }
+
+    #[test]
+    fn dynamic_random_throttles_toward_target() {
+        // Offer 1000-byte objects; target 10_000 bytes per 100 ops ⇒
+        // sustainable admit rate is ~10%.
+        let mut p = AdmissionPolicy::new(
+            AdmissionConfig::DynamicRandom { target_bytes_per_window: 10_000, window_ops: 100 },
+            7,
+        );
+        for k in 0..20_000u64 {
+            p.admit(k, 1000);
+        }
+        assert!(
+            p.probability() < 0.3,
+            "probability should fall toward ~0.1, got {}",
+            p.probability()
+        );
+        let rate = p.admitted() as f64 / (p.admitted() + p.rejected()) as f64;
+        assert!(rate < 0.4, "admission rate {rate}");
+    }
+
+    #[test]
+    fn dynamic_random_recovers_when_load_drops() {
+        let mut p = AdmissionPolicy::new(
+            AdmissionConfig::DynamicRandom { target_bytes_per_window: 100_000, window_ops: 100 },
+            7,
+        );
+        // Heavy phase drives the probability down.
+        for k in 0..5_000u64 {
+            p.admit(k, 10_000);
+        }
+        let low = p.probability();
+        // Light phase: tiny objects, far below target.
+        for k in 0..50_000u64 {
+            p.admit(k, 10);
+        }
+        assert!(p.probability() > low, "probability must recover");
+    }
+}

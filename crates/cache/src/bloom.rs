@@ -1,0 +1,148 @@
+//! Per-bucket bloom filters for the SOC.
+//!
+//! CacheLib keeps a small bloom filter per SOC bucket so that lookups of
+//! absent keys skip the flash read entirely (the SOC has no in-DRAM
+//! index — that is its whole point). We use one 128-bit filter per
+//! bucket with `K` probe bits, rebuilt from the authoritative entry list
+//! on every bucket rewrite, which mirrors CacheLib's rebuild-on-write.
+//! At a typical occupancy of ~20 small objects per bucket the false
+//! positive rate is ≈5%.
+
+use crate::Key;
+
+/// Number of probe bits per key.
+const K: u32 = 4;
+/// 64-bit words per bucket filter.
+const WORDS: usize = 2;
+const BITS: u64 = (WORDS * 64) as u64;
+
+fn mix(key: Key, round: u32) -> u64 {
+    let mut z = key ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(round as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn bits_for(key: Key) -> [u64; WORDS] {
+    let mut m = [0u64; WORDS];
+    for r in 0..K {
+        let bit = mix(key, r) % BITS;
+        m[(bit / 64) as usize] |= 1u64 << (bit % 64);
+    }
+    m
+}
+
+/// An array of per-bucket 128-bit bloom filters.
+#[derive(Debug, Clone)]
+pub struct BloomArray {
+    filters: Vec<[u64; WORDS]>,
+}
+
+impl BloomArray {
+    /// Creates filters for `buckets` buckets, all empty.
+    pub fn new(buckets: usize) -> Self {
+        BloomArray { filters: vec![[0; WORDS]; buckets] }
+    }
+
+    /// Number of buckets covered.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Adds `key` to bucket `bucket`'s filter.
+    pub fn insert(&mut self, bucket: usize, key: Key) {
+        let m = bits_for(key);
+        let f = &mut self.filters[bucket];
+        for (fw, mw) in f.iter_mut().zip(m.iter()) {
+            *fw |= mw;
+        }
+    }
+
+    /// Whether `key` may be present in bucket `bucket`. False means
+    /// definitely absent.
+    pub fn may_contain(&self, bucket: usize, key: Key) -> bool {
+        let m = bits_for(key);
+        let f = &self.filters[bucket];
+        f.iter().zip(m.iter()).all(|(fw, mw)| fw & mw == *mw)
+    }
+
+    /// Rebuilds bucket `bucket`'s filter from an entry iterator (done on
+    /// every bucket rewrite, since per-bucket blooms cannot delete).
+    pub fn rebuild<I: IntoIterator<Item = Key>>(&mut self, bucket: usize, keys: I) {
+        let mut f = [0u64; WORDS];
+        for k in keys {
+            let m = bits_for(k);
+            for (fw, mw) in f.iter_mut().zip(m.iter()) {
+                *fw |= mw;
+            }
+        }
+        self.filters[bucket] = f;
+    }
+
+    /// Clears every filter.
+    pub fn clear(&mut self) {
+        self.filters.iter_mut().for_each(|f| *f = [0; WORDS]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_keys_are_maybe_present() {
+        let mut b = BloomArray::new(4);
+        for k in 0..100u64 {
+            b.insert((k % 4) as usize, k);
+        }
+        for k in 0..100u64 {
+            assert!(b.may_contain((k % 4) as usize, k));
+        }
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let b = BloomArray::new(1);
+        for k in 0..1000u64 {
+            assert!(!b.may_contain(0, k));
+        }
+    }
+
+    #[test]
+    fn rebuild_drops_old_keys_mostly() {
+        let mut b = BloomArray::new(1);
+        for k in 0..64u64 {
+            b.insert(0, k);
+        }
+        // Rebuild with only one key: most other keys must now miss.
+        b.rebuild(0, [1u64]);
+        assert!(b.may_contain(0, 1));
+        let false_hits = (1000..2000u64).filter(|&k| b.may_contain(0, k)).count();
+        assert!(false_hits < 20, "false-positive rate too high after rebuild: {false_hits}");
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_for_sparse_buckets() {
+        let mut b = BloomArray::new(1);
+        // A typical SOC bucket holds ~10-40 small objects.
+        for k in 0..20u64 {
+            b.insert(0, k);
+        }
+        let fp = (10_000..20_000u64).filter(|&k| b.may_contain(0, k)).count();
+        // 20 keys × 4 bits in 128 bits ⇒ ~47% of bits set ⇒ fp ≈ 5%.
+        assert!(fp < 1000, "fp = {fp}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = BloomArray::new(2);
+        b.insert(0, 7);
+        b.clear();
+        assert!(!b.may_contain(0, 7));
+    }
+}

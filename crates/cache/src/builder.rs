@@ -1,0 +1,200 @@
+//! Convenience builders that assemble the full stack: NAND → FTL → NVMe
+//! controller → namespace(s) → placement allocator → hybrid cache.
+//!
+//! Every experiment and example follows the same recipe the paper's
+//! testbed does:
+//!
+//! 1. bring up the device (optionally with FDP disabled, the Non-FDP
+//!    baseline);
+//! 2. create a namespace covering `utilization × exported capacity`
+//!    (the paper's "device utilization" knob — the rest of the LBA space
+//!    is host overprovisioning);
+//! 3. discover placement handles and build the cache.
+
+use std::sync::Arc;
+
+use fdpcache_core::{
+    IoManager, PlacementHandleAllocator, PlacementPolicy, RoundRobinPolicy, SharedController,
+};
+use fdpcache_ftl::{FtlConfig, RuhId};
+use fdpcache_nvme::{Controller, MemStore, NamespaceId, NullStore};
+use parking_lot::Mutex;
+
+use crate::cache::HybridCache;
+use crate::config::CacheConfig;
+use crate::error::CacheError;
+
+/// Which payload store to attach to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Retain payload bytes (functional tests, examples).
+    Mem,
+    /// Discard payloads (at-scale DLWA experiments).
+    Null,
+}
+
+/// Builds a device controller.
+///
+/// # Errors
+///
+/// Propagates FTL configuration validation failures.
+pub fn build_device(
+    ftl: FtlConfig,
+    store: StoreKind,
+    fdp_enabled: bool,
+) -> Result<SharedController, CacheError> {
+    let boxed: Box<dyn fdpcache_nvme::DataStore> = match store {
+        StoreKind::Mem => Box::new(MemStore::new()),
+        StoreKind::Null => Box::new(NullStore),
+    };
+    let mut ctrl = Controller::new(ftl, boxed).map_err(CacheError::Config)?;
+    ctrl.set_fdp_enabled(fdp_enabled);
+    Ok(Arc::new(Mutex::new(ctrl)))
+}
+
+/// Creates a namespace covering `utilization` of the device's exported
+/// capacity with the given placement-handle list.
+///
+/// # Errors
+///
+/// Propagates namespace-creation failures (capacity, invalid handles).
+pub fn create_namespace(
+    ctrl: &SharedController,
+    utilization: f64,
+    ruh_list: Vec<RuhId>,
+) -> Result<NamespaceId, CacheError> {
+    let mut c = ctrl.lock();
+    let lbas = ((c.unallocated_lbas() as f64) * utilization).floor() as u64;
+    c.create_namespace(lbas.max(1), ruh_list).map_err(CacheError::Io)
+}
+
+/// Builds a [`HybridCache`] on an existing namespace, discovering
+/// placement capability automatically.
+///
+/// # Errors
+///
+/// Propagates construction failures from any layer.
+pub fn build_cache(
+    ctrl: &SharedController,
+    nsid: NamespaceId,
+    config: &CacheConfig,
+    policy: Box<dyn PlacementPolicy>,
+) -> Result<HybridCache, CacheError> {
+    let (identity, ns) = {
+        let c = ctrl.lock();
+        let ns = c
+            .namespace(nsid)
+            .cloned()
+            .ok_or(CacheError::Io(fdpcache_nvme::NvmeError::InvalidNamespace(nsid)))?;
+        (c.identify(), ns)
+    };
+    let mut allocator = PlacementHandleAllocator::discover(&identity, &ns, policy);
+    let io = IoManager::new(ctrl.clone(), nsid, config.nvm.io_lanes).map_err(CacheError::Io)?;
+    HybridCache::new(config, io, &mut allocator)
+}
+
+/// One-call setup for the common single-tenant experiment: device +
+/// namespace at `utilization` + cache. Uses round-robin placement.
+///
+/// # Errors
+///
+/// Propagates construction failures from any layer.
+pub fn build_stack(
+    ftl: FtlConfig,
+    store: StoreKind,
+    fdp: bool,
+    utilization: f64,
+    config: &CacheConfig,
+) -> Result<(SharedController, HybridCache), CacheError> {
+    let ctrl = build_device(ftl.clone(), store, fdp)?;
+    // Hand the namespace every device RUH; the allocator decides usage.
+    let ruh_list: Vec<RuhId> = (0..ftl.num_ruhs).collect();
+    let nsid = create_namespace(&ctrl, utilization, ruh_list)?;
+    let cache = build_cache(&ctrl, nsid, config, Box::new(RoundRobinPolicy::new()))?;
+    Ok((ctrl, cache))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NvmConfig;
+
+    fn small_cache_config() -> CacheConfig {
+        CacheConfig {
+            ram_bytes: 4096,
+            ram_item_overhead: 0,
+            nvm: NvmConfig { soc_fraction: 0.1, region_bytes: 16 * 4096, ..NvmConfig::default() },
+            use_fdp: true,
+        }
+    }
+
+    #[test]
+    fn full_stack_comes_up_and_serves() {
+        let (_ctrl, mut cache) =
+            build_stack(FtlConfig::tiny_test(), StoreKind::Mem, true, 0.9, &small_cache_config())
+                .unwrap();
+        cache.put(1, crate::value::Value::synthetic(100)).unwrap();
+        let (_, v) = cache.get(1).unwrap();
+        assert_eq!(v.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn fdp_stack_uses_distinct_handles() {
+        let (_c, cache) =
+            build_stack(FtlConfig::tiny_test(), StoreKind::Mem, true, 0.9, &small_cache_config())
+                .unwrap();
+        assert_ne!(cache.navy().soc().handle(), cache.navy().loc().handle());
+    }
+
+    #[test]
+    fn nonfdp_stack_falls_back_to_default_handle() {
+        let (_c, cache) =
+            build_stack(FtlConfig::tiny_test(), StoreKind::Null, false, 0.9, &small_cache_config())
+                .unwrap();
+        assert!(cache.navy().soc().handle().is_default());
+        assert!(cache.navy().loc().handle().is_default());
+    }
+
+    #[test]
+    fn utilization_controls_namespace_size() {
+        let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Null, true).unwrap();
+        let before = ctrl.lock().unallocated_lbas();
+        let _ns = create_namespace(&ctrl, 0.5, vec![0]).unwrap();
+        let after = ctrl.lock().unallocated_lbas();
+        assert_eq!(after, before - before / 2);
+    }
+
+    #[test]
+    fn two_tenants_share_one_device() {
+        let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Null, true).unwrap();
+        let ns1 = create_namespace(&ctrl, 0.5, vec![0, 1]).unwrap();
+        let ns2 = create_namespace(&ctrl, 1.0, vec![2, 3]).unwrap();
+        let cfg = small_cache_config();
+        let mut a = build_cache(&ctrl, ns1, &cfg, Box::new(RoundRobinPolicy::new())).unwrap();
+        let mut b = build_cache(&ctrl, ns2, &cfg, Box::new(RoundRobinPolicy::new())).unwrap();
+        a.put(1, crate::value::Value::synthetic(100)).unwrap();
+        b.put(1, crate::value::Value::synthetic(200)).unwrap();
+        // Tenants are isolated namespaces: same key, different objects.
+        let (_, va) = a.get(1).unwrap();
+        let (_, vb) = b.get(1).unwrap();
+        assert_eq!(va.unwrap().len(), 100);
+        assert_eq!(vb.unwrap().len(), 200);
+        // And their engines resolve to four distinct device RUHs (DSPECs
+        // are namespace-relative indices into each tenant's handle list).
+        let c = ctrl.lock();
+        let mut ruhs: Vec<_> = [
+            (ns1, a.navy().soc().handle()),
+            (ns1, a.navy().loc().handle()),
+            (ns2, b.navy().soc().handle()),
+            (ns2, b.navy().loc().handle()),
+        ]
+        .into_iter()
+        .map(|(nsid, h)| {
+            c.namespace(nsid).unwrap().resolve_pid(h.dspec().expect("fdp handle")).unwrap()
+        })
+        .collect();
+        ruhs.sort_unstable();
+        ruhs.dedup();
+        assert_eq!(ruhs.len(), 4, "tenant engines must map to disjoint RUHs");
+    }
+}

@@ -1,0 +1,359 @@
+//! The hybrid cache: DRAM LRU front + Navy flash engines, wired to the
+//! placement layer exactly like the paper's upstreamed CacheLib changes.
+
+use fdpcache_core::{IoManager, PlacementHandle, PlacementHandleAllocator};
+
+use crate::config::CacheConfig;
+use crate::engine::{NavyEngine, NvmSource};
+use crate::error::CacheError;
+use crate::ram::RamCache;
+use crate::stats::CacheStats;
+use crate::value::Value;
+use crate::Key;
+
+/// Where a GET was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GetOutcome {
+    /// Served from DRAM.
+    RamHit,
+    /// Served from the flash Small Object Cache.
+    SocHit,
+    /// Served from the flash Large Object Cache.
+    LocHit,
+    /// Not in the cache.
+    Miss,
+}
+
+/// Host CPU time charged per cache operation (ns) on the simulated
+/// clock; drives the throughput readout.
+const HOST_OP_NS: u64 = 2_000;
+
+/// A CacheLib-style hybrid cache instance.
+///
+/// Construction allocates placement handles for the SOC and LOC from the
+/// [`PlacementHandleAllocator`] when `use_fdp` is set; otherwise both
+/// engines use the default handle and the device intermixes their data —
+/// the paper's Non-FDP baseline.
+#[derive(Debug)]
+pub struct HybridCache {
+    ram: RamCache,
+    navy: NavyEngine,
+    stats: CacheStats,
+    promote_on_nvm_hit: bool,
+}
+
+impl HybridCache {
+    /// Builds a cache over `io` (one namespace of the shared device).
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation and engine construction failures.
+    pub fn new(
+        config: &CacheConfig,
+        io: IoManager,
+        allocator: &mut PlacementHandleAllocator,
+    ) -> Result<Self, CacheError> {
+        config.validate(io.block_bytes()).map_err(CacheError::Config)?;
+        let (soc_handle, loc_handle) = if config.use_fdp {
+            (allocator.allocate("soc"), allocator.allocate("loc"))
+        } else {
+            (PlacementHandle::DEFAULT, PlacementHandle::DEFAULT)
+        };
+        let navy = NavyEngine::new(&config.nvm, io, soc_handle, loc_handle, 0x5EED)?;
+        Ok(HybridCache {
+            ram: RamCache::new(config.ram_bytes, config.ram_item_overhead),
+            navy,
+            stats: CacheStats::default(),
+            promote_on_nvm_hit: true,
+        })
+    }
+
+    /// Disables promotion of flash hits into DRAM (ablation knob).
+    pub fn set_promote_on_nvm_hit(&mut self, promote: bool) {
+        self.promote_on_nvm_hit = promote;
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The flash engine pair.
+    pub fn navy(&self) -> &NavyEngine {
+        &self.navy
+    }
+
+    /// Mutable flash engine access (clock control in replays).
+    pub fn navy_mut(&mut self) -> &mut NavyEngine {
+        &mut self.navy
+    }
+
+    /// The DRAM cache.
+    pub fn ram(&self) -> &RamCache {
+        &self.ram
+    }
+
+    /// Simulated time observed by this cache's I/O path (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.navy.io().now_ns()
+    }
+
+    /// Application-level write amplification of the flash layer.
+    pub fn alwa(&self) -> f64 {
+        self.navy.alwa()
+    }
+
+    fn io_mut(&mut self) -> &mut IoManager {
+        self.navy.io_mut()
+    }
+
+    /// Looks up `key`. Flash hits are promoted into DRAM (which may
+    /// cascade evictions back to flash, the paper's read-driven flash
+    /// write traffic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn get(&mut self, key: Key) -> Result<(GetOutcome, Option<Value>), CacheError> {
+        self.stats.gets += 1;
+        self.io_mut().advance(HOST_OP_NS);
+        if let Some(v) = self.ram.get(key) {
+            self.stats.ram_hits += 1;
+            return Ok((GetOutcome::RamHit, Some(v)));
+        }
+        self.stats.nvm_lookups += 1;
+        match self.navy.lookup(key)? {
+            Some((value, source)) => {
+                let outcome = match source {
+                    NvmSource::Soc => {
+                        self.stats.soc_hits += 1;
+                        GetOutcome::SocHit
+                    }
+                    NvmSource::Loc => {
+                        self.stats.loc_hits += 1;
+                        GetOutcome::LocHit
+                    }
+                };
+                if self.promote_on_nvm_hit {
+                    for evicted in self.ram.put(key, value.clone()) {
+                        if evicted.key != key {
+                            self.flash_insert(evicted.key, evicted.value)?;
+                        }
+                    }
+                }
+                Ok((outcome, Some(value)))
+            }
+            None => Ok((GetOutcome::Miss, None)),
+        }
+    }
+
+    /// Inserts `key`. RAM evictions flow to flash through the admission
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; objects larger than a LOC region are
+    /// rejected with [`CacheError::ObjectTooLarge`].
+    pub fn put(&mut self, key: Key, value: Value) -> Result<(), CacheError> {
+        if value.len() > self.navy.loc().max_object_bytes() {
+            return Err(CacheError::ObjectTooLarge {
+                size: value.len(),
+                max: self.navy.loc().max_object_bytes(),
+            });
+        }
+        self.stats.puts += 1;
+        self.io_mut().advance(HOST_OP_NS);
+        for evicted in self.ram.put(key, value) {
+            self.flash_insert(evicted.key, evicted.value)?;
+        }
+        Ok(())
+    }
+
+    /// Removes `key` from every layer. Returns whether it was present
+    /// anywhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn delete(&mut self, key: Key) -> Result<bool, CacheError> {
+        self.stats.deletes += 1;
+        self.io_mut().advance(HOST_OP_NS);
+        let in_ram = self.ram.remove(key).is_some();
+        let in_navy = self.navy.remove(key)?;
+        Ok(in_ram || in_navy)
+    }
+
+    fn flash_insert(&mut self, key: Key, value: Value) -> Result<(), CacheError> {
+        self.stats.nvm_insert_attempts += 1;
+        let len = value.len() as u64;
+        if self.navy.insert(key, value)? {
+            self.stats.nvm_inserts += 1;
+            self.stats.nvm_app_bytes += len;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NvmConfig;
+    use fdpcache_core::{RoundRobinPolicy, SharedController};
+    use fdpcache_ftl::FtlConfig;
+    use fdpcache_nvme::{Controller, MemStore};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn build(ram_bytes: u64, use_fdp: bool) -> HybridCache {
+        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let blocks = ctrl.unallocated_lbas();
+        let nsid = ctrl.create_namespace(blocks, vec![0, 1]).unwrap();
+        let identity = ctrl.identify();
+        let ns = ctrl.namespace(nsid).unwrap().clone();
+        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        let io = IoManager::new(shared, nsid, 4).unwrap();
+        let mut alloc = PlacementHandleAllocator::discover(
+            &identity,
+            &ns,
+            Box::new(RoundRobinPolicy::new()),
+        );
+        let config = CacheConfig {
+            ram_bytes,
+            ram_item_overhead: 0,
+            nvm: NvmConfig {
+                soc_fraction: 0.1,
+                region_bytes: 16 * 4096,
+                ..NvmConfig::default()
+            },
+            use_fdp,
+        };
+        HybridCache::new(&config, io, &mut alloc).unwrap()
+    }
+
+    #[test]
+    fn ram_hit_after_put() {
+        let mut c = build(1 << 20, true);
+        c.put(1, Value::synthetic(100)).unwrap();
+        let (outcome, v) = c.get(1).unwrap();
+        assert_eq!(outcome, GetOutcome::RamHit);
+        assert_eq!(v.unwrap().len(), 100);
+        assert!((c.stats().hit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_for_absent_key() {
+        let mut c = build(1 << 20, true);
+        let (outcome, v) = c.get(404).unwrap();
+        assert_eq!(outcome, GetOutcome::Miss);
+        assert!(v.is_none());
+    }
+
+    #[test]
+    fn ram_eviction_lands_in_flash_and_serves_soc_hit() {
+        // RAM fits only ~10 of the 100-byte items.
+        let mut c = build(1_000, true);
+        for k in 0..100u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        assert!(c.stats().nvm_inserts > 0, "evictions must reach flash");
+        // An early key must now be served from the SOC.
+        let (outcome, v) = c.get(0).unwrap();
+        assert_eq!(outcome, GetOutcome::SocHit);
+        assert_eq!(v.unwrap().len(), 90);
+    }
+
+    #[test]
+    fn large_objects_serve_loc_hits() {
+        let mut c = build(1_000, true);
+        c.put(7, Value::synthetic(10_000)).unwrap(); // bypasses RAM (too big)
+        let (outcome, _) = c.get(7).unwrap();
+        assert_eq!(outcome, GetOutcome::LocHit);
+    }
+
+    #[test]
+    fn nvm_hit_promotes_to_ram() {
+        let mut c = build(1_000, true);
+        for k in 0..100u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        let (first, _) = c.get(0).unwrap();
+        assert_eq!(first, GetOutcome::SocHit);
+        let (second, _) = c.get(0).unwrap();
+        assert_eq!(second, GetOutcome::RamHit, "flash hit must promote into DRAM");
+    }
+
+    #[test]
+    fn promotion_can_be_disabled() {
+        let mut c = build(1_000, true);
+        c.set_promote_on_nvm_hit(false);
+        for k in 0..100u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        let (first, _) = c.get(0).unwrap();
+        assert_eq!(first, GetOutcome::SocHit);
+        let (second, _) = c.get(0).unwrap();
+        assert_eq!(second, GetOutcome::SocHit);
+    }
+
+    #[test]
+    fn delete_removes_everywhere() {
+        let mut c = build(1_000, true);
+        for k in 0..100u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        assert!(c.delete(0).unwrap()); // in flash by now
+        assert!(c.delete(99).unwrap()); // in RAM
+        let (o1, _) = c.get(0).unwrap();
+        let (o2, _) = c.get(99).unwrap();
+        assert_eq!(o1, GetOutcome::Miss);
+        assert_eq!(o2, GetOutcome::Miss);
+        assert!(!c.delete(424242).unwrap());
+    }
+
+    #[test]
+    fn oversized_put_is_rejected() {
+        let mut c = build(1 << 20, true);
+        let max = c.navy().loc().max_object_bytes();
+        assert!(matches!(
+            c.put(1, Value::synthetic(max as u32 + 1)),
+            Err(CacheError::ObjectTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn fdp_mode_segregates_handles_nonfdp_does_not() {
+        let fdp = build(1_000, true);
+        assert_ne!(fdp.navy().soc().handle(), fdp.navy().loc().handle());
+        let nonfdp = build(1_000, false);
+        assert_eq!(nonfdp.navy().soc().handle(), nonfdp.navy().loc().handle());
+        assert!(nonfdp.navy().soc().handle().is_default());
+    }
+
+    #[test]
+    fn clock_advances_with_operations() {
+        let mut c = build(1 << 20, true);
+        let t0 = c.now_ns();
+        c.put(1, Value::synthetic(100)).unwrap();
+        c.get(1).unwrap();
+        assert!(c.now_ns() >= t0 + 2 * HOST_OP_NS);
+    }
+
+    #[test]
+    fn stats_track_layers() {
+        let mut c = build(1_000, true);
+        for k in 0..50u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        for k in 0..25u64 {
+            // First get may hit flash and promote; second must hit DRAM.
+            c.get(k).unwrap();
+            c.get(k).unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.gets, 50);
+        assert!(s.ram_hits > 0);
+        assert!(s.soc_hits > 0);
+        assert!(s.hit_ratio() > 0.9);
+        assert!(s.nvm_hit_ratio() > 0.0);
+    }
+}

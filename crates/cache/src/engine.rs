@@ -1,0 +1,326 @@
+//! The Navy engine pair: SOC + LOC behind one namespace, with
+//! size-threshold routing and admission control.
+
+use fdpcache_core::{IoManager, PlacementHandle};
+use fdpcache_metrics::Histogram;
+
+use crate::admission::AdmissionPolicy;
+use crate::config::NvmConfig;
+use crate::error::CacheError;
+use crate::loc::Loc;
+use crate::soc::Soc;
+use crate::value::Value;
+use crate::Key;
+
+/// Which flash engine served a hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NvmSource {
+    /// Small Object Cache.
+    Soc,
+    /// Large Object Cache.
+    Loc,
+}
+
+/// The flash cache: an engine pair sharing one I/O manager.
+///
+/// Layout within the namespace: SOC buckets occupy the first
+/// `soc_fraction` of blocks, LOC regions the remainder (any tail blocks
+/// that do not fill a whole region are unused, mirroring CacheLib's
+/// region-aligned allocation).
+#[derive(Debug)]
+pub struct NavyEngine {
+    io: IoManager,
+    soc: Soc,
+    loc: Loc,
+    size_threshold: u32,
+    admission: AdmissionPolicy,
+}
+
+impl NavyEngine {
+    /// Builds the engine pair over `io`, writing SOC data through
+    /// `soc_handle` and LOC data through `loc_handle`.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Config`] when the namespace cannot fit at least one
+    /// SOC bucket and one LOC region (unless the respective fraction is
+    /// zero).
+    pub fn new(
+        cfg: &NvmConfig,
+        io: IoManager,
+        soc_handle: PlacementHandle,
+        loc_handle: PlacementHandle,
+        seed: u64,
+    ) -> Result<Self, CacheError> {
+        let block_bytes = io.block_bytes();
+        let total_blocks = io.blocks();
+        let soc_blocks = ((total_blocks as f64) * cfg.soc_fraction).floor() as u64;
+        let region_blocks = cfg.region_bytes / block_bytes as u64;
+        let loc_space = total_blocks - soc_blocks;
+        let num_regions = (loc_space / region_blocks) as u32;
+        if cfg.soc_fraction > 0.0 && soc_blocks == 0 {
+            return Err(CacheError::Config("namespace too small for any SOC bucket".into()));
+        }
+        if cfg.soc_fraction < 1.0 && num_regions < 2 {
+            return Err(CacheError::Config(format!(
+                "LOC needs at least 2 regions, got {num_regions} \
+                 ({loc_space} blocks / {region_blocks} blocks-per-region)"
+            )));
+        }
+        let soc = Soc::new(0, soc_blocks.max(1), cfg.bucket_bytes, soc_handle);
+        let loc = Loc::new(
+            soc_blocks,
+            num_regions.max(1),
+            region_blocks,
+            block_bytes,
+            cfg.loc_eviction,
+            cfg.trim_on_region_evict,
+            loc_handle,
+        );
+        Ok(NavyEngine {
+            io,
+            soc,
+            loc,
+            size_threshold: cfg.size_threshold,
+            admission: AdmissionPolicy::new(cfg.admission.clone(), seed),
+        })
+    }
+
+    /// The SOC engine.
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
+
+    /// The LOC engine.
+    pub fn loc(&self) -> &Loc {
+        &self.loc
+    }
+
+    /// Re-binds both engines' placement handles (dynamic-placement
+    /// experiments; paper §5.5 lesson 2). Subsequent SOC bucket writes
+    /// and LOC region seals carry the new handles.
+    pub fn set_handles(&mut self, soc: PlacementHandle, loc: PlacementHandle) {
+        self.soc.set_handle(soc);
+        self.loc.set_handle(loc);
+    }
+
+    /// The underlying I/O manager.
+    pub fn io(&self) -> &IoManager {
+        &self.io
+    }
+
+    /// Mutable access to the I/O manager (clock control in replays).
+    pub fn io_mut(&mut self) -> &mut IoManager {
+        &mut self.io
+    }
+
+    /// The admission policy state.
+    pub fn admission(&self) -> &AdmissionPolicy {
+        &self.admission
+    }
+
+    /// Application-level write amplification (paper Equation 2): device
+    /// bytes submitted over application object bytes admitted.
+    pub fn alwa(&self) -> f64 {
+        let app = self.soc.stats().app_bytes_written + self.loc.stats().app_bytes_written;
+        if app == 0 {
+            1.0
+        } else {
+            self.io.stats().bytes_written as f64 / app as f64
+        }
+    }
+
+    /// Observed device write-latency histogram.
+    pub fn write_latency(&self) -> &Histogram {
+        self.io.write_latency()
+    }
+
+    /// Observed device read-latency histogram.
+    pub fn read_latency(&self) -> &Histogram {
+        self.io.read_latency()
+    }
+
+    /// Whether an object of this size routes to the SOC.
+    pub fn is_small(&self, len: usize) -> bool {
+        len < self.size_threshold as usize
+    }
+
+    /// Offers an object for flash insertion (post-RAM-eviction path).
+    /// Returns whether it was admitted and written.
+    ///
+    /// # Errors
+    ///
+    /// Object-size and I/O errors.
+    pub fn insert(&mut self, key: Key, value: Value) -> Result<bool, CacheError> {
+        if !self.admission.admit(key, value.len()) {
+            return Ok(false);
+        }
+        // A key may change size class between inserts; the copy in the
+        // other engine (if any) would be stale and must be dropped.
+        if self.is_small(value.len()) {
+            self.loc.remove(key);
+            self.soc.insert(&mut self.io, key, value)?;
+        } else {
+            self.soc.remove(&mut self.io, key)?;
+            self.loc.insert(&mut self.io, key, value)?;
+        }
+        Ok(true)
+    }
+
+    /// Looks an object up in both engines (SOC first for small-object
+    /// dominant workloads; order does not affect correctness since keys
+    /// live in exactly one engine by size).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn lookup(&mut self, key: Key) -> Result<Option<(Value, NvmSource)>, CacheError> {
+        if let Some(v) = self.soc.lookup(&mut self.io, key)? {
+            return Ok(Some((v, NvmSource::Soc)));
+        }
+        if let Some(v) = self.loc.lookup(&mut self.io, key)? {
+            return Ok(Some((v, NvmSource::Loc)));
+        }
+        Ok(None)
+    }
+
+    /// Removes an object from whichever engine holds it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn remove(&mut self, key: Key) -> Result<bool, CacheError> {
+        let in_soc = self.soc.remove(&mut self.io, key)?;
+        let in_loc = self.loc.remove(key);
+        Ok(in_soc || in_loc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LocEviction;
+    use fdpcache_core::SharedController;
+    use fdpcache_ftl::FtlConfig;
+    use fdpcache_nvme::{Controller, MemStore};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn engine() -> NavyEngine {
+        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let blocks = ctrl.unallocated_lbas();
+        let nsid = ctrl.create_namespace(blocks, vec![0, 1]).unwrap();
+        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        let io = IoManager::new(shared, nsid, 4).unwrap();
+        let cfg = NvmConfig {
+            soc_fraction: 0.1,
+            bucket_bytes: 4096,
+            region_bytes: 16 * 4096, // 16-block regions for the tiny device
+            size_threshold: 2048,
+            loc_eviction: LocEviction::Fifo,
+            admission: crate::admission::AdmissionConfig::AdmitAll,
+            trim_on_region_evict: false,
+            io_lanes: 4,
+        };
+        NavyEngine::new(
+            &cfg,
+            io,
+            PlacementHandle::with_dspec(0),
+            PlacementHandle::with_dspec(1),
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn small_objects_go_to_soc() {
+        let mut e = engine();
+        assert!(e.insert(1, Value::synthetic(100)).unwrap());
+        assert_eq!(e.soc().stats().inserts, 1);
+        assert_eq!(e.loc().stats().inserts, 0);
+        let (v, src) = e.lookup(1).unwrap().unwrap();
+        assert_eq!(v.len(), 100);
+        assert_eq!(src, NvmSource::Soc);
+    }
+
+    #[test]
+    fn large_objects_go_to_loc() {
+        let mut e = engine();
+        assert!(e.insert(2, Value::synthetic(10_000)).unwrap());
+        assert_eq!(e.loc().stats().inserts, 1);
+        assert_eq!(e.soc().stats().inserts, 0);
+        let (_, src) = e.lookup(2).unwrap().unwrap();
+        assert_eq!(src, NvmSource::Loc);
+    }
+
+    #[test]
+    fn threshold_boundary_routes_correctly() {
+        let mut e = engine();
+        e.insert(3, Value::synthetic(2047)).unwrap();
+        e.insert(4, Value::synthetic(2048)).unwrap();
+        assert_eq!(e.soc().stats().inserts, 1);
+        assert_eq!(e.loc().stats().inserts, 1);
+    }
+
+    #[test]
+    fn engines_use_distinct_placement_handles() {
+        let e = engine();
+        assert_ne!(e.soc().handle(), e.loc().handle());
+    }
+
+    #[test]
+    fn rejected_by_admission_is_not_written() {
+        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let blocks = ctrl.unallocated_lbas();
+        let nsid = ctrl.create_namespace(blocks, vec![0]).unwrap();
+        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        let io = IoManager::new(shared, nsid, 4).unwrap();
+        let cfg = NvmConfig {
+            soc_fraction: 0.1,
+            region_bytes: 16 * 4096,
+            admission: crate::admission::AdmissionConfig::Probability(0.0),
+            ..NvmConfig::default()
+        };
+        let mut e = NavyEngine::new(&cfg, io, PlacementHandle::DEFAULT, PlacementHandle::DEFAULT, 1)
+            .unwrap();
+        assert!(!e.insert(1, Value::synthetic(100)).unwrap());
+        assert_eq!(e.io().stats().writes, 0);
+        assert!(e.lookup(1).unwrap().is_none());
+    }
+
+    #[test]
+    fn alwa_reflects_soc_page_amplification() {
+        let mut e = engine();
+        // 100-byte objects each cost a 4096-byte page write: ALWA ≈ 41.
+        for k in 0..50u64 {
+            e.insert(k, Value::synthetic(100)).unwrap();
+        }
+        let alwa = e.alwa();
+        assert!(alwa > 30.0 && alwa < 50.0, "alwa = {alwa}");
+    }
+
+    #[test]
+    fn remove_covers_both_engines() {
+        let mut e = engine();
+        e.insert(1, Value::synthetic(100)).unwrap();
+        e.insert(2, Value::synthetic(10_000)).unwrap();
+        assert!(e.remove(1).unwrap());
+        assert!(e.remove(2).unwrap());
+        assert!(!e.remove(3).unwrap());
+        assert!(e.lookup(1).unwrap().is_none());
+        assert!(e.lookup(2).unwrap().is_none());
+    }
+
+    #[test]
+    fn config_rejects_too_small_namespace() {
+        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let nsid = ctrl.create_namespace(8, vec![0]).unwrap();
+        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        let io = IoManager::new(shared, nsid, 4).unwrap();
+        let cfg = NvmConfig { region_bytes: 16 * 4096, ..NvmConfig::default() };
+        assert!(matches!(
+            NavyEngine::new(&cfg, io, PlacementHandle::DEFAULT, PlacementHandle::DEFAULT, 1),
+            Err(CacheError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,59 @@
+//! Cache error type.
+
+use fdpcache_nvme::NvmeError;
+
+/// Errors surfaced by the hybrid cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// Configuration rejected at construction.
+    Config(String),
+    /// An object exceeds what any engine can store (larger than a LOC
+    /// region).
+    ObjectTooLarge {
+        /// Size of the offending object.
+        size: usize,
+        /// Maximum storable size.
+        max: usize,
+    },
+    /// A device I/O failed.
+    Io(NvmeError),
+}
+
+impl From<NvmeError> for CacheError {
+    fn from(e: NvmeError) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Config(msg) => write!(f, "configuration: {msg}"),
+            CacheError::ObjectTooLarge { size, max } => {
+                write!(f, "object of {size} bytes exceeds maximum {max}")
+            }
+            CacheError::Io(e) => write!(f, "device I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CacheError::Config("x".into()).to_string().contains('x'));
+        let e = CacheError::ObjectTooLarge { size: 10, max: 5 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # fdpcache-cache
+//!
+//! A CacheLib-style hybrid cache built from scratch in Rust, faithful to
+//! the architecture the paper describes (§2.3, Figure 1):
+//!
+//! ```text
+//! HybridCache
+//!   ├── RamCache        — DRAM LRU front; evictions flow to flash
+//!   └── NavyEngine      — the SSD cache ("Navy")
+//!         ├── Soc       — Small Object Cache: set-associative 4 KiB
+//!         │               buckets, uniform hashing, per-bucket bloom
+//!         │               filters, in-place random writes
+//!         └── Loc       — Large Object Cache: log-structured 16 MiB
+//!               regions, FIFO/LRU region eviction, DRAM index,
+//!               sequential writes
+//! ```
+//!
+//! Placement integration is exactly the upstreamed design: at
+//! initialization each engine allocates a [`fdpcache_core::PlacementHandle`]
+//! and tags every write with it; nothing else about the cache knows FDP
+//! exists. Disabling FDP (or running on a non-FDP device) degrades to
+//! default-handle writes with zero code changes — the backward
+//! compatibility the paper required to upstream the work.
+//!
+//! ## Simulator concession (documented in DESIGN.md)
+//!
+//! The SOC keeps an authoritative in-memory copy of each bucket's entry
+//! list. The device I/O pattern is unchanged (read-modify-write of the
+//! bucket page, full-page writes), but correctness does not depend on
+//! payload bytes surviving the backing store — this is what lets DLWA
+//! experiments run with a payload-discarding [`fdpcache_nvme::NullStore`]
+//! at realistic scale. With a [`fdpcache_nvme::MemStore`], serialized
+//! buckets round-trip bit-exactly (tested).
+
+#![warn(missing_docs)]
+pub mod admission;
+pub mod bloom;
+pub mod builder;
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod loc;
+pub mod pool;
+pub mod ram;
+pub mod soc;
+pub mod stats;
+pub mod value;
+
+pub use admission::AdmissionPolicy;
+pub use cache::{GetOutcome, HybridCache};
+pub use pool::EnginePool;
+pub use config::{CacheConfig, LocEviction, NvmConfig};
+pub use error::CacheError;
+pub use stats::CacheStats;
+pub use value::Value;
+
+/// Cache keys are 64-bit identifiers (trace keys are anonymized ids).
+pub type Key = u64;

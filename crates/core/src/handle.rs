@@ -1,0 +1,94 @@
+//! Placement handles and placement identifiers.
+
+use fdpcache_ftl::RuhId;
+
+/// A `<reclaim group, reclaim unit handle>` pair — the FDP spec's
+/// *Placement Identifier* (PID).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlacementId {
+    /// Reclaim group (the paper's device exposes exactly one).
+    pub rg: u16,
+    /// Reclaim unit handle within the group.
+    pub ruh: RuhId,
+}
+
+/// An opaque placement token handed to I/O consumers (paper §5.2).
+///
+/// A handle either wraps a namespace placement-identifier index (the
+/// DSPEC value to attach to writes) or is the *default handle*, meaning
+/// "no placement preference" — which is what every consumer gets when the
+/// underlying SSD has no FDP support. Consumers never see FDP concepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlacementHandle {
+    dspec: Option<u16>,
+}
+
+impl PlacementHandle {
+    /// The default handle: writes carry no placement directive.
+    pub const DEFAULT: PlacementHandle = PlacementHandle { dspec: None };
+
+    /// A handle backed by the namespace placement-identifier `dspec`.
+    pub fn with_dspec(dspec: u16) -> Self {
+        PlacementHandle { dspec: Some(dspec) }
+    }
+
+    /// A handle addressing placement-handle index `ph` within reclaim
+    /// group `rg` — the FDP `<RG, PH>` placement identifier, encoded as
+    /// the device expects (group in the upper byte). Group 0 encodings
+    /// equal plain `with_dspec(ph)`, preserving single-group semantics.
+    pub fn with_pid(rg: u8, ph: u8) -> Self {
+        PlacementHandle { dspec: Some(((rg as u16) << 8) | ph as u16) }
+    }
+
+    /// The DSPEC to attach to write commands (`None` for the default
+    /// handle). Only [`crate::IoManager`] should need this.
+    pub fn dspec(&self) -> Option<u16> {
+        self.dspec
+    }
+
+    /// Whether this is the default (no-preference) handle.
+    pub fn is_default(&self) -> bool {
+        self.dspec.is_none()
+    }
+}
+
+impl Default for PlacementHandle {
+    fn default() -> Self {
+        PlacementHandle::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_handle_has_no_directive() {
+        assert!(PlacementHandle::DEFAULT.is_default());
+        assert_eq!(PlacementHandle::DEFAULT.dspec(), None);
+        assert_eq!(PlacementHandle::default(), PlacementHandle::DEFAULT);
+    }
+
+    #[test]
+    fn dspec_handles_round_trip() {
+        let h = PlacementHandle::with_dspec(3);
+        assert!(!h.is_default());
+        assert_eq!(h.dspec(), Some(3));
+    }
+
+    #[test]
+    fn pid_encoding_places_group_in_upper_byte() {
+        assert_eq!(PlacementHandle::with_pid(0, 3), PlacementHandle::with_dspec(3));
+        assert_eq!(PlacementHandle::with_pid(2, 3).dspec(), Some(0x0203));
+    }
+
+    #[test]
+    fn handles_are_comparable_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(PlacementHandle::DEFAULT);
+        set.insert(PlacementHandle::with_dspec(1));
+        set.insert(PlacementHandle::with_dspec(1));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Pluggable placement policies.
+//!
+//! The paper's lesson (§5.5): simple static assignment beats dynamic
+//! adaptive schemes for CacheLib's workloads. The allocator therefore
+//! defaults to round-robin static assignment, but the policy is a trait
+//! so experiments can plug in alternatives (the ablations use
+//! [`SingleHandlePolicy`] to force the Non-FDP behaviour even on an
+//! FDP-enabled device, exactly like the paper's Figure 10b methodology).
+
+/// Chooses which available placement identifier a consumer receives.
+pub trait PlacementPolicy: Send {
+    /// Picks a DSPEC for the named consumer from `available` (the
+    /// namespace's placement-identifier indices). Returning `None` gives
+    /// the consumer the default handle.
+    fn pick(&mut self, consumer: &str, available: &[u16]) -> Option<u16>;
+}
+
+/// Static round-robin: each consumer gets the next unused identifier;
+/// when identifiers run out, later consumers get the default handle.
+///
+/// This is the paper's shipped policy: SOC and LOC of each engine pair
+/// receive distinct handles at initialization and keep them forever.
+#[derive(Debug, Default)]
+pub struct RoundRobinPolicy {
+    next: usize,
+}
+
+impl RoundRobinPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PlacementPolicy for RoundRobinPolicy {
+    fn pick(&mut self, _consumer: &str, available: &[u16]) -> Option<u16> {
+        let pick = available.get(self.next).copied();
+        if pick.is_some() {
+            self.next += 1;
+        }
+        pick
+    }
+}
+
+/// Forces every consumer onto one identifier, intermixing all streams —
+/// the Non-FDP baseline on FDP hardware ("force SOC and LOC to use a
+/// single RUH to simulate the Non-FDP scenario", paper §6.6).
+#[derive(Debug, Default)]
+pub struct SingleHandlePolicy;
+
+impl PlacementPolicy for SingleHandlePolicy {
+    fn pick(&mut self, _consumer: &str, available: &[u16]) -> Option<u16> {
+        available.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_hands_out_distinct_then_default() {
+        let mut p = RoundRobinPolicy::new();
+        let avail = [0u16, 1, 2];
+        assert_eq!(p.pick("soc-0", &avail), Some(0));
+        assert_eq!(p.pick("loc-0", &avail), Some(1));
+        assert_eq!(p.pick("soc-1", &avail), Some(2));
+        assert_eq!(p.pick("loc-1", &avail), None);
+        assert_eq!(p.pick("meta", &avail), None);
+    }
+
+    #[test]
+    fn single_handle_always_first() {
+        let mut p = SingleHandlePolicy;
+        let avail = [4u16, 5];
+        assert_eq!(p.pick("a", &avail), Some(4));
+        assert_eq!(p.pick("b", &avail), Some(4));
+    }
+
+    #[test]
+    fn empty_available_gives_default() {
+        let mut rr = RoundRobinPolicy::new();
+        let mut single = SingleHandlePolicy;
+        assert_eq!(rr.pick("x", &[]), None);
+        assert_eq!(single.pick("x", &[]), None);
+    }
+}

@@ -1,0 +1,1048 @@
+//! The FTL proper: L2P mapping, RUH-directed placement, garbage
+//! collection and DLWA accounting.
+
+use std::collections::VecDeque;
+
+use fdpcache_nand::{NandDevice, PageState, Ppa};
+
+use crate::config::{FtlConfig, RuhType};
+use crate::error::FtlError;
+use crate::events::{EventLog, FdpEvent};
+use crate::gc::{select_victim, GcRng};
+use crate::ru::{RuInfo, RuOwner, RuPhase};
+use crate::stats::FtlStats;
+use crate::{Lba, RuhId};
+
+/// Sentinel for "unmapped" entries in the L2P and P2L tables.
+const NONE32: u32 = u32::MAX;
+const NONE64: u64 = u64::MAX;
+
+/// Outcome of a host write, including any GC work it triggered.
+///
+/// The NVMe layer turns `program_ns + gc_ns` into command latency, which
+/// is how GC interference surfaces as p99 write-latency inflation in the
+/// non-FDP baseline (Figures 6 and 13).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteReceipt {
+    /// Media latency of the host program itself.
+    pub program_ns: u64,
+    /// Media latency of GC work performed synchronously with this write.
+    pub gc_ns: u64,
+    /// Pages relocated by that GC work.
+    pub relocated_pages: u64,
+    /// Whether the RUH moved to a fresh RU during this write.
+    pub ru_switched: bool,
+}
+
+/// Page-mapped FTL with FDP placement semantics.
+///
+/// See the crate docs for the feature list. All methods are synchronous;
+/// latencies are returned as simulated nanoseconds rather than slept.
+#[derive(Debug, Clone)]
+pub struct Ftl {
+    config: FtlConfig,
+    nand: NandDevice,
+    /// LBA → packed PPA (NONE64 = unmapped).
+    l2p: Vec<u64>,
+    /// Per-RU reverse map: page-in-RU → LBA (NONE32 = none/stale).
+    p2l: Vec<Vec<u32>>,
+    rus: Vec<RuInfo>,
+    /// Per-reclaim-group free pools (RUs are partitioned contiguously
+    /// into groups).
+    free_rus: Vec<VecDeque<u32>>,
+    /// Active host RU per `<RG, RUH>` pair — the FDP rule that a handle
+    /// references one reclaim unit *per reclaim group* (§3.2.1).
+    /// Indexed `rg * num_ruhs + ruh`.
+    ruh_active: Vec<Option<u32>>,
+    /// Shared GC destination per RG (initially isolated mode).
+    gc_shared_active: Vec<Option<u32>>,
+    /// Per-`<RG, RUH>` GC destination (persistently isolated mode).
+    gc_iso_active: Vec<Option<u32>>,
+    /// Monotonic open-sequence counter for FIFO victim selection.
+    seq: u64,
+    stats: FtlStats,
+    /// Host pages written per RUH (placement attribution).
+    ruh_host_pages: Vec<u64>,
+    /// RU switches per RUH (how often each handle moved to a fresh RU).
+    ruh_switches: Vec<u64>,
+    events: EventLog,
+    /// Accumulated media busy time in nanoseconds.
+    busy_ns: u64,
+    /// Deterministic RNG for sampled victim selection.
+    gc_rng: GcRng,
+}
+
+impl Ftl {
+    /// Builds an FTL over fresh NAND.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the configuration is
+    /// internally inconsistent (see [`FtlConfig::validate`]).
+    pub fn new(config: FtlConfig) -> Result<Self, String> {
+        config.validate()?;
+        let exported = config.exported_lbas();
+        if exported >= NONE32 as u64 {
+            return Err(format!("exported LBA count {exported} exceeds u32 reverse-map range"));
+        }
+        let nand = NandDevice::new(config.geometry, config.pe_limit, config.latency, config.seed);
+        let ru_count = config.geometry.superblocks() as usize;
+        let pages_per_ru = config.geometry.pages_per_superblock() as usize;
+        let num_ruhs = config.num_ruhs as usize;
+        let num_rgs = config.num_rgs as usize;
+        let per_rg = config.rus_per_rg() as usize;
+        let free_rus = (0..num_rgs)
+            .map(|rg| ((rg * per_rg) as u32..((rg + 1) * per_rg) as u32).collect())
+            .collect();
+        Ok(Ftl {
+            l2p: vec![NONE64; exported as usize],
+            p2l: vec![vec![NONE32; pages_per_ru]; ru_count],
+            rus: vec![RuInfo::free(); ru_count],
+            free_rus,
+            ruh_active: vec![None; num_rgs * num_ruhs],
+            gc_shared_active: vec![None; num_rgs],
+            gc_iso_active: vec![None; num_rgs * num_ruhs],
+            seq: 0,
+            stats: FtlStats::default(),
+            ruh_host_pages: vec![0; num_ruhs],
+            ruh_switches: vec![0; num_ruhs],
+            events: EventLog::new(config.event_log_capacity),
+            busy_ns: 0,
+            gc_rng: GcRng::new(config.seed ^ 0xA5A5_5A5A_F0F0_0F0F),
+            nand,
+            config,
+        })
+    }
+
+    /// The configuration this FTL was built with.
+    pub fn config(&self) -> &FtlConfig {
+        &self.config
+    }
+
+    /// Number of LBAs exported to the host.
+    pub fn exported_lbas(&self) -> u64 {
+        self.l2p.len() as u64
+    }
+
+    /// Logical block (page) size in bytes.
+    pub fn lba_bytes(&self) -> u32 {
+        self.config.geometry.page_size
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    /// NAND-level statistics (programs, reads, erases).
+    pub fn nand_stats(&self) -> fdpcache_nand::NandStats {
+        self.nand.stats()
+    }
+
+    /// Wear summary from the media.
+    pub fn wear(&self) -> fdpcache_nand::device::WearSummary {
+        self.nand.wear_summary()
+    }
+
+    /// Host pages written through each RUH.
+    pub fn ruh_host_pages(&self) -> &[u64] {
+        &self.ruh_host_pages
+    }
+
+    /// RU switches per RUH (fresh-RU transitions; one per filled RU).
+    pub fn ruh_switches(&self) -> &[u64] {
+        &self.ruh_switches
+    }
+
+    /// Accumulated media busy time (ns), for the energy model.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// The FDP event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Mutable access to the event log (for host-side draining).
+    pub fn events_mut(&mut self) -> &mut EventLog {
+        &mut self.events
+    }
+
+    /// Free reclaim units currently pooled across all reclaim groups.
+    pub fn free_ru_count(&self) -> usize {
+        self.free_rus.iter().map(|p| p.len()).sum()
+    }
+
+    /// Number of reclaim groups.
+    pub fn num_rgs(&self) -> u16 {
+        self.config.num_rgs
+    }
+
+    /// The reclaim group an RU belongs to.
+    pub fn rg_of(&self, ru: u32) -> u16 {
+        (ru / self.config.rus_per_rg()) as u16
+    }
+
+    /// Slot index for per-`<RG, RUH>` tables.
+    fn slot(&self, rg: u16, ruh: RuhId) -> usize {
+        rg as usize * self.config.num_ruhs as usize + ruh as usize
+    }
+
+    /// Number of currently mapped LBAs.
+    pub fn mapped_lbas(&self) -> u64 {
+        self.nand.total_valid_pages()
+    }
+
+    /// Remaining free pages in the RU referenced by `ruh` in reclaim
+    /// group 0 (the FDP "available space in an RU" query, §3.2.2).
+    pub fn ruh_available_pages(&self, ruh: RuhId) -> u64 {
+        self.ruh_available_pages_in(0, ruh)
+    }
+
+    /// Remaining free pages in the RU referenced by `<rg, ruh>`.
+    pub fn ruh_available_pages_in(&self, rg: u16, ruh: RuhId) -> u64 {
+        if rg >= self.config.num_rgs || ruh >= self.config.num_ruhs {
+            return 0;
+        }
+        match self.ruh_active[self.slot(rg, ruh)] {
+            Some(ru) => {
+                self.config.geometry.pages_per_superblock() - self.nand.write_ptr(ru)
+            }
+            None => 0,
+        }
+    }
+
+    /// Whether the LBA is currently mapped.
+    pub fn is_mapped(&self, lba: Lba) -> bool {
+        self.l2p.get(lba as usize).is_some_and(|&e| e != NONE64)
+    }
+
+    /// Reads `lba`, returning the media latency in nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LbaOutOfRange`] or [`FtlError::Unmapped`].
+    pub fn read(&mut self, lba: Lba) -> Result<u64, FtlError> {
+        let entry = *self.l2p.get(lba as usize).ok_or(FtlError::LbaOutOfRange(lba))?;
+        if entry == NONE64 {
+            return Err(FtlError::Unmapped(lba));
+        }
+        let (_state, ns) = self.nand.read(Ppa::unpack(entry))?;
+        self.stats.host_reads += 1;
+        self.busy_ns += ns;
+        Ok(ns)
+    }
+
+    /// Writes `lba` through reclaim unit handle `ruh`.
+    ///
+    /// Overwrites invalidate the previous mapping first (that is the only
+    /// "delete" a conventional write path has, per §3.2.2). May trigger
+    /// synchronous GC; the receipt carries the breakdown.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LbaOutOfRange`], [`FtlError::InvalidRuh`], or
+    /// [`FtlError::OutOfSpace`] if GC cannot produce a free RU.
+    pub fn write(&mut self, lba: Lba, ruh: RuhId) -> Result<WriteReceipt, FtlError> {
+        self.write_placed(lba, 0, ruh)
+    }
+
+    /// Writes `lba` through reclaim unit handle `ruh` of reclaim group
+    /// `rg` — the full `<RG, RUH>` placement identifier of the FDP
+    /// proposal. The handle's active RU and any GC this write triggers
+    /// are confined to that group.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ftl::write`], plus [`FtlError::InvalidRg`] for an unknown
+    /// reclaim group.
+    pub fn write_placed(&mut self, lba: Lba, rg: u16, ruh: RuhId) -> Result<WriteReceipt, FtlError> {
+        if lba as usize >= self.l2p.len() {
+            return Err(FtlError::LbaOutOfRange(lba));
+        }
+        if ruh >= self.config.num_ruhs {
+            return Err(FtlError::InvalidRuh(ruh));
+        }
+        if rg >= self.config.num_rgs {
+            return Err(FtlError::InvalidRg(rg));
+        }
+        let mut receipt = WriteReceipt::default();
+
+        // Ensure the handle references an RU with space in this group.
+        let slot = self.slot(rg, ruh);
+        let ru = match self.ruh_active[slot] {
+            Some(ru) if !self.nand.is_full(ru) => ru,
+            current => {
+                // Close the filled RU (if any) and open a fresh one.
+                if let Some(full) = current {
+                    self.close_ru(full);
+                }
+                let (new_ru, gc) = self.open_ru(rg, RuOwner::Host(ruh))?;
+                receipt.gc_ns += gc.0;
+                receipt.relocated_pages += gc.1;
+                receipt.ru_switched = true;
+                self.events.push(FdpEvent::RuSwitched { ruh, old_ru: current, new_ru });
+                self.ruh_switches[ruh as usize] += 1;
+                self.ruh_active[slot] = Some(new_ru);
+                new_ru
+            }
+        };
+
+        // Program the next page in the RU.
+        let page = self.nand.write_ptr(ru);
+        let ppa = Ppa::new(ru, page as u32);
+        let ns = self.nand.program(ppa)?;
+
+        // Only now invalidate the previous mapping: a failed allocation
+        // above (OutOfSpace at end of life) must leave the old data
+        // readable, and the GC triggered above may itself have relocated
+        // the old page, so the mapping is re-read after it ran.
+        let old = self.l2p[lba as usize];
+        if old != NONE64 {
+            let old_ppa = Ppa::unpack(old);
+            self.nand.invalidate(old_ppa)?;
+            self.p2l[old_ppa.superblock as usize][old_ppa.page as usize] = NONE32;
+            self.stats.overwrites += 1;
+        }
+
+        self.l2p[lba as usize] = ppa.pack();
+        self.p2l[ru as usize][page as usize] = lba as u32;
+        self.stats.host_pages_written += 1;
+        self.stats.nand_pages_written += 1;
+        self.ruh_host_pages[ruh as usize] += 1;
+        receipt.program_ns = ns;
+        self.busy_ns += ns + receipt.gc_ns;
+        Ok(receipt)
+    }
+
+    /// Deallocates (trims) `count` LBAs starting at `lba`. Unmapped LBAs
+    /// in the range are skipped, matching DSM deallocate semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LbaOutOfRange`] if the range exceeds exported capacity.
+    pub fn trim(&mut self, lba: Lba, count: u64) -> Result<(), FtlError> {
+        let end = lba.checked_add(count).ok_or(FtlError::LbaOutOfRange(lba))?;
+        if end > self.l2p.len() as u64 {
+            return Err(FtlError::LbaOutOfRange(end));
+        }
+        for l in lba..end {
+            let entry = self.l2p[l as usize];
+            if entry == NONE64 {
+                continue;
+            }
+            let ppa = Ppa::unpack(entry);
+            self.nand.invalidate(ppa)?;
+            self.p2l[ppa.superblock as usize][ppa.page as usize] = NONE32;
+            self.l2p[l as usize] = NONE64;
+            self.stats.trimmed_lbas += 1;
+        }
+        Ok(())
+    }
+
+    /// Closes an active RU (fully programmed) making it a GC candidate.
+    fn close_ru(&mut self, ru: u32) {
+        debug_assert!(self.nand.is_full(ru));
+        self.rus[ru as usize].phase = RuPhase::Closed;
+    }
+
+    /// Opens a fresh RU in reclaim group `rg` for `owner`, running GC
+    /// first if the group's pool is low (host allocations only; GC
+    /// destinations draw directly from the pool to avoid recursion).
+    /// Returns the RU plus `(gc_ns, relocated)`.
+    fn open_ru(&mut self, rg: u16, owner: RuOwner) -> Result<(u32, (u64, u64)), FtlError> {
+        let mut gc_cost = (0u64, 0u64);
+        let host_alloc = matches!(owner, RuOwner::Host(_));
+        if host_alloc {
+            gc_cost = self.ensure_free_space(rg)?;
+        }
+        // Pop until a healthy RU surfaces; worn-out RUs (a block past its
+        // rated P/E cycles) are retired permanently, shrinking capacity —
+        // device end of life is reached when the pool empties for good.
+        let ru = loop {
+            let ru =
+                self.free_rus[rg as usize].pop_front().ok_or(FtlError::OutOfSpace)?;
+            debug_assert!(self.rus[ru as usize].phase == RuPhase::Free);
+            let worn = self
+                .nand
+                .superblock(ru)
+                .is_some_and(|sb| sb.has_bad_block());
+            if !worn {
+                break ru;
+            }
+            let pe = self.nand.superblock(ru).map(|sb| sb.pe_cycles()).unwrap_or(0);
+            self.rus[ru as usize] =
+                RuInfo { phase: RuPhase::Retired, owner: None, opened_seq: self.seq };
+            self.stats.retired_rus += 1;
+            self.events.push(FdpEvent::RuRetired { ru, pe_cycles: pe });
+            // Retirement consumed a free RU: if the pool is now below
+            // threshold, reclaim again before continuing (host path only;
+            // GC destinations must not recurse into GC).
+            if host_alloc {
+                let extra = self.ensure_free_space(rg)?;
+                gc_cost.0 += extra.0;
+                gc_cost.1 += extra.1;
+            }
+        };
+        self.seq += 1;
+        self.rus[ru as usize] =
+            RuInfo { phase: RuPhase::Active, owner: Some(owner), opened_seq: self.seq };
+        Ok((ru, gc_cost))
+    }
+
+    /// Runs GC in reclaim group `rg` until its free pool is back above
+    /// the threshold or no progress can be made. Returns accumulated
+    /// `(gc_ns, relocated)`.
+    fn ensure_free_space(&mut self, rg: u16) -> Result<(u64, u64), FtlError> {
+        let threshold = self.config.gc_threshold_rus as usize;
+        let mut total = (0u64, 0u64);
+        let mut stalls = 0u32;
+        while self.free_rus[rg as usize].len() < threshold {
+            let before = self.free_rus[rg as usize].len();
+            match self.gc_once(rg)? {
+                None => break,
+                Some((ns, relocated)) => {
+                    total.0 += ns;
+                    total.1 += relocated;
+                }
+            }
+            if self.free_rus[rg as usize].len() <= before {
+                stalls += 1;
+                if stalls > self.rus.len() as u32 {
+                    break;
+                }
+            } else {
+                stalls = 0;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Reclaims one victim RU within reclaim group `rg` (isolation and
+    /// data movement are per-group, §3.2.1). Returns `None` if the group
+    /// has no candidate.
+    fn gc_once(&mut self, rg: u16) -> Result<Option<(u64, u64)>, FtlError> {
+        let per_rg = self.config.rus_per_rg();
+        let lo = rg as u32 * per_rg;
+        let hi = lo + per_rg;
+        let Some(victim) = select_victim(
+            self.config.gc_policy,
+            &self.rus[lo as usize..hi as usize],
+            &self.nand,
+            &mut self.gc_rng,
+            lo,
+        ) else {
+            return Ok(None);
+        };
+        let victim_owner = self.rus[victim as usize].owner;
+        let pages = self.config.geometry.pages_per_superblock();
+        let mut gc_ns = 0u64;
+        let mut relocated = 0u64;
+
+        // Relocate valid pages.
+        if self.nand.valid_pages(victim) > 0 {
+            for page in 0..pages {
+                let src = Ppa::new(victim, page as u32);
+                if self.nand.page_state(src) != Some(PageState::Valid) {
+                    continue;
+                }
+                let lba = self.p2l[victim as usize][page as usize];
+                debug_assert_ne!(lba, NONE32, "valid page without reverse mapping");
+                // Read the victim page (costs media time).
+                let (_, read_ns) = self.nand.read(src)?;
+                gc_ns += read_ns;
+                // Pick/extend the GC destination (same reclaim group).
+                let dest_ru = self.gc_destination(rg, victim_owner)?;
+                let dest_page = self.nand.write_ptr(dest_ru);
+                let dst = Ppa::new(dest_ru, dest_page as u32);
+                let prog_ns = self.nand.program(dst)?;
+                gc_ns += prog_ns;
+                // Move the mapping.
+                self.nand.invalidate(src)?;
+                self.p2l[victim as usize][page as usize] = NONE32;
+                self.l2p[lba as usize] = dst.pack();
+                self.p2l[dest_ru as usize][dest_page as usize] = lba;
+                self.stats.nand_pages_written += 1;
+                self.stats.relocated_pages += 1;
+                relocated += 1;
+                if self.nand.is_full(dest_ru) {
+                    self.close_gc_destination(dest_ru);
+                }
+            }
+        }
+
+        // The victim is now fully invalid: erase and return to the pool.
+        let erase_ns = self.nand.erase_superblock(victim, false)?;
+        gc_ns += erase_ns;
+        self.rus[victim as usize] = RuInfo::free();
+        self.free_rus[rg as usize].push_back(victim);
+        self.stats.gc_runs += 1;
+        self.stats.rus_erased += 1;
+        self.events.push(FdpEvent::MediaRelocated {
+            ru: victim,
+            owner: victim_owner.and_then(|o| o.handle()),
+            relocated_pages: relocated,
+        });
+        self.events.push(FdpEvent::RuErased { ru: victim });
+        self.busy_ns += gc_ns;
+        Ok(Some((gc_ns, relocated)))
+    }
+
+    /// Returns the active GC destination RU for a victim with the given
+    /// owner, opening a new one if needed.
+    ///
+    /// Isolation semantics (paper §3.2.1):
+    /// * Initially isolated: one shared destination — valid data from
+    ///   different handles may intermix here.
+    /// * Persistently isolated: destination dedicated to the victim's
+    ///   handle, so isolation survives GC.
+    fn gc_destination(&mut self, rg: u16, victim_owner: Option<RuOwner>) -> Result<u32, FtlError> {
+        match self.config.ruh_type {
+            RuhType::InitiallyIsolated => {
+                if let Some(ru) = self.gc_shared_active[rg as usize] {
+                    if !self.nand.is_full(ru) {
+                        return Ok(ru);
+                    }
+                }
+                let (ru, _) = self.open_ru(rg, RuOwner::GcShared)?;
+                self.gc_shared_active[rg as usize] = Some(ru);
+                Ok(ru)
+            }
+            RuhType::PersistentlyIsolated => {
+                // A victim under persistent isolation always has a single
+                // originating handle; GC-shared victims cannot exist.
+                let handle = victim_owner.and_then(|o| o.handle()).unwrap_or(crate::DEFAULT_RUH);
+                let idx = self.slot(rg, handle);
+                if let Some(ru) = self.gc_iso_active[idx] {
+                    if !self.nand.is_full(ru) {
+                        return Ok(ru);
+                    }
+                }
+                let (ru, _) = self.open_ru(rg, RuOwner::GcIsolated(handle))?;
+                self.gc_iso_active[idx] = Some(ru);
+                Ok(ru)
+            }
+        }
+    }
+
+    /// Closes a filled GC destination RU.
+    fn close_gc_destination(&mut self, ru: u32) {
+        self.close_ru(ru);
+        for slot in &mut self.gc_shared_active {
+            if *slot == Some(ru) {
+                *slot = None;
+            }
+        }
+        for slot in &mut self.gc_iso_active {
+            if *slot == Some(ru) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Exhaustive consistency check, used by tests and property tests.
+    ///
+    /// Verifies the invariants listed in DESIGN.md §7:
+    /// mapping bijectivity, valid-page accounting, free-pool sanity and
+    /// the write-amplification identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) on any violated invariant. Never call
+    /// on hot paths.
+    pub fn check_invariants(&self) {
+        // 1. Every mapped LBA points at a Valid page whose reverse map
+        //    points back.
+        let mut mapped = 0u64;
+        for (lba, &entry) in self.l2p.iter().enumerate() {
+            if entry == NONE64 {
+                continue;
+            }
+            mapped += 1;
+            let ppa = Ppa::unpack(entry);
+            assert_eq!(
+                self.nand.page_state(ppa),
+                Some(PageState::Valid),
+                "lba {lba} maps to non-valid page {ppa:?}"
+            );
+            assert_eq!(
+                self.p2l[ppa.superblock as usize][ppa.page as usize], lba as u32,
+                "reverse map mismatch at {ppa:?}"
+            );
+        }
+        // 2. Valid page count equals mapped LBA count.
+        assert_eq!(self.nand.total_valid_pages(), mapped, "valid pages != mapped LBAs");
+        // 3. Free pools hold erased, Free-phase RUs of their own group,
+        //    no duplicates.
+        let mut seen = vec![false; self.rus.len()];
+        for (rg, pool) in self.free_rus.iter().enumerate() {
+            for &ru in pool {
+                assert!(!seen[ru as usize], "duplicate RU {ru} in free pools");
+                seen[ru as usize] = true;
+                assert_eq!(self.rg_of(ru) as usize, rg, "RU {ru} pooled in wrong RG {rg}");
+                assert_eq!(self.rus[ru as usize].phase, RuPhase::Free, "pool RU {ru} not Free");
+                assert_eq!(self.nand.write_ptr(ru), 0, "pool RU {ru} not erased");
+            }
+        }
+        // 4. Write-amplification identity.
+        assert_eq!(
+            self.stats.nand_pages_written,
+            self.stats.host_pages_written + self.stats.relocated_pages,
+            "nand writes != host + relocated"
+        );
+        // 5. DLWA is always >= 1.
+        assert!(self.stats.dlwa() >= 1.0, "DLWA below 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GcPolicy;
+
+    fn ftl() -> Ftl {
+        Ftl::new(FtlConfig::tiny_test()).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut f = ftl();
+        f.write(5, 0).unwrap();
+        assert!(f.is_mapped(5));
+        f.read(5).unwrap();
+        assert_eq!(f.stats().host_reads, 1);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn read_unmapped_fails() {
+        let mut f = ftl();
+        assert!(matches!(f.read(3), Err(FtlError::Unmapped(3))));
+        assert!(matches!(f.read(1 << 40), Err(FtlError::LbaOutOfRange(_))));
+    }
+
+    #[test]
+    fn invalid_ruh_rejected() {
+        let mut f = ftl();
+        let bad = f.config().num_ruhs;
+        assert!(matches!(f.write(0, bad), Err(FtlError::InvalidRuh(_))));
+    }
+
+    #[test]
+    fn overwrite_invalidates_previous_page() {
+        let mut f = ftl();
+        f.write(1, 0).unwrap();
+        f.write(1, 0).unwrap();
+        assert_eq!(f.stats().overwrites, 1);
+        assert_eq!(f.mapped_lbas(), 1);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut f = ftl();
+        f.write(0, 0).unwrap();
+        f.write(1, 0).unwrap();
+        f.trim(0, 2).unwrap();
+        assert!(!f.is_mapped(0));
+        assert!(!f.is_mapped(1));
+        assert_eq!(f.stats().trimmed_lbas, 2);
+        // Trimming unmapped LBAs is a no-op.
+        f.trim(0, 2).unwrap();
+        assert_eq!(f.stats().trimmed_lbas, 2);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn trim_out_of_range_fails() {
+        let mut f = ftl();
+        let n = f.exported_lbas();
+        assert!(f.trim(n - 1, 2).is_err());
+        assert!(f.trim(0, n).is_ok());
+    }
+
+    #[test]
+    fn sequential_overwrite_reaches_dlwa_one() {
+        // LOC-like pattern: sequentially overwrite the whole exported
+        // space several times. Every RU becomes fully invalid before GC
+        // needs it, so DLWA must stay exactly 1.
+        let mut f = ftl();
+        let n = f.exported_lbas();
+        for _round in 0..6 {
+            for lba in 0..n {
+                f.write(lba, 0).unwrap();
+            }
+        }
+        let s = f.stats();
+        assert_eq!(s.relocated_pages, 0, "sequential overwrite must not relocate");
+        assert!((s.dlwa() - 1.0).abs() < 1e-9);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn random_overwrite_amplifies() {
+        // SOC-like pattern over the full exported space: GC must relocate
+        // and DLWA must exceed 1.
+        let mut f = ftl();
+        let n = f.exported_lbas();
+        let mut x = 0x12345678u64;
+        for _ in 0..(n * 8) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            f.write(x % n, 0).unwrap();
+        }
+        assert!(f.stats().dlwa() > 1.05, "dlwa = {}", f.stats().dlwa());
+        assert!(f.stats().relocated_pages > 0);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn isolation_reduces_dlwa_for_mixed_pattern() {
+        // The paper's core claim in miniature: a hot random stream mixed
+        // with a cold sequential stream amplifies less when segregated
+        // into two RUHs.
+        fn run(segregated: bool) -> f64 {
+            let mut f = Ftl::new(FtlConfig::tiny_test()).unwrap();
+            let n = f.exported_lbas();
+            let hot = n / 8; // small hot region (SOC-like)
+            let hot_ruh = 0u8;
+            let cold_ruh = if segregated { 1u8 } else { 0u8 };
+            let mut x = 0xDEADBEEFu64;
+            let mut cold_next = hot;
+            for i in 0..(n * 10) {
+                if i % 4 == 0 {
+                    // Cold sequential stream over the rest of the space.
+                    f.write(cold_next, cold_ruh).unwrap();
+                    cold_next += 1;
+                    if cold_next >= n {
+                        cold_next = hot;
+                    }
+                } else {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    f.write(x % hot, hot_ruh).unwrap();
+                }
+            }
+            f.check_invariants();
+            f.stats().dlwa()
+        }
+        let mixed = run(false);
+        let isolated = run(true);
+        assert!(
+            isolated < mixed,
+            "segregation should lower DLWA: isolated={isolated:.3} mixed={mixed:.3}"
+        );
+    }
+
+    #[test]
+    fn ru_switch_events_are_logged() {
+        let mut f = ftl();
+        let per_ru = f.config().geometry.pages_per_superblock();
+        for lba in 0..per_ru + 1 {
+            f.write(lba, 0).unwrap();
+        }
+        let events = f.events_mut().drain();
+        let switches = events
+            .iter()
+            .filter(|e| matches!(e, FdpEvent::RuSwitched { .. }))
+            .count();
+        assert!(switches >= 2, "expected at least two RU switches, got {switches}");
+    }
+
+    #[test]
+    fn gc_emits_media_relocated_events() {
+        let mut f = ftl();
+        let n = f.exported_lbas();
+        let mut x = 99u64;
+        for _ in 0..(n * 6) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            f.write(x % n, 0).unwrap();
+        }
+        let relocations = f.events().iter().filter(|e| matches!(e, FdpEvent::MediaRelocated { .. })).count()
+            as u64
+            + f.events().dropped();
+        assert!(relocations > 0);
+        assert!(f.stats().gc_runs > 0);
+    }
+
+    #[test]
+    fn fifo_gc_policy_also_converges() {
+        let mut cfg = FtlConfig::tiny_test();
+        cfg.gc_policy = GcPolicy::Fifo;
+        let mut f = Ftl::new(cfg).unwrap();
+        let n = f.exported_lbas();
+        let mut x = 7u64;
+        for _ in 0..(n * 6) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            f.write(x % n, 0).unwrap();
+        }
+        assert!(f.stats().dlwa() >= 1.0);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn persistent_isolation_never_mixes_handles() {
+        let mut cfg = FtlConfig::tiny_test();
+        cfg.ruh_type = RuhType::PersistentlyIsolated;
+        let mut f = Ftl::new(cfg).unwrap();
+        let n = f.exported_lbas();
+        let half = n / 2;
+        let mut x = 3u64;
+        for _ in 0..(n * 8) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x.is_multiple_of(2) {
+                f.write(x % half, 0).unwrap();
+            } else {
+                f.write(half + (x % half), 1).unwrap();
+            }
+        }
+        f.check_invariants();
+        // Every RU's pages must belong to LBAs of a single handle's range.
+        for ru in 0..f.config().geometry.superblocks() {
+            let mut sides = [false, false];
+            for page in 0..f.config().geometry.pages_per_superblock() {
+                let lba = f.p2l[ru as usize][page as usize];
+                if lba == NONE32 {
+                    continue;
+                }
+                if f.nand.page_state(Ppa::new(ru, page as u32)) != Some(PageState::Valid) {
+                    continue;
+                }
+                sides[if (lba as u64) < half { 0 } else { 1 }] = true;
+            }
+            assert!(
+                !(sides[0] && sides[1]),
+                "RU {ru} mixes data from two persistently isolated handles"
+            );
+        }
+    }
+
+    #[test]
+    fn ruh_available_pages_decreases_with_writes() {
+        let mut f = ftl();
+        assert_eq!(f.ruh_available_pages(0), 0, "no active RU yet");
+        f.write(0, 0).unwrap();
+        let avail = f.ruh_available_pages(0);
+        assert_eq!(avail, f.config().geometry.pages_per_superblock() - 1);
+        f.write(1, 0).unwrap();
+        assert_eq!(f.ruh_available_pages(0), avail - 1);
+    }
+
+    #[test]
+    fn write_receipt_reports_gc_work() {
+        let mut f = ftl();
+        let n = f.exported_lbas();
+        let mut saw_gc = false;
+        let mut x = 11u64;
+        for _ in 0..(n * 6) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let r = f.write(x % n, 0).unwrap();
+            if r.relocated_pages > 0 {
+                saw_gc = true;
+                assert!(r.gc_ns > 0 || f.config().latency.program_ns == 0);
+            }
+        }
+        assert!(saw_gc, "random fill should have triggered GC with relocation");
+    }
+
+    #[test]
+    fn full_trim_resets_to_dlwa_one_behaviour() {
+        let mut f = ftl();
+        let n = f.exported_lbas();
+        let mut x = 5u64;
+        for _ in 0..(n * 4) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            f.write(x % n, 0).unwrap();
+        }
+        f.trim(0, n).unwrap();
+        assert_eq!(f.mapped_lbas(), 0);
+        f.check_invariants();
+        // Sequential refill after a full trim must not relocate anything
+        // beyond what pre-trim GC debt requires.
+        let before = f.stats().relocated_pages;
+        for lba in 0..n {
+            f.write(lba, 0).unwrap();
+        }
+        for lba in 0..n {
+            f.write(lba, 0).unwrap();
+        }
+        let relocated_after = f.stats().relocated_pages - before;
+        assert_eq!(relocated_after, 0, "sequential writes after full trim relocated pages");
+    }
+
+    #[test]
+    fn worn_out_device_reaches_end_of_life() {
+        // A tiny endurance budget: the device must retire RUs as their
+        // blocks hit the P/E limit and eventually report OutOfSpace —
+        // the wear-out lifetime that Theorem 2's carbon model amortizes.
+        let mut cfg = FtlConfig::tiny_test();
+        cfg.pe_limit = 8;
+        let mut f = Ftl::new(cfg).unwrap();
+        let n = f.exported_lbas();
+        let mut x = 123u64;
+        let mut died = false;
+        for _ in 0..(n * 200) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match f.write(x % n, 0) {
+                Ok(_) => {}
+                Err(FtlError::OutOfSpace) => {
+                    died = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error before wear-out: {e:?}"),
+            }
+        }
+        assert!(died, "device should wear out within 200 full overwrites at pe_limit 8");
+        assert!(f.stats().retired_rus > 0, "death requires retired RUs");
+        let retired_events = f
+            .events()
+            .iter()
+            .filter(|e| matches!(e, FdpEvent::RuRetired { .. }))
+            .count() as u64
+            + f.events().dropped();
+        assert!(retired_events > 0);
+    }
+
+    #[test]
+    fn lifetime_scales_with_write_amplification() {
+        // Sequential overwrites (DLWA 1) must survive strictly more host
+        // writes than random overwrites (DLWA > 1) on the same endurance
+        // budget — the mechanism behind the paper's lifetime claims.
+        fn host_pages_until_death(random: bool) -> u64 {
+            let mut cfg = FtlConfig::tiny_test();
+            cfg.pe_limit = 10;
+            let mut f = Ftl::new(cfg).unwrap();
+            let n = f.exported_lbas();
+            let mut x = 9u64;
+            let mut next = 0u64;
+            loop {
+                let lba = if random {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x % n
+                } else {
+                    let l = next;
+                    next = (next + 1) % n;
+                    l
+                };
+                match f.write(lba, 0) {
+                    Ok(_) => {}
+                    Err(FtlError::OutOfSpace) => return f.stats().host_pages_written,
+                    Err(e) => panic!("unexpected: {e:?}"),
+                }
+            }
+        }
+        let sequential = host_pages_until_death(false);
+        let random = host_pages_until_death(true);
+        assert!(
+            sequential > random,
+            "sequential TBW {sequential} should exceed random TBW {random}"
+        );
+    }
+
+    #[test]
+    fn reclaim_groups_partition_the_device() {
+        let mut cfg = FtlConfig::tiny_test();
+        cfg.num_rgs = 2;
+        let mut f = Ftl::new(cfg).unwrap();
+        let per_rg = f.config().rus_per_rg();
+        let n = f.exported_lbas();
+        // Interleave writes into both groups through the same handle.
+        for lba in 0..n / 2 {
+            f.write_placed(lba, 0, 0).unwrap();
+            f.write_placed(n / 2 + lba, 1, 0).unwrap();
+        }
+        f.check_invariants();
+        // Every mapped page of group-0 LBAs lives in a group-0 RU.
+        for lba in 0..n / 2 {
+            let ppa = Ppa::unpack(f.l2p[lba as usize]);
+            assert!(ppa.superblock < per_rg, "rg0 data in RU {}", ppa.superblock);
+            let ppa2 = Ppa::unpack(f.l2p[(n / 2 + lba) as usize]);
+            assert!(ppa2.superblock >= per_rg, "rg1 data in RU {}", ppa2.superblock);
+        }
+    }
+
+    #[test]
+    fn gc_is_confined_to_the_reclaim_group() {
+        // Churn group 0 hard while group 1 holds cold data: relocation
+        // and erasure must never touch group 1's RUs.
+        let mut cfg = FtlConfig::tiny_test();
+        cfg.num_rgs = 2;
+        let mut f = Ftl::new(cfg).unwrap();
+        let per_rg = f.config().rus_per_rg();
+        let n = f.exported_lbas();
+        let hot = n / 4;
+        for lba in 0..hot {
+            f.write_placed(n / 2 + lba, 1, 1).unwrap(); // cold, group 1
+        }
+        let cold_snapshot: Vec<u64> =
+            (0..hot).map(|l| f.l2p[(n / 2 + l) as usize]).collect();
+        let mut x = 77u64;
+        for _ in 0..n * 6 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            f.write_placed(x % hot, 0, 0).unwrap(); // hot churn, group 0
+        }
+        f.check_invariants();
+        assert!(f.stats().gc_runs > 0, "churn must have triggered GC");
+        for (i, &packed) in cold_snapshot.iter().enumerate() {
+            assert_eq!(
+                f.l2p[(n / 2 + i as u64) as usize], packed,
+                "cold page {i} moved despite living in the idle reclaim group"
+            );
+        }
+        // And the churned data never crossed into group 1.
+        for l in 0..hot {
+            let ppa = Ppa::unpack(f.l2p[l as usize]);
+            assert!(ppa.superblock < per_rg);
+        }
+    }
+
+    #[test]
+    fn invalid_rg_rejected() {
+        let mut f = ftl();
+        assert!(matches!(f.write_placed(0, 9, 0), Err(FtlError::InvalidRg(9))));
+    }
+
+    #[test]
+    fn ruh_references_one_ru_per_group() {
+        let mut cfg = FtlConfig::tiny_test();
+        cfg.num_rgs = 2;
+        let mut f = Ftl::new(cfg).unwrap();
+        f.write_placed(0, 0, 2).unwrap();
+        f.write_placed(1, 1, 2).unwrap();
+        // The same handle has independent available-space counters per
+        // group (one active RU in each).
+        let pages = f.config().geometry.pages_per_superblock();
+        assert_eq!(f.ruh_available_pages_in(0, 2), pages - 1);
+        assert_eq!(f.ruh_available_pages_in(1, 2), pages - 1);
+        assert_eq!(f.ruh_available_pages_in(2, 2), 0, "unknown group");
+    }
+
+    #[test]
+    fn host_pages_attributed_per_ruh() {
+        let mut f = ftl();
+        f.write(0, 0).unwrap();
+        f.write(1, 1).unwrap();
+        f.write(2, 1).unwrap();
+        assert_eq!(f.ruh_host_pages()[0], 1);
+        assert_eq!(f.ruh_host_pages()[1], 2);
+    }
+}

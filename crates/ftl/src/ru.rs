@@ -1,0 +1,100 @@
+//! Per-reclaim-unit bookkeeping.
+
+use crate::RuhId;
+
+/// Who wrote the data currently in a reclaim unit.
+///
+/// Ownership drives the isolation semantics:
+///
+/// * `Host(h)` — the RU was filled by host writes through handle `h`.
+/// * `GcShared` — the RU was filled by GC relocation under *initially
+///   isolated* handles; data from different source handles may be
+///   intermixed here (that is exactly the weaker guarantee of the
+///   initially-isolated RUH type).
+/// * `GcIsolated(h)` — the RU was filled by GC relocation under
+///   *persistently isolated* handles and contains only data originally
+///   written via handle `h`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuOwner {
+    /// Filled by host writes through a specific handle.
+    Host(RuhId),
+    /// GC destination shared across handles (initially isolated mode).
+    GcShared,
+    /// GC destination dedicated to one handle (persistently isolated).
+    GcIsolated(RuhId),
+}
+
+impl RuOwner {
+    /// The handle whose data may live here, if isolation is tracked.
+    pub fn handle(&self) -> Option<RuhId> {
+        match self {
+            RuOwner::Host(h) | RuOwner::GcIsolated(h) => Some(*h),
+            RuOwner::GcShared => None,
+        }
+    }
+}
+
+/// Lifecycle of a reclaim unit as the FTL sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuPhase {
+    /// Erased and in the free pool.
+    Free,
+    /// Currently referenced by a RUH (host) or by GC as a destination;
+    /// still being filled.
+    Active,
+    /// Fully programmed; a candidate for GC victim selection.
+    Closed,
+    /// Permanently removed from service: one of its erase blocks
+    /// exceeded its rated P/E cycles. Retired RUs shrink the usable
+    /// capacity; when too many retire the device reaches end of life
+    /// (the wear-out the paper's Theorem 2 amortizes over `L_dev`).
+    Retired,
+}
+
+/// Bookkeeping record for one reclaim unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuInfo {
+    /// Current phase.
+    pub phase: RuPhase,
+    /// Owner of the current contents (meaningless when `Free`).
+    pub owner: Option<RuOwner>,
+    /// Monotonic sequence number of when this RU was last opened;
+    /// used by FIFO victim selection.
+    pub opened_seq: u64,
+}
+
+impl RuInfo {
+    /// A freshly erased RU.
+    pub fn free() -> Self {
+        RuInfo { phase: RuPhase::Free, owner: None, opened_seq: 0 }
+    }
+
+    /// Whether this RU may be selected as a GC victim.
+    pub fn is_gc_candidate(&self) -> bool {
+        self.phase == RuPhase::Closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_handle_extraction() {
+        assert_eq!(RuOwner::Host(3).handle(), Some(3));
+        assert_eq!(RuOwner::GcIsolated(5).handle(), Some(5));
+        assert_eq!(RuOwner::GcShared.handle(), None);
+    }
+
+    #[test]
+    fn free_ru_is_not_gc_candidate() {
+        assert!(!RuInfo::free().is_gc_candidate());
+    }
+
+    #[test]
+    fn closed_ru_is_gc_candidate() {
+        let mut info = RuInfo::free();
+        info.phase = RuPhase::Closed;
+        assert!(info.is_gc_candidate());
+    }
+}

@@ -1,0 +1,96 @@
+//! FTL statistics: the numbers behind every figure in the paper.
+
+/// Monotonic FTL counters.
+///
+/// `host_pages_written` and `nand_pages_written` correspond to the FDP
+/// statistics log's *Host Bytes with Metadata Written* (HBMW) and *Media
+/// Bytes with Metadata Written* (MBMW) fields that the paper samples with
+/// `nvme get-log` every 10 minutes to compute interval DLWA.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FtlStats {
+    /// Pages written on behalf of host write commands.
+    pub host_pages_written: u64,
+    /// Pages written to NAND (host + GC relocation).
+    pub nand_pages_written: u64,
+    /// Pages relocated by garbage collection.
+    pub relocated_pages: u64,
+    /// GC victim reclaims performed (the paper's "GC events").
+    pub gc_runs: u64,
+    /// Reclaim units erased.
+    pub rus_erased: u64,
+    /// Host overwrite operations that invalidated an existing mapping.
+    pub overwrites: u64,
+    /// LBAs deallocated by trim.
+    pub trimmed_lbas: u64,
+    /// Host read operations.
+    pub host_reads: u64,
+    /// Reclaim units permanently retired after exceeding their rated
+    /// P/E cycles.
+    pub retired_rus: u64,
+}
+
+impl FtlStats {
+    /// Device-level write amplification (paper Equation 1). Returns 1.0
+    /// when nothing has been written.
+    pub fn dlwa(&self) -> f64 {
+        if self.host_pages_written == 0 {
+            1.0
+        } else {
+            self.nand_pages_written as f64 / self.host_pages_written as f64
+        }
+    }
+
+    /// Per-field difference `self - earlier`, saturating at zero. Used
+    /// for interval DLWA.
+    pub fn delta(&self, earlier: &FtlStats) -> FtlStats {
+        FtlStats {
+            host_pages_written: self.host_pages_written.saturating_sub(earlier.host_pages_written),
+            nand_pages_written: self.nand_pages_written.saturating_sub(earlier.nand_pages_written),
+            relocated_pages: self.relocated_pages.saturating_sub(earlier.relocated_pages),
+            gc_runs: self.gc_runs.saturating_sub(earlier.gc_runs),
+            rus_erased: self.rus_erased.saturating_sub(earlier.rus_erased),
+            overwrites: self.overwrites.saturating_sub(earlier.overwrites),
+            trimmed_lbas: self.trimmed_lbas.saturating_sub(earlier.trimmed_lbas),
+            host_reads: self.host_reads.saturating_sub(earlier.host_reads),
+            retired_rus: self.retired_rus.saturating_sub(earlier.retired_rus),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlwa_of_idle_device_is_one() {
+        assert_eq!(FtlStats::default().dlwa(), 1.0);
+    }
+
+    #[test]
+    fn dlwa_ratio() {
+        let s = FtlStats { host_pages_written: 100, nand_pages_written: 130, ..Default::default() };
+        assert!((s.dlwa() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_supports_interval_dlwa() {
+        let t0 = FtlStats { host_pages_written: 100, nand_pages_written: 100, ..Default::default() };
+        let t1 = FtlStats { host_pages_written: 200, nand_pages_written: 300, ..Default::default() };
+        let d = t1.delta(&t0);
+        assert!((d.dlwa() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nand_writes_include_host_writes_by_construction() {
+        // Documentation-level test: relocated + host = nand in a
+        // consistent FTL. The FTL itself maintains this invariant; here
+        // we just encode the relationship.
+        let s = FtlStats {
+            host_pages_written: 10,
+            relocated_pages: 3,
+            nand_pages_written: 13,
+            ..Default::default()
+        };
+        assert_eq!(s.host_pages_written + s.relocated_pages, s.nand_pages_written);
+    }
+}

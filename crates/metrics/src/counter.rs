@@ -1,0 +1,151 @@
+//! Named monotonic counters with snapshot/delta support.
+//!
+//! The simulator layers (FTL, NVMe, cache) each expose a [`CounterSet`];
+//! experiment harnesses snapshot them at interval boundaries and compute
+//! deltas, which is exactly how the paper measures interval DLWA from
+//! `nvme get-log` (host bytes written vs. media bytes written over 10-minute
+//! windows).
+
+use std::collections::BTreeMap;
+
+/// A set of named monotonic `u64` counters.
+///
+/// Counter names are static strings; insertion is lazy. `BTreeMap` keeps
+/// iteration (and therefore rendered output) deterministically ordered.
+#[derive(Debug, Default, Clone)]
+pub struct CounterSet {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl CounterSet {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero if missing.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increments counter `name` by one.
+    #[inline]
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Takes an immutable snapshot of all counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            values: self.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+/// An immutable point-in-time copy of a [`CounterSet`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    values: BTreeMap<String, u64>,
+}
+
+impl CounterSnapshot {
+    /// Value of counter `name` at snapshot time (0 if absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Per-counter difference `self - earlier`.
+    ///
+    /// Counters absent from `earlier` are treated as zero. Counters that
+    /// decreased (which should never happen for monotonic counters) are
+    /// clamped to zero rather than wrapping.
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = BTreeMap::new();
+        for (k, v) in &self.values {
+            let before = earlier.get(k);
+            values.insert(k.clone(), v.saturating_sub(before));
+        }
+        CounterSnapshot { values }
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_counter_reads_zero() {
+        let c = CounterSet::new();
+        assert_eq!(c.get("nope"), 0);
+    }
+
+    #[test]
+    fn add_and_inc_accumulate() {
+        let mut c = CounterSet::new();
+        c.inc("a");
+        c.add("a", 9);
+        c.add("b", 3);
+        assert_eq!(c.get("a"), 10);
+        assert_eq!(c.get("b"), 3);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_copy() {
+        let mut c = CounterSet::new();
+        c.add("x", 5);
+        let s = c.snapshot();
+        c.add("x", 5);
+        assert_eq!(s.get("x"), 5);
+        assert_eq!(c.get("x"), 10);
+    }
+
+    #[test]
+    fn delta_subtracts_per_counter() {
+        let mut c = CounterSet::new();
+        c.add("host_bytes", 100);
+        let t0 = c.snapshot();
+        c.add("host_bytes", 150);
+        c.add("nand_bytes", 80);
+        let t1 = c.snapshot();
+        let d = t1.delta(&t0);
+        assert_eq!(d.get("host_bytes"), 150);
+        assert_eq!(d.get("nand_bytes"), 80);
+    }
+
+    #[test]
+    fn delta_clamps_instead_of_wrapping() {
+        let mut a = CounterSet::new();
+        a.add("x", 5);
+        let later = a.snapshot();
+        let mut b = CounterSet::new();
+        b.add("x", 50);
+        let earlier = b.snapshot();
+        assert_eq!(later.delta(&earlier).get("x"), 0);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = CounterSet::new();
+        c.add("zeta", 1);
+        c.add("alpha", 1);
+        c.add("mid", 1);
+        let names: Vec<_> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Tiny CSV emission helpers.
+//!
+//! Experiment binaries write their raw series to CSV files next to the
+//! human-readable tables so results can be re-plotted. Quoting follows RFC
+//! 4180: fields containing commas, quotes or newlines are quoted and inner
+//! quotes doubled.
+
+use std::fmt::Write as _;
+
+use crate::timeseries::TimeSeries;
+
+/// Escapes a single CSV field per RFC 4180.
+pub fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders a header plus rows of stringly-typed cells as CSV.
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let hdr: Vec<String> = header.iter().map(|h| escape(h)).collect();
+    let _ = writeln!(out, "{}", hdr.join(","));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| escape(c)).collect();
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+/// Renders one or more equally-indexed series side by side:
+/// `x,<name1>,<name2>,...`. Series shorter than the longest are padded
+/// with empty cells. The `x` column is taken from the first series.
+pub fn render_series(series: &[&TimeSeries]) -> String {
+    let mut header: Vec<&str> = vec!["x"];
+    header.extend(series.iter().map(|s| s.name()));
+    let rows_n = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut rows = Vec::with_capacity(rows_n);
+    for i in 0..rows_n {
+        let x = series
+            .first()
+            .and_then(|s| s.points().get(i))
+            .map(|(x, _)| format!("{x}"))
+            .unwrap_or_default();
+        let mut row = vec![x];
+        for s in series {
+            row.push(s.points().get(i).map(|(_, y)| format!("{y}")).unwrap_or_default());
+        }
+        rows.push(row);
+    }
+    render(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_pass_through() {
+        assert_eq!(escape("abc"), "abc");
+    }
+
+    #[test]
+    fn commas_and_quotes_are_quoted() {
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn render_produces_header_and_rows() {
+        let out = render(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(out, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn render_series_aligns_columns() {
+        let mut s1 = TimeSeries::new("fdp");
+        let mut s2 = TimeSeries::new("nonfdp");
+        s1.push(0.0, 1.03);
+        s1.push(1.0, 1.04);
+        s2.push(0.0, 1.3);
+        let out = render_series(&[&s1, &s2]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "x,fdp,nonfdp");
+        assert_eq!(lines[1], "0,1.03,1.3");
+        assert_eq!(lines[2], "1,1.04,");
+    }
+
+    #[test]
+    fn render_series_empty_is_header_only() {
+        let s = TimeSeries::new("empty");
+        let out = render_series(&[&s]);
+        assert_eq!(out, "x,empty\n");
+    }
+}

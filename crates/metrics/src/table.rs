@@ -1,0 +1,164 @@
+//! A minimal ASCII table renderer.
+//!
+//! Each bench binary prints the rows the corresponding paper table/figure
+//! reports (e.g. Table 2's `Configuration | Hit Ratio | NVM Hit Ratio |
+//! KGET/s | CO2e`). Keeping the renderer here avoids every binary
+//! hand-rolling column alignment.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// An ASCII table with a header row and uniform column alignment.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers. All columns default
+    /// to left alignment; call [`Table::align`] to adjust.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; header.len()];
+        Table { header, aligns, rows: Vec::new() }
+    }
+
+    /// Sets the alignment of column `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range — a construction-time programming
+    /// error, not a runtime condition.
+    pub fn align(mut self, idx: usize, align: Align) -> Self {
+        self.aligns[idx] = align;
+        self
+    }
+
+    /// Sets all columns except the first to right alignment (the common
+    /// label-then-numbers layout).
+    pub fn numeric(mut self) -> Self {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated to the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        line.push_str(&" ".repeat(pad));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths, &self.aligns));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = Table::new(vec!["config", "dlwa"]).numeric();
+        t.row(vec!["FDP", "1.03"]);
+        t.row(vec!["Non-FDP", "3.50"]);
+        let r = t.render();
+        assert!(r.contains("config"));
+        assert!(r.contains("Non-FDP"));
+        assert!(r.lines().count() == 4, "{r}");
+    }
+
+    #[test]
+    fn numeric_right_aligns() {
+        let mut t = Table::new(vec!["k", "v"]).numeric();
+        t.row(vec!["a", "1"]);
+        t.row(vec!["b", "100"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        // "1" in the first data row should be right-aligned to "100"'s width.
+        assert!(lines[2].ends_with("  1") || lines[2].ends_with(" 1"), "{r}");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert_eq!(t.len(), 1);
+        let r = t.render();
+        assert!(r.lines().count() == 3);
+    }
+
+    #[test]
+    fn long_rows_are_truncated() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["x", "overflow"]);
+        let r = t.render();
+        assert!(!r.contains("overflow"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(vec!["col"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Theorem 1: the DLWA model for FDP-enabled CacheLib.
+//!
+//! With SOC and LOC segregated, only SOC data moves during GC, so the
+//! cache's DLWA equals the SOC's. Modelling SOC inserts as uniform
+//! random page writes over `S_SOC` bytes with `S_P-SOC = S_SOC + S_OP`
+//! physical bytes available (LOC uses no OP), Appendix A derives:
+//!
+//! ```text
+//! δ = -(S_SOC / S_P-SOC) · W(-(S_P-SOC / S_SOC) · e^{-S_P-SOC / S_SOC})
+//! DLWA = 1 / (1 - δ)
+//! ```
+//!
+//! where δ is the average fraction of still-valid pages in a victim
+//! erase block under greedy GC (Dayan et al.'s uniform-workload model).
+
+use crate::lambertw::lambert_w0;
+
+/// Average live fraction δ of a GC victim for a uniform random workload
+/// over `s_soc` logical bytes with `s_p_soc` physical bytes.
+///
+/// Returns `None` when inputs are non-positive or `s_p_soc < s_soc`
+/// (physically impossible: less physical than logical space).
+pub fn soc_delta(s_soc: f64, s_p_soc: f64) -> Option<f64> {
+    // NaN-safe domain check: sizes must be strictly positive and the
+    // physical space can never be smaller than the logical space.
+    if s_soc.is_nan() || s_p_soc.is_nan() || s_soc <= 0.0 || s_p_soc <= 0.0 || s_p_soc < s_soc {
+        return None;
+    }
+    let ratio = s_p_soc / s_soc; // ≥ 1
+    let arg = -ratio * (-ratio).exp();
+    let w = lambert_w0(arg)?;
+    let delta = -(1.0 / ratio) * w;
+    Some(delta.clamp(0.0, 1.0))
+}
+
+/// Theorem 1: DLWA of FDP-enabled CacheLib.
+///
+/// `s_soc` is the SOC logical size in bytes; `s_p_soc` is the physical
+/// space available to SOC data (SOC size + device OP, Equation 6).
+/// Returns `None` on invalid inputs or a degenerate δ = 1.
+pub fn dlwa_theorem1(s_soc: f64, s_p_soc: f64) -> Option<f64> {
+    let delta = soc_delta(s_soc, s_p_soc)?;
+    if delta >= 1.0 {
+        return None;
+    }
+    Some(1.0 / (1.0 - delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_soc_gives_dlwa_one() {
+        // SOC far below OP: spare blocks always available ⇒ DLWA → 1.
+        let d = dlwa_theorem1(1.0, 100.0).unwrap();
+        assert!(d < 1.01, "dlwa {d}");
+    }
+
+    #[test]
+    fn dlwa_grows_as_op_share_shrinks() {
+        // Fixed physical space, growing SOC.
+        let mut last = 1.0;
+        for s in [10.0, 30.0, 50.0, 70.0, 90.0, 99.0] {
+            let d = dlwa_theorem1(s, 107.0).unwrap();
+            assert!(d >= last, "non-monotone at s={s}: {d} < {last}");
+            last = d;
+        }
+        assert!(last > 3.0, "DLWA at ~7% effective OP should exceed 3, got {last}");
+    }
+
+    #[test]
+    fn paper_figure9_shape() {
+        // The paper's device: OP ≈ 7–20% of capacity. At SOC = 4% of the
+        // device, SOC physical share includes all OP: S_P/S ≈ (4+7)/4 =
+        // 2.75 ⇒ DLWA ≈ 1.0x. At SOC = 64%: (64+7)/64 ≈ 1.11 ⇒ high DLWA.
+        let small = dlwa_theorem1(4.0, 11.0).unwrap();
+        let big = dlwa_theorem1(64.0, 71.0).unwrap();
+        assert!(small < 1.2, "4% SOC should be near 1, got {small}");
+        assert!(big > 2.0, "64% SOC should exceed 2, got {big}");
+        assert!(big < 8.0, "but not absurd: {big}");
+    }
+
+    #[test]
+    fn delta_bounds() {
+        for (s, p) in [(1.0, 2.0), (1.0, 1.5), (1.0, 1.05)] {
+            let d = soc_delta(s, p).unwrap();
+            assert!((0.0..1.0).contains(&d), "delta {d} out of range");
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(soc_delta(0.0, 1.0).is_none());
+        assert!(soc_delta(1.0, 0.0).is_none());
+        assert!(soc_delta(2.0, 1.0).is_none(), "physical < logical is impossible");
+        assert!(soc_delta(-1.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn equal_spaces_is_degenerate() {
+        // No spare space at all: δ → 1, DLWA unbounded.
+        let d = soc_delta(1.0, 1.0).unwrap();
+        assert!(d > 0.99);
+        assert!(dlwa_theorem1(1.0, 1.0).is_none());
+    }
+}

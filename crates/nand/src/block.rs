@@ -1,0 +1,262 @@
+//! A single erase block: the per-plane unit of erase and the unit within
+//! which pages must be programmed strictly in order.
+
+use crate::error::NandError;
+use crate::page::{PageState, Ppa};
+
+/// Rated endurance used when none is configured. Typical for TLC NAND.
+pub const DEFAULT_PE_LIMIT: u32 = 3_000;
+
+/// A single erase block.
+///
+/// Pages are tracked as a dense `Vec<PageState>`; the block enforces
+/// sequential programming via a write pointer and counts valid pages so
+/// that GC victim selection and erase-safety checks are O(1).
+#[derive(Debug, Clone)]
+pub struct EraseBlock {
+    states: Vec<PageState>,
+    write_ptr: u32,
+    valid_pages: u32,
+    pe_cycles: u32,
+    pe_limit: u32,
+    bad: bool,
+}
+
+impl EraseBlock {
+    /// Creates a fresh (erased) block with `pages` pages and the given
+    /// P/E endurance limit.
+    pub fn new(pages: u32, pe_limit: u32) -> Self {
+        EraseBlock {
+            states: vec![PageState::Free; pages as usize],
+            write_ptr: 0,
+            valid_pages: 0,
+            pe_cycles: 0,
+            pe_limit,
+            bad: false,
+        }
+    }
+
+    /// Number of pages in the block.
+    pub fn pages(&self) -> u32 {
+        self.states.len() as u32
+    }
+
+    /// Next in-order page to program.
+    pub fn write_ptr(&self) -> u32 {
+        self.write_ptr
+    }
+
+    /// Count of `Valid` pages.
+    pub fn valid_pages(&self) -> u32 {
+        self.valid_pages
+    }
+
+    /// P/E cycles consumed so far.
+    pub fn pe_cycles(&self) -> u32 {
+        self.pe_cycles
+    }
+
+    /// Whether the block has exceeded its endurance and is unusable.
+    pub fn is_bad(&self) -> bool {
+        self.bad
+    }
+
+    /// Whether every page is `Free`.
+    pub fn is_erased(&self) -> bool {
+        self.write_ptr == 0
+    }
+
+    /// Whether every page has been programmed.
+    pub fn is_full(&self) -> bool {
+        self.write_ptr == self.pages()
+    }
+
+    /// State of page `page`, or `None` if out of range.
+    pub fn page_state(&self, page: u32) -> Option<PageState> {
+        self.states.get(page as usize).copied()
+    }
+
+    /// Programs page `page`, transitioning it `Free → Valid`.
+    ///
+    /// `ppa` is only used to label errors. Programming must be strictly
+    /// sequential: `page` must equal the current write pointer.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::ProgramOutOfOrder`] if `page != write_ptr`,
+    /// [`NandError::ProgramNonFreePage`] if the page was already
+    /// programmed, and [`NandError::BlockWornOut`] if the block is bad.
+    pub fn program(&mut self, page: u32, ppa: Ppa) -> Result<(), NandError> {
+        if self.bad {
+            return Err(NandError::BlockWornOut {
+                superblock: ppa.superblock,
+                pe_cycles: self.pe_cycles,
+            });
+        }
+        if page as usize >= self.states.len() {
+            return Err(NandError::OutOfRange(ppa));
+        }
+        if page != self.write_ptr {
+            return Err(NandError::ProgramOutOfOrder { requested: ppa, expected_page: self.write_ptr });
+        }
+        if self.states[page as usize] != PageState::Free {
+            return Err(NandError::ProgramNonFreePage(ppa));
+        }
+        self.states[page as usize] = PageState::Valid;
+        self.write_ptr += 1;
+        self.valid_pages += 1;
+        Ok(())
+    }
+
+    /// Invalidates page `page`, transitioning it `Valid → Invalid`.
+    ///
+    /// # Errors
+    ///
+    /// [`NandError::InvalidateNonValidPage`] unless the page is `Valid`.
+    pub fn invalidate(&mut self, page: u32, ppa: Ppa) -> Result<(), NandError> {
+        match self.states.get(page as usize) {
+            Some(PageState::Valid) => {
+                self.states[page as usize] = PageState::Invalid;
+                self.valid_pages -= 1;
+                Ok(())
+            }
+            Some(_) => Err(NandError::InvalidateNonValidPage(ppa)),
+            None => Err(NandError::OutOfRange(ppa)),
+        }
+    }
+
+    /// Reads page `page`. Reading `Free` pages is an error; reading
+    /// `Invalid` pages is allowed (GC relocation reads pages that may be
+    /// concurrently invalidated in real devices).
+    pub fn read(&self, page: u32, ppa: Ppa) -> Result<PageState, NandError> {
+        match self.states.get(page as usize) {
+            Some(PageState::Free) => Err(NandError::ReadFreePage(ppa)),
+            Some(s) => Ok(*s),
+            None => Err(NandError::OutOfRange(ppa)),
+        }
+    }
+
+    /// Erases the block, returning all pages to `Free` and consuming one
+    /// P/E cycle. Fails if valid pages remain and `force` is false.
+    ///
+    /// On reaching the endurance limit the block is marked bad *after*
+    /// this erase completes (the final cycle still succeeds, matching how
+    /// endurance ratings are specified).
+    pub fn erase(&mut self, superblock: u32, force: bool) -> Result<(), NandError> {
+        if self.bad {
+            return Err(NandError::BlockWornOut { superblock, pe_cycles: self.pe_cycles });
+        }
+        if self.valid_pages > 0 && !force {
+            return Err(NandError::EraseWithValidPages {
+                superblock,
+                valid_pages: self.valid_pages as u64,
+            });
+        }
+        self.states.iter_mut().for_each(|s| *s = PageState::Free);
+        self.write_ptr = 0;
+        self.valid_pages = 0;
+        self.pe_cycles += 1;
+        if self.pe_cycles >= self.pe_limit {
+            self.bad = true;
+        }
+        Ok(())
+    }
+}
+
+impl Default for EraseBlock {
+    fn default() -> Self {
+        EraseBlock::new(64, DEFAULT_PE_LIMIT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ppa(page: u32) -> Ppa {
+        Ppa::new(0, page)
+    }
+
+    #[test]
+    fn sequential_program_succeeds() {
+        let mut b = EraseBlock::new(4, 10);
+        for p in 0..4 {
+            b.program(p, ppa(p)).unwrap();
+        }
+        assert!(b.is_full());
+        assert_eq!(b.valid_pages(), 4);
+    }
+
+    #[test]
+    fn out_of_order_program_fails() {
+        let mut b = EraseBlock::new(4, 10);
+        let err = b.program(2, ppa(2)).unwrap_err();
+        assert!(matches!(err, NandError::ProgramOutOfOrder { expected_page: 0, .. }));
+    }
+
+    #[test]
+    fn double_program_fails() {
+        let mut b = EraseBlock::new(4, 10);
+        b.program(0, ppa(0)).unwrap();
+        // Write pointer now at 1; re-programming page 0 is out of order.
+        assert!(b.program(0, ppa(0)).is_err());
+    }
+
+    #[test]
+    fn invalidate_requires_valid() {
+        let mut b = EraseBlock::new(4, 10);
+        assert!(matches!(b.invalidate(0, ppa(0)), Err(NandError::InvalidateNonValidPage(_))));
+        b.program(0, ppa(0)).unwrap();
+        b.invalidate(0, ppa(0)).unwrap();
+        assert_eq!(b.valid_pages(), 0);
+        // Double invalidate fails.
+        assert!(b.invalidate(0, ppa(0)).is_err());
+    }
+
+    #[test]
+    fn read_free_page_fails() {
+        let b = EraseBlock::new(4, 10);
+        assert!(matches!(b.read(0, ppa(0)), Err(NandError::ReadFreePage(_))));
+    }
+
+    #[test]
+    fn read_invalid_page_is_allowed() {
+        let mut b = EraseBlock::new(4, 10);
+        b.program(0, ppa(0)).unwrap();
+        b.invalidate(0, ppa(0)).unwrap();
+        assert_eq!(b.read(0, ppa(0)).unwrap(), PageState::Invalid);
+    }
+
+    #[test]
+    fn erase_with_valid_pages_requires_force() {
+        let mut b = EraseBlock::new(4, 10);
+        b.program(0, ppa(0)).unwrap();
+        assert!(matches!(b.erase(0, false), Err(NandError::EraseWithValidPages { .. })));
+        b.erase(0, true).unwrap();
+        assert!(b.is_erased());
+        assert_eq!(b.pe_cycles(), 1);
+    }
+
+    #[test]
+    fn erase_resets_write_pointer() {
+        let mut b = EraseBlock::new(2, 10);
+        b.program(0, ppa(0)).unwrap();
+        b.program(1, ppa(1)).unwrap();
+        b.invalidate(0, ppa(0)).unwrap();
+        b.invalidate(1, ppa(1)).unwrap();
+        b.erase(0, false).unwrap();
+        b.program(0, ppa(0)).unwrap();
+        assert_eq!(b.valid_pages(), 1);
+    }
+
+    #[test]
+    fn block_goes_bad_at_pe_limit() {
+        let mut b = EraseBlock::new(1, 3);
+        for _ in 0..3 {
+            b.erase(0, false).unwrap();
+        }
+        assert!(b.is_bad());
+        assert!(matches!(b.erase(0, false), Err(NandError::BlockWornOut { .. })));
+        assert!(matches!(b.program(0, ppa(0)), Err(NandError::BlockWornOut { .. })));
+    }
+}

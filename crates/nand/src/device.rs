@@ -1,0 +1,249 @@
+//! The whole-device NAND model: all superblocks plus counters, latency
+//! and wear tracking.
+
+use crate::error::NandError;
+use crate::geometry::Geometry;
+use crate::latency::{LatencyModel, LatencySampler};
+use crate::page::{PageState, Ppa};
+use crate::stats::NandStats;
+use crate::superblock::Superblock;
+
+/// Summary of wear across the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearSummary {
+    /// Minimum P/E cycles across superblocks.
+    pub min_pe: u32,
+    /// Maximum P/E cycles across superblocks.
+    pub max_pe: u32,
+    /// Mean P/E cycles across superblocks.
+    pub mean_pe: f64,
+    /// Superblocks containing at least one bad block.
+    pub bad_superblocks: u32,
+}
+
+/// The full NAND device: geometry plus every superblock's state.
+///
+/// All mutation goes through `program` / `invalidate` / `erase_superblock`
+/// so the [`NandStats`] counters are always consistent with media state.
+/// Each operation also returns its sampled latency in nanoseconds, which
+/// the NVMe layer accumulates onto its virtual clock.
+#[derive(Debug, Clone)]
+pub struct NandDevice {
+    geometry: Geometry,
+    superblocks: Vec<Superblock>,
+    stats: NandStats,
+    sampler: LatencySampler,
+}
+
+impl NandDevice {
+    /// Creates a device with the given geometry, endurance limit and
+    /// latency model. `seed` drives latency jitter deterministically.
+    pub fn new(geometry: Geometry, pe_limit: u32, latency: LatencyModel, seed: u64) -> Self {
+        let superblocks =
+            (0..geometry.superblocks()).map(|i| Superblock::new(i, &geometry, pe_limit)).collect();
+        NandDevice { geometry, superblocks, stats: NandStats::default(), sampler: LatencySampler::new(latency, seed) }
+    }
+
+    /// Convenience constructor with default endurance and latency.
+    pub fn with_geometry(geometry: Geometry) -> Self {
+        NandDevice::new(geometry, crate::block::DEFAULT_PE_LIMIT, LatencyModel::default(), 1)
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> NandStats {
+        self.stats
+    }
+
+    /// Immutable view of superblock `sb`.
+    pub fn superblock(&self, sb: u32) -> Option<&Superblock> {
+        self.superblocks.get(sb as usize)
+    }
+
+    fn superblock_mut(&mut self, sb: u32) -> Result<&mut Superblock, NandError> {
+        let idx = sb as usize;
+        if idx >= self.superblocks.len() {
+            return Err(NandError::SuperblockOutOfRange(sb));
+        }
+        Ok(&mut self.superblocks[idx])
+    }
+
+    /// Programs the page at `ppa` (must be the next in-order page of its
+    /// superblock). Returns the program latency in nanoseconds.
+    pub fn program(&mut self, ppa: Ppa) -> Result<u64, NandError> {
+        let sb = self.superblock_mut(ppa.superblock)?;
+        sb.program(ppa.page as u64)?;
+        self.stats.pages_programmed += 1;
+        Ok(self.sampler.program())
+    }
+
+    /// Invalidates the page at `ppa`. Invalidation is a metadata update in
+    /// real devices; it costs no media latency.
+    pub fn invalidate(&mut self, ppa: Ppa) -> Result<(), NandError> {
+        let sb = self.superblock_mut(ppa.superblock)?;
+        sb.invalidate(ppa.page as u64)?;
+        self.stats.pages_invalidated += 1;
+        Ok(())
+    }
+
+    /// Reads the page at `ppa`, returning `(state, latency_ns)`.
+    pub fn read(&mut self, ppa: Ppa) -> Result<(PageState, u64), NandError> {
+        let idx = ppa.superblock as usize;
+        if idx >= self.superblocks.len() {
+            return Err(NandError::SuperblockOutOfRange(ppa.superblock));
+        }
+        let state = self.superblocks[idx].read(ppa.page as u64)?;
+        self.stats.pages_read += 1;
+        Ok((state, self.sampler.read()))
+    }
+
+    /// Erases superblock `sb`, returning the erase latency in nanoseconds.
+    ///
+    /// Lanes erase in parallel on real hardware, so latency is one erase
+    /// time rather than `lanes ×` it; energy accounting still counts every
+    /// block erase.
+    pub fn erase_superblock(&mut self, sb: u32, force: bool) -> Result<u64, NandError> {
+        let block_erases = {
+            let sblk = self.superblock_mut(sb)?;
+            sblk.erase(force)?
+        };
+        self.stats.superblock_erases += 1;
+        self.stats.block_erases += block_erases as u64;
+        Ok(self.sampler.erase())
+    }
+
+    /// State of the page at `ppa` without touching counters.
+    pub fn page_state(&self, ppa: Ppa) -> Option<PageState> {
+        self.superblocks.get(ppa.superblock as usize)?.page_state(ppa.page as u64)
+    }
+
+    /// Valid-page count of superblock `sb` (0 if out of range).
+    pub fn valid_pages(&self, sb: u32) -> u64 {
+        self.superblocks.get(sb as usize).map(|s| s.valid_pages()).unwrap_or(0)
+    }
+
+    /// Write pointer (pages programmed) of superblock `sb`.
+    pub fn write_ptr(&self, sb: u32) -> u64 {
+        self.superblocks.get(sb as usize).map(|s| s.write_ptr()).unwrap_or(0)
+    }
+
+    /// Whether superblock `sb` is fully programmed.
+    pub fn is_full(&self, sb: u32) -> bool {
+        self.superblocks.get(sb as usize).map(|s| s.is_full()).unwrap_or(false)
+    }
+
+    /// Total valid pages across the device.
+    pub fn total_valid_pages(&self) -> u64 {
+        self.superblocks.iter().map(|s| s.valid_pages()).sum()
+    }
+
+    /// Wear summary across all superblocks.
+    pub fn wear_summary(&self) -> WearSummary {
+        let mut min_pe = u32::MAX;
+        let mut max_pe = 0u32;
+        let mut sum = 0u64;
+        let mut bad = 0u32;
+        for s in &self.superblocks {
+            let pe = s.pe_cycles();
+            min_pe = min_pe.min(pe);
+            max_pe = max_pe.max(pe);
+            sum += pe as u64;
+            if s.has_bad_block() {
+                bad += 1;
+            }
+        }
+        let n = self.superblocks.len().max(1) as f64;
+        WearSummary {
+            min_pe: if self.superblocks.is_empty() { 0 } else { min_pe },
+            max_pe,
+            mean_pe: sum as f64 / n,
+            bad_superblocks: bad,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> NandDevice {
+        NandDevice::new(Geometry::tiny_test(), 1000, LatencyModel::zero(), 1)
+    }
+
+    #[test]
+    fn program_counts_and_orders() {
+        let mut d = dev();
+        d.program(Ppa::new(0, 0)).unwrap();
+        d.program(Ppa::new(0, 1)).unwrap();
+        assert_eq!(d.stats().pages_programmed, 2);
+        assert!(matches!(d.program(Ppa::new(0, 5)), Err(NandError::ProgramOutOfOrder { .. })));
+    }
+
+    #[test]
+    fn superblock_out_of_range() {
+        let mut d = dev();
+        let sb_count = d.geometry().superblocks();
+        assert!(matches!(
+            d.program(Ppa::new(sb_count, 0)),
+            Err(NandError::SuperblockOutOfRange(_))
+        ));
+        assert!(matches!(d.erase_superblock(sb_count, false), Err(NandError::SuperblockOutOfRange(_))));
+    }
+
+    #[test]
+    fn full_cycle_program_invalidate_erase() {
+        let mut d = dev();
+        let pages = d.geometry().pages_per_superblock();
+        for p in 0..pages {
+            d.program(Ppa::new(1, p as u32)).unwrap();
+        }
+        assert!(d.is_full(1));
+        assert_eq!(d.valid_pages(1), pages);
+        for p in 0..pages {
+            d.invalidate(Ppa::new(1, p as u32)).unwrap();
+        }
+        assert_eq!(d.valid_pages(1), 0);
+        d.erase_superblock(1, false).unwrap();
+        assert_eq!(d.stats().superblock_erases, 1);
+        assert_eq!(d.stats().block_erases, d.geometry().blocks_per_superblock() as u64);
+        // Reusable after erase.
+        d.program(Ppa::new(1, 0)).unwrap();
+    }
+
+    #[test]
+    fn total_valid_pages_tracks_all_superblocks() {
+        let mut d = dev();
+        d.program(Ppa::new(0, 0)).unwrap();
+        d.program(Ppa::new(3, 0)).unwrap();
+        assert_eq!(d.total_valid_pages(), 2);
+        d.invalidate(Ppa::new(3, 0)).unwrap();
+        assert_eq!(d.total_valid_pages(), 1);
+    }
+
+    #[test]
+    fn wear_summary_counts_erases() {
+        let mut d = dev();
+        d.erase_superblock(0, false).unwrap();
+        d.erase_superblock(0, false).unwrap();
+        d.erase_superblock(2, false).unwrap();
+        let w = d.wear_summary();
+        assert_eq!(w.min_pe, 0);
+        assert_eq!(w.max_pe, 2);
+        assert!(w.mean_pe > 0.0);
+        assert_eq!(w.bad_superblocks, 0);
+    }
+
+    #[test]
+    fn read_returns_state_and_counts() {
+        let mut d = dev();
+        d.program(Ppa::new(0, 0)).unwrap();
+        let (s, _lat) = d.read(Ppa::new(0, 0)).unwrap();
+        assert_eq!(s, PageState::Valid);
+        assert_eq!(d.stats().pages_read, 1);
+        assert!(matches!(d.read(Ppa::new(0, 1)), Err(NandError::ReadFreePage(_))));
+    }
+}

@@ -1,0 +1,112 @@
+//! NAND energy model.
+//!
+//! The paper's Theorem 3 states that operational energy is proportional to
+//! total device operations (host operations + GC migrations). This module
+//! turns operation counts into energy so Figure 10(b)'s "fewer GC events ⇒
+//! lower operational energy" argument can be made quantitative.
+//!
+//! Per-operation energies are representative TLC figures (order of
+//! magnitude from Cho et al., "Design Tradeoffs of SSDs: From Energy
+//! Consumption's Perspective", ACM TOS 2015 — the paper's reference 29).
+
+use crate::stats::NandStats;
+
+/// Per-operation energy in microjoules plus idle/active power in mW.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per page read (µJ).
+    pub read_uj: f64,
+    /// Energy per page program (µJ).
+    pub program_uj: f64,
+    /// Energy per erase-block erase (µJ).
+    pub erase_uj: f64,
+    /// Idle power draw (mW), used when converting busy/idle time split to
+    /// operational energy.
+    pub idle_mw: f64,
+    /// Active power draw (mW).
+    pub active_mw: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            read_uj: 60.0,
+            program_uj: 250.0,
+            erase_uj: 2_000.0,
+            idle_mw: 1_200.0,
+            active_mw: 8_500.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Total media energy (joules) for the operations in `stats`.
+    ///
+    /// This is the Σ(op × energy-per-op) part of Theorem 3; idle-state
+    /// energy is added separately by callers that track elapsed simulated
+    /// time.
+    pub fn media_energy_joules(&self, stats: &NandStats) -> f64 {
+        let uj = stats.pages_read as f64 * self.read_uj
+            + stats.pages_programmed as f64 * self.program_uj
+            + stats.block_erases as f64 * self.erase_uj;
+        uj * 1e-6
+    }
+
+    /// Energy (joules) spent over a period with the given busy time,
+    /// assuming active power while busy and idle power otherwise.
+    ///
+    /// `busy_ns` is clamped to `period_ns`.
+    pub fn period_energy_joules(&self, period_ns: u64, busy_ns: u64) -> f64 {
+        let busy = busy_ns.min(period_ns) as f64 * 1e-9;
+        let idle = (period_ns as f64 * 1e-9 - busy).max(0.0);
+        (busy * self.active_mw + idle * self.idle_mw) * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_ops_zero_energy() {
+        let e = EnergyModel::default();
+        assert_eq!(e.media_energy_joules(&NandStats::default()), 0.0);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_ops() {
+        let e = EnergyModel::default();
+        let mut s = NandStats { pages_programmed: 1000, ..NandStats::default() };
+        let one = e.media_energy_joules(&s);
+        s.pages_programmed = 2000;
+        let two = e.media_energy_joules(&s);
+        assert!((two - 2.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erase_dominates_per_op() {
+        let e = EnergyModel::default();
+        assert!(e.erase_uj > e.program_uj);
+        assert!(e.program_uj > e.read_uj);
+    }
+
+    #[test]
+    fn period_energy_interpolates_between_idle_and_active() {
+        let e = EnergyModel::default();
+        let period = 1_000_000_000u64; // 1 s
+        let all_idle = e.period_energy_joules(period, 0);
+        let all_busy = e.period_energy_joules(period, period);
+        assert!((all_idle - e.idle_mw * 1e-3).abs() < 1e-9);
+        assert!((all_busy - e.active_mw * 1e-3).abs() < 1e-9);
+        let half = e.period_energy_joules(period, period / 2);
+        assert!(all_idle < half && half < all_busy);
+    }
+
+    #[test]
+    fn busy_time_is_clamped_to_period() {
+        let e = EnergyModel::default();
+        let a = e.period_energy_joules(1_000, 10_000);
+        let b = e.period_energy_joules(1_000, 1_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,58 @@
+//! Operation counters for the NAND media.
+
+/// Monotonic counters of media operations.
+///
+/// `pages_programmed` here counts *every* program, whether initiated by a
+/// host write or a GC relocation — i.e. it is the numerator of DLWA
+/// ("Total NAND Writes" in the paper's Equation 1). The FTL tracks host
+/// writes separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NandStats {
+    /// Pages programmed (host + relocation).
+    pub pages_programmed: u64,
+    /// Pages read (host + relocation reads).
+    pub pages_read: u64,
+    /// Pages invalidated (overwrite or trim).
+    pub pages_invalidated: u64,
+    /// Superblock erase operations.
+    pub superblock_erases: u64,
+    /// Individual erase-block erases (superblock erases × lanes).
+    pub block_erases: u64,
+}
+
+impl NandStats {
+    /// Bytes programmed, given the page size.
+    pub fn bytes_programmed(&self, page_size: u32) -> u64 {
+        self.pages_programmed * page_size as u64
+    }
+
+    /// Per-field difference `self - earlier`, saturating at zero.
+    pub fn delta(&self, earlier: &NandStats) -> NandStats {
+        NandStats {
+            pages_programmed: self.pages_programmed.saturating_sub(earlier.pages_programmed),
+            pages_read: self.pages_read.saturating_sub(earlier.pages_read),
+            pages_invalidated: self.pages_invalidated.saturating_sub(earlier.pages_invalidated),
+            superblock_erases: self.superblock_erases.saturating_sub(earlier.superblock_erases),
+            block_erases: self.block_erases.saturating_sub(earlier.block_erases),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_programmed_uses_page_size() {
+        let s = NandStats { pages_programmed: 10, ..Default::default() };
+        assert_eq!(s.bytes_programmed(4096), 40_960);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let a = NandStats { pages_programmed: 5, ..Default::default() };
+        let b = NandStats { pages_programmed: 9, ..Default::default() };
+        assert_eq!(b.delta(&a).pages_programmed, 4);
+        assert_eq!(a.delta(&b).pages_programmed, 0);
+    }
+}

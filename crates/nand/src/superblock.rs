@@ -1,0 +1,237 @@
+//! Superblock layer: groups one erase block per plane into the unit the
+//! FTL sees as a reclaim unit.
+//!
+//! Page addressing inside a superblock is *striped* across planes the way
+//! real controllers interleave programming for parallelism: superblock
+//! page `i` maps to lane `i % planes` (a particular die/plane's block)
+//! and page-in-block `i / planes`. Striping matters for the latency model
+//! (consecutive pages land on different channels) and keeps the
+//! sequential-programming constraint of each underlying block satisfied
+//! when the superblock is programmed in order.
+
+use crate::block::EraseBlock;
+use crate::error::NandError;
+use crate::geometry::Geometry;
+use crate::page::{PageState, Ppa};
+
+/// One superblock: `planes` erase blocks programmed in a striped order.
+#[derive(Debug, Clone)]
+pub struct Superblock {
+    index: u32,
+    blocks: Vec<EraseBlock>,
+    lanes: u32,
+    write_ptr: u64,
+}
+
+impl Superblock {
+    /// Creates superblock `index` for the given geometry.
+    pub fn new(index: u32, geometry: &Geometry, pe_limit: u32) -> Self {
+        let lanes = geometry.blocks_per_superblock();
+        let blocks =
+            (0..lanes).map(|_| EraseBlock::new(geometry.pages_per_block, pe_limit)).collect();
+        Superblock { index, blocks, lanes, write_ptr: 0 }
+    }
+
+    /// The superblock's index within the device.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Total pages in the superblock.
+    pub fn pages(&self) -> u64 {
+        self.lanes as u64 * self.blocks[0].pages() as u64
+    }
+
+    /// Pages programmed so far (the superblock-level write pointer).
+    pub fn write_ptr(&self) -> u64 {
+        self.write_ptr
+    }
+
+    /// Remaining programmable pages.
+    pub fn free_pages(&self) -> u64 {
+        self.pages() - self.write_ptr
+    }
+
+    /// Count of `Valid` pages across all lanes.
+    pub fn valid_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| b.valid_pages() as u64).sum()
+    }
+
+    /// Whether all pages are erased.
+    pub fn is_erased(&self) -> bool {
+        self.write_ptr == 0
+    }
+
+    /// Whether all pages have been programmed.
+    pub fn is_full(&self) -> bool {
+        self.write_ptr == self.pages()
+    }
+
+    /// Whether any lane has gone bad.
+    pub fn has_bad_block(&self) -> bool {
+        self.blocks.iter().any(|b| b.is_bad())
+    }
+
+    /// Maximum P/E cycles across lanes (they erase together so these stay
+    /// equal unless a lane erase failed midway).
+    pub fn pe_cycles(&self) -> u32 {
+        self.blocks.iter().map(|b| b.pe_cycles()).max().unwrap_or(0)
+    }
+
+    /// Decomposes a superblock page index into `(lane, page_in_block)`.
+    #[inline]
+    pub fn decompose(&self, page: u64) -> (u32, u32) {
+        ((page % self.lanes as u64) as u32, (page / self.lanes as u64) as u32)
+    }
+
+    /// The lane (plane) a page index stripes onto; used by the latency
+    /// model to attribute operations to channels.
+    pub fn lane_of(&self, page: u64) -> u32 {
+        (page % self.lanes as u64) as u32
+    }
+
+    /// State of superblock page `page`.
+    pub fn page_state(&self, page: u64) -> Option<PageState> {
+        if page >= self.pages() {
+            return None;
+        }
+        let (lane, pib) = self.decompose(page);
+        self.blocks[lane as usize].page_state(pib)
+    }
+
+    /// Programs the next page in order. `page` must equal the current
+    /// write pointer (the device appends within a reclaim unit; see the
+    /// FDP spec's RU write pointer).
+    pub fn program(&mut self, page: u64) -> Result<(), NandError> {
+        let ppa = Ppa::new(self.index, page as u32);
+        if page >= self.pages() {
+            return Err(NandError::OutOfRange(ppa));
+        }
+        if page != self.write_ptr {
+            return Err(NandError::ProgramOutOfOrder {
+                requested: ppa,
+                expected_page: self.write_ptr as u32,
+            });
+        }
+        let (lane, pib) = self.decompose(page);
+        self.blocks[lane as usize].program(pib, ppa)?;
+        self.write_ptr += 1;
+        Ok(())
+    }
+
+    /// Invalidates superblock page `page` (`Valid → Invalid`).
+    pub fn invalidate(&mut self, page: u64) -> Result<(), NandError> {
+        let ppa = Ppa::new(self.index, page as u32);
+        if page >= self.pages() {
+            return Err(NandError::OutOfRange(ppa));
+        }
+        let (lane, pib) = self.decompose(page);
+        self.blocks[lane as usize].invalidate(pib, ppa)
+    }
+
+    /// Reads superblock page `page`.
+    pub fn read(&self, page: u64) -> Result<PageState, NandError> {
+        let ppa = Ppa::new(self.index, page as u32);
+        if page >= self.pages() {
+            return Err(NandError::OutOfRange(ppa));
+        }
+        let (lane, pib) = self.decompose(page);
+        self.blocks[lane as usize].read(pib, ppa)
+    }
+
+    /// Erases every lane. Fails without `force` if valid pages remain.
+    /// Returns the number of erase-block erases performed (for energy
+    /// accounting).
+    pub fn erase(&mut self, force: bool) -> Result<u32, NandError> {
+        let valid = self.valid_pages();
+        if valid > 0 && !force {
+            return Err(NandError::EraseWithValidPages { superblock: self.index, valid_pages: valid });
+        }
+        for b in &mut self.blocks {
+            b.erase(self.index, force)?;
+        }
+        self.write_ptr = 0;
+        Ok(self.lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sb() -> Superblock {
+        Superblock::new(0, &Geometry::tiny_test(), 1000)
+    }
+
+    #[test]
+    fn striping_covers_all_lanes_round_robin() {
+        let s = sb();
+        let lanes = Geometry::tiny_test().blocks_per_superblock() as u64;
+        for i in 0..lanes {
+            assert_eq!(s.lane_of(i), i as u32);
+        }
+        assert_eq!(s.lane_of(lanes), 0);
+    }
+
+    #[test]
+    fn sequential_program_fills_superblock() {
+        let mut s = sb();
+        let n = s.pages();
+        for i in 0..n {
+            s.program(i).unwrap();
+        }
+        assert!(s.is_full());
+        assert_eq!(s.valid_pages(), n);
+        assert_eq!(s.free_pages(), 0);
+    }
+
+    #[test]
+    fn out_of_order_program_rejected() {
+        let mut s = sb();
+        assert!(matches!(s.program(5), Err(NandError::ProgramOutOfOrder { .. })));
+    }
+
+    #[test]
+    fn invalidate_then_erase() {
+        let mut s = sb();
+        for i in 0..s.pages() {
+            s.program(i).unwrap();
+        }
+        for i in 0..s.pages() {
+            s.invalidate(i).unwrap();
+        }
+        let erases = s.erase(false).unwrap();
+        assert_eq!(erases, Geometry::tiny_test().blocks_per_superblock());
+        assert!(s.is_erased());
+        assert_eq!(s.pe_cycles(), 1);
+    }
+
+    #[test]
+    fn erase_with_valid_pages_fails() {
+        let mut s = sb();
+        s.program(0).unwrap();
+        assert!(s.erase(false).is_err());
+        assert_eq!(s.erase(true).unwrap(), Geometry::tiny_test().blocks_per_superblock());
+    }
+
+    #[test]
+    fn page_state_tracks_transitions() {
+        let mut s = sb();
+        assert_eq!(s.page_state(0), Some(PageState::Free));
+        s.program(0).unwrap();
+        assert_eq!(s.page_state(0), Some(PageState::Valid));
+        s.invalidate(0).unwrap();
+        assert_eq!(s.page_state(0), Some(PageState::Invalid));
+        assert_eq!(s.page_state(s.pages()), None);
+    }
+
+    #[test]
+    fn underlying_blocks_stay_sequential_under_striped_order() {
+        // Programming the superblock in order 0,1,2,... must never
+        // violate per-block sequential programming.
+        let mut s = sb();
+        for i in 0..s.pages() {
+            s.program(i).expect("striped order should satisfy block order");
+        }
+    }
+}

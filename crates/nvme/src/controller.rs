@@ -1,0 +1,672 @@
+//! The simulated NVMe controller.
+
+use fdpcache_ftl::{FdpEvent, Ftl, FtlConfig, RuhId, DEFAULT_RUH};
+
+use crate::datastore::DataStore;
+use crate::error::NvmeError;
+use crate::identify::{ControllerIdentity, FdpConfigDescriptor};
+use crate::logpage::{FdpConfigLog, RuhUsageDescriptor, RuhUsageLog};
+use crate::namespace::{Namespace, NamespaceId};
+
+/// Completion information for a write command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteCompletion {
+    /// Media service time of the host programs (ns).
+    pub service_ns: u64,
+    /// GC time this command triggered synchronously (ns). Queue models
+    /// treat this as lane-occupying background work.
+    pub gc_ns: u64,
+    /// Pages GC relocated on behalf of this command.
+    pub relocated_pages: u64,
+}
+
+/// The FDP statistics log page (paper §3.3 / §6.1): the host-visible
+/// byte counters from which interval DLWA is computed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FdpStatsLog {
+    /// Host bytes with metadata written (HBMW).
+    pub host_bytes_written: u64,
+    /// Media bytes with metadata written (MBMW).
+    pub media_bytes_written: u64,
+    /// Media bytes erased.
+    pub media_bytes_erased: u64,
+    /// Media Relocated events since reset (GC operations).
+    pub media_relocated_events: u64,
+}
+
+impl FdpStatsLog {
+    /// DLWA over the whole log interval (Equation 1).
+    pub fn dlwa(&self) -> f64 {
+        if self.host_bytes_written == 0 {
+            1.0
+        } else {
+            self.media_bytes_written as f64 / self.host_bytes_written as f64
+        }
+    }
+
+    /// Per-field difference `self - earlier` for interval DLWA.
+    pub fn delta(&self, earlier: &FdpStatsLog) -> FdpStatsLog {
+        FdpStatsLog {
+            host_bytes_written: self.host_bytes_written.saturating_sub(earlier.host_bytes_written),
+            media_bytes_written: self
+                .media_bytes_written
+                .saturating_sub(earlier.media_bytes_written),
+            media_bytes_erased: self.media_bytes_erased.saturating_sub(earlier.media_bytes_erased),
+            media_relocated_events: self
+                .media_relocated_events
+                .saturating_sub(earlier.media_relocated_events),
+        }
+    }
+}
+
+/// The simulated NVMe controller: namespaces + FDP toggle + log pages
+/// over an [`Ftl`] and a payload [`DataStore`].
+pub struct Controller {
+    ftl: Ftl,
+    store: Box<dyn DataStore>,
+    namespaces: Vec<Namespace>,
+    fdp_enabled: bool,
+    next_nsid: NamespaceId,
+    allocated_lbas: u64,
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("namespaces", &self.namespaces.len())
+            .field("fdp_enabled", &self.fdp_enabled)
+            .field("allocated_lbas", &self.allocated_lbas)
+            .finish()
+    }
+}
+
+impl Controller {
+    /// Creates a controller over fresh media. FDP starts enabled when the
+    /// configuration exposes more than one handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures as strings.
+    pub fn new(config: FtlConfig, store: Box<dyn DataStore>) -> Result<Self, String> {
+        let fdp = config.num_ruhs > 1;
+        Ok(Controller {
+            ftl: Ftl::new(config)?,
+            store,
+            namespaces: Vec::new(),
+            fdp_enabled: fdp,
+            next_nsid: 1,
+            allocated_lbas: 0,
+        })
+    }
+
+    /// Controller identity (capacity, LBA size, FDP capability).
+    pub fn identify(&self) -> ControllerIdentity {
+        let cfg = self.ftl.config();
+        ControllerIdentity {
+            model: "fdpcache simulated PM9D3-class FDP SSD".into(),
+            capacity_bytes: self.ftl.exported_lbas() * self.ftl.lba_bytes() as u64,
+            lba_bytes: self.ftl.lba_bytes(),
+            fdp_supported: cfg.num_ruhs > 1,
+            fdp_enabled: self.fdp_enabled,
+            fdp_config: Some(FdpConfigDescriptor {
+                nruh: cfg.num_ruhs,
+                nrg: cfg.num_rgs,
+                ruh_type: cfg.ruh_type,
+                ru_bytes: cfg.geometry.superblock_bytes(),
+            }),
+        }
+    }
+
+    /// Enables or disables FDP placement, like the paper's
+    /// `nvme-cli`-driven A/B switch. With FDP disabled every write lands
+    /// on the device default handle regardless of directives.
+    pub fn set_fdp_enabled(&mut self, enabled: bool) {
+        self.fdp_enabled = enabled;
+    }
+
+    /// Whether FDP placement is currently honoured.
+    pub fn fdp_enabled(&self) -> bool {
+        self.fdp_enabled
+    }
+
+    /// Read-only access to the FTL for experiment instrumentation.
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// Device LBA size in bytes.
+    pub fn lba_bytes(&self) -> u32 {
+        self.ftl.lba_bytes()
+    }
+
+    /// Whether the attached backing store retains payload bytes. Callers
+    /// may skip payload materialization when it does not (metadata-only
+    /// experiment mode).
+    pub fn store_retains_data(&self) -> bool {
+        self.store.retains_data()
+    }
+
+    /// Unallocated LBAs remaining for namespace creation.
+    pub fn unallocated_lbas(&self) -> u64 {
+        self.ftl.exported_lbas() - self.allocated_lbas
+    }
+
+    /// Creates a namespace of `lba_count` blocks with the given placement
+    /// handle list (empty list ⇒ `[DEFAULT_RUH]`).
+    ///
+    /// Namespaces are carved sequentially from exported capacity; there
+    /// is no delete/resize (the experiments never need it).
+    ///
+    /// # Errors
+    ///
+    /// [`NvmeError::CapacityExceeded`] if the space is not available, or
+    /// [`NvmeError::InvalidPlacementId`] if a listed RUH does not exist.
+    pub fn create_namespace(
+        &mut self,
+        lba_count: u64,
+        ruh_list: Vec<RuhId>,
+    ) -> Result<NamespaceId, NvmeError> {
+        if lba_count == 0 || lba_count > self.unallocated_lbas() {
+            return Err(NvmeError::CapacityExceeded);
+        }
+        let nruh = self.ftl.config().num_ruhs;
+        for (i, &ruh) in ruh_list.iter().enumerate() {
+            if ruh >= nruh {
+                return Err(NvmeError::InvalidPlacementId(i as u16));
+            }
+        }
+        let ruh_list = if ruh_list.is_empty() { vec![DEFAULT_RUH] } else { ruh_list };
+        let nsid = self.next_nsid;
+        self.namespaces.push(Namespace {
+            nsid,
+            start_lba: self.allocated_lbas,
+            lba_count,
+            ruh_list,
+        });
+        self.allocated_lbas += lba_count;
+        self.next_nsid += 1;
+        Ok(nsid)
+    }
+
+    /// Looks up a namespace.
+    pub fn namespace(&self, nsid: NamespaceId) -> Option<&Namespace> {
+        self.namespaces.iter().find(|n| n.nsid == nsid)
+    }
+
+    fn namespace_checked(&self, nsid: NamespaceId) -> Result<Namespace, NvmeError> {
+        self.namespace(nsid).cloned().ok_or(NvmeError::InvalidNamespace(nsid))
+    }
+
+    /// Writes `data` (a whole number of blocks) at `slba`, honouring the
+    /// placement directive when FDP is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Namespace/range/buffer validation errors, or FTL failures.
+    pub fn write(
+        &mut self,
+        nsid: NamespaceId,
+        slba: u64,
+        data: &[u8],
+        dspec: Option<u16>,
+    ) -> Result<WriteCompletion, NvmeError> {
+        let ns = self.namespace_checked(nsid)?;
+        let lba_bytes = self.ftl.lba_bytes() as usize;
+        if data.is_empty() || !data.len().is_multiple_of(lba_bytes) {
+            return Err(NvmeError::BufferSizeMismatch {
+                expected: data.len().next_multiple_of(lba_bytes).max(lba_bytes),
+                got: data.len(),
+            });
+        }
+        let nlb = (data.len() / lba_bytes) as u64;
+        let (dev_start, _) = ns
+            .translate_range(slba, nlb)
+            .ok_or(NvmeError::LbaOutOfRange { nsid, lba: slba })?;
+        // Resolve placement: FDP disabled ⇒ device default handle,
+        // ignoring directives (backward compatibility, §3.2.2). An
+        // enabled directive carries a placement identifier: reclaim
+        // group in the upper byte, placement handle (an index into the
+        // namespace's RUH list) in the lower byte — the spec's
+        // `<RG, PH>` pair. A missing directive writes to the default
+        // handle of reclaim group 0.
+        let (rg, ruh) = if self.fdp_enabled {
+            match dspec {
+                Some(pid) => {
+                    let ph = pid & 0xFF;
+                    let rg = pid >> 8;
+                    let ruh =
+                        ns.resolve_pid(ph).ok_or(NvmeError::InvalidPlacementId(pid))?;
+                    if rg >= self.ftl.config().num_rgs {
+                        return Err(NvmeError::InvalidPlacementId(pid));
+                    }
+                    (rg, ruh)
+                }
+                None => (0, ns.default_ruh()),
+            }
+        } else {
+            (0, DEFAULT_RUH)
+        };
+        let mut completion = WriteCompletion::default();
+        for i in 0..nlb {
+            let dev_lba = dev_start + i;
+            let receipt = self.ftl.write_placed(dev_lba, rg, ruh)?;
+            completion.service_ns += receipt.program_ns;
+            completion.gc_ns += receipt.gc_ns;
+            completion.relocated_pages += receipt.relocated_pages;
+            let off = i as usize * lba_bytes;
+            self.store.write_block(dev_lba, &data[off..off + lba_bytes]);
+        }
+        Ok(completion)
+    }
+
+    /// Reads whole blocks into `out` starting at `slba`. Returns media
+    /// service time in nanoseconds.
+    ///
+    /// If the backing store does not retain payloads ([`crate::NullStore`])
+    /// the buffer is zero-filled but timing/accounting still happen.
+    ///
+    /// # Errors
+    ///
+    /// [`NvmeError::Unwritten`] when any block has never been written.
+    pub fn read(
+        &mut self,
+        nsid: NamespaceId,
+        slba: u64,
+        out: &mut [u8],
+    ) -> Result<u64, NvmeError> {
+        let ns = self.namespace_checked(nsid)?;
+        let lba_bytes = self.ftl.lba_bytes() as usize;
+        if out.is_empty() || !out.len().is_multiple_of(lba_bytes) {
+            return Err(NvmeError::BufferSizeMismatch {
+                expected: out.len().next_multiple_of(lba_bytes).max(lba_bytes),
+                got: out.len(),
+            });
+        }
+        let nlb = (out.len() / lba_bytes) as u64;
+        let (dev_start, _) = ns
+            .translate_range(slba, nlb)
+            .ok_or(NvmeError::LbaOutOfRange { nsid, lba: slba })?;
+        let mut total_ns = 0u64;
+        for i in 0..nlb {
+            let dev_lba = dev_start + i;
+            let ns_time = self.ftl.read(dev_lba).map_err(|e| match e {
+                fdpcache_ftl::FtlError::Unmapped(l) => NvmeError::Unwritten(l),
+                other => NvmeError::Ftl(other),
+            })?;
+            total_ns += ns_time;
+            let off = i as usize * lba_bytes;
+            let chunk = &mut out[off..off + lba_bytes];
+            if !self.store.read_block(dev_lba, chunk) {
+                chunk.fill(0);
+            }
+        }
+        Ok(total_ns)
+    }
+
+    /// Deallocates the given ranges (DSM). Unwritten LBAs are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Range validation errors; partial progress is possible on error,
+    /// matching real DSM semantics where ranges complete independently.
+    pub fn deallocate(
+        &mut self,
+        nsid: NamespaceId,
+        ranges: &[crate::command::DeallocRange],
+    ) -> Result<(), NvmeError> {
+        let ns = self.namespace_checked(nsid)?;
+        for r in ranges {
+            let (dev_start, count) = ns
+                .translate_range(r.slba, r.nlb)
+                .ok_or(NvmeError::LbaOutOfRange { nsid, lba: r.slba })?;
+            self.ftl.trim(dev_start, count)?;
+            for lba in dev_start..dev_start + count {
+                self.store.discard(lba);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deallocates an entire namespace (the paper's pre-experiment full
+    /// TRIM reset).
+    ///
+    /// # Errors
+    ///
+    /// [`NvmeError::InvalidNamespace`] if the namespace does not exist.
+    pub fn format_namespace(&mut self, nsid: NamespaceId) -> Result<(), NvmeError> {
+        let ns = self.namespace_checked(nsid)?;
+        self.deallocate(
+            nsid,
+            &[crate::command::DeallocRange { slba: 0, nlb: ns.lba_count }],
+        )
+    }
+
+    /// Reads the FDP statistics log page.
+    pub fn fdp_stats_log(&self) -> FdpStatsLog {
+        let s = self.ftl.stats();
+        let page = self.ftl.lba_bytes() as u64;
+        let ru_bytes = self.ftl.config().geometry.superblock_bytes();
+        FdpStatsLog {
+            host_bytes_written: s.host_pages_written * page,
+            media_bytes_written: s.nand_pages_written * page,
+            media_bytes_erased: s.rus_erased * ru_bytes,
+            media_relocated_events: s.gc_runs,
+        }
+    }
+
+    /// Drains the FDP event log (host event consumption).
+    pub fn drain_fdp_events(&mut self) -> Vec<FdpEvent> {
+        self.ftl.events_mut().drain()
+    }
+
+    /// Reads the reclaim unit handle usage log page: per-handle host
+    /// writes, RU switches, and available space in the currently
+    /// referenced RU (paper §3.2.2's RU space query).
+    pub fn ruh_usage_log(&self) -> RuhUsageLog {
+        let host = self.ftl.ruh_host_pages();
+        let switches = self.ftl.ruh_switches();
+        let descriptors = (0..self.ftl.config().num_ruhs)
+            .map(|ruh| RuhUsageDescriptor {
+                ruh,
+                host_pages_written: host[ruh as usize],
+                ru_switches: switches[ruh as usize],
+                available_pages: self.ftl.ruh_available_pages(ruh),
+            })
+            .collect();
+        RuhUsageLog { descriptors }
+    }
+
+    /// Reads the FDP configurations log page. The simulated device, like
+    /// the paper's PM9D3, exposes a single manufacturer-fixed
+    /// configuration.
+    pub fn fdp_config_log(&self) -> FdpConfigLog {
+        let cfg = self.ftl.config();
+        FdpConfigLog {
+            configs: vec![FdpConfigDescriptor {
+                nruh: cfg.num_ruhs,
+                nrg: cfg.num_rgs,
+                ruh_type: cfg.ruh_type,
+                ru_bytes: cfg.geometry.superblock_bytes(),
+            }],
+            active: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::DeallocRange;
+    use crate::datastore::{MemStore, NullStore};
+
+    fn ctrl() -> Controller {
+        Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap()
+    }
+
+    fn page(fill: u8) -> Vec<u8> {
+        vec![fill; 4096]
+    }
+
+    #[test]
+    fn namespace_creation_and_capacity() {
+        let mut c = ctrl();
+        let total = c.unallocated_lbas();
+        let ns1 = c.create_namespace(total / 2, vec![0, 1]).unwrap();
+        assert_eq!(ns1, 1);
+        let ns2 = c.create_namespace(total - total / 2, vec![2]).unwrap();
+        assert_eq!(ns2, 2);
+        assert_eq!(c.unallocated_lbas(), 0);
+        assert!(matches!(c.create_namespace(1, vec![]), Err(NvmeError::CapacityExceeded)));
+    }
+
+    #[test]
+    fn namespace_rejects_unknown_ruh() {
+        let mut c = ctrl();
+        let bad = c.ftl().config().num_ruhs;
+        assert!(matches!(
+            c.create_namespace(16, vec![bad]),
+            Err(NvmeError::InvalidPlacementId(0))
+        ));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut c = ctrl();
+        let ns = c.create_namespace(64, vec![0, 1]).unwrap();
+        c.write(ns, 3, &page(0xAB), Some(1)).unwrap();
+        let mut out = page(0);
+        c.read(ns, 3, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn multi_block_write_reads_back() {
+        let mut c = ctrl();
+        let ns = c.create_namespace(64, vec![]).unwrap();
+        let mut buf = Vec::new();
+        for i in 0..4u8 {
+            buf.extend_from_slice(&page(i));
+        }
+        c.write(ns, 8, &buf, None).unwrap();
+        let mut out = vec![0u8; 4096 * 4];
+        c.read(ns, 8, &mut out).unwrap();
+        assert_eq!(out, buf);
+    }
+
+    #[test]
+    fn read_unwritten_is_error() {
+        let mut c = ctrl();
+        let ns = c.create_namespace(16, vec![]).unwrap();
+        let mut out = page(0);
+        assert!(matches!(c.read(ns, 0, &mut out), Err(NvmeError::Unwritten(_))));
+    }
+
+    #[test]
+    fn buffer_misalignment_rejected() {
+        let mut c = ctrl();
+        let ns = c.create_namespace(16, vec![]).unwrap();
+        assert!(matches!(
+            c.write(ns, 0, &[0u8; 100], None),
+            Err(NvmeError::BufferSizeMismatch { .. })
+        ));
+        let mut small = [0u8; 512];
+        assert!(matches!(
+            c.read(ns, 0, &mut small),
+            Err(NvmeError::BufferSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut c = ctrl();
+        let ns = c.create_namespace(4, vec![]).unwrap();
+        assert!(matches!(
+            c.write(ns, 4, &page(1), None),
+            Err(NvmeError::LbaOutOfRange { .. })
+        ));
+        assert!(matches!(
+            c.write(99, 0, &page(1), None),
+            Err(NvmeError::InvalidNamespace(99))
+        ));
+    }
+
+    #[test]
+    fn invalid_dspec_rejected_when_fdp_on() {
+        let mut c = ctrl();
+        let ns = c.create_namespace(16, vec![0, 1]).unwrap();
+        assert!(matches!(
+            c.write(ns, 0, &page(1), Some(7)),
+            Err(NvmeError::InvalidPlacementId(7))
+        ));
+    }
+
+    #[test]
+    fn fdp_disabled_ignores_directives() {
+        let mut c = ctrl();
+        let ns = c.create_namespace(16, vec![0, 1, 2]).unwrap();
+        c.set_fdp_enabled(false);
+        // Even an invalid DSPEC is ignored when FDP is off.
+        c.write(ns, 0, &page(1), Some(42)).unwrap();
+        assert_eq!(c.ftl().ruh_host_pages()[fdpcache_ftl::DEFAULT_RUH as usize], 1);
+    }
+
+    #[test]
+    fn dspec_routes_to_selected_ruh() {
+        let mut c = ctrl();
+        let ns = c.create_namespace(16, vec![0, 3]).unwrap();
+        c.write(ns, 0, &page(1), Some(1)).unwrap();
+        assert_eq!(c.ftl().ruh_host_pages()[3], 1);
+    }
+
+    #[test]
+    fn deallocate_then_read_fails() {
+        let mut c = ctrl();
+        let ns = c.create_namespace(16, vec![]).unwrap();
+        c.write(ns, 2, &page(9), None).unwrap();
+        c.deallocate(ns, &[DeallocRange { slba: 0, nlb: 16 }]).unwrap();
+        let mut out = page(0);
+        assert!(matches!(c.read(ns, 2, &mut out), Err(NvmeError::Unwritten(_))));
+    }
+
+    #[test]
+    fn format_namespace_resets_payloads() {
+        let mut c = ctrl();
+        let ns = c.create_namespace(16, vec![]).unwrap();
+        c.write(ns, 0, &page(1), None).unwrap();
+        c.format_namespace(ns).unwrap();
+        assert_eq!(c.ftl().mapped_lbas(), 0);
+    }
+
+    #[test]
+    fn stats_log_tracks_dlwa_inputs() {
+        let mut c = ctrl();
+        let ns = c.create_namespace(16, vec![]).unwrap();
+        let t0 = c.fdp_stats_log();
+        c.write(ns, 0, &page(1), None).unwrap();
+        c.write(ns, 1, &page(2), None).unwrap();
+        let t1 = c.fdp_stats_log();
+        let d = t1.delta(&t0);
+        assert_eq!(d.host_bytes_written, 2 * 4096);
+        assert_eq!(d.media_bytes_written, 2 * 4096);
+        assert!((d.dlwa() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        let mut c = ctrl();
+        let a = c.create_namespace(8, vec![]).unwrap();
+        let b = c.create_namespace(8, vec![]).unwrap();
+        c.write(a, 0, &page(0xAA), None).unwrap();
+        c.write(b, 0, &page(0xBB), None).unwrap();
+        let mut out = page(0);
+        c.read(a, 0, &mut out).unwrap();
+        assert_eq!(out[0], 0xAA);
+        c.read(b, 0, &mut out).unwrap();
+        assert_eq!(out[0], 0xBB);
+    }
+
+    #[test]
+    fn nullstore_reads_zeros_for_written_lbas() {
+        let mut c = Controller::new(FtlConfig::tiny_test(), Box::new(NullStore)).unwrap();
+        let ns = c.create_namespace(8, vec![]).unwrap();
+        c.write(ns, 0, &page(0xFF), None).unwrap();
+        let mut out = page(7);
+        c.read(ns, 0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn identify_reflects_fdp_state() {
+        let mut c = ctrl();
+        let id = c.identify();
+        assert!(id.fdp_supported);
+        assert!(id.fdp_enabled);
+        assert_eq!(id.usable_handles(), c.ftl().config().num_ruhs);
+        c.set_fdp_enabled(false);
+        assert_eq!(c.identify().usable_handles(), 0);
+    }
+
+    #[test]
+    fn gc_events_visible_via_log_and_stats() {
+        let mut c = ctrl();
+        let lbas = c.unallocated_lbas();
+        let ns = c.create_namespace(lbas, vec![]).unwrap();
+        let mut x = 777u64;
+        let data = page(1);
+        for _ in 0..lbas * 5 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            c.write(ns, x % lbas, &data, None).unwrap();
+        }
+        let log = c.fdp_stats_log();
+        assert!(log.media_relocated_events > 0);
+        assert!(log.dlwa() > 1.0);
+        let events = c.drain_fdp_events();
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn ruh_usage_log_attributes_writes() {
+        let mut c = ctrl();
+        let ns = c.create_namespace(64, vec![0, 1, 2]).unwrap();
+        let data = page(9);
+        c.write(ns, 0, &data, Some(1)).unwrap();
+        c.write(ns, 1, &data, Some(1)).unwrap();
+        c.write(ns, 2, &data, Some(2)).unwrap();
+        let usage = c.ruh_usage_log();
+        assert_eq!(usage.descriptors.len(), c.ftl().config().num_ruhs as usize);
+        assert_eq!(usage.handle(1).unwrap().host_pages_written, 2);
+        assert_eq!(usage.handle(2).unwrap().host_pages_written, 1);
+        assert!((usage.share(1) - 2.0 / 3.0).abs() < 1e-12);
+        // Handles that wrote have an active RU with space remaining.
+        assert!(usage.handle(1).unwrap().available_pages > 0);
+        assert!(usage.handle(1).unwrap().ru_switches >= 1);
+        // Idle handle: no RU, no pages.
+        assert_eq!(usage.handle(3).unwrap().host_pages_written, 0);
+        assert_eq!(usage.handle(3).unwrap().available_pages, 0);
+    }
+
+    #[test]
+    fn rg_encoded_pid_routes_to_group() {
+        let mut cfg = FtlConfig::tiny_test();
+        cfg.num_rgs = 2;
+        let mut c = Controller::new(cfg, Box::new(NullStore)).unwrap();
+        let ns = c.create_namespace(64, vec![0, 1]).unwrap();
+        let data = page(3);
+        // PID = rg << 8 | ph: ph 1 (-> RUH 1) in reclaim group 1.
+        c.write(ns, 0, &data, Some((1 << 8) | 1)).unwrap();
+        let per_rg = c.ftl().config().rus_per_rg();
+        // The handle's active RU in group 1 has space; group 0 has none.
+        assert!(c.ftl().ruh_available_pages_in(1, 1) > 0);
+        assert_eq!(c.ftl().ruh_available_pages_in(0, 1), 0);
+        let _ = per_rg;
+    }
+
+    #[test]
+    fn unknown_rg_in_pid_rejected() {
+        let mut c = ctrl(); // 1 reclaim group
+        let ns = c.create_namespace(64, vec![0, 1]).unwrap();
+        let data = page(3);
+        let err = c.write(ns, 0, &data, Some((3 << 8) | 1)).unwrap_err();
+        assert!(matches!(err, NvmeError::InvalidPlacementId(_)));
+    }
+
+    #[test]
+    fn identity_reports_group_count() {
+        let mut cfg = FtlConfig::tiny_test();
+        cfg.num_rgs = 2;
+        let c = Controller::new(cfg, Box::new(NullStore)).unwrap();
+        assert_eq!(c.identify().fdp_config.unwrap().nrg, 2);
+        assert_eq!(c.fdp_config_log().active_config().nrg, 2);
+    }
+
+    #[test]
+    fn fdp_config_log_matches_identity() {
+        let c = ctrl();
+        let log = c.fdp_config_log();
+        assert_eq!(log.configs.len(), 1);
+        let ident = c.identify();
+        assert_eq!(Some(*log.active_config()), ident.fdp_config);
+    }
+}

@@ -1,0 +1,141 @@
+//! Payload backing stores.
+//!
+//! The FTL tracks *placement* only; logical payload bytes live here,
+//! indexed by device LBA. Because relocation never changes an LBA's
+//! logical contents, a logical store composes correctly with physical GC.
+//!
+//! Two implementations:
+//!
+//! * [`MemStore`] — sparse in-memory pages; full read-back integrity for
+//!   functional tests, examples and the cache layer.
+//! * [`NullStore`] — discards payloads; DLWA/carbon experiments that
+//!   replay billions of accesses only need placement metadata, and
+//!   skipping payload copies keeps them fast.
+
+use std::collections::HashMap;
+
+/// Logical payload storage keyed by device LBA.
+pub trait DataStore: Send {
+    /// Stores one logical block. `data` is exactly one LBA in length
+    /// (enforced by the controller).
+    fn write_block(&mut self, lba: u64, data: &[u8]);
+    /// Loads one logical block into `out`. Returns `false` if the LBA has
+    /// no stored payload (never written, deallocated, or a `NullStore`).
+    fn read_block(&self, lba: u64, out: &mut [u8]) -> bool;
+    /// Drops the payload for an LBA (deallocate).
+    fn discard(&mut self, lba: u64);
+    /// Whether payloads are actually retained (false for `NullStore`).
+    fn retains_data(&self) -> bool;
+}
+
+/// Sparse in-memory page store.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of LBAs currently holding payloads.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+impl DataStore for MemStore {
+    fn write_block(&mut self, lba: u64, data: &[u8]) {
+        self.pages.insert(lba, data.into());
+    }
+
+    fn read_block(&self, lba: u64, out: &mut [u8]) -> bool {
+        match self.pages.get(&lba) {
+            Some(p) => {
+                let n = p.len().min(out.len());
+                out[..n].copy_from_slice(&p[..n]);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn discard(&mut self, lba: u64) {
+        self.pages.remove(&lba);
+    }
+
+    fn retains_data(&self) -> bool {
+        true
+    }
+}
+
+/// Payload-discarding store for metadata-only experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullStore;
+
+impl DataStore for NullStore {
+    fn write_block(&mut self, _lba: u64, _data: &[u8]) {}
+
+    fn read_block(&self, _lba: u64, _out: &mut [u8]) -> bool {
+        false
+    }
+
+    fn discard(&mut self, _lba: u64) {}
+
+    fn retains_data(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memstore_round_trips() {
+        let mut s = MemStore::new();
+        s.write_block(7, &[1, 2, 3, 4]);
+        let mut out = [0u8; 4];
+        assert!(s.read_block(7, &mut out));
+        assert_eq!(out, [1, 2, 3, 4]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn memstore_overwrite_replaces() {
+        let mut s = MemStore::new();
+        s.write_block(1, &[9; 4]);
+        s.write_block(1, &[5; 4]);
+        let mut out = [0u8; 4];
+        s.read_block(1, &mut out);
+        assert_eq!(out, [5; 4]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn memstore_discard_forgets() {
+        let mut s = MemStore::new();
+        s.write_block(1, &[1; 4]);
+        s.discard(1);
+        let mut out = [0u8; 4];
+        assert!(!s.read_block(1, &mut out));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn nullstore_never_returns_data() {
+        let mut s = NullStore;
+        s.write_block(1, &[1; 4]);
+        let mut out = [7u8; 4];
+        assert!(!s.read_block(1, &mut out));
+        assert_eq!(out, [7; 4], "NullStore must not touch the buffer");
+        assert!(!s.retains_data());
+    }
+}

@@ -1,0 +1,87 @@
+//! NVMe layer error type.
+
+use fdpcache_ftl::FtlError;
+
+use crate::namespace::NamespaceId;
+
+/// Errors completed back to the host by the simulated controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmeError {
+    /// The namespace does not exist.
+    InvalidNamespace(NamespaceId),
+    /// The LBA range falls outside the namespace.
+    LbaOutOfRange {
+        /// Namespace the command addressed.
+        nsid: NamespaceId,
+        /// First offending LBA (namespace-relative).
+        lba: u64,
+    },
+    /// The placement identifier index (DSPEC) is not in the namespace's
+    /// placement handle list.
+    InvalidPlacementId(u16),
+    /// Buffer length does not match `nlb × lba_size`.
+    BufferSizeMismatch {
+        /// Expected byte length.
+        expected: usize,
+        /// Provided byte length.
+        got: usize,
+    },
+    /// Namespace creation would overlap an existing namespace or exceed
+    /// device capacity.
+    CapacityExceeded,
+    /// Reading an LBA that was never written (or was deallocated).
+    Unwritten(u64),
+    /// An FTL-level failure.
+    Ftl(FtlError),
+}
+
+impl From<FtlError> for NvmeError {
+    fn from(e: FtlError) -> Self {
+        NvmeError::Ftl(e)
+    }
+}
+
+impl std::fmt::Display for NvmeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NvmeError::InvalidNamespace(n) => write!(f, "invalid namespace {n}"),
+            NvmeError::LbaOutOfRange { nsid, lba } => {
+                write!(f, "LBA {lba} out of range for namespace {nsid}")
+            }
+            NvmeError::InvalidPlacementId(p) => write!(f, "invalid placement identifier {p}"),
+            NvmeError::BufferSizeMismatch { expected, got } => {
+                write!(f, "buffer size mismatch: expected {expected} bytes, got {got}")
+            }
+            NvmeError::CapacityExceeded => write!(f, "namespace capacity exceeded"),
+            NvmeError::Unwritten(lba) => write!(f, "LBA {lba} has never been written"),
+            NvmeError::Ftl(e) => write!(f, "FTL: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NvmeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NvmeError::Ftl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ftl_error_converts() {
+        let e: NvmeError = FtlError::OutOfSpace.into();
+        assert!(matches!(e, NvmeError::Ftl(FtlError::OutOfSpace)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = NvmeError::BufferSizeMismatch { expected: 4096, got: 512 };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("512"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Identify data structures: what `nvme id-ctrl` / FDP configuration
+//! queries would return.
+
+use fdpcache_ftl::RuhType;
+
+/// The FDP configuration descriptor a host reads during discovery.
+///
+/// Mirrors the fields the paper describes in §3.2.1: handle count, handle
+/// type, reclaim-group count and RU size. Configurations are fixed by the
+/// manufacturer; hosts can only select among pre-defined ones, so this is
+/// a read-only view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FdpConfigDescriptor {
+    /// Number of reclaim unit handles.
+    pub nruh: u8,
+    /// Number of reclaim groups (the paper's device has 1).
+    pub nrg: u16,
+    /// Isolation type shared by all handles.
+    pub ruh_type: RuhType,
+    /// Reclaim unit size in bytes.
+    pub ru_bytes: u64,
+}
+
+/// Controller identity: capacity plus FDP capability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerIdentity {
+    /// Model string.
+    pub model: String,
+    /// Exported capacity in bytes (after device OP).
+    pub capacity_bytes: u64,
+    /// Logical block size in bytes.
+    pub lba_bytes: u32,
+    /// Whether the controller supports FDP at all.
+    pub fdp_supported: bool,
+    /// Whether FDP is currently enabled (the host can toggle this, as the
+    /// paper does with `nvme-cli` to A/B FDP vs. conventional mode).
+    pub fdp_enabled: bool,
+    /// The FDP configuration, present when supported.
+    pub fdp_config: Option<FdpConfigDescriptor>,
+}
+
+impl ControllerIdentity {
+    /// Number of placement handles usable right now (0 when FDP is
+    /// disabled — callers must fall back to default placement).
+    pub fn usable_handles(&self) -> u8 {
+        if self.fdp_enabled {
+            self.fdp_config.map(|c| c.nruh).unwrap_or(0)
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident(enabled: bool) -> ControllerIdentity {
+        ControllerIdentity {
+            model: "fdpcache-sim".into(),
+            capacity_bytes: 1 << 30,
+            lba_bytes: 4096,
+            fdp_supported: true,
+            fdp_enabled: enabled,
+            fdp_config: Some(FdpConfigDescriptor {
+                nruh: 8,
+                nrg: 1,
+                ruh_type: RuhType::InitiallyIsolated,
+                ru_bytes: 64 << 20,
+            }),
+        }
+    }
+
+    #[test]
+    fn usable_handles_zero_when_disabled() {
+        assert_eq!(ident(false).usable_handles(), 0);
+        assert_eq!(ident(true).usable_handles(), 8);
+    }
+
+    #[test]
+    fn usable_handles_zero_without_config() {
+        let mut i = ident(true);
+        i.fdp_config = None;
+        assert_eq!(i.usable_handles(), 0);
+    }
+}

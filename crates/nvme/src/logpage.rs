@@ -1,0 +1,155 @@
+//! FDP log pages beyond the statistics page (paper §3.3).
+//!
+//! The FDP proposal defines a family of host-readable log pages:
+//! configurations, reclaim unit handle usage, statistics, and events.
+//! The statistics page lives on [`crate::Controller`] directly (it is
+//! sampled on the experiment hot path); this module adds the remaining
+//! typed views a management tool (`nvme-cli` in the paper's setup)
+//! would read:
+//!
+//! * [`RuhUsageLog`] — per-handle attribution: host pages written, RU
+//!   switches, and the available space of the currently referenced RU
+//!   ("The FDP specification also allows the host to query the available
+//!   space in an RU which is currently referenced by the RUH", §3.2.2).
+//! * [`FdpConfigLog`] — the device's preconfigured FDP configurations
+//!   ("predetermined by the manufacturer and cannot be changed",
+//!   §3.2.1). Our simulated device exposes one, like the paper's PM9D3.
+
+use fdpcache_ftl::RuhId;
+
+use crate::identify::FdpConfigDescriptor;
+
+/// One reclaim unit handle's usage record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuhUsageDescriptor {
+    /// The handle.
+    pub ruh: RuhId,
+    /// Host pages ever written through this handle.
+    pub host_pages_written: u64,
+    /// Times the handle moved to a fresh reclaim unit.
+    pub ru_switches: u64,
+    /// Free pages left in the RU the handle currently references
+    /// (zero when the handle has no active RU).
+    pub available_pages: u64,
+}
+
+/// The reclaim unit handle usage log page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuhUsageLog {
+    /// One descriptor per device RUH, ordered by handle id.
+    pub descriptors: Vec<RuhUsageDescriptor>,
+}
+
+impl RuhUsageLog {
+    /// The descriptor for `ruh`, if the device has such a handle.
+    pub fn handle(&self, ruh: RuhId) -> Option<&RuhUsageDescriptor> {
+        self.descriptors.iter().find(|d| d.ruh == ruh)
+    }
+
+    /// Total host pages written through all handles.
+    pub fn total_host_pages(&self) -> u64 {
+        self.descriptors.iter().map(|d| d.host_pages_written).sum()
+    }
+
+    /// Byte share of one handle in the total host writes (0 when the
+    /// device is idle). This is the attribution experiments use to
+    /// measure the SOC:LOC device-write split.
+    pub fn share(&self, ruh: RuhId) -> f64 {
+        let total = self.total_host_pages();
+        if total == 0 {
+            return 0.0;
+        }
+        self.handle(ruh).map(|d| d.host_pages_written as f64 / total as f64).unwrap_or(0.0)
+    }
+}
+
+/// The FDP configurations log page: every configuration the device
+/// supports. Hosts select one; our device (like the paper's) ships
+/// exactly one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdpConfigLog {
+    /// Available configurations.
+    pub configs: Vec<FdpConfigDescriptor>,
+    /// Index of the active configuration.
+    pub active: usize,
+}
+
+impl FdpConfigLog {
+    /// The active configuration descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log was constructed with an out-of-range `active`
+    /// index — a controller bug, not a host-recoverable state.
+    pub fn active_config(&self) -> &FdpConfigDescriptor {
+        &self.configs[self.active]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdpcache_ftl::RuhType;
+
+    fn usage() -> RuhUsageLog {
+        RuhUsageLog {
+            descriptors: vec![
+                RuhUsageDescriptor {
+                    ruh: 0,
+                    host_pages_written: 75,
+                    ru_switches: 3,
+                    available_pages: 10,
+                },
+                RuhUsageDescriptor {
+                    ruh: 1,
+                    host_pages_written: 25,
+                    ru_switches: 1,
+                    available_pages: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lookup_by_handle() {
+        let log = usage();
+        assert_eq!(log.handle(1).unwrap().ru_switches, 1);
+        assert!(log.handle(9).is_none());
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let log = usage();
+        assert!((log.share(0) - 0.75).abs() < 1e-12);
+        assert!((log.share(1) - 0.25).abs() < 1e-12);
+        assert_eq!(log.share(7), 0.0);
+        assert_eq!(log.total_host_pages(), 100);
+    }
+
+    #[test]
+    fn idle_device_has_zero_shares() {
+        let log = RuhUsageLog {
+            descriptors: vec![RuhUsageDescriptor {
+                ruh: 0,
+                host_pages_written: 0,
+                ru_switches: 0,
+                available_pages: 0,
+            }],
+        };
+        assert_eq!(log.share(0), 0.0);
+    }
+
+    #[test]
+    fn config_log_active_selection() {
+        let log = FdpConfigLog {
+            configs: vec![FdpConfigDescriptor {
+                nruh: 8,
+                nrg: 1,
+                ruh_type: RuhType::InitiallyIsolated,
+                ru_bytes: 64 << 20,
+            }],
+            active: 0,
+        };
+        assert_eq!(log.active_config().nruh, 8);
+    }
+}

@@ -1,0 +1,42 @@
+//! # fdpcache-workloads
+//!
+//! Synthetic equivalents of the paper's production traces, plus a
+//! CacheBench-style replayer.
+//!
+//! The paper replays two public traces (§6.1):
+//!
+//! * **Meta KV Cache** — 5-day sampled trace from Meta's key-value cache
+//!   cluster; *read-intensive*, GETs outnumber SETs 4:1; billions of
+//!   small-object accesses.
+//! * **Twitter cluster12** — 7-day trace; *write-intensive*, SETs
+//!   outnumber GETs 4:1 (Yang et al., OSDI '20).
+//! * **WO KV Cache** — the paper's derived write-only variant of the KV
+//!   trace (GETs removed) to stress DLWA faster.
+//!
+//! We cannot ship those traces, so [`profiles`] provides generators
+//! matched to their published characteristics: op mix, Zipfian popularity
+//! (small hot working set with churn), and small-object-dominant size
+//! mixtures. DESIGN.md records the substitution; EXPERIMENTS.md records
+//! the parameters used per figure.
+//!
+//! [`replay::Replayer`] plays a generator against a
+//! [`fdpcache_cache::HybridCache`], sampling the device's FDP statistics
+//! log at fixed host-byte intervals to produce the interval-DLWA series
+//! of Figures 5, 7, 8 and 11, plus throughput/hit-ratio/latency rollups.
+
+#![warn(missing_docs)]
+pub mod concurrent;
+pub mod profiles;
+pub mod replay;
+pub mod sizes;
+pub mod trace;
+pub mod tracefile;
+pub mod zipf;
+
+pub use concurrent::{run_workers, Worker, WorkerReport};
+pub use profiles::WorkloadProfile;
+pub use replay::{ExperimentResult, ReplayConfig, Replayer};
+pub use sizes::SizeDist;
+pub use trace::{Op, Request, TraceGen};
+pub use tracefile::{FileReplay, RequestSource, TraceReader, TraceWriter};
+pub use zipf::Zipf;

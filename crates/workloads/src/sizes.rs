@@ -1,0 +1,163 @@
+//! Object-size distributions.
+//!
+//! Both the Meta KV-cache and Twitter workloads are dominated by small
+//! objects with a thin large tail ("billions of frequently accessed
+//! small items and millions of infrequently accessed large items",
+//! paper §2.3). We model sizes as a weighted mixture of uniform bands;
+//! the presets in [`crate::profiles`] pick band weights that reproduce
+//! that small-dominant shape.
+
+use rand::Rng;
+
+/// One band of the mixture: sizes uniform in `[lo, hi]` with `weight`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeBand {
+    /// Minimum size (bytes), inclusive.
+    pub lo: u32,
+    /// Maximum size (bytes), inclusive.
+    pub hi: u32,
+    /// Relative weight (need not be normalized).
+    pub weight: f64,
+}
+
+/// A weighted mixture of uniform size bands.
+#[derive(Debug, Clone)]
+pub struct SizeDist {
+    bands: Vec<SizeBand>,
+    cumulative: Vec<f64>,
+}
+
+impl SizeDist {
+    /// Builds a distribution from bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty bands, non-positive total weight, or `lo > hi` —
+    /// construction-time programming errors.
+    pub fn new(bands: Vec<SizeBand>) -> Self {
+        assert!(!bands.is_empty(), "no size bands");
+        let mut cumulative = Vec::with_capacity(bands.len());
+        let mut acc = 0.0;
+        for b in &bands {
+            assert!(b.lo <= b.hi, "band lo > hi");
+            assert!(b.weight >= 0.0, "negative weight");
+            acc += b.weight;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "zero total weight");
+        SizeDist { bands, cumulative }
+    }
+
+    /// A fixed-size distribution (every object `size` bytes).
+    pub fn fixed(size: u32) -> Self {
+        SizeDist::new(vec![SizeBand { lo: size, hi: size, weight: 1.0 }])
+    }
+
+    /// Samples an object size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c < u).min(self.bands.len() - 1);
+        let b = self.bands[idx];
+        if b.lo == b.hi {
+            b.lo
+        } else {
+            rng.gen_range(b.lo..=b.hi)
+        }
+    }
+
+    /// Expected (mean) size under the mixture.
+    pub fn mean(&self) -> f64 {
+        let total: f64 = self.bands.iter().map(|b| b.weight).sum();
+        self.bands
+            .iter()
+            .map(|b| b.weight / total * ((b.lo as f64 + b.hi as f64) / 2.0))
+            .sum()
+    }
+
+    /// Fraction of objects smaller than `threshold` bytes (approximate,
+    /// treating bands as continuous).
+    pub fn fraction_below(&self, threshold: u32) -> f64 {
+        let total: f64 = self.bands.iter().map(|b| b.weight).sum();
+        self.bands
+            .iter()
+            .map(|b| {
+                let f = if threshold <= b.lo {
+                    0.0
+                } else if threshold > b.hi {
+                    1.0
+                } else {
+                    (threshold - b.lo) as f64 / (b.hi - b.lo + 1) as f64
+                };
+                b.weight / total * f
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_always_returns_same() {
+        let d = SizeDist::fixed(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 100);
+        }
+        assert_eq!(d.mean(), 100.0);
+    }
+
+    #[test]
+    fn samples_respect_band_bounds() {
+        let d = SizeDist::new(vec![
+            SizeBand { lo: 10, hi: 20, weight: 1.0 },
+            SizeBand { lo: 1000, hi: 2000, weight: 1.0 },
+        ]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((10..=20).contains(&s) || (1000..=2000).contains(&s), "s={s}");
+        }
+    }
+
+    #[test]
+    fn weights_control_band_frequency() {
+        let d = SizeDist::new(vec![
+            SizeBand { lo: 1, hi: 1, weight: 9.0 },
+            SizeBand { lo: 100, hi: 100, weight: 1.0 },
+        ]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = (0..100_000).filter(|_| d.sample(&mut rng) == 1).count();
+        assert!((85_000..95_000).contains(&small), "small={small}");
+    }
+
+    #[test]
+    fn fraction_below_matches_shape() {
+        let d = SizeDist::new(vec![
+            SizeBand { lo: 0, hi: 99, weight: 3.0 },
+            SizeBand { lo: 100, hi: 999, weight: 1.0 },
+        ]);
+        assert!((d.fraction_below(100) - 0.75).abs() < 0.01);
+        assert_eq!(d.fraction_below(0), 0.0);
+        assert!((d.fraction_below(10_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_is_weighted() {
+        let d = SizeDist::new(vec![
+            SizeBand { lo: 0, hi: 10, weight: 1.0 },
+            SizeBand { lo: 90, hi: 100, weight: 1.0 },
+        ]);
+        assert!((d.mean() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no size bands")]
+    fn empty_bands_panic() {
+        let _ = SizeDist::new(vec![]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Zipfian key popularity.
+//!
+//! Cache traces are famously Zipf-like: a small hot set absorbs most
+//! accesses while a long tail churns (Yang et al., OSDI '20, analyze
+//! exactly this for the Twitter clusters the paper replays). We use the
+//! bounded Pareto / power-law inverse-CDF approximation of a Zipf
+//! distribution: O(1) sampling with no per-key tables, accurate enough
+//! for rank-frequency shaping at the scales we need.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over ranks `0..n` (rank 0 hottest).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    // Precomputed for the inverse-CDF transform.
+    one_minus_theta: f64,
+    n_pow: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with skew `theta` (0 = uniform;
+    /// ~0.9–1.1 matches production cache traces). `theta == 1` is
+    /// nudged to avoid the harmonic singularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0` — construction-time programming
+    /// errors.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf over empty domain");
+        assert!(theta >= 0.0, "negative skew");
+        let theta = if (theta - 1.0).abs() < 1e-9 { 1.0 + 1e-9 } else { theta };
+        let one_minus_theta = 1.0 - theta;
+        Zipf { n, theta, one_minus_theta, n_pow: (n as f64).powf(one_minus_theta) }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Samples a rank in `0..n` (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if self.theta == 0.0 {
+            return (u * self.n as f64) as u64;
+        }
+        // Inverse CDF of the continuous power-law on [1, n]:
+        // x = (u (n^{1-θ} - 1) + 1)^{1/(1-θ)}
+        let x = (u * (self.n_pow - 1.0) + 1.0).powf(1.0 / self.one_minus_theta);
+        (x as u64).saturating_sub(1).min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(theta: f64, n: u64, samples: usize) -> Vec<u64> {
+        let z = Zipf::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let counts = histogram(0.0, 10, 100_000);
+        for &c in &counts {
+            assert!((7_000..13_000).contains(&c), "uniform bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let counts = histogram(0.99, 1000, 200_000);
+        let head: u64 = counts[..10].iter().sum();
+        let tail: u64 = counts[990..].iter().sum();
+        assert!(head > tail * 20, "head={head} tail={tail}");
+    }
+
+    #[test]
+    fn rank_frequency_is_monotone_headwise() {
+        let counts = histogram(1.0, 100, 500_000);
+        // Rank 0 beats rank 10 beats rank 90 (allow sampling noise by
+        // comparing well-separated ranks).
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mild: u64 = histogram(0.7, 1000, 100_000)[..10].iter().sum();
+        let hard: u64 = histogram(1.2, 1000, 100_000)[..10].iter().sum();
+        assert!(hard > mild);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

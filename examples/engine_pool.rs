@@ -1,0 +1,71 @@
+//! Engine pools: one CacheLib instance, four `<SOC, LOC>` engine pairs,
+//! eight reclaim unit handles — the full handle budget of the paper's
+//! PM9D3 configuration in one process (§2.3, §5.3).
+//!
+//! Run with: `cargo run --release --example engine_pool`
+
+use fdpcache::cache::builder::{build_device, StoreKind};
+use fdpcache::cache::pool::EnginePool;
+use fdpcache::cache::value::Value;
+use fdpcache::cache::{CacheConfig, NvmConfig};
+use fdpcache::ftl::FtlConfig;
+use fdpcache::nand::Geometry;
+use fdpcache::placement::RoundRobinPolicy;
+
+fn main() {
+    // A 1 GiB FDP device with 8 handles, like the paper's (scaled).
+    let mut ftl = FtlConfig::scaled_default();
+    ftl.geometry =
+        Geometry::with_capacity(1 << 30, 32 << 20, 4096).expect("valid geometry");
+    let ctrl = build_device(ftl, StoreKind::Null, true).expect("device");
+
+    // Four engine pairs share the device; keys shard by hash. Each pair
+    // gets its own namespace slice, DRAM budget, and two handles.
+    let config = CacheConfig {
+        ram_bytes: 16 << 20,
+        ram_item_overhead: 31,
+        nvm: NvmConfig { soc_fraction: 0.04, ..NvmConfig::default() },
+        use_fdp: true,
+    };
+    let mut pool = EnginePool::new(&ctrl, &config, 4, 0.95, || {
+        Box::new(RoundRobinPolicy::new())
+    })
+    .expect("pool");
+    println!("built {} engine pairs", pool.pairs());
+
+    // Small-object-dominant traffic with a thin large tail.
+    let mut x = 0xFEED_F00Du64;
+    for _ in 0..400_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let key = x % 50_000;
+        let size = if x.is_multiple_of(100) { 60_000 } else { 80 + (x % 900) as u32 };
+        pool.put(key, Value::synthetic(size)).expect("put");
+        if x.is_multiple_of(3) {
+            let _ = pool.get((x >> 8) % 50_000).expect("get");
+        }
+    }
+
+    let stats = pool.stats();
+    println!(
+        "pool totals: {} puts, {} gets, hit ratio {:.1}%, ALWA {:.2}",
+        stats.puts,
+        stats.gets,
+        stats.hit_ratio() * 100.0,
+        pool.alwa()
+    );
+    for pair in 0..pool.pairs() {
+        let s = pool.shard(pair).expect("pair").stats();
+        println!("  pair {pair}: {} puts, {} flash inserts", s.puts, s.nvm_inserts);
+    }
+
+    // Device view: all 8 RUHs active, one per engine.
+    let c = ctrl.lock();
+    let usage = c.ruh_usage_log();
+    let busy = usage.descriptors.iter().filter(|d| d.host_pages_written > 0).count();
+    println!("\ndevice: {busy}/8 RUHs in use, DLWA {:.3}", c.fdp_stats_log().dlwa());
+    for d in usage.descriptors.iter().filter(|d| d.host_pages_written > 0) {
+        println!("  ruh {}: {:>7} host pages ({:.1}%)", d.ruh, d.host_pages_written, usage.share(d.ruh) * 100.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Device-level integration tests: NAND → FTL → NVMe controller,
+//! exercising the FDP semantics the cache relies on.
+
+use fdpcache::ftl::{FtlConfig, RuhType};
+use fdpcache::nvme::{Controller, DeallocRange, MemStore, NullStore};
+
+fn controller() -> Controller {
+    Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap()
+}
+
+fn page(fill: u8) -> Vec<u8> {
+    vec![fill; 4096]
+}
+
+#[test]
+fn sequential_stream_keeps_dlwa_at_one_end_to_end() {
+    let mut c = Controller::new(FtlConfig::tiny_test(), Box::new(NullStore)).unwrap();
+    let lbas = c.unallocated_lbas();
+    let ns = c.create_namespace(lbas, vec![0]).unwrap();
+    let buf = page(1);
+    for round in 0..5 {
+        for lba in 0..lbas {
+            c.write(ns, lba, &buf, None).unwrap();
+        }
+        let log = c.fdp_stats_log();
+        assert!(
+            (log.dlwa() - 1.0).abs() < 1e-9,
+            "round {round}: sequential overwrite must not amplify, got {}",
+            log.dlwa()
+        );
+    }
+}
+
+#[test]
+fn segregated_hot_cold_beats_intermixed_end_to_end() {
+    // The paper's core mechanism, measured through the NVMe layer only.
+    fn run(segregated: bool) -> f64 {
+        let mut c = Controller::new(FtlConfig::tiny_test(), Box::new(NullStore)).unwrap();
+        let lbas = c.unallocated_lbas();
+        let ns = c.create_namespace(lbas, vec![0, 1]).unwrap();
+        let hot_region = lbas / 16; // small hot LBA range, like the SOC
+        let buf = page(0);
+        let mut x = 0xABCDu64;
+        let mut cold = hot_region;
+        for i in 0..lbas * 8 {
+            if i % 2 == 0 {
+                // Cold sequential stream (LOC-like).
+                let dspec = if segregated { Some(1) } else { Some(0) };
+                c.write(ns, cold, &buf, dspec).unwrap();
+                cold += 1;
+                if cold >= lbas {
+                    cold = hot_region;
+                }
+            } else {
+                // Hot random stream (SOC-like).
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                c.write(ns, x % hot_region, &buf, Some(0)).unwrap();
+            }
+        }
+        c.fdp_stats_log().dlwa()
+    }
+    let mixed = run(false);
+    let segregated = run(true);
+    assert!(
+        segregated < mixed,
+        "segregation must reduce DLWA: {segregated:.3} vs mixed {mixed:.3}"
+    );
+}
+
+#[test]
+fn fdp_toggle_changes_placement_not_correctness() {
+    let mut c = controller();
+    let ns = c.create_namespace(64, vec![0, 1, 2]).unwrap();
+    c.write(ns, 0, &page(0xAA), Some(2)).unwrap();
+    c.set_fdp_enabled(false);
+    c.write(ns, 1, &page(0xBB), Some(2)).unwrap();
+    c.set_fdp_enabled(true);
+    // Both readable regardless of mode changes.
+    let mut out = page(0);
+    c.read(ns, 0, &mut out).unwrap();
+    assert_eq!(out[0], 0xAA);
+    c.read(ns, 1, &mut out).unwrap();
+    assert_eq!(out[0], 0xBB);
+    // Placement attribution: first write hit RUH 2, second the default.
+    assert_eq!(c.ftl().ruh_host_pages()[2], 1);
+    assert_eq!(c.ftl().ruh_host_pages()[0], 1);
+}
+
+#[test]
+fn media_relocated_events_reach_the_host() {
+    let mut c = Controller::new(FtlConfig::tiny_test(), Box::new(NullStore)).unwrap();
+    let lbas = c.unallocated_lbas();
+    let ns = c.create_namespace(lbas, vec![0]).unwrap();
+    let buf = page(0);
+    let mut x = 17u64;
+    for _ in 0..lbas * 6 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c.write(ns, x % lbas, &buf, None).unwrap();
+    }
+    let log = c.fdp_stats_log();
+    assert!(log.media_relocated_events > 0, "random fill must GC");
+    let events = c.drain_fdp_events();
+    assert!(
+        events.iter().any(|e| matches!(e, fdpcache::ftl::FdpEvent::MediaRelocated { .. })),
+        "host must observe Media Relocated events"
+    );
+}
+
+#[test]
+fn trim_resets_device_like_the_paper_protocol() {
+    // §6.1: "We reset the SSD to a clean state before every experiment
+    // by issuing a TRIM for the entire device size."
+    let mut c = Controller::new(FtlConfig::tiny_test(), Box::new(NullStore)).unwrap();
+    let lbas = c.unallocated_lbas();
+    let ns = c.create_namespace(lbas, vec![0]).unwrap();
+    let buf = page(0);
+    let mut x = 3u64;
+    for _ in 0..lbas * 4 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c.write(ns, x % lbas, &buf, None).unwrap();
+    }
+    c.deallocate(ns, &[DeallocRange { slba: 0, nlb: lbas }]).unwrap();
+    assert_eq!(c.ftl().mapped_lbas(), 0);
+    // Post-reset sequential fill behaves like a fresh device.
+    let before = c.fdp_stats_log();
+    for lba in 0..lbas {
+        c.write(ns, lba, &buf, None).unwrap();
+    }
+    for lba in 0..lbas {
+        c.write(ns, lba, &buf, None).unwrap();
+    }
+    let delta = c.fdp_stats_log().delta(&before);
+    assert!((delta.dlwa() - 1.0).abs() < 1e-9, "post-trim DLWA {}", delta.dlwa());
+}
+
+#[test]
+fn persistently_isolated_controller_never_mixes() {
+    let mut cfg = FtlConfig::tiny_test();
+    cfg.ruh_type = RuhType::PersistentlyIsolated;
+    let mut c = Controller::new(cfg, Box::new(NullStore)).unwrap();
+    let lbas = c.unallocated_lbas();
+    let ns = c.create_namespace(lbas, vec![0, 1]).unwrap();
+    let buf = page(0);
+    let half = lbas / 2;
+    let mut x = 5u64;
+    for _ in 0..lbas * 6 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if x.is_multiple_of(2) {
+            c.write(ns, x % half, &buf, Some(0)).unwrap();
+        } else {
+            c.write(ns, half + x % half, &buf, Some(1)).unwrap();
+        }
+    }
+    // The FTL's own invariant checker verifies state consistency; the
+    // isolation property itself is asserted inside the FTL unit tests.
+    c.ftl().check_invariants();
+    assert!(c.fdp_stats_log().dlwa() >= 1.0);
+}
+
+#[test]
+fn identity_advertises_paper_device_shape() {
+    let c = controller();
+    let id = c.identify();
+    assert!(id.fdp_supported);
+    let fdp = id.fdp_config.unwrap();
+    assert_eq!(fdp.nrg, 1, "paper's device: 1 reclaim group");
+    assert!(fdp.nruh >= 2, "need at least SOC+LOC handles");
+    assert!(fdp.ru_bytes > 0);
+}

@@ -1,0 +1,80 @@
+//! Whole-stack wear-out integration tests: an endurance-limited device
+//! under cache traffic must die cleanly, and FDP segregation must
+//! extend its life in proportion to the DLWA it removes (paper §2.2:
+//! "The lifetime of an SSD is inversely proportional to the
+//! device-level write amplification").
+
+use fdpcache::cache::builder::{build_stack, StoreKind};
+use fdpcache::cache::value::Value;
+use fdpcache::cache::{CacheConfig, CacheError, NvmConfig};
+use fdpcache::ftl::FtlConfig;
+use fdpcache::workloads::WorkloadProfile;
+
+fn config(use_fdp: bool) -> CacheConfig {
+    CacheConfig {
+        ram_bytes: 16 << 10,
+        ram_item_overhead: 0,
+        nvm: NvmConfig { soc_fraction: 0.1, region_bytes: 16 * 4096, ..NvmConfig::default() },
+        use_fdp,
+    }
+}
+
+/// Drives the paper's KV-cache workload until the device reports end of
+/// life; returns host bytes absorbed (TBW) and final DLWA.
+fn tbw_until_death(fdp: bool, pe_limit: u32) -> (u64, f64) {
+    let mut ftl = FtlConfig::tiny_test();
+    ftl.pe_limit = pe_limit;
+    let (ctrl, mut cache) =
+        build_stack(ftl, StoreKind::Null, fdp, 1.0, &config(fdp)).unwrap();
+    let ns_bytes = cache.navy().io().capacity_bytes();
+    let profile = WorkloadProfile::meta_kv_cache();
+    let mut gen = profile.generator(profile.keyspace_for(ns_bytes, 4.0), 11);
+    loop {
+        let req = gen.next_request();
+        let res = match req.op {
+            fdpcache::workloads::Op::Get => cache.get(req.key).map(|_| ()),
+            fdpcache::workloads::Op::Set => match cache.put(req.key, Value::synthetic(req.size))
+            {
+                Err(CacheError::ObjectTooLarge { .. }) => Ok(()),
+                r => r,
+            },
+            fdpcache::workloads::Op::Delete => cache.delete(req.key).map(|_| ()),
+        };
+        if res.is_err() {
+            break;
+        }
+    }
+    let c = ctrl.lock();
+    let log = c.fdp_stats_log();
+    assert!(c.ftl().stats().retired_rus > 0, "death must come from RU retirement");
+    (log.host_bytes_written, log.dlwa())
+}
+
+#[test]
+fn cache_traffic_wears_the_device_out_cleanly() {
+    let (tbw, dlwa) = tbw_until_death(true, 30);
+    assert!(tbw > 0);
+    assert!(dlwa >= 1.0);
+}
+
+#[test]
+fn fdp_extends_device_lifetime() {
+    let (tbw_fdp, dlwa_fdp) = tbw_until_death(true, 30);
+    let (tbw_non, dlwa_non) = tbw_until_death(false, 30);
+    assert!(
+        tbw_fdp > tbw_non,
+        "FDP TBW {tbw_fdp} must exceed Non-FDP TBW {tbw_non}"
+    );
+    assert!(
+        dlwa_fdp < dlwa_non,
+        "FDP DLWA {dlwa_fdp} must be below Non-FDP {dlwa_non}"
+    );
+    // Inverse proportionality within a loose factor (the tiny device is
+    // noisy): TBW ratio should land within 2x of the DLWA ratio.
+    let tbw_ratio = tbw_fdp as f64 / tbw_non as f64;
+    let dlwa_ratio = dlwa_non / dlwa_fdp;
+    assert!(
+        tbw_ratio > dlwa_ratio / 2.0 && tbw_ratio < dlwa_ratio * 2.0,
+        "TBW ratio {tbw_ratio:.2} should track inverse DLWA ratio {dlwa_ratio:.2}"
+    );
+}

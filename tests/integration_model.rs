@@ -1,0 +1,78 @@
+//! Validates the Theorem-1 DLWA model against the FTL simulator on the
+//! workload the model actually assumes: uniform random page writes over
+//! a logical space with a known physical budget. This is the appendix
+//! A.3 comparison at unit-test scale.
+
+use fdpcache::ftl::{Ftl, FtlConfig};
+use fdpcache::model::dlwa_theorem1;
+use fdpcache::nand::Geometry;
+
+/// Runs uniform random single-page overwrites over the whole exported
+/// space and returns steady-state DLWA.
+fn simulate_uniform(op_fraction: f64) -> (f64, f64) {
+    let mut cfg = FtlConfig::tiny_test();
+    cfg.geometry = Geometry {
+        channels: 2,
+        dies_per_channel: 2,
+        planes_per_die: 2,
+        blocks_per_plane: 64,
+        pages_per_block: 32,
+        page_size: 4096,
+    };
+    cfg.op_fraction = op_fraction;
+    cfg.num_ruhs = 1;
+    let mut ftl = Ftl::new(cfg.clone()).unwrap();
+    let n = ftl.exported_lbas();
+    let mut x = 0x9E3779B9u64;
+    // Warm up: several full overwrites.
+    for _ in 0..n * 6 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        ftl.write(x % n, 0).unwrap();
+    }
+    let s0 = ftl.stats();
+    for _ in 0..n * 4 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        ftl.write(x % n, 0).unwrap();
+    }
+    let d = ftl.stats().delta(&s0);
+    ftl.check_invariants();
+
+    let s = n as f64; // logical pages
+    let p = cfg.geometry.total_pages() as f64; // physical pages
+    let model = dlwa_theorem1(s, p).unwrap();
+    (d.dlwa(), model)
+}
+
+#[test]
+fn theorem1_tracks_simulator_at_moderate_op() {
+    let (measured, model) = simulate_uniform(0.25);
+    let err = (measured - model).abs() / model;
+    assert!(
+        err < 0.25,
+        "uniform-workload DLWA: measured {measured:.3} vs model {model:.3} (err {:.0}%)",
+        err * 100.0
+    );
+}
+
+#[test]
+fn theorem1_tracks_simulator_at_high_op() {
+    let (measured, model) = simulate_uniform(0.5);
+    let err = (measured - model).abs() / model;
+    assert!(
+        err < 0.25,
+        "measured {measured:.3} vs model {model:.3} (err {:.0}%)",
+        err * 100.0
+    );
+}
+
+#[test]
+fn dlwa_decreases_with_op_in_both_model_and_simulator() {
+    let (m_low_op, t_low_op) = simulate_uniform(0.2);
+    let (m_high_op, t_high_op) = simulate_uniform(0.45);
+    assert!(m_high_op < m_low_op, "simulator: more OP must mean less DLWA");
+    assert!(t_high_op < t_low_op, "model: more OP must mean less DLWA");
+}
