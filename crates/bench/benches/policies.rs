@@ -73,10 +73,9 @@ fn bench_pool(c: &mut Criterion) {
                 },
                 use_fdp: true,
             };
-            let mut pool = EnginePool::new(&ctrl, &config, pairs, 0.9, || {
-                Box::new(RoundRobinPolicy::new())
-            })
-            .unwrap();
+            let mut pool =
+                EnginePool::new(&ctrl, &config, pairs, 0.9, || Box::new(RoundRobinPolicy::new()))
+                    .unwrap();
             let mut k = 0u64;
             b.iter(|| {
                 pool.put(black_box(k), Value::synthetic(64)).unwrap();

@@ -41,32 +41,23 @@ fn run_dynamic(cfg: &ExpConfig, policy: &mut dyn DynamicPlacement) -> (f64, u64,
     let mut assignment: Assignment = HashMap::new();
     assignment.insert(soc_id.clone(), cache.navy().soc().handle());
     assignment.insert(loc_id.clone(), cache.navy().loc().handle());
-    let available: Vec<u16> = {
-        let c = ctrl.lock();
-        let ftl_cfg = c.ftl().config().clone();
-        (0..ftl_cfg.num_ruhs as u16).collect()
-    };
+    let available: Vec<u16> = (0..ctrl.config().num_ruhs as u16).collect();
 
     // dspec → device RUH for attributing events back to handles. The
     // single-tenant namespace maps dspec i to RUH i, but resolve through
     // the namespace to stay honest.
     let nsid = 1;
     let ruh_of_dspec: HashMap<u16, u8> = {
-        let c = ctrl.lock();
-        let ns = c.namespace(nsid).expect("namespace 1 exists");
-        available
-            .iter()
-            .filter_map(|&d| ns.resolve_pid(d).map(|ruh| (d, ruh)))
-            .collect()
+        let ns = ctrl.namespace(nsid).expect("namespace 1 exists");
+        available.iter().filter_map(|&d| ns.resolve_pid(d).map(|ruh| (d, ruh))).collect()
     };
     let dspec_of_ruh: HashMap<u8, u16> = ruh_of_dspec.iter().map(|(&d, &r)| (r, d)).collect();
 
-    let mut last_ruh_pages: Vec<u64> = ctrl.lock().ftl().ruh_host_pages().to_vec();
+    let mut last_ruh_pages: Vec<u64> = ctrl.with_ftl(|f| f.ruh_host_pages().to_vec());
     let mut next_epoch = epoch_bytes;
     let mut rebalances = 0u64;
 
-    let step = |cache: &mut fdpcache_cache::HybridCache,
-                    gen: &mut fdpcache_workloads::TraceGen| {
+    let step = |cache: &mut fdpcache_cache::HybridCache, gen: &mut fdpcache_workloads::TraceGen| {
         let req = gen.next_request();
         match req.op {
             Op::Get => {
@@ -83,43 +74,39 @@ fn run_dynamic(cfg: &ExpConfig, policy: &mut dyn DynamicPlacement) -> (f64, u64,
     };
 
     // Warm-up without rebalancing.
-    while ctrl.lock().fdp_stats_log().host_bytes_written < warmup_target {
+    while ctrl.fdp_stats_log().host_bytes_written < warmup_target {
         step(&mut cache, &mut gen);
     }
-    let log0 = ctrl.lock().fdp_stats_log();
-    ctrl.lock().drain_fdp_events();
+    let log0 = ctrl.fdp_stats_log();
+    ctrl.drain_fdp_events();
 
     loop {
         step(&mut cache, &mut gen);
-        let written = ctrl.lock().fdp_stats_log().host_bytes_written - log0.host_bytes_written;
+        let written = ctrl.fdp_stats_log().host_bytes_written - log0.host_bytes_written;
         if written >= next_epoch {
             next_epoch += epoch_bytes;
             rebalances += 1;
             // Build the epoch digest from drained events + RUH deltas.
             let mut feedback = EpochFeedback::default();
             {
-                let mut c = ctrl.lock();
-                for e in c.drain_fdp_events() {
+                for e in ctrl.drain_fdp_events() {
                     if let FdpEvent::MediaRelocated { owner, relocated_pages, .. } = e {
                         let key = owner.and_then(|ruh| dspec_of_ruh.get(&ruh).copied());
                         *feedback.relocated_pages.entry(key).or_default() += relocated_pages;
                     }
                 }
-                let pages = c.ftl().ruh_host_pages();
+                let pages = ctrl.with_ftl(|f| f.ruh_host_pages().to_vec());
                 for (&dspec, &ruh) in &ruh_of_dspec {
                     let idx = ruh as usize;
                     let delta = pages[idx] - last_ruh_pages[idx];
                     feedback.host_pages.insert(dspec, delta);
                 }
-                last_ruh_pages = pages.to_vec();
+                last_ruh_pages = pages;
             }
             let next = policy.rebalance(&assignment, &available, &feedback);
             if next != assignment {
                 assignment = next;
-                cache.navy_mut().set_handles(
-                    assignment[&soc_id],
-                    assignment[&loc_id],
-                );
+                cache.navy_mut().set_handles(assignment[&soc_id], assignment[&loc_id]);
             }
         }
         if written >= measure_target {
@@ -127,7 +114,7 @@ fn run_dynamic(cfg: &ExpConfig, policy: &mut dyn DynamicPlacement) -> (f64, u64,
         }
     }
 
-    let dlog = ctrl.lock().fdp_stats_log().delta(&log0);
+    let dlog = ctrl.fdp_stats_log().delta(&log0);
     (dlog.dlwa(), rebalances, cache.alwa())
 }
 
@@ -139,8 +126,7 @@ fn main() {
     let base = if cli.quick { base.quick() } else { base };
 
     println!("== Ablation: dynamic vs static placement (paper 5.5 lesson 2) ==\n");
-    let mut table =
-        Table::new(vec!["policy", "DLWA", "epochs", "ALWA"]).numeric();
+    let mut table = Table::new(vec!["policy", "DLWA", "epochs", "ALWA"]).numeric();
     let mut policies: Vec<Box<dyn DynamicPlacement>> = vec![
         Box::new(StaticPlacement),
         Box::new(LoadBalancer::default()),

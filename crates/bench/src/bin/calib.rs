@@ -5,8 +5,8 @@
 use fdpcache_bench::{run_experiment, ExpConfig};
 use fdpcache_cache::builder::{build_stack, StoreKind};
 use fdpcache_ftl::FdpEvent;
-use fdpcache_workloads::{ReplayConfig, Replayer, SizeDist, WorkloadProfile};
 use fdpcache_workloads::sizes::SizeBand;
+use fdpcache_workloads::{ReplayConfig, Replayer, SizeDist, WorkloadProfile};
 
 fn profile_with_tail(tail_weight: f64, tail_hi: u32) -> WorkloadProfile {
     let mut p = WorkloadProfile::meta_kv_cache();
@@ -36,8 +36,9 @@ fn run_detailed(cfg: &ExpConfig) {
 
 fn owner_breakdown(cfg: &ExpConfig) {
     let ftl = {
-        let g = fdpcache_nand::Geometry::with_capacity(cfg.device_gib << 30, cfg.ru_mib << 20, 4096)
-            .unwrap();
+        let g =
+            fdpcache_nand::Geometry::with_capacity(cfg.device_gib << 30, cfg.ru_mib << 20, 4096)
+                .unwrap();
         fdpcache_ftl::FtlConfig {
             geometry: g,
             op_fraction: cfg.op_fraction,
@@ -78,22 +79,14 @@ fn owner_breakdown(cfg: &ExpConfig) {
     });
     let r = replayer.run(cfg.label(), cfg.workload.name, &mut cache, &ctrl, &mut gen).unwrap();
     let mut by_owner: std::collections::BTreeMap<String, u64> = Default::default();
-    {
-        let mut c = ctrl.lock();
-        for e in c.drain_fdp_events() {
-            if let FdpEvent::MediaRelocated { owner, relocated_pages, .. } = e {
-                *by_owner.entry(format!("{owner:?}")).or_default() += relocated_pages;
-            }
+    for e in ctrl.drain_fdp_events() {
+        if let FdpEvent::MediaRelocated { owner, relocated_pages, .. } = e {
+            *by_owner.entry(format!("{owner:?}")).or_default() += relocated_pages;
         }
-        let ruh_pages = c.ftl().ruh_host_pages().to_vec();
-        println!("  host pages per RUH: {ruh_pages:?}");
     }
-    println!(
-        "  {} dlwa={:.2} relocated by victim owner: {:?}",
-        cfg.label(),
-        r.dlwa,
-        by_owner
-    );
+    let ruh_pages = ctrl.with_ftl(|f| f.ruh_host_pages().to_vec());
+    println!("  host pages per RUH: {ruh_pages:?}");
+    println!("  {} dlwa={:.2} relocated by victim owner: {:?}", cfg.label(), r.dlwa, by_owner);
 }
 
 fn main() {

@@ -31,7 +31,8 @@ fn profile_with_tail(tail_weight: f64, tail_lo: u32, tail_hi: u32) -> WorkloadPr
 /// split (RUH 0 = default/metadata, then SOC, then LOC by allocation
 /// order).
 fn split_probe(profile: &WorkloadProfile) -> (f64, f64) {
-    let base = ExpConfig { workload: profile.clone(), utilization: 1.0, ..ExpConfig::paper_default() };
+    let base =
+        ExpConfig { workload: profile.clone(), utilization: 1.0, ..ExpConfig::paper_default() };
     let ftl = base.ftl_config();
     let (ctrl, mut cache) =
         build_stack(ftl, StoreKind::Null, true, base.utilization, &base.cache_config_for_build())
@@ -47,7 +48,7 @@ fn split_probe(profile: &WorkloadProfile) -> (f64, f64) {
         report_workers: 1,
     });
     replayer.run("probe", profile.name, &mut cache, &ctrl, &mut gen).expect("replay");
-    let pages = ctrl.lock().ftl().ruh_host_pages().to_vec();
+    let pages = ctrl.with_ftl(|f| f.ruh_host_pages().to_vec());
     let soc = pages[0] as f64; // RR policy: soc-0 gets dspec 0 → RUH 0
     let loc = pages[1] as f64;
     let total = soc + loc;

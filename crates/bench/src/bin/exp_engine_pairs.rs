@@ -18,15 +18,13 @@ use fdpcache_workloads::trace::Op;
 
 fn run_pool(cfg: &ExpConfig, pairs: usize) -> (f64, f64, u64) {
     let ftl = cfg.ftl_config();
-    let ctrl = build_device(ftl, StoreKind::Null, cfg.fdp).unwrap_or_else(|e| panic!("device: {e}"));
-    let mut pool = EnginePool::new(
-        &ctrl,
-        &cfg.cache_config_for_build(),
-        pairs,
-        cfg.utilization,
-        || Box::new(RoundRobinPolicy::new()),
-    )
-    .unwrap_or_else(|e| panic!("pool: {e}"));
+    let ctrl =
+        build_device(ftl, StoreKind::Null, cfg.fdp).unwrap_or_else(|e| panic!("device: {e}"));
+    let mut pool =
+        EnginePool::new(&ctrl, &cfg.cache_config_for_build(), pairs, cfg.utilization, || {
+            Box::new(RoundRobinPolicy::new())
+        })
+        .unwrap_or_else(|e| panic!("pool: {e}"));
 
     let shard_bytes = pool.shard(0).expect("pair 0").navy().io().capacity_bytes();
     let keyspace = cfg.workload.keyspace_for(shard_bytes * pairs as u64, cfg.keyspace_multiple);
@@ -52,15 +50,15 @@ fn run_pool(cfg: &ExpConfig, pairs: usize) -> (f64, f64, u64) {
         }
     };
 
-    while ctrl.lock().fdp_stats_log().host_bytes_written < warmup {
+    while ctrl.fdp_stats_log().host_bytes_written < warmup {
         step(&mut pool);
     }
-    let log0 = ctrl.lock().fdp_stats_log();
+    let log0 = ctrl.fdp_stats_log();
     let stats0 = pool.stats();
-    while ctrl.lock().fdp_stats_log().host_bytes_written < log0.host_bytes_written + measure {
+    while ctrl.fdp_stats_log().host_bytes_written < log0.host_bytes_written + measure {
         step(&mut pool);
     }
-    let dlog = ctrl.lock().fdp_stats_log().delta(&log0);
+    let dlog = ctrl.fdp_stats_log().delta(&log0);
     let hit = pool.stats().delta(&stats0).hit_ratio();
     (dlog.dlwa(), hit, dlog.media_relocated_events)
 }

@@ -53,10 +53,8 @@ fn run_until_death(cfg: &ExpConfig, pe_limit: u32) -> Outcome {
         }
     }
 
-    let c = ctrl.lock();
-    let log = c.fdp_stats_log();
-    let stats = c.ftl().stats();
-    let wear = c.ftl().wear();
+    let log = ctrl.fdp_stats_log();
+    let (stats, wear) = ctrl.with_ftl(|f| (f.stats(), f.wear()));
     Outcome {
         label: if cfg.fdp { "FDP" } else { "Non-FDP" },
         tbw_gib: log.host_bytes_written as f64 / (1u64 << 30) as f64,
@@ -77,7 +75,8 @@ fn main() {
     let fdp = run_until_death(&ExpConfig { fdp: true, ..base.clone() }, pe_limit);
     let non = run_until_death(&ExpConfig { fdp: false, ..base.clone() }, pe_limit);
 
-    let mut t = Table::new(vec!["config", "TBW (GiB)", "DLWA", "retired RUs", "mean P/E"]).numeric();
+    let mut t =
+        Table::new(vec!["config", "TBW (GiB)", "DLWA", "retired RUs", "mean P/E"]).numeric();
     for o in [&fdp, &non] {
         t.row(vec![
             o.label.to_string(),

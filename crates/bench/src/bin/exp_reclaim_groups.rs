@@ -20,7 +20,9 @@
 //! per-group event attribution.
 
 use fdpcache_bench::{Cli, ExpConfig};
-use fdpcache_cache::builder::{build_cache, build_device, create_namespace, StoreKind};
+use fdpcache_cache::builder::{
+    build_cache, build_device, create_namespace, equal_share_fraction, StoreKind,
+};
 use fdpcache_cache::value::Value;
 use fdpcache_core::{PlacementPolicy, RoundRobinPolicy};
 use fdpcache_metrics::Table;
@@ -48,14 +50,13 @@ fn run(cfg: &ExpConfig, rg_isolated: bool, num_rgs: u16) -> (f64, u64) {
     let mut caches = Vec::new();
     let mut gens = Vec::new();
     for tenant in 0..2usize {
-        let share = cfg.utilization / 2.0;
-        let remaining = 1.0 - tenant as f64 * share;
-        let nsid = create_namespace(&ctrl, share / remaining, (0..4).collect())
-            .unwrap_or_else(|e| panic!("ns: {e}"));
-        let ns_bytes = {
-            let c = ctrl.lock();
-            c.namespace(nsid).unwrap().capacity_bytes(c.lba_bytes())
-        };
+        let nsid = create_namespace(
+            &ctrl,
+            equal_share_fraction(tenant, 2, cfg.utilization),
+            (0..4).collect(),
+        )
+        .unwrap_or_else(|e| panic!("ns: {e}"));
+        let ns_bytes = ctrl.namespace(nsid).unwrap().capacity_bytes(ctrl.lba_bytes());
         let policy: Box<dyn PlacementPolicy> = if rg_isolated {
             Box::new(GroupPolicy { rg: tenant as u8, next: 0 })
         } else {
@@ -95,16 +96,16 @@ fn run(cfg: &ExpConfig, rg_isolated: bool, num_rgs: u16) -> (f64, u64) {
             }
         }
     };
-    while ctrl.lock().fdp_stats_log().host_bytes_written < warmup {
+    while ctrl.fdp_stats_log().host_bytes_written < warmup {
         step(&mut caches, i);
         i += 1;
     }
-    let log0 = ctrl.lock().fdp_stats_log();
-    while ctrl.lock().fdp_stats_log().host_bytes_written < log0.host_bytes_written + measure {
+    let log0 = ctrl.fdp_stats_log();
+    while ctrl.fdp_stats_log().host_bytes_written < log0.host_bytes_written + measure {
         step(&mut caches, i);
         i += 1;
     }
-    let dlog = ctrl.lock().fdp_stats_log().delta(&log0);
+    let dlog = ctrl.fdp_stats_log().delta(&log0);
     (dlog.dlwa(), dlog.media_relocated_events)
 }
 

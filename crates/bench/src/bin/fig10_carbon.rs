@@ -9,7 +9,9 @@
 
 use fdpcache_bench::{run_experiment, Cli, ExpConfig};
 use fdpcache_metrics::{csv, Table};
-use fdpcache_model::{co2e_from_energy_kg, embodied_co2e_kg, operational_energy_joules, CarbonParams};
+use fdpcache_model::{
+    co2e_from_energy_kg, embodied_co2e_kg, operational_energy_joules, CarbonParams,
+};
 
 fn main() {
     let cli = Cli::parse();
@@ -25,8 +27,13 @@ fn main() {
     // Per-page mean media energy (program-dominated; see EnergyModel).
     let energy_per_op_uj = 250.0;
     let mut t = Table::new(vec![
-        "config", "DLWA", "embodied kgCO2e (5y)", "GC events", "relocations (pages)",
-        "op energy (J)", "op kgCO2e",
+        "config",
+        "DLWA",
+        "embodied kgCO2e (5y)",
+        "GC events",
+        "relocations (pages)",
+        "op energy (J)",
+        "op kgCO2e",
     ])
     .numeric();
     let mut rows = Vec::new();
@@ -57,13 +64,22 @@ fn main() {
     }
     println!("{}", t.render());
     let gc_ratio = non.gc_events as f64 / fdp.gc_events.max(1) as f64;
-    let emb_ratio = embodied_co2e_kg(non.dlwa_steady, &params) / embodied_co2e_kg(fdp.dlwa_steady, &params);
+    let emb_ratio =
+        embodied_co2e_kg(non.dlwa_steady, &params) / embodied_co2e_kg(fdp.dlwa_steady, &params);
     println!("GC events ratio (Non-FDP / FDP): {gc_ratio:.1}x   (paper: ~3.6x)");
     println!("Embodied carbon ratio:           {emb_ratio:.1}x   (paper: ~3.4x, '4x' headline)");
     cli.write_csv(
         "fig10_carbon.csv",
         &csv::render(
-            &["config", "dlwa", "embodied_kg", "gc_events", "relocated_pages", "energy_j", "op_co2_kg"],
+            &[
+                "config",
+                "dlwa",
+                "embodied_kg",
+                "gc_events",
+                "relocated_pages",
+                "energy_j",
+                "op_co2_kg",
+            ],
             &rows,
         ),
     );

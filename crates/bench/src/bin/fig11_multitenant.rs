@@ -21,14 +21,18 @@ fn main() {
     let fdp = run_multitenant(&ExpConfig { fdp: true, ..base.clone() }, 2);
     let non = run_multitenant(&ExpConfig { fdp: false, ..base.clone() }, 2);
 
-    let mut t = Table::new(vec!["config", "DLWA", "DLWA(steady)", "tenant hit ratios", "GC events"])
-        .numeric();
+    let mut t =
+        Table::new(vec!["config", "DLWA", "DLWA(steady)", "tenant hit ratios", "GC events"])
+            .numeric();
     for r in [&fdp, &non] {
         t.row(vec![
             r.label.clone(),
             format!("{:.2}", r.dlwa),
             format!("{:.2}", r.dlwa_steady),
-            format!("{:?}", r.tenant_hit_ratios.iter().map(|h| (h * 1000.0).round() / 10.0).collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                r.tenant_hit_ratios.iter().map(|h| (h * 1000.0).round() / 10.0).collect::<Vec<_>>()
+            ),
             format!("{}", r.gc_events),
         ]);
     }

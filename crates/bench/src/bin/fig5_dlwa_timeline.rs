@@ -21,6 +21,9 @@ fn main() {
     cli.write_csv("fig5_dlwa_timeline.csv", &csv);
 
     let reduction = non.dlwa_steady / fdp.dlwa_steady.max(1e-9);
-    println!("\nFDP steady DLWA {:.2}, Non-FDP {:.2} -> {reduction:.2}x reduction", fdp.dlwa_steady, non.dlwa_steady);
+    println!(
+        "\nFDP steady DLWA {:.2}, Non-FDP {:.2} -> {reduction:.2}x reduction",
+        fdp.dlwa_steady, non.dlwa_steady
+    );
     println!("(paper: 1.03 vs 1.3, a 1.3x reduction)");
 }

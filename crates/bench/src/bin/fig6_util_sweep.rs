@@ -17,7 +17,14 @@ fn main() {
 
     println!("== Figure 6: utilization sweep, KV Cache, 4% SOC ==\n");
     let mut t = Table::new(vec![
-        "util%", "config", "DLWA", "KOPS", "hit%", "NVM hit%", "ALWA", "p99 rd (us)",
+        "util%",
+        "config",
+        "DLWA",
+        "KOPS",
+        "hit%",
+        "NVM hit%",
+        "ALWA",
+        "p99 rd (us)",
         "p99 wr (us)",
     ])
     .numeric();
@@ -53,7 +60,17 @@ fn main() {
     cli.write_csv(
         "fig6_util_sweep.csv",
         &csv::render(
-            &["util", "config", "dlwa", "kops", "hit", "nvm_hit", "alwa", "p99_read_us", "p99_write_us"],
+            &[
+                "util",
+                "config",
+                "dlwa",
+                "kops",
+                "hit",
+                "nvm_hit",
+                "alwa",
+                "p99_read_us",
+                "p99_write_us",
+            ],
             &rows,
         ),
     );

@@ -20,8 +20,7 @@ fn main() {
     let mut all = Vec::new();
     for util in [0.5, 1.0] {
         for fdp in [true, false] {
-            let mut r =
-                run_experiment(&ExpConfig { utilization: util, fdp, ..base.clone() });
+            let mut r = run_experiment(&ExpConfig { utilization: util, fdp, ..base.clone() });
             r.label = format!("{} @{:.0}%", r.label, util * 100.0);
             all.push(r);
         }

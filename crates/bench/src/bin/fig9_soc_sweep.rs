@@ -14,11 +14,8 @@ use fdpcache_metrics::{csv, Table};
 
 fn main() {
     let cli = Cli::parse();
-    let gc_policy = if std::env::args().any(|a| a == "fifo") {
-        GcPolicy::Fifo
-    } else {
-        GcPolicy::Greedy
-    };
+    let gc_policy =
+        if std::env::args().any(|a| a == "fifo") { GcPolicy::Fifo } else { GcPolicy::Greedy };
     let mut base = ExpConfig::paper_default();
     base.utilization = 1.0;
     base.gc_policy = gc_policy;
@@ -50,6 +47,9 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    cli.write_csv("fig9_soc_sweep.csv", &csv::render(&["soc_fraction", "fdp_dlwa", "nonfdp_dlwa"], &rows));
+    cli.write_csv(
+        "fig9_soc_sweep.csv",
+        &csv::render(&["soc_fraction", "fdp_dlwa", "nonfdp_dlwa"], &rows),
+    );
     println!("(paper: FDP 1.03@4% -> ~2.5@64%; no benefit at 90-96%; non-FDP >3 throughout)");
 }

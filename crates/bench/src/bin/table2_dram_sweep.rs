@@ -20,9 +20,14 @@ fn main() {
         vec![(4.0 / 930.0, "4GB"), (20.0 / 930.0, "20GB"), (42.0 / 930.0, "42GB")];
 
     println!("== Table 2: DRAM sweep, KV Cache @ 100% utilization, 4% SOC ==\n");
-    let mut t =
-        Table::new(vec!["Configuration", "Hit Ratio (%)", "NVM Hit Ratio (%)", "KGET/s", "CO2e (Kg)"])
-            .numeric();
+    let mut t = Table::new(vec![
+        "Configuration",
+        "Hit Ratio (%)",
+        "NVM Hit Ratio (%)",
+        "KGET/s",
+        "CO2e (Kg)",
+    ])
+    .numeric();
     let params = CarbonParams::default();
     let mut rows = Vec::new();
     for &(frac, name) in &drams {

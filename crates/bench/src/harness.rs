@@ -98,12 +98,8 @@ impl ExpConfig {
 
     /// The FTL configuration this experiment runs on.
     pub fn ftl_config(&self) -> FtlConfig {
-        let geometry = Geometry::with_capacity(
-            self.device_gib << 30,
-            self.ru_mib << 20,
-            4096,
-        )
-        .expect("experiment geometry must be constructible");
+        let geometry = Geometry::with_capacity(self.device_gib << 30, self.ru_mib << 20, 4096)
+            .expect("experiment geometry must be constructible");
         FtlConfig {
             geometry,
             op_fraction: self.op_fraction,
@@ -217,31 +213,28 @@ pub struct MultiTenantResult {
 ///
 /// Panics (with context) on configuration errors.
 pub fn run_multitenant(cfg: &ExpConfig, tenants: usize) -> MultiTenantResult {
-    use fdpcache_cache::builder::{build_cache, build_device, create_namespace};
+    use fdpcache_cache::builder::{
+        build_cache, build_device, create_namespace, equal_share_fraction,
+    };
     use fdpcache_cache::value::Value;
     use fdpcache_core::RoundRobinPolicy;
     use fdpcache_workloads::trace::Op;
 
     let ftl = cfg.ftl_config();
     let num_ruhs = ftl.num_ruhs;
-    let ctrl = build_device(ftl, StoreKind::Null, cfg.fdp, ).unwrap_or_else(|e| panic!("device: {e}"));
+    let ctrl =
+        build_device(ftl, StoreKind::Null, cfg.fdp).unwrap_or_else(|e| panic!("device: {e}"));
     let mut caches = Vec::new();
     let mut gens = Vec::new();
     let per_tenant_ruhs = (num_ruhs as usize / tenants).max(1);
     for t in 0..tenants {
         // Tenant t's namespace covers utilization/tenants of the device
         // and gets a disjoint slice of the RUH space.
-        let share = cfg.utilization / tenants as f64;
-        let remaining = 1.0 - (t as f64) * share; // fraction of unallocated
-        let frac = share / remaining;
-        let ruhs: Vec<u8> = (0..per_tenant_ruhs as u8)
-            .map(|i| (t * per_tenant_ruhs) as u8 + i)
-            .collect();
+        let frac = equal_share_fraction(t, tenants, cfg.utilization);
+        let ruhs: Vec<u8> =
+            (0..per_tenant_ruhs as u8).map(|i| (t * per_tenant_ruhs) as u8 + i).collect();
         let nsid = create_namespace(&ctrl, frac, ruhs).unwrap_or_else(|e| panic!("ns: {e}"));
-        let ns_bytes = {
-            let c = ctrl.lock();
-            c.namespace(nsid).unwrap().capacity_bytes(c.lba_bytes())
-        };
+        let ns_bytes = ctrl.namespace(nsid).unwrap().capacity_bytes(ctrl.lba_bytes());
         let cache_cfg = cfg.cache_config(ns_bytes);
         let cache = build_cache(&ctrl, nsid, &cache_cfg, Box::new(RoundRobinPolicy::new()))
             .unwrap_or_else(|e| panic!("cache: {e}"));
@@ -256,8 +249,8 @@ pub fn run_multitenant(cfg: &ExpConfig, tenants: usize) -> MultiTenantResult {
     let interval = (measure_target / 32).max(16 << 20);
 
     let step = |caches: &mut Vec<fdpcache_cache::HybridCache>,
-                    gens: &mut Vec<fdpcache_workloads::TraceGen>,
-                    i: usize| {
+                gens: &mut Vec<fdpcache_workloads::TraceGen>,
+                i: usize| {
         let t = i % caches.len();
         let req = gens[t].next_request();
         match req.op {
@@ -276,11 +269,11 @@ pub fn run_multitenant(cfg: &ExpConfig, tenants: usize) -> MultiTenantResult {
 
     // Warm-up.
     let mut i = 0usize;
-    while ctrl.lock().fdp_stats_log().host_bytes_written < warmup_target {
+    while ctrl.fdp_stats_log().host_bytes_written < warmup_target {
         step(&mut caches, &mut gens, i);
         i += 1;
     }
-    let log0 = ctrl.lock().fdp_stats_log();
+    let log0 = ctrl.fdp_stats_log();
     let stats0: Vec<_> = caches.iter().map(|c| c.stats()).collect();
     let mut dlwa_series = Vec::new();
     let mut last = log0;
@@ -288,7 +281,7 @@ pub fn run_multitenant(cfg: &ExpConfig, tenants: usize) -> MultiTenantResult {
     loop {
         step(&mut caches, &mut gens, i);
         i += 1;
-        let log = ctrl.lock().fdp_stats_log();
+        let log = ctrl.fdp_stats_log();
         if log.host_bytes_written >= next_sample {
             let d = log.delta(&last);
             let x = (log.host_bytes_written - log0.host_bytes_written) as f64 / (1u64 << 30) as f64;
@@ -300,7 +293,7 @@ pub fn run_multitenant(cfg: &ExpConfig, tenants: usize) -> MultiTenantResult {
             break;
         }
     }
-    let dlog = ctrl.lock().fdp_stats_log().delta(&log0);
+    let dlog = ctrl.fdp_stats_log().delta(&log0);
     let tail = dlwa_series.len().max(4) / 4;
     let steady: Vec<f64> = dlwa_series.iter().rev().take(tail).map(|&(_, y)| y).collect();
     MultiTenantResult {
@@ -370,8 +363,17 @@ impl Cli {
 /// Renders a result pair (FDP vs non-FDP) as the standard metric table.
 pub fn summary_table(results: &[&ExperimentResult]) -> String {
     let mut t = Table::new(vec![
-        "config", "workload", "DLWA", "DLWA(steady)", "hit%", "NVM hit%", "ALWA", "KOPS",
-        "p99 rd (us)", "p99 wr (us)", "GC events",
+        "config",
+        "workload",
+        "DLWA",
+        "DLWA(steady)",
+        "hit%",
+        "NVM hit%",
+        "ALWA",
+        "KOPS",
+        "p99 rd (us)",
+        "p99 wr (us)",
+        "GC events",
     ])
     .numeric();
     for r in results {

@@ -6,5 +6,7 @@
 
 #![warn(missing_docs)]
 pub mod harness;
+pub mod throughput;
 
 pub use harness::*;
+pub use throughput::{run_throughput, sweep, ThroughputConfig, ThroughputResult};

@@ -18,7 +18,6 @@ use fdpcache_core::{
 };
 use fdpcache_ftl::{FtlConfig, RuhId};
 use fdpcache_nvme::{Controller, MemStore, NamespaceId, NullStore};
-use parking_lot::Mutex;
 
 use crate::cache::HybridCache;
 use crate::config::CacheConfig;
@@ -47,9 +46,9 @@ pub fn build_device(
         StoreKind::Mem => Box::new(MemStore::new()),
         StoreKind::Null => Box::new(NullStore),
     };
-    let mut ctrl = Controller::new(ftl, boxed).map_err(CacheError::Config)?;
+    let ctrl = Controller::new(ftl, boxed).map_err(CacheError::Config)?;
     ctrl.set_fdp_enabled(fdp_enabled);
-    Ok(Arc::new(Mutex::new(ctrl)))
+    Ok(Arc::new(ctrl))
 }
 
 /// Creates a namespace covering `utilization` of the device's exported
@@ -63,9 +62,22 @@ pub fn create_namespace(
     utilization: f64,
     ruh_list: Vec<RuhId>,
 ) -> Result<NamespaceId, CacheError> {
-    let mut c = ctrl.lock();
-    let lbas = ((c.unallocated_lbas() as f64) * utilization).floor() as u64;
-    c.create_namespace(lbas.max(1), ruh_list).map_err(CacheError::Io)
+    let lbas = ((ctrl.unallocated_lbas() as f64) * utilization).floor() as u64;
+    ctrl.create_namespace(lbas.max(1), ruh_list).map_err(CacheError::Io)
+}
+
+/// The `utilization` argument for carving namespace `index` of `count`
+/// equal slices totalling `total_utilization` of the device.
+///
+/// [`create_namespace`] consumes a fraction of the *remaining*
+/// capacity, so slice `i` of `n` must request `share / (1 - i×share)`
+/// to end up the same size as its siblings. Every multi-tenant caller
+/// (engine pools, concurrent workers, throughput sweeps) shares this
+/// arithmetic.
+pub fn equal_share_fraction(index: usize, count: usize, total_utilization: f64) -> f64 {
+    let share = total_utilization / count as f64;
+    let remaining = 1.0 - index as f64 * share;
+    (share / remaining).min(1.0)
 }
 
 /// Builds a [`HybridCache`] on an existing namespace, discovering
@@ -80,14 +92,10 @@ pub fn build_cache(
     config: &CacheConfig,
     policy: Box<dyn PlacementPolicy>,
 ) -> Result<HybridCache, CacheError> {
-    let (identity, ns) = {
-        let c = ctrl.lock();
-        let ns = c
-            .namespace(nsid)
-            .cloned()
-            .ok_or(CacheError::Io(fdpcache_nvme::NvmeError::InvalidNamespace(nsid)))?;
-        (c.identify(), ns)
-    };
+    let ns = ctrl
+        .namespace(nsid)
+        .ok_or(CacheError::Io(fdpcache_nvme::NvmeError::InvalidNamespace(nsid)))?;
+    let identity = ctrl.identify();
     let mut allocator = PlacementHandleAllocator::discover(&identity, &ns, policy);
     let io = IoManager::new(ctrl.clone(), nsid, config.nvm.io_lanes).map_err(CacheError::Io)?;
     HybridCache::new(config, io, &mut allocator)
@@ -158,9 +166,9 @@ mod tests {
     #[test]
     fn utilization_controls_namespace_size() {
         let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Null, true).unwrap();
-        let before = ctrl.lock().unallocated_lbas();
+        let before = ctrl.unallocated_lbas();
         let _ns = create_namespace(&ctrl, 0.5, vec![0]).unwrap();
-        let after = ctrl.lock().unallocated_lbas();
+        let after = ctrl.unallocated_lbas();
         assert_eq!(after, before - before / 2);
     }
 
@@ -181,7 +189,6 @@ mod tests {
         assert_eq!(vb.unwrap().len(), 200);
         // And their engines resolve to four distinct device RUHs (DSPECs
         // are namespace-relative indices into each tenant's handle list).
-        let c = ctrl.lock();
         let mut ruhs: Vec<_> = [
             (ns1, a.navy().soc().handle()),
             (ns1, a.navy().loc().handle()),
@@ -190,7 +197,7 @@ mod tests {
         ]
         .into_iter()
         .map(|(nsid, h)| {
-            c.namespace(nsid).unwrap().resolve_pid(h.dspec().expect("fdp handle")).unwrap()
+            ctrl.namespace(nsid).unwrap().resolve_pid(h.dspec().expect("fdp handle")).unwrap()
         })
         .collect();
         ruhs.sort_unstable();

@@ -201,30 +201,23 @@ mod tests {
     use fdpcache_core::{RoundRobinPolicy, SharedController};
     use fdpcache_ftl::FtlConfig;
     use fdpcache_nvme::{Controller, MemStore};
-    use parking_lot::Mutex;
+
     use std::sync::Arc;
 
     fn build(ram_bytes: u64, use_fdp: bool) -> HybridCache {
-        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
         let blocks = ctrl.unallocated_lbas();
         let nsid = ctrl.create_namespace(blocks, vec![0, 1]).unwrap();
         let identity = ctrl.identify();
         let ns = ctrl.namespace(nsid).unwrap().clone();
-        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        let shared: SharedController = Arc::new(ctrl);
         let io = IoManager::new(shared, nsid, 4).unwrap();
-        let mut alloc = PlacementHandleAllocator::discover(
-            &identity,
-            &ns,
-            Box::new(RoundRobinPolicy::new()),
-        );
+        let mut alloc =
+            PlacementHandleAllocator::discover(&identity, &ns, Box::new(RoundRobinPolicy::new()));
         let config = CacheConfig {
             ram_bytes,
             ram_item_overhead: 0,
-            nvm: NvmConfig {
-                soc_fraction: 0.1,
-                region_bytes: 16 * 4096,
-                ..NvmConfig::default()
-            },
+            nvm: NvmConfig { soc_fraction: 0.1, region_bytes: 16 * 4096, ..NvmConfig::default() },
             use_fdp,
         };
         HybridCache::new(&config, io, &mut alloc).unwrap()

@@ -203,14 +203,14 @@ mod tests {
     use fdpcache_core::SharedController;
     use fdpcache_ftl::FtlConfig;
     use fdpcache_nvme::{Controller, MemStore};
-    use parking_lot::Mutex;
+
     use std::sync::Arc;
 
     fn engine() -> NavyEngine {
-        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
         let blocks = ctrl.unallocated_lbas();
         let nsid = ctrl.create_namespace(blocks, vec![0, 1]).unwrap();
-        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        let shared: SharedController = Arc::new(ctrl);
         let io = IoManager::new(shared, nsid, 4).unwrap();
         let cfg = NvmConfig {
             soc_fraction: 0.1,
@@ -222,14 +222,8 @@ mod tests {
             trim_on_region_evict: false,
             io_lanes: 4,
         };
-        NavyEngine::new(
-            &cfg,
-            io,
-            PlacementHandle::with_dspec(0),
-            PlacementHandle::with_dspec(1),
-            1,
-        )
-        .unwrap()
+        NavyEngine::new(&cfg, io, PlacementHandle::with_dspec(0), PlacementHandle::with_dspec(1), 1)
+            .unwrap()
     }
 
     #[test]
@@ -270,10 +264,10 @@ mod tests {
 
     #[test]
     fn rejected_by_admission_is_not_written() {
-        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
         let blocks = ctrl.unallocated_lbas();
         let nsid = ctrl.create_namespace(blocks, vec![0]).unwrap();
-        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        let shared: SharedController = Arc::new(ctrl);
         let io = IoManager::new(shared, nsid, 4).unwrap();
         let cfg = NvmConfig {
             soc_fraction: 0.1,
@@ -281,8 +275,9 @@ mod tests {
             admission: crate::admission::AdmissionConfig::Probability(0.0),
             ..NvmConfig::default()
         };
-        let mut e = NavyEngine::new(&cfg, io, PlacementHandle::DEFAULT, PlacementHandle::DEFAULT, 1)
-            .unwrap();
+        let mut e =
+            NavyEngine::new(&cfg, io, PlacementHandle::DEFAULT, PlacementHandle::DEFAULT, 1)
+                .unwrap();
         assert!(!e.insert(1, Value::synthetic(100)).unwrap());
         assert_eq!(e.io().stats().writes, 0);
         assert!(e.lookup(1).unwrap().is_none());
@@ -313,9 +308,9 @@ mod tests {
 
     #[test]
     fn config_rejects_too_small_namespace() {
-        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
         let nsid = ctrl.create_namespace(8, vec![0]).unwrap();
-        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        let shared: SharedController = Arc::new(ctrl);
         let io = IoManager::new(shared, nsid, 4).unwrap();
         let cfg = NvmConfig { region_bytes: 16 * 4096, ..NvmConfig::default() };
         assert!(matches!(

@@ -49,9 +49,9 @@ pub mod value;
 
 pub use admission::AdmissionPolicy;
 pub use cache::{GetOutcome, HybridCache};
-pub use pool::EnginePool;
 pub use config::{CacheConfig, LocEviction, NvmConfig};
 pub use error::CacheError;
+pub use pool::EnginePool;
 pub use stats::CacheStats;
 pub use value::Value;
 

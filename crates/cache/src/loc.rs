@@ -334,7 +334,11 @@ impl Loc {
     /// # Errors
     ///
     /// Propagates I/O failures.
-    pub fn read_raw(&mut self, io: &mut IoManager, key: Key) -> Result<Option<Vec<u8>>, CacheError> {
+    pub fn read_raw(
+        &mut self,
+        io: &mut IoManager,
+        key: Key,
+    ) -> Result<Option<Vec<u8>>, CacheError> {
         let Some(entry) = self.index.get(&key).cloned() else {
             return Ok(None);
         };
@@ -371,15 +375,15 @@ mod tests {
     use fdpcache_core::SharedController;
     use fdpcache_ftl::FtlConfig;
     use fdpcache_nvme::{Controller, MemStore};
-    use parking_lot::Mutex;
+
     use std::sync::Arc;
 
     const BLOCK: u32 = 4096;
 
     fn io(blocks: u64) -> IoManager {
-        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
         let nsid = ctrl.create_namespace(blocks, vec![0, 1]).unwrap();
-        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        let shared: SharedController = Arc::new(ctrl);
         IoManager::new(shared, nsid, 4).unwrap()
     }
 

@@ -61,30 +61,19 @@ impl EnginePool {
             return Err(CacheError::Config("engine pool needs at least one pair".into()));
         }
         let mut shards = Vec::with_capacity(pairs);
-        let per_shard_config = CacheConfig {
-            ram_bytes: (config.ram_bytes / pairs as u64).max(1),
-            ..config.clone()
-        };
-        let num_ruhs = {
-            let c = ctrl.lock();
-            c.ftl().config().num_ruhs
-        };
+        let per_shard_config =
+            CacheConfig { ram_bytes: (config.ram_bytes / pairs as u64).max(1), ..config.clone() };
+        let num_ruhs = ctrl.config().num_ruhs;
         for pair in 0..pairs {
             // Each shard takes an equal share of the ORIGINAL capacity:
             // shard i takes share/(remaining fraction) of what is left.
-            let share = total_utilization / pairs as f64;
-            let remaining = 1.0 - (pair as f64) * share;
-            let frac = (share / remaining).min(1.0);
+            let frac = crate::builder::equal_share_fraction(pair, pairs, total_utilization);
             let ruh_list = (0..num_ruhs).collect();
             let nsid = create_namespace(ctrl, frac, ruh_list)?;
-            let (identity, ns) = {
-                let c = ctrl.lock();
-                let ns = c
-                    .namespace(nsid)
-                    .cloned()
-                    .ok_or(CacheError::Io(fdpcache_nvme::NvmeError::InvalidNamespace(nsid)))?;
-                (c.identify(), ns)
-            };
+            let ns = ctrl
+                .namespace(nsid)
+                .ok_or(CacheError::Io(fdpcache_nvme::NvmeError::InvalidNamespace(nsid)))?;
+            let identity = ctrl.identify();
             // One allocator per pair, but the policy must spread pairs
             // across the device's handle space: offset the namespace
             // handle list is identical per pair, so we pre-consume
@@ -94,8 +83,8 @@ impl EnginePool {
             for _ in 0..(2 * pair) {
                 let _ = allocator.allocate("stagger");
             }
-            let io = IoManager::new(ctrl.clone(), nsid, config.nvm.io_lanes)
-                .map_err(CacheError::Io)?;
+            let io =
+                IoManager::new(ctrl.clone(), nsid, config.nvm.io_lanes).map_err(CacheError::Io)?;
             shards.push(HybridCache::new(&per_shard_config, io, &mut allocator)?);
         }
         Ok(EnginePool { shards })
@@ -187,10 +176,9 @@ mod tests {
             nvm: NvmConfig { soc_fraction: 0.2, region_bytes: 8 * 4096, ..NvmConfig::default() },
             use_fdp: fdp,
         };
-        let pool = EnginePool::new(&ctrl, &config, pairs, 0.9, || {
-            Box::new(RoundRobinPolicy::new())
-        })
-        .unwrap();
+        let pool =
+            EnginePool::new(&ctrl, &config, pairs, 0.9, || Box::new(RoundRobinPolicy::new()))
+                .unwrap();
         (ctrl, pool)
     }
 
@@ -238,11 +226,10 @@ mod tests {
     #[test]
     fn pairs_use_disjoint_handles_with_fdp() {
         let (ctrl, p) = pool(2, true);
-        let c = ctrl.lock();
         let mut ruhs = Vec::new();
         for (i, shard) in p.shards.iter().enumerate() {
             let nsid = (i + 1) as u32;
-            let ns = c.namespace(nsid).unwrap();
+            let ns = ctrl.namespace(nsid).unwrap();
             for h in [shard.navy().soc().handle(), shard.navy().loc().handle()] {
                 ruhs.push(ns.resolve_pid(h.dspec().expect("fdp handle")).unwrap());
             }

@@ -89,7 +89,12 @@ fn bucket_hash(key: Key) -> u64 {
 impl Soc {
     /// Creates a SOC over `num_buckets` buckets starting at
     /// namespace-relative block `base_block`, writing through `handle`.
-    pub fn new(base_block: u64, num_buckets: u64, bucket_bytes: u32, handle: PlacementHandle) -> Self {
+    pub fn new(
+        base_block: u64,
+        num_buckets: u64,
+        bucket_bytes: u32,
+        handle: PlacementHandle,
+    ) -> Self {
         Soc {
             base_block,
             num_buckets,
@@ -219,8 +224,7 @@ impl Soc {
         self.written[bucket as usize] = true;
         self.stats.page_writes += 1;
         // Blooms cannot delete: rebuild from the authoritative list.
-        self.bloom
-            .rebuild(bucket as usize, self.buckets[bucket as usize].iter().map(|e| e.key));
+        self.bloom.rebuild(bucket as usize, self.buckets[bucket as usize].iter().map(|e| e.key));
         Ok(())
     }
 
@@ -232,7 +236,12 @@ impl Soc {
     ///
     /// [`CacheError::ObjectTooLarge`] when the object cannot fit in an
     /// empty bucket, or I/O errors.
-    pub fn insert(&mut self, io: &mut IoManager, key: Key, value: Value) -> Result<u64, CacheError> {
+    pub fn insert(
+        &mut self,
+        io: &mut IoManager,
+        key: Key,
+        value: Value,
+    ) -> Result<u64, CacheError> {
         let need = ENTRY_META_BYTES + value.len();
         if HEADER_BYTES + need > self.bucket_bytes as usize {
             return Err(CacheError::ObjectTooLarge {
@@ -281,7 +290,8 @@ impl Soc {
             self.scratch = page;
             res?;
         }
-        let found = self.buckets[bucket as usize].iter().find(|e| e.key == key).map(|e| e.value.clone());
+        let found =
+            self.buckets[bucket as usize].iter().find(|e| e.key == key).map(|e| e.value.clone());
         if found.is_some() {
             self.stats.hits += 1;
         }
@@ -321,10 +331,8 @@ impl Soc {
         let Some(parsed) = Self::parse_bucket(&page) else {
             return Ok(false);
         };
-        let shadow: Vec<(Key, u32)> = self.buckets[bucket as usize]
-            .iter()
-            .map(|e| (e.key, e.value.len() as u32))
-            .collect();
+        let shadow: Vec<(Key, u32)> =
+            self.buckets[bucket as usize].iter().map(|e| (e.key, e.value.len() as u32)).collect();
         Ok(parsed == shadow)
     }
 
@@ -340,13 +348,13 @@ mod tests {
     use fdpcache_core::SharedController;
     use fdpcache_ftl::FtlConfig;
     use fdpcache_nvme::{Controller, MemStore};
-    use parking_lot::Mutex;
+
     use std::sync::Arc;
 
     fn io(blocks: u64) -> IoManager {
-        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
         let nsid = ctrl.create_namespace(blocks, vec![0, 1]).unwrap();
-        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        let shared: SharedController = Arc::new(ctrl);
         IoManager::new(shared, nsid, 4).unwrap()
     }
 
@@ -393,7 +401,7 @@ mod tests {
     #[test]
     fn collision_evicts_oldest_fifo() {
         let (mut s, mut io) = soc(1); // every key collides
-        // Four ~1 KiB entries fit (4×(12+1000)+8 ≤ 4096); the fifth evicts.
+                                      // Four ~1 KiB entries fit (4×(12+1000)+8 ≤ 4096); the fifth evicts.
         for k in 1..=4u64 {
             assert_eq!(s.insert(&mut io, k, Value::synthetic(1000)).unwrap(), 0);
         }

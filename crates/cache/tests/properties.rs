@@ -8,7 +8,6 @@ use fdpcache_cache::value::Value;
 use fdpcache_core::{IoManager, PlacementHandle, SharedController};
 use fdpcache_ftl::FtlConfig;
 use fdpcache_nvme::{Controller, MemStore};
-use parking_lot::Mutex;
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -103,9 +102,9 @@ proptest! {
     fn soc_bucket_contents_match_flash(
         inserts in prop::collection::vec((0..50u64, 1..900u32), 1..80)
     ) {
-        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
         let nsid = ctrl.create_namespace(128, vec![0]).unwrap();
-        let shared: SharedController = Arc::new(Mutex::new(ctrl));
+        let shared: SharedController = Arc::new(ctrl);
         let mut io = IoManager::new(shared, nsid, 4).unwrap();
         let mut soc = Soc::new(0, 8, 4096, PlacementHandle::DEFAULT);
         let mut last: std::collections::HashMap<u64, u32> = Default::default();
@@ -134,7 +133,6 @@ proptest! {
         prop_assert!((rate - p).abs() < 0.03, "rate {rate:.3} vs p {p:.3}");
     }
 }
-
 
 mod pool_props {
     use fdpcache_cache::builder::{build_device, StoreKind};

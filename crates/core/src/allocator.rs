@@ -106,12 +106,7 @@ mod tests {
     }
 
     fn ns(handles: usize) -> Namespace {
-        Namespace {
-            nsid: 1,
-            start_lba: 0,
-            lba_count: 1024,
-            ruh_list: (0..handles as u8).collect(),
-        }
+        Namespace { nsid: 1, start_lba: 0, lba_count: 1024, ruh_list: (0..handles as u8).collect() }
     }
 
     #[test]

@@ -2,19 +2,29 @@
 //!
 //! Translates placement handles into NVMe placement directives and
 //! submits commands through a per-worker [`QueuePair`], recording latency
-//! histograms. The controller is shared behind a mutex — the simulator
-//! analog of multiple io_uring queue pairs feeding one device.
+//! histograms.
+//!
+//! Concurrency topology: the controller is a plain `Arc` —
+//! [`SharedController`] — with interior fine-grained locking (media
+//! lock, sharded payload store, per-namespace atomic stats; see
+//! `fdpcache_nvme::controller`). Each [`IoManager`] holds its
+//! namespace's [`NamespaceState`] opened once at construction, so the
+//! per-command path touches **no** device-wide lock other than the
+//! brief FTL mapping section: the simulator analog of multiple io_uring
+//! queue pairs feeding one device, with commands from N workers
+//! genuinely in flight at once.
 
 use std::sync::Arc;
 
 use fdpcache_metrics::Histogram;
-use fdpcache_nvme::{Controller, DeallocRange, NamespaceId, NvmeError, QueuePair};
-use parking_lot::Mutex;
+use fdpcache_nvme::{Controller, DeallocRange, NamespaceId, NamespaceState, NvmeError, QueuePair};
 
 use crate::handle::PlacementHandle;
 
 /// A controller shared by every I/O manager (and tenant) on the device.
-pub type SharedController = Arc<Mutex<Controller>>;
+/// No external mutex: all controller methods take `&self` and
+/// synchronize internally at per-resource granularity.
+pub type SharedController = Arc<Controller>;
 
 /// Snapshot of an I/O manager's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,7 +46,7 @@ pub struct IoStats {
 /// All blocks are namespace-relative; sizes are whole logical blocks.
 pub struct IoManager {
     ctrl: SharedController,
-    nsid: NamespaceId,
+    ns: Arc<NamespaceState>,
     qp: QueuePair,
     read_hist: Histogram,
     write_hist: Histogram,
@@ -55,7 +65,7 @@ pub struct IoManager {
 impl std::fmt::Debug for IoManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IoManager")
-            .field("nsid", &self.nsid)
+            .field("nsid", &self.ns.nsid())
             .field("stats", &self.stats)
             .finish()
     }
@@ -63,21 +73,21 @@ impl std::fmt::Debug for IoManager {
 
 impl IoManager {
     /// Creates an I/O manager over `ctrl`'s namespace `nsid` with the
-    /// given device-lane parallelism for its queue pair.
+    /// given device-lane parallelism for its queue pair. Opens the
+    /// namespace once; subsequent commands bypass the admin lock.
     ///
     /// # Errors
     ///
     /// [`NvmeError::InvalidNamespace`] if the namespace does not exist.
     pub fn new(ctrl: SharedController, nsid: NamespaceId, lanes: usize) -> Result<Self, NvmeError> {
-        let (block_bytes, blocks, retains_data) = {
-            let c = ctrl.lock();
-            let ns = c.namespace(nsid).ok_or(NvmeError::InvalidNamespace(nsid))?;
-            (c.lba_bytes(), ns.lba_count, c.store_retains_data())
-        };
+        let ns = ctrl.open_namespace(nsid).ok_or(NvmeError::InvalidNamespace(nsid))?;
+        let block_bytes = ctrl.lba_bytes();
+        let blocks = ns.info().lba_count;
+        let retains_data = ctrl.store_retains_data();
         let lanes = lanes.max(1);
         Ok(IoManager {
             ctrl,
-            nsid,
+            ns,
             qp: QueuePair::new(lanes),
             lanes,
             read_hist: Histogram::new(),
@@ -105,8 +115,7 @@ impl IoManager {
         let per_lane = (self.gc_backlog_ns / self.lanes as u64).min(service_ns.max(1) * cap);
         if per_lane > 0 {
             self.qp.occupy_all(per_lane);
-            self.gc_backlog_ns =
-                self.gc_backlog_ns.saturating_sub(per_lane * self.lanes as u64);
+            self.gc_backlog_ns = self.gc_backlog_ns.saturating_sub(per_lane * self.lanes as u64);
         } else {
             // Backlog smaller than one per-lane slice: retire it.
             self.gc_backlog_ns = 0;
@@ -137,6 +146,11 @@ impl IoManager {
     /// The shared controller (for instrumentation).
     pub fn controller(&self) -> &SharedController {
         &self.ctrl
+    }
+
+    /// The opened namespace state (per-namespace stats live here).
+    pub fn namespace(&self) -> &Arc<NamespaceState> {
+        &self.ns
     }
 
     /// Cumulative I/O statistics.
@@ -176,10 +190,7 @@ impl IoManager {
         data: &[u8],
         handle: PlacementHandle,
     ) -> Result<u64, NvmeError> {
-        let completion = {
-            let mut c = self.ctrl.lock();
-            c.write(self.nsid, block, data, handle.dspec())?
-        };
+        let completion = self.ctrl.write_ns(&self.ns, block, data, handle.dspec())?;
         // Multi-block writes stripe across device lanes: effective
         // service time divides by the parallelism actually usable.
         let nlb = (data.len() as u64 / self.block_bytes as u64).max(1);
@@ -200,10 +211,7 @@ impl IoManager {
     ///
     /// Propagates controller validation/FTL errors.
     pub fn read(&mut self, block: u64, out: &mut [u8]) -> Result<u64, NvmeError> {
-        let service_ns = {
-            let mut c = self.ctrl.lock();
-            c.read(self.nsid, block, out)?
-        };
+        let service_ns = self.ctrl.read_ns(&self.ns, block, out)?;
         self.charge_gc_interference(service_ns, 1);
         let lat = self.qp.submit(service_ns, 0);
         self.read_hist.record(lat);
@@ -218,8 +226,7 @@ impl IoManager {
     ///
     /// Propagates controller validation/FTL errors.
     pub fn discard(&mut self, block: u64, count: u64) -> Result<(), NvmeError> {
-        let mut c = self.ctrl.lock();
-        c.deallocate(self.nsid, &[DeallocRange { slba: block, nlb: count }])?;
+        self.ctrl.deallocate_ns(&self.ns, &[DeallocRange { slba: block, nlb: count }])?;
         self.stats.discards += 1;
         Ok(())
     }
@@ -232,9 +239,9 @@ mod tests {
     use fdpcache_nvme::MemStore;
 
     fn setup() -> (SharedController, NamespaceId) {
-        let mut ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
         let nsid = ctrl.create_namespace(256, vec![0, 1, 2]).unwrap();
-        (Arc::new(Mutex::new(ctrl)), nsid)
+        (Arc::new(ctrl), nsid)
     }
 
     #[test]
@@ -257,9 +264,8 @@ mod tests {
         let (ctrl, nsid) = setup();
         let mut io = IoManager::new(ctrl.clone(), nsid, 4).unwrap();
         io.write(0, &vec![1u8; 4096], PlacementHandle::DEFAULT).unwrap();
-        let c = ctrl.lock();
         // Namespace default handle is RUH 0.
-        assert_eq!(c.ftl().ruh_host_pages()[0], 1);
+        assert_eq!(ctrl.with_ftl(|f| f.ruh_host_pages()[0]), 1);
     }
 
     #[test]
@@ -287,10 +293,7 @@ mod tests {
     #[test]
     fn invalid_namespace_rejected_at_construction() {
         let (ctrl, _) = setup();
-        assert!(matches!(
-            IoManager::new(ctrl, 99, 2),
-            Err(NvmeError::InvalidNamespace(99))
-        ));
+        assert!(matches!(IoManager::new(ctrl, 99, 2), Err(NvmeError::InvalidNamespace(99))));
     }
 
     #[test]
@@ -300,5 +303,47 @@ mod tests {
         assert_eq!(io.blocks(), 256);
         assert_eq!(io.block_bytes(), 4096);
         assert_eq!(io.capacity_bytes(), 256 * 4096);
+    }
+
+    #[test]
+    fn manager_stats_mirror_namespace_counters() {
+        let (ctrl, nsid) = setup();
+        let mut io = IoManager::new(ctrl, nsid, 2).unwrap();
+        io.write(0, &vec![1u8; 4096], PlacementHandle::DEFAULT).unwrap();
+        let mut out = vec![0u8; 4096];
+        io.read(0, &mut out).unwrap();
+        let ns_stats = io.namespace().stats();
+        assert_eq!(ns_stats.writes, io.stats().writes);
+        assert_eq!(ns_stats.reads, io.stats().reads);
+        assert_eq!(ns_stats.bytes_written, io.stats().bytes_written);
+    }
+
+    #[test]
+    fn parallel_managers_do_not_serialize_on_a_device_lock() {
+        // Regression guard for the tentpole: four workers on four
+        // namespaces submit concurrently; every op must land and the
+        // device must stay consistent.
+        let ctrl =
+            Arc::new(Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap());
+        let per = ctrl.unallocated_lbas() / 4;
+        let mut managers: Vec<IoManager> = (0..4)
+            .map(|_| {
+                let nsid = ctrl.create_namespace(per, vec![0, 1]).unwrap();
+                IoManager::new(ctrl.clone(), nsid, 2).unwrap()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for io in &mut managers {
+                scope.spawn(move || {
+                    let data = vec![io.namespace().nsid() as u8; 4096];
+                    for i in 0..64 {
+                        io.write(i % io.blocks(), &data, PlacementHandle::with_dspec(1)).unwrap();
+                    }
+                });
+            }
+        });
+        let total = ctrl.device_io_stats();
+        assert_eq!(total.writes, 4 * 64, "no lost writes across workers");
+        ctrl.with_ftl(|f| f.check_invariants());
     }
 }

@@ -184,9 +184,7 @@ impl FtlConfig {
             return Err(format!(
                 "each of {} reclaim groups has {per_rg} RUs but {} RUHs + {gc_dests} GC \
                  destinations + threshold {} need at least {needed}",
-                self.num_rgs,
-                self.num_ruhs,
-                self.gc_threshold_rus
+                self.num_rgs, self.num_ruhs, self.gc_threshold_rus
             ));
         }
         Ok(())

@@ -37,7 +37,9 @@ impl std::fmt::Display for FtlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FtlError::LbaOutOfRange(lba) => write!(f, "LBA {lba} out of exported range"),
-            FtlError::InvalidRuh(ruh) => write!(f, "placement identifier references unknown RUH {ruh}"),
+            FtlError::InvalidRuh(ruh) => {
+                write!(f, "placement identifier references unknown RUH {ruh}")
+            }
             FtlError::InvalidRg(rg) => {
                 write!(f, "placement identifier references unknown reclaim group {rg}")
             }

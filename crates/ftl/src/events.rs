@@ -62,7 +62,12 @@ pub struct EventLog {
 impl EventLog {
     /// Creates a log holding at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
-        EventLog { events: VecDeque::with_capacity(capacity.min(4096)), capacity: capacity.max(1), dropped: 0, total: 0 }
+        EventLog {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            dropped: 0,
+            total: 0,
+        }
     }
 
     /// Appends an event, evicting the oldest if full.

@@ -206,9 +206,7 @@ impl Ftl {
             return 0;
         }
         match self.ruh_active[self.slot(rg, ruh)] {
-            Some(ru) => {
-                self.config.geometry.pages_per_superblock() - self.nand.write_ptr(ru)
-            }
+            Some(ru) => self.config.geometry.pages_per_superblock() - self.nand.write_ptr(ru),
             None => 0,
         }
     }
@@ -257,7 +255,12 @@ impl Ftl {
     ///
     /// As [`Ftl::write`], plus [`FtlError::InvalidRg`] for an unknown
     /// reclaim group.
-    pub fn write_placed(&mut self, lba: Lba, rg: u16, ruh: RuhId) -> Result<WriteReceipt, FtlError> {
+    pub fn write_placed(
+        &mut self,
+        lba: Lba,
+        rg: u16,
+        ruh: RuhId,
+    ) -> Result<WriteReceipt, FtlError> {
         if lba as usize >= self.l2p.len() {
             return Err(FtlError::LbaOutOfRange(lba));
         }
@@ -361,13 +364,9 @@ impl Ftl {
         // rated P/E cycles) are retired permanently, shrinking capacity —
         // device end of life is reached when the pool empties for good.
         let ru = loop {
-            let ru =
-                self.free_rus[rg as usize].pop_front().ok_or(FtlError::OutOfSpace)?;
+            let ru = self.free_rus[rg as usize].pop_front().ok_or(FtlError::OutOfSpace)?;
             debug_assert!(self.rus[ru as usize].phase == RuPhase::Free);
-            let worn = self
-                .nand
-                .superblock(ru)
-                .is_some_and(|sb| sb.has_bad_block());
+            let worn = self.nand.superblock(ru).is_some_and(|sb| sb.has_bad_block());
             if !worn {
                 break ru;
             }
@@ -745,10 +744,7 @@ mod tests {
             f.write(lba, 0).unwrap();
         }
         let events = f.events_mut().drain();
-        let switches = events
-            .iter()
-            .filter(|e| matches!(e, FdpEvent::RuSwitched { .. }))
-            .count();
+        let switches = events.iter().filter(|e| matches!(e, FdpEvent::RuSwitched { .. })).count();
         assert!(switches >= 2, "expected at least two RU switches, got {switches}");
     }
 
@@ -763,9 +759,10 @@ mod tests {
             x ^= x << 17;
             f.write(x % n, 0).unwrap();
         }
-        let relocations = f.events().iter().filter(|e| matches!(e, FdpEvent::MediaRelocated { .. })).count()
-            as u64
-            + f.events().dropped();
+        let relocations =
+            f.events().iter().filter(|e| matches!(e, FdpEvent::MediaRelocated { .. })).count()
+                as u64
+                + f.events().dropped();
         assert!(relocations > 0);
         assert!(f.stats().gc_runs > 0);
     }
@@ -909,12 +906,9 @@ mod tests {
         }
         assert!(died, "device should wear out within 200 full overwrites at pe_limit 8");
         assert!(f.stats().retired_rus > 0, "death requires retired RUs");
-        let retired_events = f
-            .events()
-            .iter()
-            .filter(|e| matches!(e, FdpEvent::RuRetired { .. }))
-            .count() as u64
-            + f.events().dropped();
+        let retired_events =
+            f.events().iter().filter(|e| matches!(e, FdpEvent::RuRetired { .. })).count() as u64
+                + f.events().dropped();
         assert!(retired_events > 0);
     }
 
@@ -991,8 +985,7 @@ mod tests {
         for lba in 0..hot {
             f.write_placed(n / 2 + lba, 1, 1).unwrap(); // cold, group 1
         }
-        let cold_snapshot: Vec<u64> =
-            (0..hot).map(|l| f.l2p[(n / 2 + l) as usize]).collect();
+        let cold_snapshot: Vec<u64> = (0..hot).map(|l| f.l2p[(n / 2 + l) as usize]).collect();
         let mut x = 77u64;
         for _ in 0..n * 6 {
             x ^= x << 13;
@@ -1004,7 +997,8 @@ mod tests {
         assert!(f.stats().gc_runs > 0, "churn must have triggered GC");
         for (i, &packed) in cold_snapshot.iter().enumerate() {
             assert_eq!(
-                f.l2p[(n / 2 + i as u64) as usize], packed,
+                f.l2p[(n / 2 + i as u64) as usize],
+                packed,
                 "cold page {i} moved despite living in the idle reclaim group"
             );
         }

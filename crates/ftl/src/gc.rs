@@ -318,7 +318,8 @@ mod tests {
             let mut rng = GcRng::new(seed);
             (0..32)
                 .map(|_| {
-                    select_victim(GcPolicy::SampledGreedy { d: 2 }, &rus, &nand, &mut rng, 0).unwrap()
+                    select_victim(GcPolicy::SampledGreedy { d: 2 }, &rus, &nand, &mut rng, 0)
+                        .unwrap()
                 })
                 .collect::<Vec<_>>()
         };

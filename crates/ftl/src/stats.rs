@@ -74,8 +74,10 @@ mod tests {
 
     #[test]
     fn delta_supports_interval_dlwa() {
-        let t0 = FtlStats { host_pages_written: 100, nand_pages_written: 100, ..Default::default() };
-        let t1 = FtlStats { host_pages_written: 200, nand_pages_written: 300, ..Default::default() };
+        let t0 =
+            FtlStats { host_pages_written: 100, nand_pages_written: 100, ..Default::default() };
+        let t1 =
+            FtlStats { host_pages_written: 200, nand_pages_written: 300, ..Default::default() };
         let d = t1.delta(&t0);
         assert!((d.dlwa() - 2.0).abs() < 1e-12);
     }

@@ -42,9 +42,7 @@ impl CounterSet {
 
     /// Takes an immutable snapshot of all counters.
     pub fn snapshot(&self) -> CounterSnapshot {
-        CounterSnapshot {
-            values: self.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
-        }
+        CounterSnapshot { values: self.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect() }
     }
 
     /// Iterates over `(name, value)` pairs in name order.

@@ -49,13 +49,7 @@ impl Default for Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram {
-            buckets: vec![0; BANDS * SUB_BUCKETS],
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
+        Histogram { buckets: vec![0; BANDS * SUB_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 
     /// Index of the bucket holding `value`. Values of 0 are clamped to 1.

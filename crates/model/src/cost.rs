@@ -100,12 +100,7 @@ pub fn reference_deployments(
     fdp_dlwa: f64,
 ) -> (Deployment, Deployment) {
     (
-        Deployment {
-            usable_flash_gb,
-            utilization: 0.5,
-            dlwa: conventional_dlwa,
-            dram_gb,
-        },
+        Deployment { usable_flash_gb, utilization: 0.5, dlwa: conventional_dlwa, dram_gb },
         Deployment { usable_flash_gb, utilization: 1.0, dlwa: fdp_dlwa, dram_gb },
     )
 }
@@ -144,12 +139,8 @@ mod tests {
         let r_conventional = conv.embodied_co2e_kg(&p) / fdp.embodied_co2e_kg(&p);
         assert!((2.0..3.0).contains(&r_conventional), "ratio {r_conventional}");
         // Non-FDP at 100% utilization (DLWA ~3.5) vs FDP: the 4x figure.
-        let non_fdp_full = Deployment {
-            usable_flash_gb: 930.0,
-            utilization: 1.0,
-            dlwa: 3.5,
-            dram_gb: 0.0,
-        };
+        let non_fdp_full =
+            Deployment { usable_flash_gb: 930.0, utilization: 1.0, dlwa: 3.5, dram_gb: 0.0 };
         let fdp_full =
             Deployment { usable_flash_gb: 930.0, utilization: 1.0, dlwa: 1.03, dram_gb: 0.0 };
         let r_full = non_fdp_full.embodied_co2e_kg(&p) / fdp_full.embodied_co2e_kg(&p);

@@ -68,7 +68,8 @@ mod tests {
 
     #[test]
     fn identity_holds_across_domain() {
-        for x in [-0.367879, -0.3, -0.1, -0.01, 0.0, 0.1, 0.5, 1.0, std::f64::consts::E, 10.0, 1e3, 1e6]
+        for x in
+            [-0.367879, -0.3, -0.1, -0.01, 0.0, 0.1, 0.5, 1.0, std::f64::consts::E, 10.0, 1e3, 1e6]
         {
             check(x);
         }

@@ -97,7 +97,10 @@ impl EraseBlock {
             return Err(NandError::OutOfRange(ppa));
         }
         if page != self.write_ptr {
-            return Err(NandError::ProgramOutOfOrder { requested: ppa, expected_page: self.write_ptr });
+            return Err(NandError::ProgramOutOfOrder {
+                requested: ppa,
+                expected_page: self.write_ptr,
+            });
         }
         if self.states[page as usize] != PageState::Free {
             return Err(NandError::ProgramNonFreePage(ppa));

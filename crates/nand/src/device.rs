@@ -41,7 +41,12 @@ impl NandDevice {
     pub fn new(geometry: Geometry, pe_limit: u32, latency: LatencyModel, seed: u64) -> Self {
         let superblocks =
             (0..geometry.superblocks()).map(|i| Superblock::new(i, &geometry, pe_limit)).collect();
-        NandDevice { geometry, superblocks, stats: NandStats::default(), sampler: LatencySampler::new(latency, seed) }
+        NandDevice {
+            geometry,
+            superblocks,
+            stats: NandStats::default(),
+            sampler: LatencySampler::new(latency, seed),
+        }
     }
 
     /// Convenience constructor with default endurance and latency.
@@ -191,7 +196,10 @@ mod tests {
             d.program(Ppa::new(sb_count, 0)),
             Err(NandError::SuperblockOutOfRange(_))
         ));
-        assert!(matches!(d.erase_superblock(sb_count, false), Err(NandError::SuperblockOutOfRange(_))));
+        assert!(matches!(
+            d.erase_superblock(sb_count, false),
+            Err(NandError::SuperblockOutOfRange(_))
+        ));
     }
 
     #[test]

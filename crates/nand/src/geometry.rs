@@ -68,12 +68,19 @@ impl Geometry {
     /// `capacity_bytes` is rounded down to a whole number of superblocks.
     /// Returns `None` if the arguments cannot form at least one superblock
     /// or are not page-aligned.
-    pub fn with_capacity(capacity_bytes: u64, superblock_bytes: u64, page_size: u32) -> Option<Self> {
+    pub fn with_capacity(
+        capacity_bytes: u64,
+        superblock_bytes: u64,
+        page_size: u32,
+    ) -> Option<Self> {
         let channels = 8u32;
         let dies_per_channel = 2u32;
         let planes_per_die = 2u32;
         let blocks_per_sb = (channels * dies_per_channel * planes_per_die) as u64;
-        if superblock_bytes == 0 || page_size == 0 || !superblock_bytes.is_multiple_of(blocks_per_sb * page_size as u64) {
+        if superblock_bytes == 0
+            || page_size == 0
+            || !superblock_bytes.is_multiple_of(blocks_per_sb * page_size as u64)
+        {
             return None;
         }
         let pages_per_block = (superblock_bytes / blocks_per_sb / page_size as u64) as u32;

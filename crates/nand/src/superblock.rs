@@ -145,7 +145,10 @@ impl Superblock {
     pub fn erase(&mut self, force: bool) -> Result<u32, NandError> {
         let valid = self.valid_pages();
         if valid > 0 && !force {
-            return Err(NandError::EraseWithValidPages { superblock: self.index, valid_pages: valid });
+            return Err(NandError::EraseWithValidPages {
+                superblock: self.index,
+                valid_pages: valid,
+            });
         }
         for b in &mut self.blocks {
             b.erase(self.index, force)?;

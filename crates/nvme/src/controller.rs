@@ -1,6 +1,40 @@
-//! The simulated NVMe controller.
+//! The simulated NVMe controller, structured for fine-grained
+//! concurrency.
+//!
+//! Locking topology (see DESIGN.md §"Locking model"):
+//!
+//! * **Media lock** — one [`Mutex<Ftl>`] guards the mapping table and
+//!   GC engine. It is held per command only for the FTL portion of the
+//!   work (mapping updates, placement, GC accounting), never across
+//!   payload copies.
+//! * **Payload store** — [`DataStore`] implementations synchronize
+//!   internally ([`crate::MemStore`] shards its lock 64 ways), and the
+//!   controller touches them strictly *outside* the media lock, so
+//!   payload memcpy traffic from N workers overlaps both with other
+//!   copies and with FTL work.
+//! * **Admin lock** — an `RwLock` over the namespace table, write-locked
+//!   only by admin commands (`create_namespace`); the data path never
+//!   takes it when callers hold a [`NamespaceState`] from
+//!   [`Controller::open_namespace`].
+//! * **Stats** — per-namespace atomic counters, aggregated on read by
+//!   [`Controller::device_io_stats`]. In the one-worker-per-namespace
+//!   topology every counter cache line has a single writer; workers
+//!   that share a namespace share its counters (contended but correct).
+//! * **FDP toggle** — an `AtomicBool`, so the A/B switch never blocks
+//!   in-flight I/O.
+//!
+//! The result: all methods take `&self`, `SharedController` is a plain
+//! `Arc<Controller>`, and N workers on N namespaces proceed in parallel
+//! on the data path, matching the paper's one-io_uring-queue-pair-per-
+//! worker topology (§5.4) far more faithfully than the previous
+//! `Arc<Mutex<Controller>>` arrangement, which serialized entire
+//! commands — payload copies included — through one global lock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use fdpcache_ftl::{FdpEvent, Ftl, FtlConfig, RuhId, DEFAULT_RUH};
+use parking_lot::{Mutex, RwLock};
 
 use crate::datastore::DataStore;
 use crate::error::NvmeError;
@@ -59,23 +93,118 @@ impl FdpStatsLog {
     }
 }
 
-/// The simulated NVMe controller: namespaces + FDP toggle + log pages
-/// over an [`Ftl`] and a payload [`DataStore`].
-pub struct Controller {
-    ftl: Ftl,
-    store: Box<dyn DataStore>,
-    namespaces: Vec<Namespace>,
-    fdp_enabled: bool,
+/// Snapshot of one namespace's I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NamespaceStats {
+    /// Write commands completed.
+    pub writes: u64,
+    /// Read commands completed.
+    pub reads: u64,
+    /// Deallocate (DSM) commands completed.
+    pub discards: u64,
+    /// Payload bytes written.
+    pub bytes_written: u64,
+    /// Payload bytes read.
+    pub bytes_read: u64,
+}
+
+impl NamespaceStats {
+    /// Element-wise sum, used when aggregating the device view.
+    pub fn merge(&self, other: &NamespaceStats) -> NamespaceStats {
+        NamespaceStats {
+            writes: self.writes + other.writes,
+            reads: self.reads + other.reads,
+            discards: self.discards + other.discards,
+            bytes_written: self.bytes_written + other.bytes_written,
+            bytes_read: self.bytes_read + other.bytes_read,
+        }
+    }
+}
+
+/// Per-namespace atomic counters — the sharded half of the device's
+/// statistics. Incremented lock-free on the data path, aggregated on
+/// read.
+#[derive(Debug, Default)]
+struct NsCounters {
+    writes: AtomicU64,
+    reads: AtomicU64,
+    discards: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl NsCounters {
+    fn snapshot(&self) -> NamespaceStats {
+        NamespaceStats {
+            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            discards: self.discards.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A namespace plus its submission-side state: the per-namespace half
+/// of the controller, handed to each worker by
+/// [`Controller::open_namespace`] so the data path never touches the
+/// admin lock.
+#[derive(Debug)]
+pub struct NamespaceState {
+    ns: Namespace,
+    counters: NsCounters,
+}
+
+impl NamespaceState {
+    /// The namespace's identity and geometry.
+    pub fn info(&self) -> &Namespace {
+        &self.ns
+    }
+
+    /// The namespace ID.
+    pub fn nsid(&self) -> NamespaceId {
+        self.ns.nsid
+    }
+
+    /// Snapshot of this namespace's I/O counters.
+    pub fn stats(&self) -> NamespaceStats {
+        self.counters.snapshot()
+    }
+}
+
+/// Namespace table + capacity accounting, guarded by the admin lock.
+#[derive(Debug, Default)]
+struct AdminState {
+    namespaces: Vec<Arc<NamespaceState>>,
     next_nsid: NamespaceId,
     allocated_lbas: u64,
 }
 
+/// The simulated NVMe controller: namespaces + FDP toggle + log pages
+/// over an [`Ftl`] and a payload [`DataStore`], with the fine-grained
+/// locking topology described in the module docs.
+pub struct Controller {
+    /// Media lock: mapping table, placement, GC.
+    ftl: Mutex<Ftl>,
+    /// Payload store; internally synchronized, accessed outside `ftl`.
+    store: Box<dyn DataStore>,
+    /// Admin lock: namespace table and capacity accounting.
+    admin: RwLock<AdminState>,
+    fdp_enabled: AtomicBool,
+    /// Immutable copies of device geometry, so identity/validation never
+    /// take the media lock.
+    config: FtlConfig,
+    lba_bytes: u32,
+    exported_lbas: u64,
+}
+
 impl std::fmt::Debug for Controller {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let admin = self.admin.read();
         f.debug_struct("Controller")
-            .field("namespaces", &self.namespaces.len())
-            .field("fdp_enabled", &self.fdp_enabled)
-            .field("allocated_lbas", &self.allocated_lbas)
+            .field("namespaces", &admin.namespaces.len())
+            .field("fdp_enabled", &self.fdp_enabled.load(Ordering::Relaxed))
+            .field("allocated_lbas", &admin.allocated_lbas)
             .finish()
     }
 }
@@ -89,54 +218,68 @@ impl Controller {
     /// Propagates configuration validation failures as strings.
     pub fn new(config: FtlConfig, store: Box<dyn DataStore>) -> Result<Self, String> {
         let fdp = config.num_ruhs > 1;
+        let ftl = Ftl::new(config.clone())?;
+        let lba_bytes = ftl.lba_bytes();
+        let exported_lbas = ftl.exported_lbas();
         Ok(Controller {
-            ftl: Ftl::new(config)?,
+            ftl: Mutex::new(ftl),
             store,
-            namespaces: Vec::new(),
-            fdp_enabled: fdp,
-            next_nsid: 1,
-            allocated_lbas: 0,
+            admin: RwLock::new(AdminState {
+                namespaces: Vec::new(),
+                next_nsid: 1,
+                allocated_lbas: 0,
+            }),
+            fdp_enabled: AtomicBool::new(fdp),
+            config,
+            lba_bytes,
+            exported_lbas,
         })
     }
 
     /// Controller identity (capacity, LBA size, FDP capability).
     pub fn identify(&self) -> ControllerIdentity {
-        let cfg = self.ftl.config();
         ControllerIdentity {
             model: "fdpcache simulated PM9D3-class FDP SSD".into(),
-            capacity_bytes: self.ftl.exported_lbas() * self.ftl.lba_bytes() as u64,
-            lba_bytes: self.ftl.lba_bytes(),
-            fdp_supported: cfg.num_ruhs > 1,
-            fdp_enabled: self.fdp_enabled,
+            capacity_bytes: self.exported_lbas * self.lba_bytes as u64,
+            lba_bytes: self.lba_bytes,
+            fdp_supported: self.config.num_ruhs > 1,
+            fdp_enabled: self.fdp_enabled(),
             fdp_config: Some(FdpConfigDescriptor {
-                nruh: cfg.num_ruhs,
-                nrg: cfg.num_rgs,
-                ruh_type: cfg.ruh_type,
-                ru_bytes: cfg.geometry.superblock_bytes(),
+                nruh: self.config.num_ruhs,
+                nrg: self.config.num_rgs,
+                ruh_type: self.config.ruh_type,
+                ru_bytes: self.config.geometry.superblock_bytes(),
             }),
         }
     }
 
     /// Enables or disables FDP placement, like the paper's
     /// `nvme-cli`-driven A/B switch. With FDP disabled every write lands
-    /// on the device default handle regardless of directives.
-    pub fn set_fdp_enabled(&mut self, enabled: bool) {
-        self.fdp_enabled = enabled;
+    /// on the device default handle regardless of directives. Lock-free;
+    /// concurrent in-flight commands observe the toggle atomically.
+    pub fn set_fdp_enabled(&self, enabled: bool) {
+        self.fdp_enabled.store(enabled, Ordering::Relaxed);
     }
 
     /// Whether FDP placement is currently honoured.
     pub fn fdp_enabled(&self) -> bool {
-        self.fdp_enabled
+        self.fdp_enabled.load(Ordering::Relaxed)
     }
 
-    /// Read-only access to the FTL for experiment instrumentation.
-    pub fn ftl(&self) -> &Ftl {
-        &self.ftl
+    /// Runs `f` with the FTL under the media lock, for experiment
+    /// instrumentation (RUH usage, wear, invariant checks).
+    pub fn with_ftl<R>(&self, f: impl FnOnce(&Ftl) -> R) -> R {
+        f(&self.ftl.lock())
     }
 
     /// Device LBA size in bytes.
     pub fn lba_bytes(&self) -> u32 {
-        self.ftl.lba_bytes()
+        self.lba_bytes
+    }
+
+    /// The device configuration (immutable after construction).
+    pub fn config(&self) -> &FtlConfig {
+        &self.config
     }
 
     /// Whether the attached backing store retains payload bytes. Callers
@@ -148,11 +291,12 @@ impl Controller {
 
     /// Unallocated LBAs remaining for namespace creation.
     pub fn unallocated_lbas(&self) -> u64 {
-        self.ftl.exported_lbas() - self.allocated_lbas
+        self.exported_lbas - self.admin.read().allocated_lbas
     }
 
     /// Creates a namespace of `lba_count` blocks with the given placement
-    /// handle list (empty list ⇒ `[DEFAULT_RUH]`).
+    /// handle list (empty list ⇒ `[DEFAULT_RUH]`). Admin command: takes
+    /// the admin write lock, never the media lock.
     ///
     /// Namespaces are carved sequentially from exported capacity; there
     /// is no delete/resize (the experiments never need it).
@@ -162,56 +306,97 @@ impl Controller {
     /// [`NvmeError::CapacityExceeded`] if the space is not available, or
     /// [`NvmeError::InvalidPlacementId`] if a listed RUH does not exist.
     pub fn create_namespace(
-        &mut self,
+        &self,
         lba_count: u64,
         ruh_list: Vec<RuhId>,
     ) -> Result<NamespaceId, NvmeError> {
-        if lba_count == 0 || lba_count > self.unallocated_lbas() {
-            return Err(NvmeError::CapacityExceeded);
-        }
-        let nruh = self.ftl.config().num_ruhs;
+        let nruh = self.config.num_ruhs;
         for (i, &ruh) in ruh_list.iter().enumerate() {
             if ruh >= nruh {
                 return Err(NvmeError::InvalidPlacementId(i as u16));
             }
         }
         let ruh_list = if ruh_list.is_empty() { vec![DEFAULT_RUH] } else { ruh_list };
-        let nsid = self.next_nsid;
-        self.namespaces.push(Namespace {
-            nsid,
-            start_lba: self.allocated_lbas,
-            lba_count,
-            ruh_list,
-        });
-        self.allocated_lbas += lba_count;
-        self.next_nsid += 1;
+        let mut admin = self.admin.write();
+        if lba_count == 0 || lba_count > self.exported_lbas - admin.allocated_lbas {
+            return Err(NvmeError::CapacityExceeded);
+        }
+        let nsid = admin.next_nsid;
+        let start_lba = admin.allocated_lbas;
+        admin.namespaces.push(Arc::new(NamespaceState {
+            ns: Namespace { nsid, start_lba, lba_count, ruh_list },
+            counters: NsCounters::default(),
+        }));
+        admin.allocated_lbas += lba_count;
+        admin.next_nsid += 1;
         Ok(nsid)
     }
 
-    /// Looks up a namespace.
-    pub fn namespace(&self, nsid: NamespaceId) -> Option<&Namespace> {
-        self.namespaces.iter().find(|n| n.nsid == nsid)
+    /// Looks up a namespace's identity (a cheap clone).
+    pub fn namespace(&self, nsid: NamespaceId) -> Option<Namespace> {
+        self.open_namespace(nsid).map(|s| s.ns.clone())
     }
 
-    fn namespace_checked(&self, nsid: NamespaceId) -> Result<Namespace, NvmeError> {
-        self.namespace(nsid).cloned().ok_or(NvmeError::InvalidNamespace(nsid))
+    /// Opens a namespace for I/O: returns its shared state so the caller
+    /// (one [`IoManager`](../fdpcache_core) per worker) can submit
+    /// without ever touching the admin lock again.
+    pub fn open_namespace(&self, nsid: NamespaceId) -> Option<Arc<NamespaceState>> {
+        self.admin.read().namespaces.iter().find(|s| s.ns.nsid == nsid).cloned()
+    }
+
+    fn open_checked(&self, nsid: NamespaceId) -> Result<Arc<NamespaceState>, NvmeError> {
+        self.open_namespace(nsid).ok_or(NvmeError::InvalidNamespace(nsid))
+    }
+
+    /// Snapshot of one namespace's I/O counters.
+    pub fn namespace_stats(&self, nsid: NamespaceId) -> Option<NamespaceStats> {
+        self.open_namespace(nsid).map(|s| s.stats())
+    }
+
+    /// Device-wide I/O statistics, aggregated from the per-namespace
+    /// atomics on read (the "sharded counters" half of the locking
+    /// model — nothing on the data path contends to update a global).
+    pub fn device_io_stats(&self) -> NamespaceStats {
+        self.admin
+            .read()
+            .namespaces
+            .iter()
+            .fold(NamespaceStats::default(), |acc, s| acc.merge(&s.stats()))
     }
 
     /// Writes `data` (a whole number of blocks) at `slba`, honouring the
-    /// placement directive when FDP is enabled.
+    /// placement directive when FDP is enabled. Convenience wrapper over
+    /// [`Controller::write_ns`] that resolves the namespace per call.
     ///
     /// # Errors
     ///
     /// Namespace/range/buffer validation errors, or FTL failures.
     pub fn write(
-        &mut self,
+        &self,
         nsid: NamespaceId,
         slba: u64,
         data: &[u8],
         dspec: Option<u16>,
     ) -> Result<WriteCompletion, NvmeError> {
-        let ns = self.namespace_checked(nsid)?;
-        let lba_bytes = self.ftl.lba_bytes() as usize;
+        self.write_ns(&*self.open_checked(nsid)?, slba, data, dspec)
+    }
+
+    /// Writes through an opened namespace. The media lock is held only
+    /// for the FTL mapping work; payload bytes land in the (sharded)
+    /// store after it is released.
+    ///
+    /// # Errors
+    ///
+    /// Range/buffer validation errors, or FTL failures.
+    pub fn write_ns(
+        &self,
+        state: &NamespaceState,
+        slba: u64,
+        data: &[u8],
+        dspec: Option<u16>,
+    ) -> Result<WriteCompletion, NvmeError> {
+        let ns = &state.ns;
+        let lba_bytes = self.lba_bytes as usize;
         if data.is_empty() || !data.len().is_multiple_of(lba_bytes) {
             return Err(NvmeError::BufferSizeMismatch {
                 expected: data.len().next_multiple_of(lba_bytes).max(lba_bytes),
@@ -221,7 +406,7 @@ impl Controller {
         let nlb = (data.len() / lba_bytes) as u64;
         let (dev_start, _) = ns
             .translate_range(slba, nlb)
-            .ok_or(NvmeError::LbaOutOfRange { nsid, lba: slba })?;
+            .ok_or(NvmeError::LbaOutOfRange { nsid: ns.nsid, lba: slba })?;
         // Resolve placement: FDP disabled ⇒ device default handle,
         // ignoring directives (backward compatibility, §3.2.2). An
         // enabled directive carries a placement identifier: reclaim
@@ -229,14 +414,13 @@ impl Controller {
         // namespace's RUH list) in the lower byte — the spec's
         // `<RG, PH>` pair. A missing directive writes to the default
         // handle of reclaim group 0.
-        let (rg, ruh) = if self.fdp_enabled {
+        let (rg, ruh) = if self.fdp_enabled() {
             match dspec {
                 Some(pid) => {
                     let ph = pid & 0xFF;
                     let rg = pid >> 8;
-                    let ruh =
-                        ns.resolve_pid(ph).ok_or(NvmeError::InvalidPlacementId(pid))?;
-                    if rg >= self.ftl.config().num_rgs {
+                    let ruh = ns.resolve_pid(ph).ok_or(NvmeError::InvalidPlacementId(pid))?;
+                    if rg >= self.config.num_rgs {
                         return Err(NvmeError::InvalidPlacementId(pid));
                     }
                     (rg, ruh)
@@ -246,21 +430,53 @@ impl Controller {
         } else {
             (0, DEFAULT_RUH)
         };
-        let mut completion = WriteCompletion::default();
+        // Payload copies proceed outside the media lock, in parallel
+        // with other workers' FTL work and store traffic. They land
+        // BEFORE the mapping is published so that (a) every mapped LBA
+        // has its payload even if the FTL errors mid-command (the
+        // mapped prefix below is then fully stored), and (b) a reader
+        // racing a first write sees `Unwritten` until the mapping
+        // exists, never a mapped-but-empty zero-fill. Blocks stored
+        // here that never get mapped (FTL error on a later block) are
+        // invisible: reads check the mapping first. For an *overwrite*
+        // that then fails in the FTL, the store already holds the new
+        // bytes — NVMe leaves content indeterminate after a failed
+        // write, so that is within contract. One non-goal (DESIGN.md
+        // §5): a write racing a *deallocate of the same LBA* is not
+        // linearizable — no client issues that pattern (trim traffic
+        // comes from each namespace's own single-threaded engine).
         for i in 0..nlb {
-            let dev_lba = dev_start + i;
-            let receipt = self.ftl.write_placed(dev_lba, rg, ruh)?;
-            completion.service_ns += receipt.program_ns;
-            completion.gc_ns += receipt.gc_ns;
-            completion.relocated_pages += receipt.relocated_pages;
             let off = i as usize * lba_bytes;
-            self.store.write_block(dev_lba, &data[off..off + lba_bytes]);
+            self.store.write_block(dev_start + i, &data[off..off + lba_bytes]);
         }
+        let mut completion = WriteCompletion::default();
+        {
+            let mut ftl = self.ftl.lock();
+            for i in 0..nlb {
+                let receipt = ftl.write_placed(dev_start + i, rg, ruh)?;
+                completion.service_ns += receipt.program_ns;
+                completion.gc_ns += receipt.gc_ns;
+                completion.relocated_pages += receipt.relocated_pages;
+            }
+        }
+        state.counters.writes.fetch_add(1, Ordering::Relaxed);
+        state.counters.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(completion)
     }
 
     /// Reads whole blocks into `out` starting at `slba`. Returns media
-    /// service time in nanoseconds.
+    /// service time in nanoseconds. Convenience wrapper over
+    /// [`Controller::read_ns`].
+    ///
+    /// # Errors
+    ///
+    /// [`NvmeError::Unwritten`] when any block has never been written.
+    pub fn read(&self, nsid: NamespaceId, slba: u64, out: &mut [u8]) -> Result<u64, NvmeError> {
+        self.read_ns(&*self.open_checked(nsid)?, slba, out)
+    }
+
+    /// Reads through an opened namespace. Mapping checks and timing run
+    /// under the media lock; payload loads run after it is released.
     ///
     /// If the backing store does not retain payloads ([`crate::NullStore`])
     /// the buffer is zero-filled but timing/accounting still happen.
@@ -268,14 +484,14 @@ impl Controller {
     /// # Errors
     ///
     /// [`NvmeError::Unwritten`] when any block has never been written.
-    pub fn read(
-        &mut self,
-        nsid: NamespaceId,
+    pub fn read_ns(
+        &self,
+        state: &NamespaceState,
         slba: u64,
         out: &mut [u8],
     ) -> Result<u64, NvmeError> {
-        let ns = self.namespace_checked(nsid)?;
-        let lba_bytes = self.ftl.lba_bytes() as usize;
+        let ns = &state.ns;
+        let lba_bytes = self.lba_bytes as usize;
         if out.is_empty() || !out.len().is_multiple_of(lba_bytes) {
             return Err(NvmeError::BufferSizeMismatch {
                 expected: out.len().next_multiple_of(lba_bytes).max(lba_bytes),
@@ -285,45 +501,69 @@ impl Controller {
         let nlb = (out.len() / lba_bytes) as u64;
         let (dev_start, _) = ns
             .translate_range(slba, nlb)
-            .ok_or(NvmeError::LbaOutOfRange { nsid, lba: slba })?;
+            .ok_or(NvmeError::LbaOutOfRange { nsid: ns.nsid, lba: slba })?;
         let mut total_ns = 0u64;
+        {
+            let mut ftl = self.ftl.lock();
+            for i in 0..nlb {
+                total_ns += ftl.read(dev_start + i).map_err(|e| match e {
+                    fdpcache_ftl::FtlError::Unmapped(l) => NvmeError::Unwritten(l),
+                    other => NvmeError::Ftl(other),
+                })?;
+            }
+        }
+        // Payload loads run outside the media lock. Non-goal (DESIGN.md
+        // §5): a read racing a deallocate of the same LBA may zero-fill
+        // — no client issues that pattern (trim traffic comes from each
+        // namespace's own single-threaded engine).
         for i in 0..nlb {
-            let dev_lba = dev_start + i;
-            let ns_time = self.ftl.read(dev_lba).map_err(|e| match e {
-                fdpcache_ftl::FtlError::Unmapped(l) => NvmeError::Unwritten(l),
-                other => NvmeError::Ftl(other),
-            })?;
-            total_ns += ns_time;
             let off = i as usize * lba_bytes;
             let chunk = &mut out[off..off + lba_bytes];
-            if !self.store.read_block(dev_lba, chunk) {
+            if !self.store.read_block(dev_start + i, chunk) {
                 chunk.fill(0);
             }
         }
+        state.counters.reads.fetch_add(1, Ordering::Relaxed);
+        state.counters.bytes_read.fetch_add(out.len() as u64, Ordering::Relaxed);
         Ok(total_ns)
     }
 
     /// Deallocates the given ranges (DSM). Unwritten LBAs are skipped.
+    /// Convenience wrapper over [`Controller::deallocate_ns`].
     ///
     /// # Errors
     ///
     /// Range validation errors; partial progress is possible on error,
     /// matching real DSM semantics where ranges complete independently.
     pub fn deallocate(
-        &mut self,
+        &self,
         nsid: NamespaceId,
         ranges: &[crate::command::DeallocRange],
     ) -> Result<(), NvmeError> {
-        let ns = self.namespace_checked(nsid)?;
+        self.deallocate_ns(&*self.open_checked(nsid)?, ranges)
+    }
+
+    /// Deallocates through an opened namespace.
+    ///
+    /// # Errors
+    ///
+    /// Range validation errors; partial progress is possible on error.
+    pub fn deallocate_ns(
+        &self,
+        state: &NamespaceState,
+        ranges: &[crate::command::DeallocRange],
+    ) -> Result<(), NvmeError> {
+        let ns = &state.ns;
         for r in ranges {
             let (dev_start, count) = ns
                 .translate_range(r.slba, r.nlb)
-                .ok_or(NvmeError::LbaOutOfRange { nsid, lba: r.slba })?;
-            self.ftl.trim(dev_start, count)?;
+                .ok_or(NvmeError::LbaOutOfRange { nsid: ns.nsid, lba: r.slba })?;
+            self.ftl.lock().trim(dev_start, count)?;
             for lba in dev_start..dev_start + count {
                 self.store.discard(lba);
             }
         }
+        state.counters.discards.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -333,19 +573,18 @@ impl Controller {
     /// # Errors
     ///
     /// [`NvmeError::InvalidNamespace`] if the namespace does not exist.
-    pub fn format_namespace(&mut self, nsid: NamespaceId) -> Result<(), NvmeError> {
-        let ns = self.namespace_checked(nsid)?;
-        self.deallocate(
-            nsid,
-            &[crate::command::DeallocRange { slba: 0, nlb: ns.lba_count }],
-        )
+    pub fn format_namespace(&self, nsid: NamespaceId) -> Result<(), NvmeError> {
+        let state = self.open_checked(nsid)?;
+        let nlb = state.ns.lba_count;
+        self.deallocate_ns(&state, &[crate::command::DeallocRange { slba: 0, nlb }])
     }
 
     /// Reads the FDP statistics log page.
     pub fn fdp_stats_log(&self) -> FdpStatsLog {
-        let s = self.ftl.stats();
-        let page = self.ftl.lba_bytes() as u64;
-        let ru_bytes = self.ftl.config().geometry.superblock_bytes();
+        let ftl = self.ftl.lock();
+        let s = ftl.stats();
+        let page = self.lba_bytes as u64;
+        let ru_bytes = self.config.geometry.superblock_bytes();
         FdpStatsLog {
             host_bytes_written: s.host_pages_written * page,
             media_bytes_written: s.nand_pages_written * page,
@@ -355,22 +594,23 @@ impl Controller {
     }
 
     /// Drains the FDP event log (host event consumption).
-    pub fn drain_fdp_events(&mut self) -> Vec<FdpEvent> {
-        self.ftl.events_mut().drain()
+    pub fn drain_fdp_events(&self) -> Vec<FdpEvent> {
+        self.ftl.lock().events_mut().drain()
     }
 
     /// Reads the reclaim unit handle usage log page: per-handle host
     /// writes, RU switches, and available space in the currently
     /// referenced RU (paper §3.2.2's RU space query).
     pub fn ruh_usage_log(&self) -> RuhUsageLog {
-        let host = self.ftl.ruh_host_pages();
-        let switches = self.ftl.ruh_switches();
-        let descriptors = (0..self.ftl.config().num_ruhs)
+        let ftl = self.ftl.lock();
+        let host = ftl.ruh_host_pages().to_vec();
+        let switches = ftl.ruh_switches().to_vec();
+        let descriptors = (0..self.config.num_ruhs)
             .map(|ruh| RuhUsageDescriptor {
                 ruh,
                 host_pages_written: host[ruh as usize],
                 ru_switches: switches[ruh as usize],
-                available_pages: self.ftl.ruh_available_pages(ruh),
+                available_pages: ftl.ruh_available_pages(ruh),
             })
             .collect();
         RuhUsageLog { descriptors }
@@ -380,13 +620,12 @@ impl Controller {
     /// the paper's PM9D3, exposes a single manufacturer-fixed
     /// configuration.
     pub fn fdp_config_log(&self) -> FdpConfigLog {
-        let cfg = self.ftl.config();
         FdpConfigLog {
             configs: vec![FdpConfigDescriptor {
-                nruh: cfg.num_ruhs,
-                nrg: cfg.num_rgs,
-                ruh_type: cfg.ruh_type,
-                ru_bytes: cfg.geometry.superblock_bytes(),
+                nruh: self.config.num_ruhs,
+                nrg: self.config.num_rgs,
+                ruh_type: self.config.ruh_type,
+                ru_bytes: self.config.geometry.superblock_bytes(),
             }],
             active: 0,
         }
@@ -409,7 +648,7 @@ mod tests {
 
     #[test]
     fn namespace_creation_and_capacity() {
-        let mut c = ctrl();
+        let c = ctrl();
         let total = c.unallocated_lbas();
         let ns1 = c.create_namespace(total / 2, vec![0, 1]).unwrap();
         assert_eq!(ns1, 1);
@@ -421,17 +660,14 @@ mod tests {
 
     #[test]
     fn namespace_rejects_unknown_ruh() {
-        let mut c = ctrl();
-        let bad = c.ftl().config().num_ruhs;
-        assert!(matches!(
-            c.create_namespace(16, vec![bad]),
-            Err(NvmeError::InvalidPlacementId(0))
-        ));
+        let c = ctrl();
+        let bad = c.config().num_ruhs;
+        assert!(matches!(c.create_namespace(16, vec![bad]), Err(NvmeError::InvalidPlacementId(0))));
     }
 
     #[test]
     fn write_read_round_trip() {
-        let mut c = ctrl();
+        let c = ctrl();
         let ns = c.create_namespace(64, vec![0, 1]).unwrap();
         c.write(ns, 3, &page(0xAB), Some(1)).unwrap();
         let mut out = page(0);
@@ -441,7 +677,7 @@ mod tests {
 
     #[test]
     fn multi_block_write_reads_back() {
-        let mut c = ctrl();
+        let c = ctrl();
         let ns = c.create_namespace(64, vec![]).unwrap();
         let mut buf = Vec::new();
         for i in 0..4u8 {
@@ -455,7 +691,7 @@ mod tests {
 
     #[test]
     fn read_unwritten_is_error() {
-        let mut c = ctrl();
+        let c = ctrl();
         let ns = c.create_namespace(16, vec![]).unwrap();
         let mut out = page(0);
         assert!(matches!(c.read(ns, 0, &mut out), Err(NvmeError::Unwritten(_))));
@@ -463,64 +699,52 @@ mod tests {
 
     #[test]
     fn buffer_misalignment_rejected() {
-        let mut c = ctrl();
+        let c = ctrl();
         let ns = c.create_namespace(16, vec![]).unwrap();
         assert!(matches!(
             c.write(ns, 0, &[0u8; 100], None),
             Err(NvmeError::BufferSizeMismatch { .. })
         ));
         let mut small = [0u8; 512];
-        assert!(matches!(
-            c.read(ns, 0, &mut small),
-            Err(NvmeError::BufferSizeMismatch { .. })
-        ));
+        assert!(matches!(c.read(ns, 0, &mut small), Err(NvmeError::BufferSizeMismatch { .. })));
     }
 
     #[test]
     fn out_of_range_rejected() {
-        let mut c = ctrl();
+        let c = ctrl();
         let ns = c.create_namespace(4, vec![]).unwrap();
-        assert!(matches!(
-            c.write(ns, 4, &page(1), None),
-            Err(NvmeError::LbaOutOfRange { .. })
-        ));
-        assert!(matches!(
-            c.write(99, 0, &page(1), None),
-            Err(NvmeError::InvalidNamespace(99))
-        ));
+        assert!(matches!(c.write(ns, 4, &page(1), None), Err(NvmeError::LbaOutOfRange { .. })));
+        assert!(matches!(c.write(99, 0, &page(1), None), Err(NvmeError::InvalidNamespace(99))));
     }
 
     #[test]
     fn invalid_dspec_rejected_when_fdp_on() {
-        let mut c = ctrl();
+        let c = ctrl();
         let ns = c.create_namespace(16, vec![0, 1]).unwrap();
-        assert!(matches!(
-            c.write(ns, 0, &page(1), Some(7)),
-            Err(NvmeError::InvalidPlacementId(7))
-        ));
+        assert!(matches!(c.write(ns, 0, &page(1), Some(7)), Err(NvmeError::InvalidPlacementId(7))));
     }
 
     #[test]
     fn fdp_disabled_ignores_directives() {
-        let mut c = ctrl();
+        let c = ctrl();
         let ns = c.create_namespace(16, vec![0, 1, 2]).unwrap();
         c.set_fdp_enabled(false);
         // Even an invalid DSPEC is ignored when FDP is off.
         c.write(ns, 0, &page(1), Some(42)).unwrap();
-        assert_eq!(c.ftl().ruh_host_pages()[fdpcache_ftl::DEFAULT_RUH as usize], 1);
+        assert_eq!(c.with_ftl(|f| f.ruh_host_pages()[fdpcache_ftl::DEFAULT_RUH as usize]), 1);
     }
 
     #[test]
     fn dspec_routes_to_selected_ruh() {
-        let mut c = ctrl();
+        let c = ctrl();
         let ns = c.create_namespace(16, vec![0, 3]).unwrap();
         c.write(ns, 0, &page(1), Some(1)).unwrap();
-        assert_eq!(c.ftl().ruh_host_pages()[3], 1);
+        assert_eq!(c.with_ftl(|f| f.ruh_host_pages()[3]), 1);
     }
 
     #[test]
     fn deallocate_then_read_fails() {
-        let mut c = ctrl();
+        let c = ctrl();
         let ns = c.create_namespace(16, vec![]).unwrap();
         c.write(ns, 2, &page(9), None).unwrap();
         c.deallocate(ns, &[DeallocRange { slba: 0, nlb: 16 }]).unwrap();
@@ -530,16 +754,16 @@ mod tests {
 
     #[test]
     fn format_namespace_resets_payloads() {
-        let mut c = ctrl();
+        let c = ctrl();
         let ns = c.create_namespace(16, vec![]).unwrap();
         c.write(ns, 0, &page(1), None).unwrap();
         c.format_namespace(ns).unwrap();
-        assert_eq!(c.ftl().mapped_lbas(), 0);
+        assert_eq!(c.with_ftl(|f| f.mapped_lbas()), 0);
     }
 
     #[test]
     fn stats_log_tracks_dlwa_inputs() {
-        let mut c = ctrl();
+        let c = ctrl();
         let ns = c.create_namespace(16, vec![]).unwrap();
         let t0 = c.fdp_stats_log();
         c.write(ns, 0, &page(1), None).unwrap();
@@ -553,7 +777,7 @@ mod tests {
 
     #[test]
     fn namespaces_are_disjoint() {
-        let mut c = ctrl();
+        let c = ctrl();
         let a = c.create_namespace(8, vec![]).unwrap();
         let b = c.create_namespace(8, vec![]).unwrap();
         c.write(a, 0, &page(0xAA), None).unwrap();
@@ -567,7 +791,7 @@ mod tests {
 
     #[test]
     fn nullstore_reads_zeros_for_written_lbas() {
-        let mut c = Controller::new(FtlConfig::tiny_test(), Box::new(NullStore)).unwrap();
+        let c = Controller::new(FtlConfig::tiny_test(), Box::new(NullStore)).unwrap();
         let ns = c.create_namespace(8, vec![]).unwrap();
         c.write(ns, 0, &page(0xFF), None).unwrap();
         let mut out = page(7);
@@ -577,18 +801,18 @@ mod tests {
 
     #[test]
     fn identify_reflects_fdp_state() {
-        let mut c = ctrl();
+        let c = ctrl();
         let id = c.identify();
         assert!(id.fdp_supported);
         assert!(id.fdp_enabled);
-        assert_eq!(id.usable_handles(), c.ftl().config().num_ruhs);
+        assert_eq!(id.usable_handles(), c.config().num_ruhs);
         c.set_fdp_enabled(false);
         assert_eq!(c.identify().usable_handles(), 0);
     }
 
     #[test]
     fn gc_events_visible_via_log_and_stats() {
-        let mut c = ctrl();
+        let c = ctrl();
         let lbas = c.unallocated_lbas();
         let ns = c.create_namespace(lbas, vec![]).unwrap();
         let mut x = 777u64;
@@ -608,14 +832,14 @@ mod tests {
 
     #[test]
     fn ruh_usage_log_attributes_writes() {
-        let mut c = ctrl();
+        let c = ctrl();
         let ns = c.create_namespace(64, vec![0, 1, 2]).unwrap();
         let data = page(9);
         c.write(ns, 0, &data, Some(1)).unwrap();
         c.write(ns, 1, &data, Some(1)).unwrap();
         c.write(ns, 2, &data, Some(2)).unwrap();
         let usage = c.ruh_usage_log();
-        assert_eq!(usage.descriptors.len(), c.ftl().config().num_ruhs as usize);
+        assert_eq!(usage.descriptors.len(), c.config().num_ruhs as usize);
         assert_eq!(usage.handle(1).unwrap().host_pages_written, 2);
         assert_eq!(usage.handle(2).unwrap().host_pages_written, 1);
         assert!((usage.share(1) - 2.0 / 3.0).abs() < 1e-12);
@@ -631,21 +855,21 @@ mod tests {
     fn rg_encoded_pid_routes_to_group() {
         let mut cfg = FtlConfig::tiny_test();
         cfg.num_rgs = 2;
-        let mut c = Controller::new(cfg, Box::new(NullStore)).unwrap();
+        let c = Controller::new(cfg, Box::new(NullStore)).unwrap();
         let ns = c.create_namespace(64, vec![0, 1]).unwrap();
         let data = page(3);
         // PID = rg << 8 | ph: ph 1 (-> RUH 1) in reclaim group 1.
         c.write(ns, 0, &data, Some((1 << 8) | 1)).unwrap();
-        let per_rg = c.ftl().config().rus_per_rg();
+        let per_rg = c.config().rus_per_rg();
         // The handle's active RU in group 1 has space; group 0 has none.
-        assert!(c.ftl().ruh_available_pages_in(1, 1) > 0);
-        assert_eq!(c.ftl().ruh_available_pages_in(0, 1), 0);
+        assert!(c.with_ftl(|f| f.ruh_available_pages_in(1, 1)) > 0);
+        assert_eq!(c.with_ftl(|f| f.ruh_available_pages_in(0, 1)), 0);
         let _ = per_rg;
     }
 
     #[test]
     fn unknown_rg_in_pid_rejected() {
-        let mut c = ctrl(); // 1 reclaim group
+        let c = ctrl(); // 1 reclaim group
         let ns = c.create_namespace(64, vec![0, 1]).unwrap();
         let data = page(3);
         let err = c.write(ns, 0, &data, Some((3 << 8) | 1)).unwrap_err();
@@ -668,5 +892,77 @@ mod tests {
         assert_eq!(log.configs.len(), 1);
         let ident = c.identify();
         assert_eq!(Some(*log.active_config()), ident.fdp_config);
+    }
+
+    #[test]
+    fn per_namespace_stats_are_sharded_and_aggregate() {
+        let c = ctrl();
+        let a = c.create_namespace(16, vec![]).unwrap();
+        let b = c.create_namespace(16, vec![]).unwrap();
+        c.write(a, 0, &page(1), None).unwrap();
+        c.write(a, 1, &page(2), None).unwrap();
+        c.write(b, 0, &page(3), None).unwrap();
+        let mut out = page(0);
+        c.read(b, 0, &mut out).unwrap();
+        let sa = c.namespace_stats(a).unwrap();
+        let sb = c.namespace_stats(b).unwrap();
+        assert_eq!((sa.writes, sa.reads), (2, 0));
+        assert_eq!((sb.writes, sb.reads), (1, 1));
+        assert_eq!(sa.bytes_written, 2 * 4096);
+        let total = c.device_io_stats();
+        assert_eq!(total.writes, 3);
+        assert_eq!(total.reads, 1);
+        assert_eq!(total.bytes_written, 3 * 4096);
+        assert_eq!(total.bytes_read, 4096);
+    }
+
+    #[test]
+    fn open_namespace_bypasses_admin_lookup() {
+        let c = ctrl();
+        let nsid = c.create_namespace(32, vec![0, 1]).unwrap();
+        let state = c.open_namespace(nsid).unwrap();
+        c.write_ns(&state, 0, &page(5), Some(1)).unwrap();
+        let mut out = page(0);
+        c.read_ns(&state, 0, &mut out).unwrap();
+        assert_eq!(out[0], 5);
+        assert_eq!(state.stats().writes, 1);
+        assert_eq!(state.stats().reads, 1);
+        assert_eq!(state.nsid(), nsid);
+        assert_eq!(state.info().lba_count, 32);
+    }
+
+    #[test]
+    fn concurrent_writers_on_disjoint_namespaces() {
+        let c = std::sync::Arc::new(ctrl());
+        let total = c.unallocated_lbas();
+        let workers = 4u64;
+        let per = total / workers;
+        let states: Vec<_> = (0..workers)
+            .map(|_| {
+                let nsid = c.create_namespace(per, vec![0, 1]).unwrap();
+                c.open_namespace(nsid).unwrap()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for state in &states {
+                let c = c.clone();
+                scope.spawn(move || {
+                    let data = page(state.nsid() as u8);
+                    for i in 0..per.min(64) {
+                        c.write_ns(state, i, &data, Some(1)).unwrap();
+                    }
+                    let mut out = page(0);
+                    for i in 0..per.min(64) {
+                        c.read_ns(state, i, &mut out).unwrap();
+                        assert_eq!(out[0], state.nsid() as u8, "cross-namespace bleed");
+                    }
+                });
+            }
+        });
+        let total_stats = c.device_io_stats();
+        let expect = workers * per.min(64);
+        assert_eq!(total_stats.writes, expect, "no lost writes");
+        assert_eq!(total_stats.reads, expect, "no lost reads");
+        c.with_ftl(|f| f.check_invariants());
     }
 }

@@ -4,34 +4,59 @@
 //! indexed by device LBA. Because relocation never changes an LBA's
 //! logical contents, a logical store composes correctly with physical GC.
 //!
+//! Stores are shared by every worker on the device, so the trait takes
+//! `&self` and implementations handle their own synchronization. The
+//! controller's data path deliberately performs payload I/O *outside*
+//! its media lock (see [`crate::Controller`]), which is what lets
+//! payload memcpy traffic from N workers proceed in parallel.
+//!
 //! Two implementations:
 //!
-//! * [`MemStore`] — sparse in-memory pages; full read-back integrity for
-//!   functional tests, examples and the cache layer.
+//! * [`MemStore`] — sparse in-memory pages behind `SHARDS`-way sharded
+//!   locks (LBA-interleaved, so contiguous namespaces spread across
+//!   every shard); full read-back integrity for functional tests,
+//!   examples and the cache layer.
 //! * [`NullStore`] — discards payloads; DLWA/carbon experiments that
 //!   replay billions of accesses only need placement metadata, and
 //!   skipping payload copies keeps them fast.
 
 use std::collections::HashMap;
 
+use parking_lot::Mutex;
+
 /// Logical payload storage keyed by device LBA.
-pub trait DataStore: Send {
+///
+/// Implementations must be internally synchronized: the controller
+/// calls them concurrently from many worker threads without holding
+/// any device-wide lock.
+pub trait DataStore: Send + Sync {
     /// Stores one logical block. `data` is exactly one LBA in length
     /// (enforced by the controller).
-    fn write_block(&mut self, lba: u64, data: &[u8]);
+    fn write_block(&self, lba: u64, data: &[u8]);
     /// Loads one logical block into `out`. Returns `false` if the LBA has
     /// no stored payload (never written, deallocated, or a `NullStore`).
     fn read_block(&self, lba: u64, out: &mut [u8]) -> bool;
     /// Drops the payload for an LBA (deallocate).
-    fn discard(&mut self, lba: u64);
+    fn discard(&self, lba: u64);
     /// Whether payloads are actually retained (false for `NullStore`).
     fn retains_data(&self) -> bool;
 }
 
-/// Sparse in-memory page store.
-#[derive(Debug, Default)]
+/// Lock shards in [`MemStore`]. LBAs interleave across shards, so a
+/// contiguous namespace touches all of them and two namespaces never
+/// contend unless their LBAs collide modulo the shard count.
+const SHARDS: usize = 64;
+
+/// Sparse in-memory page store with sharded interior locking.
+#[derive(Debug)]
 pub struct MemStore {
-    pages: HashMap<u64, Box<[u8]>>,
+    shards: Vec<Mutex<HashMap<u64, Box<[u8]>>>>,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        MemStore { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
 }
 
 impl MemStore {
@@ -40,24 +65,28 @@ impl MemStore {
         Self::default()
     }
 
-    /// Number of LBAs currently holding payloads.
+    fn shard(&self, lba: u64) -> &Mutex<HashMap<u64, Box<[u8]>>> {
+        &self.shards[(lba % SHARDS as u64) as usize]
+    }
+
+    /// Number of LBAs currently holding payloads (aggregated on read).
     pub fn len(&self) -> usize {
-        self.pages.len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.pages.is_empty()
+        self.shards.iter().all(|s| s.lock().is_empty())
     }
 }
 
 impl DataStore for MemStore {
-    fn write_block(&mut self, lba: u64, data: &[u8]) {
-        self.pages.insert(lba, data.into());
+    fn write_block(&self, lba: u64, data: &[u8]) {
+        self.shard(lba).lock().insert(lba, data.into());
     }
 
     fn read_block(&self, lba: u64, out: &mut [u8]) -> bool {
-        match self.pages.get(&lba) {
+        match self.shard(lba).lock().get(&lba) {
             Some(p) => {
                 let n = p.len().min(out.len());
                 out[..n].copy_from_slice(&p[..n]);
@@ -67,8 +96,8 @@ impl DataStore for MemStore {
         }
     }
 
-    fn discard(&mut self, lba: u64) {
-        self.pages.remove(&lba);
+    fn discard(&self, lba: u64) {
+        self.shard(lba).lock().remove(&lba);
     }
 
     fn retains_data(&self) -> bool {
@@ -81,13 +110,13 @@ impl DataStore for MemStore {
 pub struct NullStore;
 
 impl DataStore for NullStore {
-    fn write_block(&mut self, _lba: u64, _data: &[u8]) {}
+    fn write_block(&self, _lba: u64, _data: &[u8]) {}
 
     fn read_block(&self, _lba: u64, _out: &mut [u8]) -> bool {
         false
     }
 
-    fn discard(&mut self, _lba: u64) {}
+    fn discard(&self, _lba: u64) {}
 
     fn retains_data(&self) -> bool {
         false
@@ -100,7 +129,7 @@ mod tests {
 
     #[test]
     fn memstore_round_trips() {
-        let mut s = MemStore::new();
+        let s = MemStore::new();
         s.write_block(7, &[1, 2, 3, 4]);
         let mut out = [0u8; 4];
         assert!(s.read_block(7, &mut out));
@@ -110,7 +139,7 @@ mod tests {
 
     #[test]
     fn memstore_overwrite_replaces() {
-        let mut s = MemStore::new();
+        let s = MemStore::new();
         s.write_block(1, &[9; 4]);
         s.write_block(1, &[5; 4]);
         let mut out = [0u8; 4];
@@ -121,7 +150,7 @@ mod tests {
 
     #[test]
     fn memstore_discard_forgets() {
-        let mut s = MemStore::new();
+        let s = MemStore::new();
         s.write_block(1, &[1; 4]);
         s.discard(1);
         let mut out = [0u8; 4];
@@ -130,8 +159,40 @@ mod tests {
     }
 
     #[test]
+    fn memstore_spreads_across_shards() {
+        let s = MemStore::new();
+        for lba in 0..(SHARDS as u64 * 2) {
+            s.write_block(lba, &[lba as u8; 4]);
+        }
+        assert_eq!(s.len(), SHARDS * 2);
+        for shard in &s.shards {
+            assert_eq!(shard.lock().len(), 2);
+        }
+    }
+
+    #[test]
+    fn memstore_concurrent_writers_do_not_lose_blocks() {
+        let s = std::sync::Arc::new(MemStore::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        let lba = t * 500 + i;
+                        s.write_block(lba, &(lba as u32).to_le_bytes());
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 4_000);
+        let mut out = [0u8; 4];
+        assert!(s.read_block(3_999, &mut out));
+        assert_eq!(u32::from_le_bytes(out), 3_999);
+    }
+
+    #[test]
     fn nullstore_never_returns_data() {
-        let mut s = NullStore;
+        let s = NullStore;
         s.write_block(1, &[1; 4]);
         let mut out = [7u8; 4];
         assert!(!s.read_block(1, &mut out));

@@ -40,7 +40,7 @@ pub mod namespace;
 pub mod queue;
 
 pub use command::{DeallocRange, IoCommand};
-pub use controller::{Controller, FdpStatsLog};
+pub use controller::{Controller, FdpStatsLog, NamespaceState, NamespaceStats, WriteCompletion};
 pub use datastore::{DataStore, MemStore, NullStore};
 pub use error::NvmeError;
 pub use identify::{ControllerIdentity, FdpConfigDescriptor};

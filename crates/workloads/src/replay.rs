@@ -149,11 +149,11 @@ impl Replayer {
         // Warm-up (uncounted), bounded by host bytes written.
         let mut total_ops = 0u64;
         {
-            let start = ctrl.lock().fdp_stats_log().host_bytes_written;
+            let start = ctrl.fdp_stats_log().host_bytes_written;
             let target = start + self.config.warmup_host_bytes;
             while total_ops < self.config.max_ops {
                 if self.config.warmup_host_bytes == 0
-                    || ctrl.lock().fdp_stats_log().host_bytes_written >= target
+                    || ctrl.fdp_stats_log().host_bytes_written >= target
                 {
                     break;
                 }
@@ -164,7 +164,7 @@ impl Replayer {
         }
 
         let stats0 = cache.stats();
-        let log0 = ctrl.lock().fdp_stats_log();
+        let log0 = ctrl.fdp_stats_log();
         let t0 = cache.now_ns();
         let read0 = cache.navy().read_latency().clone();
         let write0 = cache.navy().write_latency().clone();
@@ -181,10 +181,11 @@ impl Replayer {
             total_ops += 1;
             measured_ops += 1;
             // Interval sampling by host bytes (cheap check first).
-            let log = ctrl.lock().fdp_stats_log();
+            let log = ctrl.fdp_stats_log();
             if log.host_bytes_written >= next_sample {
                 let d = log.delta(&last_log);
-                let x = (log.host_bytes_written - log0.host_bytes_written) as f64 / (1u64 << 30) as f64;
+                let x =
+                    (log.host_bytes_written - log0.host_bytes_written) as f64 / (1u64 << 30) as f64;
                 dlwa_series.push((x, d.dlwa()));
                 last_log = log;
                 next_sample = log.host_bytes_written + self.config.interval_host_bytes;
@@ -195,7 +196,7 @@ impl Replayer {
         }
 
         let stats = cache.stats().delta(&stats0);
-        let log = ctrl.lock().fdp_stats_log();
+        let log = ctrl.fdp_stats_log();
         let dlog = log.delta(&log0);
         let elapsed_ns = cache.now_ns().saturating_sub(t0).max(1);
         let secs = elapsed_ns as f64 * 1e-9;
@@ -213,8 +214,7 @@ impl Replayer {
         let dlwa_steady = if dlwa_series.is_empty() {
             dlog.dlwa()
         } else {
-            let t: Vec<f64> =
-                dlwa_series.iter().rev().take(tail).map(|&(_, y)| y).collect();
+            let t: Vec<f64> = dlwa_series.iter().rev().take(tail).map(|&(_, y)| y).collect();
             t.iter().sum::<f64>() / t.len() as f64
         };
 
@@ -253,11 +253,7 @@ mod tests {
         let config = CacheConfig {
             ram_bytes: 64 << 10,
             ram_item_overhead: 31,
-            nvm: NvmConfig {
-                soc_fraction: 0.1,
-                region_bytes: 16 * 4096,
-                ..NvmConfig::default()
-            },
+            nvm: NvmConfig { soc_fraction: 0.1, region_bytes: 16 * 4096, ..NvmConfig::default() },
             use_fdp: fdp,
         };
         build_stack(FtlConfig::tiny_test(), StoreKind::Null, fdp, 0.9, &config).unwrap()

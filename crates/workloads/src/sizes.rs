@@ -69,10 +69,7 @@ impl SizeDist {
     /// Expected (mean) size under the mixture.
     pub fn mean(&self) -> f64 {
         let total: f64 = self.bands.iter().map(|b| b.weight).sum();
-        self.bands
-            .iter()
-            .map(|b| b.weight / total * ((b.lo as f64 + b.hi as f64) / 2.0))
-            .sum()
+        self.bands.iter().map(|b| b.weight / total * ((b.lo as f64 + b.hi as f64) / 2.0)).sum()
     }
 
     /// Fraction of objects smaller than `threshold` bytes (approximate,

@@ -251,11 +251,7 @@ impl RequestSource for FileReplay {
 /// # Errors
 ///
 /// Propagates writer failures.
-pub fn record<S: RequestSource, W: Write>(
-    source: &mut S,
-    count: u64,
-    sink: W,
-) -> io::Result<u64> {
+pub fn record<S: RequestSource, W: Write>(source: &mut S, count: u64, sink: W) -> io::Result<u64> {
     let mut w = TraceWriter::new(sink)?;
     for _ in 0..count {
         w.write(&source.next_request())?;

@@ -77,18 +77,15 @@ proptest! {
     }
 }
 
-
 mod tracefile_props {
     use fdpcache_workloads::trace::{Op, Request};
-    use fdpcache_workloads::tracefile::{self, FileReplay, RequestSource, TraceReader, TraceWriter};
+    use fdpcache_workloads::tracefile::{
+        self, FileReplay, RequestSource, TraceReader, TraceWriter,
+    };
     use proptest::prelude::*;
 
     fn request() -> impl Strategy<Value = Request> {
-        (
-            prop_oneof![Just(Op::Get), Just(Op::Set), Just(Op::Delete)],
-            any::<u64>(),
-            any::<u32>(),
-        )
+        (prop_oneof![Just(Op::Get), Just(Op::Set), Just(Op::Delete)], any::<u64>(), any::<u32>())
             .prop_map(|(op, key, size)| Request { op, key, size })
     }
 

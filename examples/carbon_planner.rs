@@ -17,20 +17,17 @@ fn main() {
 
     println!("Theorem-1 DLWA and Theorem-2 embodied carbon vs SOC size");
     println!("(1.88 TB device, 7% device OP, 5-year lifecycle)\n");
-    println!("{:>8} {:>12} {:>16} {:>16}", "SOC %", "model DLWA", "CO2e (kg, FDP)", "vs non-FDP 3.5");
+    println!(
+        "{:>8} {:>12} {:>16} {:>16}",
+        "SOC %", "model DLWA", "CO2e (kg, FDP)", "vs non-FDP 3.5"
+    );
     let non_fdp_co2 = embodied_co2e_kg(3.5, &params);
     for soc_pct in [2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
         let s_soc = device_gb * soc_pct / 100.0;
         let s_p_soc = s_soc + op_gb;
         let dlwa = dlwa_theorem1(s_soc * 1e9, s_p_soc * 1e9).unwrap_or(f64::NAN);
         let co2 = embodied_co2e_kg(dlwa, &params);
-        println!(
-            "{:>8.0} {:>12.2} {:>16.0} {:>15.1}x",
-            soc_pct,
-            dlwa,
-            co2,
-            non_fdp_co2 / co2
-        );
+        println!("{:>8.0} {:>12.2} {:>16.0} {:>15.1}x", soc_pct, dlwa, co2, non_fdp_co2 / co2);
     }
 
     println!("\nFleet view: 1000 clusters x 1000 nodes x 1 SSD each:");

@@ -15,8 +15,7 @@ use fdpcache::placement::RoundRobinPolicy;
 fn main() {
     // A 1 GiB FDP device with 8 handles, like the paper's (scaled).
     let mut ftl = FtlConfig::scaled_default();
-    ftl.geometry =
-        Geometry::with_capacity(1 << 30, 32 << 20, 4096).expect("valid geometry");
+    ftl.geometry = Geometry::with_capacity(1 << 30, 32 << 20, 4096).expect("valid geometry");
     let ctrl = build_device(ftl, StoreKind::Null, true).expect("device");
 
     // Four engine pairs share the device; keys shard by hash. Each pair
@@ -27,10 +26,8 @@ fn main() {
         nvm: NvmConfig { soc_fraction: 0.04, ..NvmConfig::default() },
         use_fdp: true,
     };
-    let mut pool = EnginePool::new(&ctrl, &config, 4, 0.95, || {
-        Box::new(RoundRobinPolicy::new())
-    })
-    .expect("pool");
+    let mut pool = EnginePool::new(&ctrl, &config, 4, 0.95, || Box::new(RoundRobinPolicy::new()))
+        .expect("pool");
     println!("built {} engine pairs", pool.pairs());
 
     // Small-object-dominant traffic with a thin large tail.
@@ -61,11 +58,16 @@ fn main() {
     }
 
     // Device view: all 8 RUHs active, one per engine.
-    let c = ctrl.lock();
+    let c = &ctrl;
     let usage = c.ruh_usage_log();
     let busy = usage.descriptors.iter().filter(|d| d.host_pages_written > 0).count();
     println!("\ndevice: {busy}/8 RUHs in use, DLWA {:.3}", c.fdp_stats_log().dlwa());
     for d in usage.descriptors.iter().filter(|d| d.host_pages_written > 0) {
-        println!("  ruh {}: {:>7} host pages ({:.1}%)", d.ruh, d.host_pages_written, usage.share(d.ruh) * 100.0);
+        println!(
+            "  ruh {}: {:>7} host pages ({:.1}%)",
+            d.ruh,
+            d.host_pages_written,
+            usage.share(d.ruh) * 100.0
+        );
     }
 }

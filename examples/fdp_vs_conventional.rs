@@ -27,8 +27,7 @@ fn run(fdp: bool) {
     };
     // 100% of the exported capacity: no host overprovisioning at all —
     // the deployment the paper says is only viable with FDP.
-    let (ctrl, mut cache) =
-        build_stack(ftl, StoreKind::Null, fdp, 1.0, &cache_cfg).expect("stack");
+    let (ctrl, mut cache) = build_stack(ftl, StoreKind::Null, fdp, 1.0, &cache_cfg).expect("stack");
 
     let profile = WorkloadProfile::meta_kv_cache();
     let keyspace = profile.keyspace_for(cache.navy().io().capacity_bytes(), 4.0);

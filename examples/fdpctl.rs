@@ -17,13 +17,12 @@ use fdpcache::nand::Geometry;
 fn main() {
     // A small FDP device: 1 GiB, 32 MiB reclaim units, 8 handles.
     let mut ftl = FtlConfig::scaled_default();
-    ftl.geometry =
-        Geometry::with_capacity(1 << 30, 32 << 20, 4096).expect("valid geometry");
+    ftl.geometry = Geometry::with_capacity(1 << 30, 32 << 20, 4096).expect("valid geometry");
     let ctrl = build_device(ftl, StoreKind::Null, true).expect("device");
 
     // -- identify (nvme id-ctrl) --------------------------------------
     {
-        let c = ctrl.lock();
+        let c = &ctrl;
         let id = c.identify();
         println!("controller : {}", id.model);
         println!("capacity   : {} MiB", id.capacity_bytes >> 20);
@@ -33,7 +32,7 @@ fn main() {
 
     // -- FDP configuration log ----------------------------------------
     {
-        let c = ctrl.lock();
+        let c = &ctrl;
         let cfg_log = c.fdp_config_log();
         let cfg = cfg_log.active_config();
         println!(
@@ -50,23 +49,19 @@ fn main() {
     // random stream through handle 1 and a cold sequential stream
     // through handle 2 — CacheLib's SOC/LOC pattern in miniature.
     let nsid = create_namespace(&ctrl, 0.9, (0..8).collect()).expect("namespace");
-    let blocks = {
-        let c = ctrl.lock();
-        c.namespace(nsid).expect("ns exists").lba_count
-    };
+    let blocks = ctrl.namespace(nsid).expect("ns exists").lba_count;
     let data = vec![0u8; 4096];
     let hot_span = blocks / 10;
     let mut x = 0xC0FFEEu64;
     let mut cold = hot_span;
     for i in 0..blocks * 3 {
-        let mut c = ctrl.lock();
         if i % 2 == 0 {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            c.write(nsid, x % hot_span, &data, Some(1)).expect("hot write");
+            ctrl.write(nsid, x % hot_span, &data, Some(1)).expect("hot write");
         } else {
-            c.write(nsid, cold, &data, Some(2)).expect("cold write");
+            ctrl.write(nsid, cold, &data, Some(2)).expect("cold write");
             cold += 1;
             if cold >= blocks {
                 cold = hot_span;
@@ -76,7 +71,7 @@ fn main() {
 
     // -- FDP statistics log (nvme get-log: HBMW / MBMW) ----------------
     {
-        let c = ctrl.lock();
+        let c = &ctrl;
         let stats = c.fdp_stats_log();
         println!("\nstatistics log:");
         println!("  host bytes written  : {} MiB", stats.host_bytes_written >> 20);
@@ -87,7 +82,7 @@ fn main() {
 
     // -- RUH usage log ---------------------------------------------------
     {
-        let c = ctrl.lock();
+        let c = &ctrl;
         let usage = c.ruh_usage_log();
         println!("\nRUH usage (non-idle handles):");
         for d in usage.descriptors.iter().filter(|d| d.host_pages_written > 0) {
@@ -104,15 +99,15 @@ fn main() {
 
     // -- event log -------------------------------------------------------
     {
-        let mut c = ctrl.lock();
+        let c = &ctrl;
         let events = c.drain_fdp_events();
-        let relocated = events
-            .iter()
-            .filter(|e| matches!(e, FdpEvent::MediaRelocated { .. }))
-            .count();
-        let switched =
-            events.iter().filter(|e| matches!(e, FdpEvent::RuSwitched { .. })).count();
-        println!("\nevent log: {} buffered ({relocated} MediaRelocated, {switched} RuSwitched)", events.len());
+        let relocated =
+            events.iter().filter(|e| matches!(e, FdpEvent::MediaRelocated { .. })).count();
+        let switched = events.iter().filter(|e| matches!(e, FdpEvent::RuSwitched { .. })).count();
+        println!(
+            "\nevent log: {} buffered ({relocated} MediaRelocated, {switched} RuSwitched)",
+            events.len()
+        );
         for e in events.iter().take(5) {
             println!("  {e:?}");
         }
@@ -120,8 +115,8 @@ fn main() {
 
     // -- wear ------------------------------------------------------------
     {
-        let c = ctrl.lock();
-        let wear = c.ftl().wear();
+        let c = &ctrl;
+        let wear = c.with_ftl(|f| f.wear());
         println!(
             "\nwear: P/E min {} / mean {:.1} / max {}, bad superblocks {}",
             wear.min_pe, wear.mean_pe, wear.max_pe, wear.bad_superblocks

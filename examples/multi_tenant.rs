@@ -33,8 +33,10 @@ fn main() {
         nvm: NvmConfig { soc_fraction: 0.04, ..NvmConfig::default() },
         use_fdp: true,
     };
-    let mut tenant_a = build_cache(&ctrl, ns_a, &cfg, Box::new(RoundRobinPolicy::new())).expect("A");
-    let mut tenant_b = build_cache(&ctrl, ns_b, &cfg, Box::new(RoundRobinPolicy::new())).expect("B");
+    let mut tenant_a =
+        build_cache(&ctrl, ns_a, &cfg, Box::new(RoundRobinPolicy::new())).expect("A");
+    let mut tenant_b =
+        build_cache(&ctrl, ns_b, &cfg, Box::new(RoundRobinPolicy::new())).expect("B");
 
     // Each tenant replays its own write-heavy stream.
     let profile = WorkloadProfile::wo_kv_cache();
@@ -43,7 +45,7 @@ fn main() {
 
     let target = device_bytes * 3; // three full device writes
     let mut i = 0u64;
-    while ctrl.lock().fdp_stats_log().host_bytes_written < target {
+    while ctrl.fdp_stats_log().host_bytes_written < target {
         for (cache, gen) in [(&mut tenant_a, &mut gen_a), (&mut tenant_b, &mut gen_b)] {
             let req = gen.next_request();
             match req.op {
@@ -62,7 +64,7 @@ fn main() {
         i += 2;
     }
 
-    let log = ctrl.lock().fdp_stats_log();
+    let log = ctrl.fdp_stats_log();
     println!("two tenants, {i} ops total, {} GiB host writes", log.host_bytes_written >> 30);
     println!("shared-device DLWA: {:.2} (each tenant's SOC/LOC on its own RUHs)", log.dlwa());
     println!(

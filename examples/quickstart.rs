@@ -36,16 +36,24 @@ fn main() {
     // 3. One call builds NAND → FTL → NVMe controller → namespace →
     //    placement allocator → cache. `MemStore` retains payloads so
     //    reads return real bytes.
-    let (ctrl, mut cache) =
-        build_stack(ftl, StoreKind::Mem, /* fdp on device */ true, /* utilization */ 0.9, &cache_cfg)
-            .expect("stack construction");
+    let (ctrl, mut cache) = build_stack(
+        ftl,
+        StoreKind::Mem,
+        /* fdp on device */ true,
+        /* utilization */ 0.9,
+        &cache_cfg,
+    )
+    .expect("stack construction");
 
     // 4. Serve traffic. Small objects (< 2 KiB) go to the set-associative
     //    SOC; large ones to the log-structured LOC.
     cache.put(1, Value::real(b"hello flash cache".to_vec())).unwrap();
     cache.put(2, Value::synthetic(100_000)).unwrap(); // a large object
     let (outcome, value) = cache.get(1).unwrap();
-    println!("get(1): {outcome:?}, value = {:?}", String::from_utf8_lossy(&value.unwrap().to_bytes(1)));
+    println!(
+        "get(1): {outcome:?}, value = {:?}",
+        String::from_utf8_lossy(&value.unwrap().to_bytes(1))
+    );
 
     // Push enough small objects through a tiny DRAM that evictions
     // reach flash.
@@ -57,7 +65,7 @@ fn main() {
 
     // 5. Read the device's FDP statistics log — the same counters the
     //    paper samples with `nvme get-log` to compute DLWA.
-    let log = ctrl.lock().fdp_stats_log();
+    let log = ctrl.fdp_stats_log();
     println!(
         "host bytes written: {} MiB, media bytes written: {} MiB, DLWA = {:.3}",
         log.host_bytes_written >> 20,

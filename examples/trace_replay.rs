@@ -22,8 +22,7 @@ fn main() {
     let mut gen = profile.generator(200_000, 42);
     {
         let file = File::create(&path).expect("create trace file");
-        let n = tracefile::record(&mut gen, 200_000, BufWriter::new(file))
-            .expect("record trace");
+        let n = tracefile::record(&mut gen, 200_000, BufWriter::new(file)).expect("record trace");
         let bytes = std::fs::metadata(&path).expect("stat").len();
         println!("captured {n} requests -> {} ({} KiB)", path.display(), bytes >> 10);
     }
@@ -37,8 +36,8 @@ fn main() {
 
     // 3. Replay against a small FDP stack.
     let mut ftl = FtlConfig::scaled_default();
-    ftl.geometry = fdpcache::nand::Geometry::with_capacity(1 << 30, 32 << 20, 4096)
-        .expect("valid geometry");
+    ftl.geometry =
+        fdpcache::nand::Geometry::with_capacity(1 << 30, 32 << 20, 4096).expect("valid geometry");
     let cache_cfg = CacheConfig {
         ram_bytes: 4 << 20,
         ram_item_overhead: 31,

@@ -26,7 +26,11 @@ fn values_survive_the_full_stack_bit_exactly() {
     // Mixed small and large objects with distinctive contents.
     let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
     for k in 0..200u64 {
-        let size = if k % 7 == 0 { 5_000 + (k as usize * 13) % 20_000 } else { 60 + (k as usize * 7) % 800 };
+        let size = if k % 7 == 0 {
+            5_000 + (k as usize * 13) % 20_000
+        } else {
+            60 + (k as usize * 7) % 800
+        };
         let bytes: Vec<u8> = (0..size).map(|i| ((k as usize + i) % 251) as u8).collect();
         cache.put(k, Value::real(bytes.clone())).unwrap();
         expected.insert(k, bytes);
@@ -94,8 +98,8 @@ fn nonfdp_device_runs_the_same_cache_unchanged() {
     assert_ne!(outcome, GetOutcome::Miss);
     assert_eq!(v.unwrap().len(), 100);
     // Everything landed on the default handle.
-    let c = ctrl.lock();
-    let pages = c.ftl().ruh_host_pages();
+    let c = &ctrl;
+    let pages = c.with_ftl(|f| f.ruh_host_pages().to_vec());
     assert!(pages[0] > 0);
     assert!(pages[1..].iter().all(|&p| p == 0), "non-FDP must use only the default RUH");
 }
@@ -109,8 +113,8 @@ fn fdp_cache_splits_traffic_across_ruhs() {
         let size = if k % 5 == 0 { 9_000 } else { 120 };
         cache.put(k, Value::synthetic(size)).unwrap();
     }
-    let c = ctrl.lock();
-    let pages = c.ftl().ruh_host_pages();
+    let c = &ctrl;
+    let pages = c.with_ftl(|f| f.ruh_host_pages().to_vec());
     assert!(pages[0] > 0, "SOC handle unused");
     assert!(pages[1] > 0, "LOC handle unused");
 }

@@ -49,16 +49,15 @@ fn rebalance_loop_survives_handle_changes() {
         // Build epoch feedback from the device.
         let mut feedback = EpochFeedback::default();
         {
-            let mut c = ctrl.lock();
-            for e in c.drain_fdp_events() {
+            for e in ctrl.drain_fdp_events() {
                 if let FdpEvent::MediaRelocated { owner, relocated_pages, .. } = e {
-                    *feedback
-                        .relocated_pages
-                        .entry(owner.map(|r| r as u16))
-                        .or_default() += relocated_pages;
+                    *feedback.relocated_pages.entry(owner.map(|r| r as u16)).or_default() +=
+                        relocated_pages;
                 }
             }
-            for (ruh, &pages) in c.ftl().ruh_host_pages().iter().enumerate() {
+            for (ruh, pages) in
+                ctrl.with_ftl(|f| f.ruh_host_pages().to_vec()).into_iter().enumerate()
+            {
                 feedback.host_pages.insert(ruh as u16, pages);
             }
         }
@@ -66,9 +65,7 @@ fn rebalance_loop_survives_handle_changes() {
         let next = policy.rebalance(&assignment, &available, &feedback);
         if next != assignment {
             assignment = next;
-            cache
-                .navy_mut()
-                .set_handles(assignment[&soc_id], assignment[&loc_id]);
+            cache.navy_mut().set_handles(assignment[&soc_id], assignment[&loc_id]);
         }
     }
 
@@ -78,12 +75,6 @@ fn rebalance_loop_survives_handle_changes() {
     assert_eq!(v.unwrap().to_bytes(424242), b"still alive");
 
     // Multiple handles actually received traffic over the run.
-    let busy = ctrl
-        .lock()
-        .ftl()
-        .ruh_host_pages()
-        .iter()
-        .filter(|&&p| p > 0)
-        .count();
+    let busy = ctrl.with_ftl(|f| f.ruh_host_pages().iter().filter(|&&p| p > 0).count());
     assert!(busy >= 2, "expected at least two active RUHs, got {busy}");
 }

@@ -24,8 +24,7 @@ fn config(use_fdp: bool) -> CacheConfig {
 fn tbw_until_death(fdp: bool, pe_limit: u32) -> (u64, f64) {
     let mut ftl = FtlConfig::tiny_test();
     ftl.pe_limit = pe_limit;
-    let (ctrl, mut cache) =
-        build_stack(ftl, StoreKind::Null, fdp, 1.0, &config(fdp)).unwrap();
+    let (ctrl, mut cache) = build_stack(ftl, StoreKind::Null, fdp, 1.0, &config(fdp)).unwrap();
     let ns_bytes = cache.navy().io().capacity_bytes();
     let profile = WorkloadProfile::meta_kv_cache();
     let mut gen = profile.generator(profile.keyspace_for(ns_bytes, 4.0), 11);
@@ -33,8 +32,7 @@ fn tbw_until_death(fdp: bool, pe_limit: u32) -> (u64, f64) {
         let req = gen.next_request();
         let res = match req.op {
             fdpcache::workloads::Op::Get => cache.get(req.key).map(|_| ()),
-            fdpcache::workloads::Op::Set => match cache.put(req.key, Value::synthetic(req.size))
-            {
+            fdpcache::workloads::Op::Set => match cache.put(req.key, Value::synthetic(req.size)) {
                 Err(CacheError::ObjectTooLarge { .. }) => Ok(()),
                 r => r,
             },
@@ -44,9 +42,9 @@ fn tbw_until_death(fdp: bool, pe_limit: u32) -> (u64, f64) {
             break;
         }
     }
-    let c = ctrl.lock();
+    let c = &ctrl;
     let log = c.fdp_stats_log();
-    assert!(c.ftl().stats().retired_rus > 0, "death must come from RU retirement");
+    assert!(c.with_ftl(|f| f.stats().retired_rus) > 0, "death must come from RU retirement");
     (log.host_bytes_written, log.dlwa())
 }
 
@@ -61,14 +59,8 @@ fn cache_traffic_wears_the_device_out_cleanly() {
 fn fdp_extends_device_lifetime() {
     let (tbw_fdp, dlwa_fdp) = tbw_until_death(true, 30);
     let (tbw_non, dlwa_non) = tbw_until_death(false, 30);
-    assert!(
-        tbw_fdp > tbw_non,
-        "FDP TBW {tbw_fdp} must exceed Non-FDP TBW {tbw_non}"
-    );
-    assert!(
-        dlwa_fdp < dlwa_non,
-        "FDP DLWA {dlwa_fdp} must be below Non-FDP {dlwa_non}"
-    );
+    assert!(tbw_fdp > tbw_non, "FDP TBW {tbw_fdp} must exceed Non-FDP TBW {tbw_non}");
+    assert!(dlwa_fdp < dlwa_non, "FDP DLWA {dlwa_fdp} must be below Non-FDP {dlwa_non}");
     // Inverse proportionality within a loose factor (the tiny device is
     // noisy): TBW ratio should land within 2x of the DLWA ratio.
     let tbw_ratio = tbw_fdp as f64 / tbw_non as f64;

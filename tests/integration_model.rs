@@ -62,11 +62,7 @@ fn theorem1_tracks_simulator_at_moderate_op() {
 fn theorem1_tracks_simulator_at_high_op() {
     let (measured, model) = simulate_uniform(0.5);
     let err = (measured - model).abs() / model;
-    assert!(
-        err < 0.25,
-        "measured {measured:.3} vs model {model:.3} (err {:.0}%)",
-        err * 100.0
-    );
+    assert!(err < 0.25, "measured {measured:.3} vs model {model:.3} (err {:.0}%)", err * 100.0);
 }
 
 #[test]

@@ -22,8 +22,10 @@ fn tenants_are_functionally_isolated() {
     let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Mem, true).unwrap();
     let ns_a = create_namespace(&ctrl, 0.5, vec![0, 1]).unwrap();
     let ns_b = create_namespace(&ctrl, 1.0, vec![2, 3]).unwrap();
-    let mut a = build_cache(&ctrl, ns_a, &cache_config(), Box::new(RoundRobinPolicy::new())).unwrap();
-    let mut b = build_cache(&ctrl, ns_b, &cache_config(), Box::new(RoundRobinPolicy::new())).unwrap();
+    let mut a =
+        build_cache(&ctrl, ns_a, &cache_config(), Box::new(RoundRobinPolicy::new())).unwrap();
+    let mut b =
+        build_cache(&ctrl, ns_b, &cache_config(), Box::new(RoundRobinPolicy::new())).unwrap();
 
     // Same keys, different tenants, different values.
     for k in 0..300u64 {
@@ -52,16 +54,18 @@ fn tenant_engines_map_to_disjoint_device_ruhs() {
     let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Null, true).unwrap();
     let ns_a = create_namespace(&ctrl, 0.5, vec![0, 1]).unwrap();
     let ns_b = create_namespace(&ctrl, 1.0, vec![2, 3]).unwrap();
-    let mut a = build_cache(&ctrl, ns_a, &cache_config(), Box::new(RoundRobinPolicy::new())).unwrap();
-    let mut b = build_cache(&ctrl, ns_b, &cache_config(), Box::new(RoundRobinPolicy::new())).unwrap();
+    let mut a =
+        build_cache(&ctrl, ns_a, &cache_config(), Box::new(RoundRobinPolicy::new())).unwrap();
+    let mut b =
+        build_cache(&ctrl, ns_b, &cache_config(), Box::new(RoundRobinPolicy::new())).unwrap();
     // Drive flash traffic in both tenants (small + large objects).
     for k in 0..2_000u64 {
         let size = if k % 5 == 0 { 9_000 } else { 100 };
         a.put(k, Value::synthetic(size)).unwrap();
         b.put(k, Value::synthetic(size)).unwrap();
     }
-    let c = ctrl.lock();
-    let pages = c.ftl().ruh_host_pages();
+    let c = &ctrl;
+    let pages = c.with_ftl(|f| f.ruh_host_pages().to_vec());
     assert!(pages[0] > 0 && pages[1] > 0, "tenant A handles idle: {pages:?}");
     assert!(pages[2] > 0 && pages[3] > 0, "tenant B handles idle: {pages:?}");
     assert!(pages[4..].iter().all(|&p| p == 0), "unexpected handle use: {pages:?}");
@@ -90,8 +94,7 @@ fn shared_device_dlwa_benefits_from_per_tenant_segregation() {
                 Err(e) => panic!("{e}"),
             }
         }
-        let dlwa = ctrl.lock().fdp_stats_log().dlwa();
-        dlwa
+        ctrl.fdp_stats_log().dlwa()
     }
     let with_fdp = run(true);
     let without = run(false);

@@ -6,8 +6,8 @@ use fdpcache::cache::builder::{build_device, StoreKind};
 use fdpcache::cache::pool::EnginePool;
 use fdpcache::cache::value::Value;
 use fdpcache::cache::{CacheConfig, GetOutcome, NvmConfig};
-use fdpcache::placement::RoundRobinPolicy;
 use fdpcache::ftl::FtlConfig;
+use fdpcache::placement::RoundRobinPolicy;
 
 fn config(use_fdp: bool) -> CacheConfig {
     CacheConfig {
@@ -25,11 +25,9 @@ fn four_pairs_consume_all_eight_device_ruhs() {
     // The tiny geometry has 16 RUs; 8 handles + 1 GC + 1 + threshold 2
     // still fits its validation budget.
     let ctrl = build_device(ftl, StoreKind::Null, true).unwrap();
-    let pool = EnginePool::new(&ctrl, &config(true), 4, 0.9, || {
-        Box::new(RoundRobinPolicy::new())
-    })
-    .unwrap();
-    let c = ctrl.lock();
+    let pool = EnginePool::new(&ctrl, &config(true), 4, 0.9, || Box::new(RoundRobinPolicy::new()))
+        .unwrap();
+    let c = &ctrl;
     let mut ruhs = Vec::new();
     for pair in 0..4 {
         let shard = pool.shard(pair).unwrap();
@@ -46,10 +44,9 @@ fn four_pairs_consume_all_eight_device_ruhs() {
 #[test]
 fn pool_round_trips_values_across_shards() {
     let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Mem, true).unwrap();
-    let mut pool = EnginePool::new(&ctrl, &config(true), 2, 0.9, || {
-        Box::new(RoundRobinPolicy::new())
-    })
-    .unwrap();
+    let mut pool =
+        EnginePool::new(&ctrl, &config(true), 2, 0.9, || Box::new(RoundRobinPolicy::new()))
+            .unwrap();
     for k in 0..300u64 {
         let bytes: Vec<u8> = (0..64).map(|i| ((k + i) % 251) as u8).collect();
         pool.put(k, Value::real(bytes)).unwrap();
@@ -74,10 +71,9 @@ fn pool_round_trips_values_across_shards() {
 #[test]
 fn pool_dlwa_stays_low_with_fdp_under_churn() {
     let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Null, true).unwrap();
-    let mut pool = EnginePool::new(&ctrl, &config(true), 2, 0.9, || {
-        Box::new(RoundRobinPolicy::new())
-    })
-    .unwrap();
+    let mut pool =
+        EnginePool::new(&ctrl, &config(true), 2, 0.9, || Box::new(RoundRobinPolicy::new()))
+            .unwrap();
     // Heavy small-object churn: SOC-driven random writes per shard.
     let mut x = 5u64;
     for _ in 0..60_000u64 {
@@ -86,7 +82,7 @@ fn pool_dlwa_stays_low_with_fdp_under_churn() {
         x ^= x << 17;
         pool.put(x % 4_000, Value::synthetic(60 + (x % 800) as u32)).unwrap();
     }
-    let dlwa = ctrl.lock().fdp_stats_log().dlwa();
+    let dlwa = ctrl.fdp_stats_log().dlwa();
     assert!(dlwa >= 1.0);
     assert!(dlwa < 2.0, "segregated pool DLWA should stay moderate, got {dlwa:.2}");
 }

@@ -1,0 +1,171 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset its benches use: [`Criterion`],
+//! benchmark groups with [`Throughput`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Measurement is intentionally simple — warm up, run a fixed-duration
+//! timing loop, report mean ns/iter and derived throughput. No outlier
+//! rejection, no HTML reports. Good enough to compare orders of
+//! magnitude and catch regressions by eye.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Wall-clock budget for each benchmark's measurement loop.
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short per-bench budget: `cargo test` also executes bench
+        // targets, so the full suite must stay fast.
+        Criterion { measure: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup { criterion: self, throughput: None }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut group = self.benchmark_group(name.as_ref());
+        group.bench_function("run", &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing a throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its result.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.as_ref();
+        let mut b = Bencher { measure: self.criterion.measure, total: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        let ns = if b.iters == 0 { 0.0 } else { b.total.as_nanos() as f64 / b.iters as f64 };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  ({:.2} Melem/s)", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  ({:.2} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!("{name:<40} {ns:>12.1} ns/iter{rate}");
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    measure: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up briefly, then iterating until the
+    /// measurement budget is exhausted.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: a handful of iterations, also used to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 16 || (warm_start.elapsed() < self.measure / 10 && warm_iters < 1_000) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure {
+            black_box(f());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` executes bench targets with harness arguments
+            // (e.g. `--test`); everything is ignored deliberately.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion { measure: Duration::from_millis(5) };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > 0);
+    }
+}

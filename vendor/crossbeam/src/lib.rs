@@ -1,0 +1,89 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the one API it uses: bounded MPSC channels with
+//! cloneable senders, backed by `std::sync::mpsc::sync_channel`.
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels (the `crossbeam-channel` subset we use).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when sending on a disconnected channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking iterator over received values; ends when all senders
+        /// are dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+
+        /// Receives one value, blocking until available.
+        ///
+        /// # Errors
+        ///
+        /// `mpsc::RecvError` if the channel is empty and disconnected.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+    }
+
+    /// Creates a bounded channel of capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_from_threads() {
+            let (tx, rx) = bounded::<usize>(4);
+            std::thread::scope(|s| {
+                for i in 0..4 {
+                    let tx = tx.clone();
+                    s.spawn(move || tx.send(i).unwrap());
+                }
+                drop(tx);
+            });
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+
+        #[test]
+        fn send_after_receiver_drop_errors() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+    }
+}

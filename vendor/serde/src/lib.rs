@@ -1,0 +1,329 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a JSON-oriented mini-serde: [`Serialize`] writes
+//! JSON text directly, [`Deserialize`] reads from a parsed [`Value`]
+//! tree, and `#[derive(Serialize, Deserialize)]` (feature `derive`,
+//! implemented in the sibling `serde_derive` shim) supports the shapes
+//! the workspace uses — named-field structs and unit-variant enums,
+//! matching real serde's externally-tagged JSON representation.
+//!
+//! Integers are carried as `i128` end to end, so `u64` keys round-trip
+//! exactly (no f64 precision loss).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serializes `self` as JSON text appended to `out`.
+pub trait Serialize {
+    /// Appends this value's JSON representation to `out`.
+    fn serialize(&self, out: &mut String);
+}
+
+/// Constructs `Self` from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Builds a value from `v`.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] describing the type/shape mismatch.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer literal (carried exactly).
+    Int(i128),
+    /// A number with a fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (insertion-ordered).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (with escaping) to `out`.
+/// Used by derived [`Serialize`] impls.
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Extracts and deserializes object field `name`. Used by derived
+/// [`Deserialize`] impls.
+///
+/// # Errors
+///
+/// [`DeError`] if the field is missing or has the wrong type.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    let f =
+        v.get(name).ok_or_else(|| DeError(format!("missing field `{name}` in {}", v.kind())))?;
+    T::deserialize(f).map_err(|DeError(e)| DeError(format!("field `{name}`: {e}")))
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut String) {
+        if self.is_finite() {
+            // Rust's shortest-round-trip Display keeps full precision.
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut String) {
+        (*self as f64).serialize(out);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t)))),
+                    other => Err(DeError(format!(
+                        "expected integer, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(DeError(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+            }
+            other => Err(DeError(format!("expected 2-element array, found {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize_as_json() {
+        let mut out = String::new();
+        42u64.serialize(&mut out);
+        out.push(' ');
+        (-1i32).serialize(&mut out);
+        out.push(' ');
+        true.serialize(&mut out);
+        out.push(' ');
+        "a\"b".serialize(&mut out);
+        assert_eq!(out, "42 -1 true \"a\\\"b\"");
+    }
+
+    #[test]
+    fn collections_serialize_as_arrays() {
+        let mut out = String::new();
+        vec![(1.5f64, 2.0f64)].serialize(&mut out);
+        assert_eq!(out, "[[1.5,2]]");
+    }
+
+    #[test]
+    fn u64_round_trips_exactly_via_int() {
+        let v = Value::Int(u64::MAX as i128);
+        assert_eq!(u64::deserialize(&v).unwrap(), u64::MAX);
+        assert!(u32::deserialize(&v).is_err());
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let obj = Value::Obj(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(field::<u64>(&obj, "a").unwrap(), 1);
+        assert!(field::<u64>(&obj, "b").is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the two shapes the workspace uses, without syn/quote (the build
+//! environment cannot fetch them):
+//!
+//! * **named-field structs** — serialized as JSON objects;
+//! * **enums with only unit variants** — serialized as JSON strings
+//!   (real serde's externally-tagged representation).
+//!
+//! Anything else (tuple structs, data-carrying variants, generics)
+//! panics at compile time with a clear message rather than generating
+//! wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct with the given named fields.
+    Struct(Vec<String>),
+    /// Enum with the given unit variants.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Parses a struct/enum item into name + shape. Panics (compile error)
+/// on unsupported shapes.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (#[..]) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(tt) if is_punct(tt, '#') => {
+                tokens.next();
+                tokens.next(); // the [..] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other:?}"),
+    };
+    // Find the body brace; reject generics (unsupported).
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(tt) if is_punct(&tt, '<') => {
+                panic!("serde_derive shim: generic type `{name}` is not supported")
+            }
+            Some(_) => continue,
+            None => panic!(
+                "serde_derive shim: `{name}` has no braced body (tuple/unit items unsupported)"
+            ),
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(body, &name)),
+        "enum" => Shape::Enum(parse_enum_variants(body, &name)),
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Extracts field names from a named-field struct body: for each field,
+/// skip attributes/visibility, take the ident before `:`, then skip the
+/// type up to the next comma at angle-bracket depth 0.
+fn parse_struct_fields(body: TokenStream, item: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(tt) if is_punct(tt, '#') => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                panic!("serde_derive shim: `{item}` must have named fields, found {other:?}")
+            }
+        };
+        match tokens.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => panic!(
+                "serde_derive shim: expected `:` after field `{field}` of `{item}`, found {other:?}"
+            ),
+        }
+        fields.push(field);
+        // Skip the type until a top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            if is_punct(&tt, '<') {
+                angle_depth += 1;
+            } else if is_punct(&tt, '>') {
+                angle_depth -= 1;
+            } else if is_punct(&tt, ',') && angle_depth == 0 {
+                break;
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from an enum body, requiring unit variants.
+fn parse_enum_variants(body: TokenStream, item: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        loop {
+            match tokens.peek() {
+                Some(tt) if is_punct(tt, '#') => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            Some(other) => {
+                panic!("serde_derive shim: unexpected token in enum `{item}`: {other:?}")
+            }
+        }
+        match tokens.next() {
+            None => break,
+            Some(tt) if is_punct(&tt, ',') => continue,
+            Some(TokenTree::Group(_)) => {
+                panic!("serde_derive shim: enum `{item}` has data-carrying variants (unsupported)")
+            }
+            Some(tt) if is_punct(&tt, '=') => {
+                panic!("serde_derive shim: enum `{item}` has explicit discriminants (unsupported)")
+            }
+            Some(other) => {
+                panic!("serde_derive shim: unexpected token in enum `{item}`: {other:?}")
+            }
+        }
+    }
+    variants
+}
+
+/// Derives `serde::Serialize` (JSON object for structs, JSON string for
+/// unit enums).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut code = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!("::serde::write_json_str(out, \"{f}\");\n"));
+                code.push_str("out.push(':');\n");
+                code.push_str(&format!("::serde::Serialize::serialize(&self.{f}, out);\n"));
+            }
+            code.push_str("out.push('}');");
+            code
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::write_json_str(out, \"{v}\"),"))
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (from a JSON object for structs, from a
+/// JSON string for unit enums).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{f}: ::serde::field(v, \"{f}\")?,")).collect();
+            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join("\n"))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{}\n\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"expected string for {name}, found {{}}\", other.kind()))),\n}}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}
