@@ -1,0 +1,92 @@
+//! Full-stack cache-tier scaling on one shared concurrent pool — the
+//! gate for the sharded cache tier.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin bench_fullstack [-- --check] [--ops N] [--trials N] [--json PATH]
+//! ```
+//!
+//! Sweeps 1, 2, 4 and 8 worker threads, all calling **one**
+//! `ConcurrentPool` (8 shards on one device) through `&self`, and
+//! prints aggregate wall-clock cache ops/sec plus speedup vs one
+//! worker. Each sweep point takes the best of `--trials` runs (default
+//! 3). `--json PATH` writes the `BENCH_throughput.json` trajectory
+//! record (documented in the README) so future PRs can track the
+//! scaling curve.
+//!
+//! With `--check`, the run becomes a regression gate that keeps the
+//! cache tier off a pool-wide lock. The required speedup adapts to the
+//! host's parallelism, mirroring `bench_throughput --check`:
+//!
+//! * ≥ 4 cores — 4 workers must reach ≥ 2.0× the 1-worker aggregate;
+//! * 2–3 cores — 4 workers must reach ≥ 1.4×;
+//! * 1 core — the gate degrades to a no-regression bound (< 60% cost
+//!   vs single-worker). Unlike the device bench, every cache op holds
+//!   its shard lock end to end, so 4 threads time-slicing one core
+//!   pay real lock-parking overhead (~40% measured); on one core a
+//!   pool-wide lock is indistinguishable by speedup anyway —
+//!   everything serializes — so the real assertion runs wherever CI
+//!   has cores.
+
+use fdpcache_bench::{
+    emit_trajectory, parse_count_flag, parse_path_flag, sweep_fullstack, FullstackConfig,
+};
+use fdpcache_metrics::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let json_path = parse_path_flag(&args, "--json");
+    let mut cfg = FullstackConfig::default();
+    let mut trials = 3u64;
+    parse_count_flag(&args, "--ops", &mut cfg.ops_per_worker);
+    parse_count_flag(&args, "--trials", &mut trials);
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "device {} MiB, RU {} MiB, {} pool shards, {} ops/worker, best of {trials} trial(s), \
+         MemStore payloads, {cores} host core(s)",
+        cfg.device_mib, cfg.ru_mib, cfg.shards, cfg.ops_per_worker
+    );
+    let results = sweep_fullstack(&cfg, trials);
+    let base_kops = results[0].kops;
+
+    let mut table =
+        Table::new(vec!["workers", "total ops", "wall (s)", "agg KOPS", "speedup"]).numeric();
+    for r in &results {
+        table.row(vec![
+            r.workers.to_string(),
+            r.total_ops.to_string(),
+            format!("{:.3}", r.wall_secs),
+            format!("{:.0}", r.kops),
+            format!("{:.2}x", r.kops / base_kops),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if let Some(path) = json_path {
+        emit_trajectory("fullstack", cfg.device_mib, cfg.ops_per_worker, trials, &results, &path);
+    }
+
+    let four = results.iter().find(|r| r.workers == 4).expect("4-worker point");
+    let speedup = four.kops / base_kops;
+    let required = match cores {
+        0 | 1 => 0.4,
+        2 | 3 => 1.4,
+        _ => 2.0,
+    };
+    if check {
+        if speedup < required {
+            eprintln!(
+                "FAIL: 4-worker full-stack throughput is {speedup:.2}x the 1-worker baseline \
+                 (needs >= {required:.1}x on {cores} core(s)) — is the cache tier behind a \
+                 pool-wide lock?"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "OK: 4-worker full-stack speedup {speedup:.2}x >= {required:.1}x ({cores} core(s))"
+        );
+    }
+}

@@ -4,8 +4,11 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --bin bench_throughput [-- --check] [--ops N] [--trials N]
+//! cargo run --release --bin bench_throughput [-- --check] [--ops N] [--trials N] [--json PATH]
 //! ```
+//!
+//! `--json PATH` writes the sweep as a `BENCH_throughput.json`
+//! trajectory record (documented in the README) for cross-PR tracking.
 //!
 //! Sweeps 1, 2, 4 and 8 workers (each on its own namespace of one
 //! device) and prints aggregate wall-clock ops/sec plus speedup vs one
@@ -25,32 +28,17 @@
 //!   global mutex would also pass this on one core, but the real
 //!   scaling assertion runs wherever CI has cores).
 
-use fdpcache_bench::{sweep, ThroughputConfig};
+use fdpcache_bench::{emit_trajectory, parse_count_flag, parse_path_flag, sweep, ThroughputConfig};
 use fdpcache_metrics::Table;
-
-fn parse_count(args: &[String], flag: &str, target: &mut u64) {
-    if let Some(i) = args.iter().position(|a| a == flag) {
-        match args.get(i + 1).map(|v| v.parse::<u64>()) {
-            Some(Ok(n)) if n > 0 => *target = n,
-            Some(Ok(_)) => {
-                eprintln!("error: {flag} must be at least 1");
-                std::process::exit(2);
-            }
-            Some(Err(_)) | None => {
-                eprintln!("error: {flag} requires a positive integer value");
-                std::process::exit(2);
-            }
-        }
-    }
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
+    let json_path = parse_path_flag(&args, "--json");
     let mut cfg = ThroughputConfig::default();
     let mut trials = 3u64;
-    parse_count(&args, "--ops", &mut cfg.ops_per_worker);
-    parse_count(&args, "--trials", &mut trials);
+    parse_count_flag(&args, "--ops", &mut cfg.ops_per_worker);
+    parse_count_flag(&args, "--trials", &mut trials);
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     eprintln!(
@@ -73,6 +61,10 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    if let Some(path) = json_path {
+        emit_trajectory("device", cfg.device_mib, cfg.ops_per_worker, trials, &results, &path);
+    }
 
     let four = results.iter().find(|r| r.workers == 4).expect("4-worker point");
     let speedup = four.kops / base_kops;

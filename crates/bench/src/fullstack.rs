@@ -1,0 +1,275 @@
+//! Full-stack cache-tier throughput: the scaling gate for the
+//! concurrent sharded pool.
+//!
+//! `bench_throughput` guards the *device* layer (N workers, N private
+//! caches, one controller). This benchmark guards the tier above it: M
+//! worker threads all call one shared [`ConcurrentPool`] through
+//! `&self`, so every operation crosses the cache's shard locks, the
+//! per-shard engines, and the device's fine-grained locking — the whole
+//! stack under real contention. Before the pool existed the cache tier
+//! required `&mut self` and could not be driven from more than one
+//! thread at all.
+//!
+//! Wall-clock time is real here (as in `bench_throughput`): this
+//! measures the simulator's ability to exploit host parallelism
+//! through the full stack, which is what the `bench_fullstack --check`
+//! CI gate asserts (≥2× aggregate ops/sec at 4 workers on a ≥4-core
+//! host, degrading to a no-regression bound on fewer cores).
+//!
+//! Both benchmark binaries can emit their `workers → ops/sec`
+//! trajectory as a `BENCH_throughput.json` record
+//! ([`TrajectoryRecord`], `--json <path>`) so future PRs can track
+//! scaling over time; the format is documented in the README.
+
+use std::time::Instant;
+
+use fdpcache_cache::builder::{build_device, StoreKind};
+use fdpcache_cache::{CacheConfig, ConcurrentPool, NvmConfig};
+use fdpcache_core::RoundRobinPolicy;
+use fdpcache_ftl::FtlConfig;
+use fdpcache_nand::Geometry;
+use fdpcache_workloads::concurrent::{run_pool_round, PoolMode};
+use fdpcache_workloads::WorkloadProfile;
+use serde::Serialize;
+
+use crate::throughput::ThroughputResult;
+
+/// Configuration for a full-stack pool throughput run.
+#[derive(Debug, Clone)]
+pub struct FullstackConfig {
+    /// Device capacity in MiB.
+    pub device_mib: u64,
+    /// Reclaim-unit size in MiB.
+    pub ru_mib: u64,
+    /// Cache shards in the pool (fixed across the sweep so per-op cost
+    /// is identical at every worker count).
+    pub shards: usize,
+    /// Operations per worker.
+    pub ops_per_worker: u64,
+    /// Payload store kind (MemStore exercises payload copies too).
+    pub store: StoreKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FullstackConfig {
+    fn default() -> Self {
+        FullstackConfig {
+            device_mib: 512,
+            ru_mib: 16,
+            shards: 8,
+            ops_per_worker: 50_000,
+            store: StoreKind::Mem,
+            seed: 42,
+        }
+    }
+}
+
+impl FullstackConfig {
+    /// The device configuration for this run.
+    pub fn ftl_config(&self) -> FtlConfig {
+        let geometry = Geometry::with_capacity(self.device_mib << 20, self.ru_mib << 20, 4096)
+            .expect("fullstack geometry must be constructible");
+        FtlConfig { geometry, num_ruhs: 8, seed: self.seed, ..FtlConfig::scaled_default() }
+    }
+
+    fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            // Total DRAM budget; the pool splits it evenly per shard.
+            ram_bytes: 2 << 20,
+            ram_item_overhead: 0,
+            nvm: NvmConfig { soc_fraction: 0.1, region_bytes: 1 << 20, ..NvmConfig::default() },
+            use_fdp: true,
+        }
+    }
+}
+
+/// Runs `workers` threads against one shared [`ConcurrentPool`] and
+/// measures aggregate wall-clock throughput through the full stack.
+///
+/// # Panics
+///
+/// Panics if any worker hits a device error (the configuration is
+/// sized so the device cannot wear out).
+pub fn run_fullstack(cfg: &FullstackConfig, workers: usize) -> ThroughputResult {
+    let ctrl = build_device(cfg.ftl_config(), cfg.store, true).expect("device");
+    let pool = ConcurrentPool::new(&ctrl, &cfg.cache_config(), cfg.shards, 0.9, || {
+        Box::new(RoundRobinPolicy::new())
+    })
+    .expect("pool");
+    let profile = WorkloadProfile::meta_kv_cache();
+    let mut sources: Vec<_> =
+        (0..workers).map(|i| profile.generator(20_000, cfg.seed + i as u64)).collect();
+    let start = Instant::now();
+    let reports = run_pool_round(&pool, &mut sources, PoolMode::Contended, cfg.ops_per_worker);
+    let wall = start.elapsed();
+    let mut total_ops = 0u64;
+    for r in &reports {
+        assert!(r.error.is_none(), "pool worker {} failed: {:?}", r.worker, r.error);
+        assert_eq!(r.executed, cfg.ops_per_worker, "contended worker must run its whole stream");
+        total_ops += r.executed;
+    }
+    // Consistency: merged pool counters account for every executed op,
+    // and the shared device stays physically sound under the load.
+    let stats = pool.stats();
+    assert_eq!(stats.gets + stats.puts + stats.deletes, total_ops, "pool lost operations");
+    ctrl.with_ftl(|f| f.check_invariants());
+    let wall_secs = wall.as_secs_f64().max(1e-9);
+    ThroughputResult { workers, total_ops, wall_secs, kops: total_ops as f64 / wall_secs / 1e3 }
+}
+
+/// Runs the standard sweep (1, 2, 4, 8 workers), best of `trials` runs
+/// per point (wall-clock noise on shared hosts is one-sided).
+pub fn sweep_fullstack(cfg: &FullstackConfig, trials: u64) -> Vec<ThroughputResult> {
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&w| {
+            (0..trials.max(1))
+                .map(|_| run_fullstack(cfg, w))
+                .max_by(|a, b| a.kops.total_cmp(&b.kops))
+                .expect("at least one trial")
+        })
+        .collect()
+}
+
+/// One `workers → ops/sec` point of a throughput trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrajectoryPoint {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Operations completed across all workers.
+    pub total_ops: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+    /// Aggregate throughput in thousands of ops per wall second.
+    pub kops: f64,
+    /// Speedup vs the 1-worker point of the same sweep.
+    pub speedup: f64,
+}
+
+/// The `BENCH_throughput.json` record both benchmark binaries emit with
+/// `--json <path>`: enough context to compare trajectories across PRs.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrajectoryRecord {
+    /// Which benchmark produced the record (`device` or `fullstack`).
+    pub bench: String,
+    /// Device capacity in MiB.
+    pub device_mib: u64,
+    /// Operations per worker per run.
+    pub ops_per_worker: u64,
+    /// Best-of trial count per sweep point.
+    pub trials: u64,
+    /// Host cores visible to the run (scaling is bounded by these).
+    pub host_cores: usize,
+    /// Sweep points in worker order.
+    pub points: Vec<TrajectoryPoint>,
+}
+
+impl TrajectoryRecord {
+    /// Builds a record from a sweep's results (first point = baseline).
+    pub fn new(
+        bench: &str,
+        device_mib: u64,
+        ops_per_worker: u64,
+        trials: u64,
+        results: &[ThroughputResult],
+    ) -> Self {
+        let base = results.first().map(|r| r.kops).unwrap_or(1.0).max(1e-9);
+        TrajectoryRecord {
+            bench: bench.to_string(),
+            device_mib,
+            ops_per_worker,
+            trials,
+            host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            points: results
+                .iter()
+                .map(|r| TrajectoryPoint {
+                    workers: r.workers,
+                    total_ops: r.total_ops,
+                    wall_secs: r.wall_secs,
+                    kops: r.kops,
+                    speedup: r.kops / base,
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes the record and writes it to `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; serialization itself cannot fail.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json)
+    }
+}
+
+/// Builds a trajectory record from a sweep and writes it to `path`,
+/// printing the destination; exits with status 1 on filesystem errors.
+/// Shared by both gate binaries so their `--json` behavior cannot
+/// drift apart.
+pub fn emit_trajectory(
+    bench: &str,
+    device_mib: u64,
+    ops_per_worker: u64,
+    trials: u64,
+    results: &[ThroughputResult],
+    path: &str,
+) {
+    let record = TrajectoryRecord::new(bench, device_mib, ops_per_worker, trials, results);
+    match record.write(path) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fullstack_run_completes_and_accounts_every_op() {
+        let cfg = FullstackConfig {
+            device_mib: 64,
+            ru_mib: 2,
+            shards: 4,
+            ops_per_worker: 2_000,
+            ..FullstackConfig::default()
+        };
+        let r = run_fullstack(&cfg, 4);
+        assert_eq!(r.workers, 4);
+        assert_eq!(r.total_ops, 4 * 2_000);
+        assert!(r.kops > 0.0);
+    }
+
+    #[test]
+    fn trajectory_record_round_trips_to_json() {
+        let results = vec![
+            ThroughputResult { workers: 1, total_ops: 100, wall_secs: 1.0, kops: 10.0 },
+            ThroughputResult { workers: 4, total_ops: 400, wall_secs: 1.0, kops: 25.0 },
+        ];
+        let rec = TrajectoryRecord::new("fullstack", 512, 100, 3, &results);
+        assert_eq!(rec.points.len(), 2);
+        assert!((rec.points[1].speedup - 2.5).abs() < 1e-12);
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("\"bench\""));
+        assert!(json.contains("\"points\""));
+        let dir = std::env::temp_dir().join("fdpcache_traj_test");
+        let path = dir.join("BENCH_throughput.json");
+        rec.write(&path.to_string_lossy()).unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("\"kops\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

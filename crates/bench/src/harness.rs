@@ -184,6 +184,57 @@ impl ExpConfig {
     }
 }
 
+/// Interval-DLWA sampling shared by the serial and concurrent
+/// multitenant runners: one `(host GiB written, interval DLWA)` point
+/// per `interval` host bytes past the measurement origin. Keeping both
+/// runners on one implementation keeps fig11's two modes comparable.
+struct DlwaSampler {
+    origin: fdpcache_nvme::FdpStatsLog,
+    last: fdpcache_nvme::FdpStatsLog,
+    next_sample: u64,
+    interval: u64,
+    series: Vec<(f64, f64)>,
+}
+
+impl DlwaSampler {
+    fn new(origin: fdpcache_nvme::FdpStatsLog, interval: u64) -> Self {
+        DlwaSampler {
+            origin,
+            last: origin,
+            next_sample: origin.host_bytes_written + interval,
+            interval,
+            series: Vec::new(),
+        }
+    }
+
+    fn observe(&mut self, log: fdpcache_nvme::FdpStatsLog) {
+        if log.host_bytes_written >= self.next_sample {
+            let d = log.delta(&self.last);
+            let x = (log.host_bytes_written - self.origin.host_bytes_written) as f64
+                / (1u64 << 30) as f64;
+            self.series.push((x, d.dlwa()));
+            self.last = log;
+            self.next_sample = log.host_bytes_written + self.interval;
+        }
+    }
+
+    fn into_series(self) -> Vec<(f64, f64)> {
+        self.series
+    }
+}
+
+/// Steady-state DLWA: mean of the tail quarter of the interval series,
+/// falling back to the whole-run value when the series is empty.
+fn dlwa_steady(series: &[(f64, f64)], whole_run: f64) -> f64 {
+    let tail = series.len().max(4) / 4;
+    let t: Vec<f64> = series.iter().rev().take(tail).map(|&(_, y)| y).collect();
+    if t.is_empty() {
+        whole_run
+    } else {
+        t.iter().sum::<f64>() / t.len() as f64
+    }
+}
+
 /// Result of a multi-tenant run: the shared device's DLWA plus
 /// per-tenant cache metrics.
 #[derive(Debug, Clone)]
@@ -275,35 +326,22 @@ pub fn run_multitenant(cfg: &ExpConfig, tenants: usize) -> MultiTenantResult {
     }
     let log0 = ctrl.fdp_stats_log();
     let stats0: Vec<_> = caches.iter().map(|c| c.stats()).collect();
-    let mut dlwa_series = Vec::new();
-    let mut last = log0;
-    let mut next_sample = log0.host_bytes_written + interval;
+    let mut sampler = DlwaSampler::new(log0, interval);
     loop {
         step(&mut caches, &mut gens, i);
         i += 1;
         let log = ctrl.fdp_stats_log();
-        if log.host_bytes_written >= next_sample {
-            let d = log.delta(&last);
-            let x = (log.host_bytes_written - log0.host_bytes_written) as f64 / (1u64 << 30) as f64;
-            dlwa_series.push((x, d.dlwa()));
-            last = log;
-            next_sample = log.host_bytes_written + interval;
-        }
+        sampler.observe(log);
         if log.host_bytes_written >= log0.host_bytes_written + measure_target {
             break;
         }
     }
     let dlog = ctrl.fdp_stats_log().delta(&log0);
-    let tail = dlwa_series.len().max(4) / 4;
-    let steady: Vec<f64> = dlwa_series.iter().rev().take(tail).map(|&(_, y)| y).collect();
+    let dlwa_series = sampler.into_series();
     MultiTenantResult {
         label: cfg.label().to_string(),
         dlwa: dlog.dlwa(),
-        dlwa_steady: if steady.is_empty() {
-            dlog.dlwa()
-        } else {
-            steady.iter().sum::<f64>() / steady.len() as f64
-        },
+        dlwa_steady: dlwa_steady(&dlwa_series, dlog.dlwa()),
         dlwa_series,
         tenant_hit_ratios: caches
             .iter()
@@ -314,26 +352,261 @@ pub fn run_multitenant(cfg: &ExpConfig, tenants: usize) -> MultiTenantResult {
     }
 }
 
+/// Figure 11's topology on the concurrent cache tier: `tenants` shards
+/// of one [`fdpcache_cache::ConcurrentPool`] (shard = tenant = its own
+/// namespace of the shared device), each driven by its **own real OS
+/// thread** until the shared device has absorbed the configured
+/// warm-up and measurement host bytes. The main thread samples the FDP
+/// statistics log while the workers run, producing the interval-DLWA
+/// series.
+///
+/// Unlike [`run_multitenant`] (single-threaded, round-robin
+/// interleaving, deterministic), this run interleaves tenants however
+/// the host schedules them — which is exactly the paper's testbed
+/// shape, and the sampled series is representative rather than
+/// bit-reproducible.
+///
+/// # Panics
+///
+/// Panics (with context) on configuration errors and on the first
+/// tenant device error. Failure never deadlocks the run: workers
+/// publish errors through a shared flag instead of panicking on their
+/// own threads, every wait loop (worker and observer alike) also
+/// watches that flag, and the panic is raised from the main thread
+/// after the worker scope has drained.
+pub fn run_multitenant_concurrent(cfg: &ExpConfig, tenants: usize) -> MultiTenantResult {
+    use fdpcache_cache::builder::build_device;
+    use fdpcache_cache::value::Value;
+    use fdpcache_cache::ConcurrentPool;
+    use fdpcache_core::RoundRobinPolicy;
+    use fdpcache_workloads::trace::Op;
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let ftl = cfg.ftl_config();
+    let exported = ftl.exported_bytes();
+    let ctrl =
+        build_device(ftl, StoreKind::Null, cfg.fdp).unwrap_or_else(|e| panic!("device: {e}"));
+    // Total allocated bytes across tenants; the pool splits capacity
+    // and the DRAM budget evenly per shard.
+    let ns_total = ((exported as f64) * cfg.utilization) as u64;
+    let cache_cfg = cfg.cache_config(ns_total);
+    let pool = ConcurrentPool::new(&ctrl, &cache_cfg, tenants, cfg.utilization, || {
+        Box::new(RoundRobinPolicy::new())
+    })
+    .unwrap_or_else(|e| panic!("pool: {e}"));
+
+    let per_tenant_bytes = ns_total / tenants as u64;
+    let keyspace = cfg.workload.keyspace_for(per_tenant_bytes, cfg.keyspace_multiple);
+    let device_bytes = (cfg.device_gib << 30) as f64;
+    let warmup_target = (device_bytes * cfg.warmup_turnovers) as u64;
+    let measure_target = (device_bytes * cfg.measure_turnovers) as u64;
+    let interval = (measure_target / 32).max(16 << 20);
+
+    // Phase protocol, deadlock-free by construction: workers warm up,
+    // bump `warmed`, and spin until the main thread publishes
+    // `measure_end`; the main thread waits for `warmed == tenants`,
+    // snapshots, publishes, then samples until the byte target — with
+    // every one of those waits also exiting on `failed`, which any
+    // worker sets (with its error message) instead of panicking.
+    let failed = AtomicBool::new(false);
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+    let warmed = AtomicUsize::new(0);
+    let measure_end = AtomicU64::new(u64::MAX);
+    let mut sampler: Option<DlwaSampler> = None;
+    let mut log0 = ctrl.fdp_stats_log();
+    let mut stats0 = Vec::new();
+
+    std::thread::scope(|scope| {
+        for t in 0..tenants {
+            let pool = &pool;
+            let ctrl = &ctrl;
+            let failed = &failed;
+            let failure = &failure;
+            let warmed = &warmed;
+            let measure_end = &measure_end;
+            let mut gen = cfg.workload.generator(keyspace, cfg.seed + t as u64);
+            scope.spawn(move || {
+                let report = |e: String| {
+                    failure.lock().unwrap_or_else(|p| p.into_inner()).get_or_insert(e);
+                    failed.store(true, Ordering::Release);
+                };
+                let body = || {
+                    let step = |gen: &mut fdpcache_workloads::TraceGen| -> Result<(), String> {
+                        let req = gen.next_request();
+                        pool.with_shard(t, |cache| match req.op {
+                            Op::Get => {
+                                cache.get(req.key).map(|_| ()).map_err(|e| format!("get: {e}"))
+                            }
+                            Op::Set => match cache.put(req.key, Value::synthetic(req.size)) {
+                                Ok(()) | Err(fdpcache_cache::CacheError::ObjectTooLarge { .. }) => {
+                                    Ok(())
+                                }
+                                Err(e) => Err(format!("put: {e}")),
+                            },
+                            Op::Delete => {
+                                cache.delete(req.key).map(|_| ()).map_err(|e| format!("del: {e}"))
+                            }
+                        })
+                        .expect("tenant shard exists")
+                    };
+                    // One batch of ops between shared-state checks (the log
+                    // read takes the media lock). Returns false to stop.
+                    let batch = |gen: &mut fdpcache_workloads::TraceGen| -> bool {
+                        for _ in 0..64 {
+                            if let Err(e) = step(gen) {
+                                report(format!("tenant {t}: {e}"));
+                                return false;
+                            }
+                        }
+                        true
+                    };
+                    // Warm-up to the shared byte target.
+                    while !failed.load(Ordering::Acquire)
+                        && ctrl.fdp_stats_log().host_bytes_written < warmup_target
+                    {
+                        if !batch(&mut gen) {
+                            return;
+                        }
+                    }
+                    warmed.fetch_add(1, Ordering::AcqRel);
+                    // Wait for the main thread to snapshot and publish the
+                    // measurement end point.
+                    while !failed.load(Ordering::Acquire)
+                        && measure_end.load(Ordering::Acquire) == u64::MAX
+                    {
+                        std::thread::yield_now();
+                    }
+                    let end = measure_end.load(Ordering::Acquire);
+                    while !failed.load(Ordering::Acquire)
+                        && ctrl.fdp_stats_log().host_bytes_written < end
+                    {
+                        if !batch(&mut gen) {
+                            return;
+                        }
+                    }
+                };
+                // A panic below the error-reporting layer (a cache bug,
+                // not a device error) must also unblock the observer:
+                // convert it into the same failure flag.
+                if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+                    let msg = p
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".to_string());
+                    report(format!("tenant {t} panicked: {msg}"));
+                }
+            });
+        }
+
+        // Wait until every tenant warmed up (or one failed).
+        while !failed.load(Ordering::Acquire) && warmed.load(Ordering::Acquire) < tenants {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        log0 = ctrl.fdp_stats_log();
+        stats0 = (0..tenants)
+            .map(|t| pool.with_shard(t, |c| c.stats()).expect("tenant shard"))
+            .collect();
+        let end = log0.host_bytes_written + measure_target;
+        measure_end.store(end, Ordering::Release);
+
+        // Sample the FDP log while the tenants run — the simulated
+        // counterpart of the paper's 10-minute `nvme get-log` polling,
+        // from a real observer thread this time.
+        let mut s = DlwaSampler::new(log0, interval);
+        while !failed.load(Ordering::Acquire) {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let log = ctrl.fdp_stats_log();
+            s.observe(log);
+            if log.host_bytes_written >= end {
+                break;
+            }
+        }
+        sampler = Some(s);
+    });
+
+    if let Some(e) = failure.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        panic!("concurrent multitenant run failed: {e}");
+    }
+
+    ctrl.with_ftl(|f| f.check_invariants());
+    let dlog = ctrl.fdp_stats_log().delta(&log0);
+    let dlwa_series = sampler.map(DlwaSampler::into_series).unwrap_or_default();
+    MultiTenantResult {
+        label: cfg.label().to_string(),
+        dlwa: dlog.dlwa(),
+        dlwa_steady: dlwa_steady(&dlwa_series, dlog.dlwa()),
+        dlwa_series,
+        tenant_hit_ratios: (0..tenants)
+            .map(|t| {
+                let s = pool.with_shard(t, |c| c.stats()).expect("tenant shard");
+                s.delta(&stats0[t]).hit_ratio()
+            })
+            .collect(),
+        gc_events: dlog.media_relocated_events,
+    }
+}
+
+/// Parses a `--flag N` positive-integer argument into `target`
+/// (shared by the benchmark binaries). Exits with status 2 and a
+/// message on a missing or non-positive value; leaves `target`
+/// untouched when the flag is absent.
+pub fn parse_count_flag(args: &[String], flag: &str, target: &mut u64) {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        match args.get(i + 1).map(|v| v.parse::<u64>()) {
+            Some(Ok(n)) if n > 0 => *target = n,
+            Some(Ok(_)) => {
+                eprintln!("error: {flag} must be at least 1");
+                std::process::exit(2);
+            }
+            Some(Err(_)) | None => {
+                eprintln!("error: {flag} requires a positive integer value");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Parses a `--flag PATH` argument (shared by the benchmark binaries).
+/// Returns `None` when the flag is absent; exits with status 2 when
+/// the flag is present without a path value.
+pub fn parse_path_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| match args.get(i + 1) {
+        Some(p) if !p.starts_with("--") => p.clone(),
+        _ => {
+            eprintln!("error: {flag} requires a path value");
+            std::process::exit(2);
+        }
+    })
+}
+
 /// Common CLI handling: `--quick` shrinks runs; `--out <dir>` selects
-/// the CSV output directory (default `results/`).
+/// the CSV output directory (default `results/`); `--concurrent` asks
+/// experiments that support it (fig11) to drive the stack from real
+/// worker threads over a [`fdpcache_cache::ConcurrentPool`].
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Quick smoke-run mode.
     pub quick: bool,
     /// Output directory for CSV artifacts.
     pub out_dir: String,
+    /// Run on the concurrent sharded pool with real threads.
+    pub concurrent: bool,
 }
 
 impl Cli {
     /// Parses `std::env::args`.
     pub fn parse() -> Self {
         let mut quick = false;
+        let mut concurrent = false;
         let mut out_dir = "results".to_string();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
                 "--quick" => quick = true,
+                "--concurrent" => concurrent = true,
                 "--out" if i + 1 < args.len() => {
                     out_dir = args[i + 1].clone();
                     i += 1;
@@ -342,7 +615,7 @@ impl Cli {
             }
             i += 1;
         }
-        Cli { quick, out_dir }
+        Cli { quick, out_dir, concurrent }
     }
 
     /// Writes a CSV artifact, creating the directory as needed.
@@ -479,7 +752,8 @@ mod tests {
     fn cli_parses_quick_and_out() {
         // Cli::parse reads process args; exercise write_csv directly.
         let dir = std::env::temp_dir().join("fdpcache_cli_test");
-        let cli = Cli { quick: true, out_dir: dir.to_string_lossy().into_owned() };
+        let cli =
+            Cli { quick: true, out_dir: dir.to_string_lossy().into_owned(), concurrent: false };
         cli.write_csv("x.csv", "a,b\n1,2\n");
         let written = std::fs::read_to_string(dir.join("x.csv")).expect("csv written");
         assert!(written.starts_with("a,b"));

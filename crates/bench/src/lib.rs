@@ -5,8 +5,13 @@
 //! same rows/series the paper reports and emit CSV for re-plotting.
 
 #![warn(missing_docs)]
+pub mod fullstack;
 pub mod harness;
 pub mod throughput;
 
+pub use fullstack::{
+    emit_trajectory, run_fullstack, sweep_fullstack, FullstackConfig, TrajectoryPoint,
+    TrajectoryRecord,
+};
 pub use harness::*;
 pub use throughput::{run_throughput, sweep, ThroughputConfig, ThroughputResult};

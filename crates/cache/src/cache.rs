@@ -103,6 +103,16 @@ impl HybridCache {
         self.navy.alwa()
     }
 
+    /// The byte totals behind ALWA: `(device bytes written, application
+    /// bytes handed to the flash engines)`. Pools fold these across
+    /// shards to report bytes-weighted pool-wide amplification.
+    pub fn amp_bytes(&self) -> (u64, u64) {
+        let io = self.navy.io().stats();
+        let soc = self.navy.soc().stats();
+        let loc = self.navy.loc().stats();
+        (io.bytes_written, soc.app_bytes_written + loc.app_bytes_written)
+    }
+
     fn io_mut(&mut self) -> &mut IoManager {
         self.navy.io_mut()
     }

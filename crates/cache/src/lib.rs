@@ -15,6 +15,11 @@
 //!               sequential writes
 //! ```
 //!
+//! Above the single instance sit two pool flavors sharing one shard
+//! router: [`EnginePool`] (single-threaded, `&mut self`) and
+//! [`ConcurrentPool`] (thread-safe, one lock per shard, `&self` from
+//! any thread — DESIGN.md §5.1).
+//!
 //! Placement integration is exactly the upstreamed design: at
 //! initialization each engine allocates a [`fdpcache_core::PlacementHandle`]
 //! and tags every write with it; nothing else about the cache knows FDP
@@ -37,6 +42,7 @@ pub mod admission;
 pub mod bloom;
 pub mod builder;
 pub mod cache;
+pub mod concurrent;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -49,9 +55,10 @@ pub mod value;
 
 pub use admission::AdmissionPolicy;
 pub use cache::{GetOutcome, HybridCache};
+pub use concurrent::ConcurrentPool;
 pub use config::{CacheConfig, LocEviction, NvmConfig};
 pub use error::CacheError;
-pub use pool::EnginePool;
+pub use pool::{shard_index, EnginePool};
 pub use stats::CacheStats;
 pub use value::Value;
 

@@ -37,6 +37,35 @@ fn shard_hash(key: Key) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The shard a key routes to in a pool of `shards` shards.
+///
+/// Deterministic and total: every `(key, shards)` pair with
+/// `shards > 0` maps to exactly one index in `0..shards`, always the
+/// same one. [`EnginePool`] and [`crate::ConcurrentPool`] share this
+/// routing, so a key's home shard does not depend on which pool flavor
+/// serves it.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` (a pool cannot be empty).
+pub fn shard_index(key: Key, shards: usize) -> usize {
+    assert!(shards > 0, "shard routing over an empty pool");
+    (shard_hash(key) % shards as u64) as usize
+}
+
+/// Bytes-weighted pool ALWA over per-shard `(device, application)`
+/// byte totals ([`HybridCache::amp_bytes`]); 1.0 before any
+/// application bytes reach flash. Shared by both pool flavors so the
+/// amplification definition cannot drift between them.
+pub(crate) fn pool_alwa(amp: impl Iterator<Item = (u64, u64)>) -> f64 {
+    let (dev, app) = amp.fold((0u64, 0u64), |(d, a), (dev, app)| (d + dev, a + app));
+    if app == 0 {
+        1.0
+    } else {
+        dev as f64 / app as f64
+    }
+}
+
 impl EnginePool {
     /// Builds `pairs` engine pairs over the controller, splitting
     /// `total_utilization` of the device's unallocated capacity and the
@@ -97,7 +126,14 @@ impl EnginePool {
 
     /// The shard a key routes to.
     pub fn shard_of(&self, key: Key) -> usize {
-        (shard_hash(key) % self.shards.len() as u64) as usize
+        shard_index(key, self.shards.len())
+    }
+
+    /// Consumes the pool, yielding its shards in index order (the
+    /// conversion path into [`crate::ConcurrentPool`], which re-wraps
+    /// each shard behind its own lock).
+    pub fn into_shards(self) -> Vec<HybridCache> {
+        self.shards
     }
 
     /// Immutable access to a shard.
@@ -146,17 +182,7 @@ impl EnginePool {
 
     /// Pool-wide ALWA (bytes-weighted across shards).
     pub fn alwa(&self) -> f64 {
-        let (dev, app) = self.shards.iter().fold((0u64, 0u64), |(d, a), s| {
-            let io = s.navy().io().stats();
-            let soc = s.navy().soc().stats();
-            let loc = s.navy().loc().stats();
-            (d + io.bytes_written, a + soc.app_bytes_written + loc.app_bytes_written)
-        });
-        if app == 0 {
-            1.0
-        } else {
-            dev as f64 / app as f64
-        }
+        pool_alwa(self.shards.iter().map(HybridCache::amp_bytes))
     }
 }
 

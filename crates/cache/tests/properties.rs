@@ -134,6 +134,103 @@ proptest! {
     }
 }
 
+mod shard_routing_props {
+    use fdpcache_cache::shard_index;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Routing is total and deterministic over arbitrary keys: any
+        /// `(key, shards)` pair maps to one in-range index, the same
+        /// one every time.
+        #[test]
+        fn shard_index_total_and_deterministic(
+            keys in prop::collection::vec(any::<u64>(), 1..200),
+            shards in 1usize..=64,
+        ) {
+            for &key in &keys {
+                let idx = shard_index(key, shards);
+                prop_assert!(idx < shards, "key {key} routed out of range: {idx} >= {shards}");
+                prop_assert_eq!(idx, shard_index(key, shards), "routing not deterministic");
+            }
+        }
+
+        /// Routing is roughly uniform: a chi-square statistic over the
+        /// shard occupancy of a contiguous key block stays within a
+        /// generous bound of its (shards − 1)-degree expectation.
+        /// Contiguous keys are the adversarial input — trace keys are
+        /// dense anonymized ids — and the splitmix64 finalizer must
+        /// still spread them.
+        #[test]
+        fn shard_index_spreads_keys_uniformly(base in any::<u64>(), shards in 2usize..=16) {
+            const SAMPLES: u64 = 8_000;
+            let mut counts = vec![0u64; shards];
+            for i in 0..SAMPLES {
+                counts[shard_index(base.wrapping_add(i), shards)] += 1;
+            }
+            let expected = SAMPLES as f64 / shards as f64;
+            let chi2: f64 = counts
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - expected;
+                    d * d / expected
+                })
+                .sum();
+            // 99.999th-percentile of χ²(15) is ≈ 51; the bound below
+            // is looser still at every shard count, so a genuinely
+            // skewed hash fails while statistical noise never does.
+            let bound = 4.0 * shards as f64 + 24.0;
+            prop_assert!(chi2 < bound, "chi2 {chi2:.1} over bound {bound:.1}: {counts:?}");
+        }
+
+        /// The multi-threaded replayer's partition (`shard % workers`)
+        /// balances shard ownership across workers — every worker owns
+        /// ⌊N/M⌋ or ⌈N/M⌉ shards — and routing stays stable when
+        /// evaluated concurrently from many threads, so a request is
+        /// claimed by exactly one worker no matter which thread asks.
+        #[test]
+        fn shard_partition_is_balanced_and_thread_stable(
+            keys in prop::collection::vec(any::<u64>(), 1..64),
+            shards in 1usize..=16,
+            workers in 1usize..=8,
+        ) {
+            let mut owned = vec![0usize; workers];
+            for s in 0..shards {
+                owned[s % workers] += 1;
+            }
+            for &count in &owned {
+                prop_assert!(
+                    (shards / workers..=shards.div_ceil(workers)).contains(&count),
+                    "unbalanced ownership {owned:?} for {shards} shards / {workers} workers"
+                );
+            }
+            // Each worker evaluates the routing independently on its
+            // own thread (as run_pool_round does); their claims must
+            // partition every key set exactly.
+            let claims: Vec<Vec<u64>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let keys = &keys;
+                        scope.spawn(move || {
+                            keys.iter()
+                                .copied()
+                                .filter(|&k| shard_index(k, shards) % workers == w)
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("claim thread")).collect()
+            });
+            let mut claimed: Vec<u64> = claims.into_iter().flatten().collect();
+            claimed.sort_unstable();
+            let mut expected = keys.clone();
+            expected.sort_unstable();
+            prop_assert_eq!(claimed, expected, "workers must claim every key exactly once");
+        }
+    }
+}
+
 mod pool_props {
     use fdpcache_cache::builder::{build_device, StoreKind};
     use fdpcache_cache::pool::EnginePool;

@@ -41,6 +41,20 @@ pub struct IoStats {
     pub bytes_read: u64,
 }
 
+impl IoStats {
+    /// Field-wise sum with another snapshot (aggregating the queue
+    /// pairs of a sharded pool or a multi-tenant deployment).
+    pub fn merge(&self, other: &IoStats) -> IoStats {
+        IoStats {
+            writes: self.writes + other.writes,
+            reads: self.reads + other.reads,
+            discards: self.discards + other.discards,
+            bytes_written: self.bytes_written + other.bytes_written,
+            bytes_read: self.bytes_read + other.bytes_read,
+        }
+    }
+}
+
 /// Per-worker FDP-aware I/O path.
 ///
 /// All blocks are namespace-relative; sizes are whole logical blocks.

@@ -17,11 +17,21 @@
 //! engine behind the throughput benchmark (`bench_throughput`): N
 //! workers on N namespaces scale aggregate ops/sec on real OS threads.
 //! Per-worker results aggregate over a bounded channel.
+//!
+//! Two driver shapes live here:
+//!
+//! * [`run_workers`] — one [`HybridCache`] **per worker** (worker =
+//!   tenant = namespace); the device is the only shared object.
+//! * [`run_pool_round`] — one shared [`ConcurrentPool`] for **all**
+//!   workers, who either partition its shards deterministically or
+//!   contend on them ([`PoolMode`]); this drives the full cache tier
+//!   from real threads and backs `bench_fullstack` and the pool
+//!   replayer ([`crate::replay::replay_pool`]).
 
 use crossbeam::channel;
 
 use fdpcache_cache::value::Value;
-use fdpcache_cache::{CacheStats, HybridCache};
+use fdpcache_cache::{CacheStats, ConcurrentPool, HybridCache};
 
 use crate::trace::Op;
 use crate::tracefile::RequestSource;
@@ -109,6 +119,95 @@ pub fn run_workers<S: RequestSource + Send>(
         caches.push(c);
     }
     (reports, caches)
+}
+
+/// How a round of pool workers divides a trace over a
+/// [`ConcurrentPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Every worker walks an **identical** request stream but executes
+    /// only the requests whose shard it owns (shard `s` belongs to
+    /// worker `s % workers`). Each request is executed exactly once
+    /// across the worker set, and each shard sees the same request
+    /// subsequence in the same order **regardless of worker count** —
+    /// this is what makes aggregate cache counters thread-count
+    /// invariant (the determinism regression test relies on it).
+    Partitioned,
+    /// Every worker has its own independent stream and executes all of
+    /// it, contending on shard locks. Total executed work is
+    /// `workers × ops`; used for scaling/stress measurement.
+    Contended,
+}
+
+/// One pool worker's outcome for a round.
+#[derive(Debug, Clone)]
+pub struct PoolWorkerReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Requests drawn from the worker's stream.
+    pub generated: u64,
+    /// Requests actually executed (equals `generated` in
+    /// [`PoolMode::Contended`]; the owned-shard subset in
+    /// [`PoolMode::Partitioned`]).
+    pub executed: u64,
+    /// First error encountered, if the worker stopped early.
+    pub error: Option<String>,
+}
+
+/// Runs one round of pool workers: `sources.len()` OS threads share
+/// `pool` through `&self`, each drawing exactly `ops_per_stream`
+/// requests from its own source and executing them per `mode`. Sources
+/// are advanced in place, so consecutive rounds (warm-up, then
+/// measurement) continue the same streams. Reports come back in worker
+/// order.
+pub fn run_pool_round<S: RequestSource + Send>(
+    pool: &ConcurrentPool,
+    sources: &mut [S],
+    mode: PoolMode,
+    ops_per_stream: u64,
+) -> Vec<PoolWorkerReport> {
+    let workers = sources.len();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sources
+            .iter_mut()
+            .enumerate()
+            .map(|(widx, source)| {
+                scope.spawn(move || {
+                    let mut generated = 0u64;
+                    let mut executed = 0u64;
+                    let mut error = None;
+                    while generated < ops_per_stream {
+                        let req = source.next_request();
+                        generated += 1;
+                        let owned = match mode {
+                            PoolMode::Contended => true,
+                            PoolMode::Partitioned => pool.shard_of(req.key) % workers == widx,
+                        };
+                        if !owned {
+                            continue;
+                        }
+                        let result = match req.op {
+                            Op::Get => pool.get(req.key).map(|_| ()),
+                            Op::Set => match pool.put(req.key, Value::synthetic(req.size)) {
+                                Err(fdpcache_cache::CacheError::ObjectTooLarge { .. }) => Ok(()),
+                                r => r,
+                            },
+                            Op::Delete => pool.delete(req.key).map(|_| ()),
+                        };
+                        match result {
+                            Ok(()) => executed += 1,
+                            Err(e) => {
+                                error = Some(e.to_string());
+                                break;
+                            }
+                        }
+                    }
+                    PoolWorkerReport { worker: widx, generated, executed, error }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+    })
 }
 
 #[cfg(test)]
@@ -216,5 +315,77 @@ mod tests {
             assert!(f.stats().retired_rus > 0);
             f.check_invariants();
         });
+    }
+
+    fn shared_pool(shards: usize) -> (fdpcache_core::SharedController, ConcurrentPool) {
+        let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Null, true).unwrap();
+        let config = CacheConfig {
+            ram_bytes: 16 << 10,
+            ram_item_overhead: 0,
+            nvm: NvmConfig { soc_fraction: 0.2, region_bytes: 8 * 4096, ..NvmConfig::default() },
+            use_fdp: true,
+        };
+        let pool =
+            ConcurrentPool::new(&ctrl, &config, shards, 0.9, || Box::new(RoundRobinPolicy::new()))
+                .unwrap();
+        (ctrl, pool)
+    }
+
+    #[test]
+    fn partitioned_round_executes_every_request_exactly_once() {
+        let (ctrl, pool) = shared_pool(4);
+        let profile = WorkloadProfile::meta_kv_cache();
+        const OPS: u64 = 4_000;
+        // All workers walk the SAME stream (same seed).
+        let mut sources: Vec<_> = (0..4).map(|_| profile.generator(5_000, 9)).collect();
+        let reports = run_pool_round(&pool, &mut sources, PoolMode::Partitioned, OPS);
+        for r in &reports {
+            assert_eq!(r.error, None, "worker {} failed", r.worker);
+            assert_eq!(r.generated, OPS);
+        }
+        // The partition covers the request stream with no overlap.
+        let executed: u64 = reports.iter().map(|r| r.executed).sum();
+        assert_eq!(executed, OPS);
+        // Oversized tail objects execute but are rejected before the
+        // stats counters; the band weights keep them rare.
+        let s = pool.stats();
+        let counted = s.gets + s.puts + s.deletes;
+        assert!((OPS - OPS / 50..=OPS).contains(&counted), "counted {counted} of {OPS}");
+        ctrl.with_ftl(|f| f.check_invariants());
+    }
+
+    #[test]
+    fn contended_round_executes_every_worker_stream_fully() {
+        let (ctrl, pool) = shared_pool(2);
+        let profile = WorkloadProfile::meta_kv_cache();
+        const OPS: u64 = 2_000;
+        let mut sources: Vec<_> = (0..3).map(|i| profile.generator(5_000, 21 + i)).collect();
+        let reports = run_pool_round(&pool, &mut sources, PoolMode::Contended, OPS);
+        for r in &reports {
+            assert_eq!(r.error, None, "worker {} failed", r.worker);
+            assert_eq!(r.executed, OPS);
+        }
+        let s = pool.stats();
+        let counted = s.gets + s.puts + s.deletes;
+        assert!((3 * OPS - OPS / 20..=3 * OPS).contains(&counted), "counted {counted}");
+        ctrl.with_ftl(|f| f.check_invariants());
+    }
+
+    #[test]
+    fn consecutive_rounds_continue_the_same_streams() {
+        let (_ctrl, pool) = shared_pool(2);
+        let profile = WorkloadProfile::meta_kv_cache();
+        let mut sources = vec![profile.generator(5_000, 5)];
+        let warm = run_pool_round(&pool, &mut sources, PoolMode::Partitioned, 500);
+        let measure = run_pool_round(&pool, &mut sources, PoolMode::Partitioned, 700);
+        assert_eq!(warm[0].generated, 500);
+        assert_eq!(measure[0].generated, 700);
+        // One deterministic stream replayed in one round covers the
+        // same requests the two split rounds did.
+        let (_ctrl2, pool2) = shared_pool(2);
+        let mut whole = vec![profile.generator(5_000, 5)];
+        let all = run_pool_round(&pool2, &mut whole, PoolMode::Partitioned, 1_200);
+        assert_eq!(all[0].executed, warm[0].executed + measure[0].executed);
+        assert_eq!(pool2.stats(), pool.stats());
     }
 }

@@ -33,9 +33,11 @@ pub mod trace;
 pub mod tracefile;
 pub mod zipf;
 
-pub use concurrent::{run_workers, Worker, WorkerReport};
+pub use concurrent::{
+    run_pool_round, run_workers, PoolMode, PoolWorkerReport, Worker, WorkerReport,
+};
 pub use profiles::WorkloadProfile;
-pub use replay::{ExperimentResult, ReplayConfig, Replayer};
+pub use replay::{replay_pool, ExperimentResult, PoolReplayConfig, ReplayConfig, Replayer};
 pub use sizes::SizeDist;
 pub use trace::{Op, Request, TraceGen};
 pub use tracefile::{FileReplay, RequestSource, TraceReader, TraceWriter};

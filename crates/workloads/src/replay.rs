@@ -6,12 +6,18 @@
 //! counterpart of the paper's 10-minute `nvme get-log` polling, §6.1)
 //! to produce interval-DLWA series, and rolls up the CacheBench metrics
 //! the paper reports: throughput, hit ratios, p99 latencies, ALWA.
+//!
+//! [`replay_pool`] is the multi-threaded sibling: M real worker threads
+//! drive one [`ConcurrentPool`] (partitioning or contending on the
+//! trace, [`crate::concurrent::PoolMode`]) and the same metrics are
+//! aggregated mergeably across shards.
 
 use fdpcache_cache::value::Value;
-use fdpcache_cache::HybridCache;
+use fdpcache_cache::{ConcurrentPool, HybridCache};
 use fdpcache_core::SharedController;
 use serde::Serialize;
 
+use crate::concurrent::{run_pool_round, PoolMode};
 use crate::trace::Op;
 use crate::tracefile::RequestSource;
 
@@ -241,6 +247,117 @@ impl Replayer {
     }
 }
 
+/// Configuration for a multi-threaded replay over a [`ConcurrentPool`].
+///
+/// Run length is in *operations per stream* rather than host bytes:
+/// op-count termination is what keeps the run deterministic (every
+/// worker stops at the same stream position no matter how threads
+/// interleave), which the determinism regression tests rely on.
+#[derive(Debug, Clone)]
+pub struct PoolReplayConfig {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Requests drawn per stream during warm-up (uncounted).
+    pub warmup_ops: u64,
+    /// Requests drawn per stream during measurement.
+    pub measure_ops: u64,
+    /// Base RNG seed. In [`PoolMode::Partitioned`] every worker's
+    /// stream uses this seed verbatim (identical streams, disjoint
+    /// shard ownership); in [`PoolMode::Contended`] worker `w` uses
+    /// `seed + w` (independent streams).
+    pub seed: u64,
+    /// How workers divide the trace.
+    pub mode: PoolMode,
+}
+
+/// Replays a workload over `pool` from `cfg.workers` real OS threads
+/// and rolls the run up into an [`ExperimentResult`].
+///
+/// Stats aggregate mergeably: cache counters and latency histograms
+/// are merged across shards on read (per-shard consistent), DLWA comes
+/// from the shared device's FDP log, and throughput uses the pool's
+/// virtual-time frontier (the slowest shard clock — shards run in
+/// parallel, so that is when the submitted work is done). The
+/// `dlwa_series` holds the single whole-measurement point: interval
+/// sampling during a multi-threaded run would order-couple workers,
+/// destroying the determinism this driver exists to provide; timeline
+/// experiments stay on the single-threaded [`Replayer`].
+///
+/// `source_factory` maps a seed to a request stream (e.g.
+/// `|seed| profile.generator(keyspace, seed)`).
+///
+/// # Errors
+///
+/// The first worker error, as a string (experiment binaries only
+/// report them).
+pub fn replay_pool<S: RequestSource + Send>(
+    label: &str,
+    workload: &str,
+    pool: &ConcurrentPool,
+    ctrl: &SharedController,
+    cfg: &PoolReplayConfig,
+    source_factory: impl Fn(u64) -> S,
+) -> Result<ExperimentResult, String> {
+    let check = |reports: Vec<crate::concurrent::PoolWorkerReport>| -> Result<u64, String> {
+        let mut executed = 0u64;
+        for r in reports {
+            if let Some(e) = r.error {
+                return Err(format!("pool worker {} failed: {e}", r.worker));
+            }
+            executed += r.executed;
+        }
+        Ok(executed)
+    };
+    let mut sources: Vec<S> = (0..cfg.workers)
+        .map(|w| match cfg.mode {
+            PoolMode::Partitioned => source_factory(cfg.seed),
+            PoolMode::Contended => source_factory(cfg.seed + w as u64),
+        })
+        .collect();
+    if cfg.warmup_ops > 0 {
+        check(run_pool_round(pool, &mut sources, cfg.mode, cfg.warmup_ops))?;
+    }
+
+    let stats0 = pool.stats();
+    let log0 = ctrl.fdp_stats_log();
+    let t0 = pool.now_ns();
+
+    let ops = check(run_pool_round(pool, &mut sources, cfg.mode, cfg.measure_ops))?;
+
+    let stats = pool.stats().delta(&stats0);
+    let dlog = ctrl.fdp_stats_log().delta(&log0);
+    let elapsed_ns = pool.now_ns().saturating_sub(t0).max(1);
+    let secs = elapsed_ns as f64 * 1e-9;
+    // Histograms accumulate from construction (same concession as
+    // Replayer::run): percentiles cover the whole run, warm-up
+    // included.
+    let read_hist = pool.read_latency();
+    let write_hist = pool.write_latency();
+    let dlwa = dlog.dlwa();
+    let host_gib = dlog.host_bytes_written as f64 / (1u64 << 30) as f64;
+
+    Ok(ExperimentResult {
+        workload: workload.to_string(),
+        label: label.to_string(),
+        dlwa_series: vec![(host_gib, dlwa)],
+        dlwa,
+        dlwa_steady: dlwa,
+        hit_ratio: stats.hit_ratio(),
+        nvm_hit_ratio: stats.nvm_hit_ratio(),
+        alwa: pool.alwa(),
+        kops: (stats.gets + stats.puts + stats.deletes) as f64 / secs / 1e3,
+        kgets: stats.gets as f64 / secs / 1e3,
+        p50_read_us: read_hist.p50() as f64 / 1e3,
+        p99_read_us: read_hist.p99() as f64 / 1e3,
+        p50_write_us: write_hist.p50() as f64 / 1e3,
+        p99_write_us: write_hist.p99() as f64 / 1e3,
+        gc_events: dlog.media_relocated_events,
+        host_bytes: dlog.host_bytes_written,
+        media_bytes: dlog.media_bytes_written,
+        ops,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,5 +430,63 @@ mod tests {
         let r = replayer.run("x", profile.name, &mut cache, &ctrl, &mut gen).unwrap();
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("\"dlwa\""));
+    }
+
+    fn pool_stack(shards: usize) -> (SharedController, fdpcache_cache::ConcurrentPool) {
+        use fdpcache_cache::builder::build_device;
+        let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Null, true).unwrap();
+        let config = CacheConfig {
+            ram_bytes: 32 << 10,
+            ram_item_overhead: 0,
+            nvm: NvmConfig { soc_fraction: 0.2, region_bytes: 8 * 4096, ..NvmConfig::default() },
+            use_fdp: true,
+        };
+        let pool = fdpcache_cache::ConcurrentPool::new(&ctrl, &config, shards, 0.9, || {
+            Box::new(fdpcache_core::RoundRobinPolicy::new())
+        })
+        .unwrap();
+        (ctrl, pool)
+    }
+
+    #[test]
+    fn pool_replay_produces_sane_metrics() {
+        let (ctrl, pool) = pool_stack(4);
+        let profile = WorkloadProfile::meta_kv_cache();
+        let cfg = PoolReplayConfig {
+            workers: 4,
+            warmup_ops: 2_000,
+            measure_ops: 10_000,
+            seed: 7,
+            mode: crate::concurrent::PoolMode::Contended,
+        };
+        let r = replay_pool("FDP", profile.name, &pool, &ctrl, &cfg, |seed| {
+            profile.generator(5_000, seed)
+        })
+        .unwrap();
+        assert!(r.dlwa >= 1.0, "dlwa {}", r.dlwa);
+        assert!(r.hit_ratio > 0.0 && r.hit_ratio < 1.0, "hit ratio {}", r.hit_ratio);
+        assert!(r.kops > 0.0);
+        assert!(r.host_bytes > 0);
+        assert!(r.ops > 0);
+        assert_eq!(r.dlwa_series.len(), 1);
+        ctrl.with_ftl(|f| f.check_invariants());
+    }
+
+    #[test]
+    fn pool_replay_partitioned_counts_each_request_once() {
+        let (ctrl, pool) = pool_stack(4);
+        let profile = WorkloadProfile::meta_kv_cache();
+        let cfg = PoolReplayConfig {
+            workers: 2,
+            warmup_ops: 0,
+            measure_ops: 6_000,
+            seed: 11,
+            mode: crate::concurrent::PoolMode::Partitioned,
+        };
+        let r = replay_pool("FDP", profile.name, &pool, &ctrl, &cfg, |seed| {
+            profile.generator(5_000, seed)
+        })
+        .unwrap();
+        assert_eq!(r.ops, 6_000, "partition must cover the stream exactly once");
     }
 }

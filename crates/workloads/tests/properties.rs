@@ -77,6 +77,83 @@ proptest! {
     }
 }
 
+mod zipf_distribution_props {
+    use fdpcache_workloads::Zipf;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Samplers are pure functions of their seed: two samplers with
+        /// the same parameters and RNG stream emit identical ranks.
+        #[test]
+        fn zipf_sampling_is_deterministic(
+            n in 1u64..100_000,
+            theta in 0.0f64..1.5,
+            seed in any::<u64>(),
+        ) {
+            let z = Zipf::new(n, theta);
+            let (mut a, mut b) = (StdRng::seed_from_u64(seed), StdRng::seed_from_u64(seed));
+            for _ in 0..100 {
+                prop_assert_eq!(z.sample(&mut a), z.sample(&mut b));
+            }
+        }
+
+        /// Distribution sanity for cache-trace skews: for any seed and
+        /// any production-like θ, the hottest 1% of ranks must absorb
+        /// far more traffic *per rank* than the coldest half — the
+        /// rank-frequency shape every experiment's hit ratio rides on.
+        #[test]
+        fn zipf_head_outweighs_tail_per_rank(theta in 0.6f64..1.3, seed in any::<u64>()) {
+            const N: u64 = 1_000;
+            const SAMPLES: u64 = 6_000;
+            let z = Zipf::new(N, theta);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (mut head, mut tail) = (0u64, 0u64);
+            for _ in 0..SAMPLES {
+                let r = z.sample(&mut rng);
+                if r < N / 100 {
+                    head += 1;
+                } else if r >= N / 2 {
+                    tail += 1;
+                }
+            }
+            let head_per_rank = head as f64 / (N / 100) as f64;
+            let tail_per_rank = tail as f64 / (N / 2) as f64;
+            prop_assert!(
+                head_per_rank > 5.0 * tail_per_rank,
+                "head {head_per_rank:.2}/rank vs tail {tail_per_rank:.2}/rank at theta {theta}"
+            );
+        }
+
+        /// θ = 0 degenerates to uniform: shard-style chi-square bound
+        /// over 10 bins.
+        #[test]
+        fn zipf_theta_zero_is_uniform(seed in any::<u64>()) {
+            const N: u64 = 10;
+            const SAMPLES: u64 = 10_000;
+            let z = Zipf::new(N, 0.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut counts = [0u64; N as usize];
+            for _ in 0..SAMPLES {
+                counts[z.sample(&mut rng) as usize] += 1;
+            }
+            let expected = SAMPLES as f64 / N as f64;
+            let chi2: f64 = counts
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - expected;
+                    d * d / expected
+                })
+                .sum();
+            // 99.999th percentile of χ²(9) ≈ 33.7; allow margin.
+            prop_assert!(chi2 < 45.0, "chi2 {chi2:.1}: {counts:?}");
+        }
+    }
+}
+
 mod tracefile_props {
     use fdpcache_workloads::trace::{Op, Request};
     use fdpcache_workloads::tracefile::{

@@ -1,0 +1,184 @@
+//! Cross-thread cache correctness: real OS threads hammer one
+//! [`ConcurrentPool`] through `&self` and the DESIGN.md §7 invariants
+//! must extend to the concurrent tier — no lost updates on disjoint
+//! keys, a completed `put` visible to later readers on any thread, and
+//! never serving stale or deleted data. Every test ends with the FTL's
+//! own invariant check, so cache-tier concurrency cannot silently
+//! corrupt the device below it.
+
+use fdpcache::cache::builder::{build_device, StoreKind};
+use fdpcache::cache::value::Value;
+use fdpcache::cache::{CacheConfig, ConcurrentPool, GetOutcome, NvmConfig};
+use fdpcache::ftl::FtlConfig;
+use fdpcache::placement::{RoundRobinPolicy, SharedController};
+
+fn pool(shards: usize, ram_bytes: u64) -> (SharedController, ConcurrentPool) {
+    let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Mem, true).unwrap();
+    let config = CacheConfig {
+        ram_bytes,
+        ram_item_overhead: 0,
+        nvm: NvmConfig { soc_fraction: 0.2, region_bytes: 8 * 4096, ..NvmConfig::default() },
+        use_fdp: true,
+    };
+    let p = ConcurrentPool::new(&ctrl, &config, shards, 0.9, || Box::new(RoundRobinPolicy::new()))
+        .unwrap();
+    (ctrl, p)
+}
+
+/// Every key's payload size is a pure function of the key, so any
+/// value served anywhere can be checked for staleness.
+fn payload_size(key: u64) -> u32 {
+    64 + (key % 113) as u32
+}
+
+/// Disjoint key ranges from 8 threads: every update lands (counters
+/// account for all of them) and every thread's writes are immediately
+/// visible to itself and, after the run, to any other thread.
+#[test]
+fn disjoint_keys_lose_no_updates() {
+    // RAM sized to hold the whole working set (~512 × ≤177 B per-shard
+    // split 4 ways), so present-after-put is deterministic.
+    let (ctrl, pool) = pool(4, 256 << 10);
+    const THREADS: u64 = 8;
+    const KEYS: u64 = 64;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            scope.spawn(move || {
+                for i in 0..KEYS {
+                    let key = t * 1_000_000 + i;
+                    pool.put(key, Value::synthetic(payload_size(key))).unwrap();
+                    let (_, v) = pool.get(key).unwrap();
+                    assert_eq!(
+                        v.expect("completed put visible to the writer").len(),
+                        payload_size(key) as usize
+                    );
+                }
+            });
+        }
+    });
+    let s = pool.stats();
+    assert_eq!(s.puts, THREADS * KEYS, "lost puts");
+    assert_eq!(s.gets, THREADS * KEYS, "lost gets");
+    // Cross-thread visibility after the fact: a reader thread that
+    // never wrote anything sees every key.
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            scope.spawn(move || {
+                for i in 0..KEYS {
+                    let key = t * 1_000_000 + i;
+                    let (_, v) = pool.get(key).unwrap();
+                    assert_eq!(
+                        v.expect("completed put visible on another thread").len(),
+                        payload_size(key) as usize,
+                        "key {key}"
+                    );
+                }
+            });
+        }
+    });
+    ctrl.with_ftl(|f| f.check_invariants());
+}
+
+/// Overlapping key sets under churn: readers may miss (eviction is
+/// legal) but must never see a stale size, and deleted keys must never
+/// be served afterwards.
+#[test]
+fn overlapping_keys_never_serve_stale_or_deleted_data() {
+    // Small RAM forces constant flash traffic and eviction churn.
+    let (ctrl, pool) = pool(4, 8 << 10);
+    const THREADS: u64 = 6;
+    const KEYS: u64 = 400;
+    const ROUNDS: u64 = 4;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            scope.spawn(move || {
+                // Every thread walks the SAME key set from a different
+                // offset: all writers agree on each key's size, so any
+                // served value is checkably non-stale.
+                for r in 0..ROUNDS {
+                    for i in 0..KEYS {
+                        let key = (i + t * 37 + r * 101) % KEYS;
+                        pool.put(key, Value::synthetic(payload_size(key))).unwrap();
+                        let (_, v) = pool.get(key).unwrap();
+                        if let Some(v) = v {
+                            assert_eq!(v.len(), payload_size(key) as usize, "stale data for {key}");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Delete a slice of the shared keyspace, then verify from many
+    // threads that deleted keys stay deleted (no writer is racing the
+    // deletes any more).
+    for key in 0..KEYS / 4 {
+        pool.delete(key).unwrap();
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let pool = &pool;
+            scope.spawn(move || {
+                for key in 0..KEYS {
+                    let (outcome, v) = pool.get(key).unwrap();
+                    if key < KEYS / 4 {
+                        assert_eq!(outcome, GetOutcome::Miss, "deleted key {key} served");
+                        assert!(v.is_none());
+                    } else if let Some(v) = v {
+                        assert_eq!(v.len(), payload_size(key) as usize, "stale data for {key}");
+                    }
+                }
+            });
+        }
+    });
+    let s = pool.stats();
+    assert_eq!(s.puts, THREADS * KEYS * ROUNDS);
+    assert_eq!(s.deletes, KEYS / 4);
+    ctrl.with_ftl(|f| f.check_invariants());
+}
+
+/// The merged statistics view stays coherent while writers run: ratios
+/// in range, monotone totals, and the final merge accounts for every
+/// operation.
+#[test]
+fn merged_stats_stay_coherent_under_writers() {
+    let (ctrl, pool) = pool(2, 16 << 10);
+    const THREADS: u64 = 3;
+    const OPS: u64 = 2_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    let key = (t * OPS + i) % 500;
+                    if i % 3 == 0 {
+                        let (_, v) = pool.get(key).unwrap();
+                        if let Some(v) = v {
+                            assert_eq!(v.len(), payload_size(key) as usize);
+                        }
+                    } else {
+                        pool.put(key, Value::synthetic(payload_size(key))).unwrap();
+                    }
+                }
+            });
+        }
+        // A concurrent observer: merged snapshots must always be sane
+        // even mid-run (per-shard consistent merge-on-read).
+        let pool = &pool;
+        scope.spawn(move || {
+            for _ in 0..50 {
+                let s = pool.stats();
+                let ratio = s.hit_ratio();
+                assert!((0.0..=1.0).contains(&ratio), "hit ratio {ratio} out of range");
+                assert!(s.ram_hits + s.soc_hits + s.loc_hits <= s.gets);
+                std::thread::yield_now();
+            }
+        });
+    });
+    let s = pool.stats();
+    assert_eq!(s.gets + s.puts, THREADS * OPS);
+    assert!(pool.io_stats().writes > 0);
+    ctrl.with_ftl(|f| f.check_invariants());
+}

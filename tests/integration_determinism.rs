@@ -1,0 +1,99 @@
+//! Determinism regression: the pool replayer must be a pure function
+//! of its seed at one worker, and its aggregate counters must be
+//! invariant to the worker count in partitioned mode.
+//!
+//! Why this holds: in `PoolMode::Partitioned` every worker walks an
+//! identical stream and executes exactly the requests whose shard it
+//! owns, so each shard sees the same request subsequence in the same
+//! order no matter how many threads carry it. Per-shard cache state is
+//! therefore bit-identical across worker counts; only device-global
+//! side effects that depend on cross-shard interleaving (GC victim
+//! choice, hence media bytes and latency) may differ.
+
+use fdpcache::cache::builder::{build_device, StoreKind};
+use fdpcache::cache::{CacheConfig, CacheStats, ConcurrentPool, NvmConfig};
+use fdpcache::ftl::FtlConfig;
+use fdpcache::placement::{RoundRobinPolicy, SharedController};
+use fdpcache::workloads::{
+    replay_pool, run_pool_round, PoolMode, PoolReplayConfig, WorkloadProfile,
+};
+
+fn stack(shards: usize) -> (SharedController, ConcurrentPool) {
+    let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Null, true).unwrap();
+    let config = CacheConfig {
+        ram_bytes: 32 << 10,
+        ram_item_overhead: 0,
+        nvm: NvmConfig { soc_fraction: 0.2, region_bytes: 8 * 4096, ..NvmConfig::default() },
+        use_fdp: true,
+    };
+    let p = ConcurrentPool::new(&ctrl, &config, shards, 0.9, || Box::new(RoundRobinPolicy::new()))
+        .unwrap();
+    (ctrl, p)
+}
+
+fn replay_once(workers: usize) -> fdpcache::workloads::ExperimentResult {
+    let (ctrl, pool) = stack(4);
+    let profile = WorkloadProfile::meta_kv_cache();
+    let cfg = PoolReplayConfig {
+        workers,
+        warmup_ops: 3_000,
+        measure_ops: 12_000,
+        seed: 1234,
+        mode: PoolMode::Partitioned,
+    };
+    replay_pool("FDP", profile.name, &pool, &ctrl, &cfg, |seed| profile.generator(5_000, seed))
+        .unwrap()
+}
+
+/// Same seed, two fresh stacks, one worker: every reported metric is
+/// bit-identical — hit rate, DLWA, byte counters, op counts.
+#[test]
+fn same_seed_is_bit_identical_at_one_worker() {
+    let a = replay_once(1);
+    let b = replay_once(1);
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.host_bytes, b.host_bytes);
+    assert_eq!(a.media_bytes, b.media_bytes);
+    assert_eq!(a.gc_events, b.gc_events);
+    assert_eq!(a.hit_ratio.to_bits(), b.hit_ratio.to_bits(), "hit ratio not bit-identical");
+    assert_eq!(a.nvm_hit_ratio.to_bits(), b.nvm_hit_ratio.to_bits());
+    assert_eq!(a.dlwa.to_bits(), b.dlwa.to_bits(), "DLWA not bit-identical");
+    assert_eq!(a.alwa.to_bits(), b.alwa.to_bits());
+}
+
+/// 1 worker vs 4 workers, partitioned: aggregate cache counters (ops,
+/// bytes, hits) are invariant to the thread count.
+#[test]
+fn partitioned_counters_are_thread_count_invariant() {
+    let run = |workers: usize| -> (CacheStats, u64) {
+        let (ctrl, pool) = stack(4);
+        let profile = WorkloadProfile::meta_kv_cache();
+        let mut sources: Vec<_> = (0..workers).map(|_| profile.generator(5_000, 77)).collect();
+        let reports = run_pool_round(&pool, &mut sources, PoolMode::Partitioned, 15_000);
+        for r in &reports {
+            assert_eq!(r.error, None, "worker {} failed", r.worker);
+        }
+        ctrl.with_ftl(|f| f.check_invariants());
+        (pool.stats(), ctrl.fdp_stats_log().host_bytes_written)
+    };
+    let (s1, host1) = run(1);
+    let (s4, host4) = run(4);
+    // CacheStats is a full field-wise comparison: gets, puts, deletes,
+    // per-layer hits, flash insert counts and app bytes all match.
+    assert_eq!(s1, s4, "aggregate cache counters changed with the thread count");
+    assert_eq!(host1, host4, "host bytes written changed with the thread count");
+    assert!(s1.gets > 0 && s1.puts > 0, "workload must exercise the stack");
+    assert!(host1 > 0, "workload must reach the device");
+}
+
+/// The replayer's rolled-up result is counter-stable across thread
+/// counts too (ratios are quotients of invariant counters).
+#[test]
+fn pool_replay_metrics_are_thread_count_invariant() {
+    let one = replay_once(1);
+    let four = replay_once(4);
+    assert_eq!(one.ops, four.ops);
+    assert_eq!(one.host_bytes, four.host_bytes);
+    assert_eq!(one.hit_ratio.to_bits(), four.hit_ratio.to_bits());
+    assert_eq!(one.nvm_hit_ratio.to_bits(), four.nvm_hit_ratio.to_bits());
+}
