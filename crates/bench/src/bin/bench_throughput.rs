@@ -1,44 +1,117 @@
-//! Multi-worker throughput on one shared device — the scaling gate for
-//! the fine-grained-concurrency refactor.
+//! Multi-worker throughput on one shared device — the scaling gates
+//! for the fine-grained-concurrency and batched-submission refactors.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --bin bench_throughput [-- --check] [--ops N] [--trials N] [--json PATH]
+//! cargo run --release --bin bench_throughput [-- --check] [--qd] [--ops N] [--trials N] [--json PATH]
 //! ```
 //!
 //! `--json PATH` writes the sweep as a `BENCH_throughput.json`
 //! trajectory record (documented in the README) for cross-PR tracking.
 //!
-//! Sweeps 1, 2, 4 and 8 workers (each on its own namespace of one
-//! device) and prints aggregate wall-clock ops/sec plus speedup vs one
-//! worker. Each sweep point takes the best of `--trials` runs (default
-//! 3), so a single scheduler hiccup on a noisy shared machine cannot
-//! dominate the measurement.
+//! **Worker sweep** (default): 1, 2, 4 and 8 workers (each on its own
+//! namespace of one device), aggregate wall-clock ops/sec plus speedup
+//! vs one worker, best of `--trials` runs (default 3). With `--check`
+//! the 4-worker point must beat the 1-worker aggregate by a
+//! core-count-adaptive factor (≥2.0× on ≥4 cores, ≥1.4× on 2–3, a
+//! <30% no-regression bound on 1) — the gate that keeps the data path
+//! off a global lock.
 //!
-//! With `--check`, the run becomes a regression gate that keeps the
-//! data path off a global lock. The required speedup adapts to the
-//! host's parallelism, because wall-clock scaling is bounded by cores:
-//!
-//! * ≥ 4 cores — 4 workers must reach ≥ 2.0× the 1-worker aggregate
-//!   (the paper-reproduction acceptance bar);
-//! * 2–3 cores — 4 workers must reach ≥ 1.4×;
-//! * 1 core — concurrency cannot beat one worker, so the gate instead
-//!   asserts the fine-grained path costs < 30% vs single-worker (a
-//!   global mutex would also pass this on one core, but the real
-//!   scaling assertion runs wherever CI has cores).
+//! **Queue-depth sweep** (`--qd`): QD 1, 2, 4 and 8 on a single worker
+//! replaying the region-seal-heavy workload through the batched
+//! submission pipeline. Throughput is measured in **virtual** time
+//! (deterministic; host cores cannot touch it). With `--check` the
+//! gate asserts (a) QD 4 reaches ≥ 1.3× the QD-1 virtual ops/sec —
+//! batched region seals must beat the per-command path — and (b) two
+//! QD-1 runs finish at bit-identical virtual clocks, pinning the
+//! depth-1 pipeline to the legacy synchronous model.
 
-use fdpcache_bench::{emit_trajectory, parse_count_flag, parse_path_flag, sweep, ThroughputConfig};
+use fdpcache_bench::{
+    emit_trajectory, parse_count_flag, parse_path_flag, qd_sweep, run_qd_replay, sweep,
+    ThroughputConfig, TrajectoryRecord,
+};
 use fdpcache_metrics::Table;
+
+/// Required virtual-throughput speedup of the QD-4 batched replay over
+/// the QD-1 synchronous path (the acceptance bar of the batching PR).
+const QD_REQUIRED_SPEEDUP: f64 = 1.3;
+
+fn run_qd_mode(cfg: &ThroughputConfig, check: bool, json_path: Option<String>) {
+    eprintln!(
+        "QD sweep: device {} MiB, RU {} MiB, {} ops, loc-seal-heavy workload, \
+         single worker, virtual-time throughput",
+        cfg.device_mib, cfg.ru_mib, cfg.ops_per_worker
+    );
+    let results = qd_sweep(cfg);
+    let base = results[0].vkops;
+
+    let mut table =
+        Table::new(vec!["qd", "ops", "virtual (s)", "virtual KOPS", "wall (s)", "speedup"])
+            .numeric();
+    for r in &results {
+        table.row(vec![
+            r.qd.to_string(),
+            r.total_ops.to_string(),
+            format!("{:.3}", r.virtual_secs),
+            format!("{:.0}", r.vkops),
+            format!("{:.3}", r.wall_secs),
+            format!("{:.2}x", r.vkops / base),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if let Some(path) = json_path {
+        let record = TrajectoryRecord::new_qd(cfg.device_mib, cfg.ops_per_worker, &results);
+        match record.write(&path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if check {
+        let four = results.iter().find(|r| r.qd == 4).expect("QD-4 point");
+        let speedup = four.vkops / base;
+        if speedup < QD_REQUIRED_SPEEDUP {
+            eprintln!(
+                "FAIL: QD-4 batched replay is {speedup:.2}x the QD-1 synchronous path \
+                 (needs >= {QD_REQUIRED_SPEEDUP:.1}x) — are region seals still submitting \
+                 one command at a time?"
+            );
+            std::process::exit(1);
+        }
+        let qd1_again = run_qd_replay(cfg, 1);
+        if qd1_again.now_ns != results[0].now_ns {
+            eprintln!(
+                "FAIL: two QD-1 replays diverged ({} ns vs {} ns) — the depth-1 pipeline \
+                 is no longer deterministic/bit-identical to the synchronous path",
+                results[0].now_ns, qd1_again.now_ns
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "OK: QD-4 speedup {speedup:.2}x >= {QD_REQUIRED_SPEEDUP:.1}x, QD-1 bit-identical"
+        );
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
+    let qd_mode = args.iter().any(|a| a == "--qd");
     let json_path = parse_path_flag(&args, "--json");
     let mut cfg = ThroughputConfig::default();
     let mut trials = 3u64;
     parse_count_flag(&args, "--ops", &mut cfg.ops_per_worker);
     parse_count_flag(&args, "--trials", &mut trials);
+
+    if qd_mode {
+        run_qd_mode(&cfg, check, json_path);
+        return;
+    }
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     eprintln!(

@@ -76,6 +76,7 @@ fn owner_breakdown(cfg: &ExpConfig) {
         interval_host_bytes: 1 << 40,
         max_ops: u64::MAX,
         report_workers: 1,
+        queue_depth: 1,
     });
     let r = replayer.run(cfg.label(), cfg.workload.name, &mut cache, &ctrl, &mut gen).unwrap();
     let mut by_owner: std::collections::BTreeMap<String, u64> = Default::default();

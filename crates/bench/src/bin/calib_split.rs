@@ -46,6 +46,7 @@ fn split_probe(profile: &WorkloadProfile) -> (f64, f64) {
         interval_host_bytes: 1 << 40,
         max_ops: u64::MAX,
         report_workers: 1,
+        queue_depth: 1,
     });
     replayer.run("probe", profile.name, &mut cache, &ctrl, &mut gen).expect("replay");
     let pages = ctrl.with_ftl(|f| f.ruh_host_pages().to_vec());

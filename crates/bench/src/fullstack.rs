@@ -147,11 +147,29 @@ pub struct TrajectoryPoint {
     pub speedup: f64,
 }
 
+/// One `queue depth → virtual ops/sec` point of a `--qd` trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct QdTrajectoryPoint {
+    /// Queue depth of the run.
+    pub qd: usize,
+    /// Operations replayed.
+    pub total_ops: u64,
+    /// Virtual (simulated) seconds the replay took — deterministic.
+    pub virtual_secs: f64,
+    /// Throughput in thousands of ops per virtual second.
+    pub vkops: f64,
+    /// Wall-clock seconds for the run (informational).
+    pub wall_secs: f64,
+    /// Virtual-throughput speedup vs the QD-1 point of the same sweep.
+    pub speedup: f64,
+}
+
 /// The `BENCH_throughput.json` record both benchmark binaries emit with
 /// `--json <path>`: enough context to compare trajectories across PRs.
 #[derive(Debug, Clone, Serialize)]
 pub struct TrajectoryRecord {
-    /// Which benchmark produced the record (`device` or `fullstack`).
+    /// Which benchmark produced the record (`device`, `fullstack`, or
+    /// `device-qd` for the queue-depth sweep).
     pub bench: String,
     /// Device capacity in MiB.
     pub device_mib: u64,
@@ -161,8 +179,11 @@ pub struct TrajectoryRecord {
     pub trials: u64,
     /// Host cores visible to the run (scaling is bounded by these).
     pub host_cores: usize,
-    /// Sweep points in worker order.
+    /// Worker sweep points in worker order (empty for `--qd` records).
     pub points: Vec<TrajectoryPoint>,
+    /// Queue-depth sweep points in depth order (empty unless the run
+    /// used `--qd`).
+    pub qd_points: Vec<QdTrajectoryPoint>,
 }
 
 impl TrajectoryRecord {
@@ -189,6 +210,36 @@ impl TrajectoryRecord {
                     wall_secs: r.wall_secs,
                     kops: r.kops,
                     speedup: r.kops / base,
+                })
+                .collect(),
+            qd_points: Vec::new(),
+        }
+    }
+
+    /// Builds a `--qd` record from a queue-depth sweep (first point =
+    /// QD-1 baseline).
+    pub fn new_qd(
+        device_mib: u64,
+        ops_per_worker: u64,
+        results: &[crate::throughput::QdResult],
+    ) -> Self {
+        let base = results.first().map(|r| r.vkops).unwrap_or(1.0).max(1e-9);
+        TrajectoryRecord {
+            bench: "device-qd".to_string(),
+            device_mib,
+            ops_per_worker,
+            trials: 1,
+            host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            points: Vec::new(),
+            qd_points: results
+                .iter()
+                .map(|r| QdTrajectoryPoint {
+                    qd: r.qd,
+                    total_ops: r.total_ops,
+                    virtual_secs: r.virtual_secs,
+                    vkops: r.vkops,
+                    wall_secs: r.wall_secs,
+                    speedup: r.vkops / base,
                 })
                 .collect(),
         }

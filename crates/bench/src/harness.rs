@@ -166,6 +166,7 @@ pub fn run_experiment(cfg: &ExpConfig) -> ExperimentResult {
         interval_host_bytes: ((device_bytes * cfg.measure_turnovers) as u64 / 48).max(16 << 20),
         max_ops: 2_000_000_000,
         report_workers: 32,
+        queue_depth: 1,
     });
     replayer
         .run(cfg.label(), cfg.workload.name, &mut cache, &ctrl, &mut gen)

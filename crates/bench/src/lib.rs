@@ -10,8 +10,10 @@ pub mod harness;
 pub mod throughput;
 
 pub use fullstack::{
-    emit_trajectory, run_fullstack, sweep_fullstack, FullstackConfig, TrajectoryPoint,
-    TrajectoryRecord,
+    emit_trajectory, run_fullstack, sweep_fullstack, FullstackConfig, QdTrajectoryPoint,
+    TrajectoryPoint, TrajectoryRecord,
 };
 pub use harness::*;
-pub use throughput::{run_throughput, sweep, ThroughputConfig, ThroughputResult};
+pub use throughput::{
+    qd_sweep, run_qd_replay, run_throughput, sweep, QdResult, ThroughputConfig, ThroughputResult,
+};

@@ -20,11 +20,13 @@ use std::time::Instant;
 use fdpcache_cache::builder::{
     build_cache, build_device, create_namespace, equal_share_fraction, StoreKind,
 };
-use fdpcache_cache::{CacheConfig, NvmConfig};
+use fdpcache_cache::value::Value;
+use fdpcache_cache::{CacheConfig, CacheError, NvmConfig};
 use fdpcache_core::{RoundRobinPolicy, SharedController};
 use fdpcache_ftl::FtlConfig;
 use fdpcache_nand::Geometry;
 use fdpcache_workloads::concurrent::{run_workers, Worker};
+use fdpcache_workloads::trace::Op;
 use fdpcache_workloads::{TraceGen, WorkloadProfile};
 
 /// One throughput measurement: `workers` threads × `ops` each on a
@@ -150,6 +152,91 @@ pub fn sweep(cfg: &ThroughputConfig, trials: u64) -> Vec<ThroughputResult> {
         .collect()
 }
 
+/// One point of the queue-depth sweep: a deterministic single-worker
+/// replay of the region-seal-heavy workload at queue depth `qd`.
+///
+/// Unlike the worker sweep (wall clock, host-parallelism), the QD sweep
+/// is measured in **virtual** time: the simulator's latency model is
+/// deterministic, so ops per simulated second is a bit-reproducible
+/// readout of how much device parallelism the batched submission
+/// pipeline exploits — host core count and scheduler noise cannot touch
+/// the gate.
+#[derive(Debug, Clone, Copy)]
+pub struct QdResult {
+    /// Queue depth of the run.
+    pub qd: usize,
+    /// Operations replayed.
+    pub total_ops: u64,
+    /// Virtual (simulated) seconds the replay took.
+    pub virtual_secs: f64,
+    /// Throughput in thousands of ops per **virtual** second.
+    pub vkops: f64,
+    /// Wall-clock seconds for the run (informational).
+    pub wall_secs: f64,
+    /// Final virtual clock (ns) — bit-identical across runs of the same
+    /// configuration, which is what the determinism check asserts.
+    pub now_ns: u64,
+}
+
+/// Replays the region-seal-heavy workload through one cache at queue
+/// depth `qd` and reports virtual-time throughput.
+///
+/// # Panics
+///
+/// Panics if the replay hits a device error (the configuration is sized
+/// so the device cannot wear out).
+pub fn run_qd_replay(cfg: &ThroughputConfig, qd: usize) -> QdResult {
+    let ctrl = build_device(cfg.ftl_config(), cfg.store, true).expect("device");
+    let cache_config = CacheConfig {
+        ram_bytes: 256 << 10,
+        ram_item_overhead: 0,
+        nvm: NvmConfig { soc_fraction: 0.02, region_bytes: 1 << 20, ..NvmConfig::default() },
+        use_fdp: true,
+    };
+    let nsid = create_namespace(&ctrl, 0.9, (0..8).collect()).expect("ns");
+    let mut cache =
+        build_cache(&ctrl, nsid, &cache_config, Box::new(RoundRobinPolicy::new())).expect("cache");
+    cache.set_queue_depth(qd);
+    let profile = WorkloadProfile::loc_seal_heavy();
+    let mut gen = profile.generator(20_000, cfg.seed);
+    let start = Instant::now();
+    for _ in 0..cfg.ops_per_worker {
+        let req = gen.next_request();
+        match req.op {
+            Op::Get => {
+                cache.get(req.key).expect("get");
+            }
+            Op::Set => match cache.put(req.key, Value::synthetic(req.size)) {
+                Ok(()) | Err(CacheError::ObjectTooLarge { .. }) => {}
+                Err(e) => panic!("put failed: {e}"),
+            },
+            Op::Delete => {
+                cache.delete(req.key).expect("delete");
+            }
+        }
+    }
+    cache.drain_io();
+    let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let now_ns = cache.now_ns();
+    let virtual_secs = (now_ns as f64 * 1e-9).max(1e-12);
+    ctrl.with_ftl(|f| f.check_invariants());
+    QdResult {
+        qd,
+        total_ops: cfg.ops_per_worker,
+        virtual_secs,
+        vkops: cfg.ops_per_worker as f64 / virtual_secs / 1e3,
+        wall_secs,
+        now_ns,
+    }
+}
+
+/// Runs the standard queue-depth sweep (QD 1, 2, 4, 8) of the
+/// region-seal-heavy replay. One trial per point: virtual-time results
+/// are deterministic, so repetition buys nothing.
+pub fn qd_sweep(cfg: &ThroughputConfig) -> Vec<QdResult> {
+    [1usize, 2, 4, 8].iter().map(|&qd| run_qd_replay(cfg, qd)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +253,26 @@ mod tests {
         assert_eq!(r.workers, 4);
         assert_eq!(r.total_ops, 4 * 2_000);
         assert!(r.kops > 0.0);
+    }
+
+    #[test]
+    fn qd_replay_is_deterministic_and_scales_virtual_throughput() {
+        let cfg = ThroughputConfig {
+            device_mib: 64,
+            ru_mib: 2,
+            ops_per_worker: 3_000,
+            store: StoreKind::Null,
+            ..ThroughputConfig::default()
+        };
+        let qd1 = run_qd_replay(&cfg, 1);
+        let qd1_again = run_qd_replay(&cfg, 1);
+        assert_eq!(qd1.now_ns, qd1_again.now_ns, "QD-1 replay must be bit-identical");
+        let qd4 = run_qd_replay(&cfg, 4);
+        assert!(
+            qd4.vkops >= 1.3 * qd1.vkops,
+            "QD4 batched replay must beat the synchronous path: {} vs {}",
+            qd4.vkops,
+            qd1.vkops
+        );
     }
 }

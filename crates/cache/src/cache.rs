@@ -93,9 +93,24 @@ impl HybridCache {
         &self.ram
     }
 
-    /// Simulated time observed by this cache's I/O path (ns).
+    /// Simulated time observed by this cache's I/O path (ns). With a
+    /// queue depth above 1, call [`HybridCache::drain_io`] first so
+    /// in-flight completions are reflected.
     pub fn now_ns(&self) -> u64 {
         self.navy.io().now_ns()
+    }
+
+    /// Reconfigures the device queue depth of this cache's queue pair
+    /// (commands kept in flight; 1 = synchronous per-command model).
+    pub fn set_queue_depth(&mut self, depth: usize) {
+        self.navy.io_mut().set_queue_depth(depth);
+    }
+
+    /// Reaps every in-flight device completion, advancing the virtual
+    /// clock past the last one. Call at measurement boundaries when
+    /// replaying with a queue depth above 1.
+    pub fn drain_io(&mut self) {
+        self.navy.io_mut().flush();
     }
 
     /// Application-level write amplification of the flash layer.

@@ -142,6 +142,24 @@ impl ConcurrentPool {
         }
     }
 
+    /// Reconfigures every shard's device queue depth (commands kept in
+    /// flight; 1 = synchronous per-command model).
+    pub fn set_queue_depth(&self, depth: usize) {
+        for s in &self.shards {
+            s.lock().set_queue_depth(depth);
+        }
+    }
+
+    /// Reaps every shard's in-flight device completions, advancing each
+    /// virtual clock past its last one. Call at measurement boundaries
+    /// when replaying with a queue depth above 1 (the virtual-time
+    /// frontier [`ConcurrentPool::now_ns`] only reflects reaped work).
+    pub fn drain_io(&self) {
+        for s in &self.shards {
+            s.lock().drain_io();
+        }
+    }
+
     /// Aggregated cache statistics, merged on read shard by shard
     /// (per-shard consistent, not a cross-shard point-in-time cut).
     pub fn stats(&self) -> CacheStats {

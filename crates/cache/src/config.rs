@@ -33,7 +33,11 @@ pub struct NvmConfig {
     /// (the paper's shelved "FDP specialized LOC eviction policy", §5.5
     /// lesson 1 — kept as an ablation flag, default off like CacheLib).
     pub trim_on_region_evict: bool,
-    /// Device-lane parallelism for this cache's queue pair.
+    /// Device-lane parallelism for this cache's queue pair. (Queue
+    /// *depth* is runtime state, not construction config: caches start
+    /// synchronous at depth 1 and replay drivers raise it via
+    /// `HybridCache::set_queue_depth` / `ConcurrentPool::set_queue_depth`
+    /// — one knob, in the replay configuration.)
     pub io_lanes: usize,
 }
 

@@ -17,7 +17,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use fdpcache_core::{IoManager, PlacementHandle};
+use fdpcache_core::{IoBatch, IoManager, PlacementHandle};
 
 use crate::config::LocEviction;
 use crate::error::CacheError;
@@ -177,7 +177,13 @@ impl Loc {
         self.base_block + region as u64 * self.region_blocks
     }
 
-    /// Flushes the active region buffer to flash sequentially.
+    /// Flushes the active region buffer to flash as **one** batched
+    /// submission: every 64 KiB chunk of the region becomes one queued
+    /// write and the whole region validates and maps under a single
+    /// media-lock acquisition ([`IoManager::submit_batch`]), instead of
+    /// N sequential synchronous writes. At queue depths above 1 the
+    /// chunks pipeline across device lanes; at depth 1 the timing is
+    /// bit-identical to the old sequential loop.
     fn seal_active(&mut self, io: &mut IoManager) -> Result<(), CacheError> {
         let Some(region) = self.active else {
             return Ok(());
@@ -187,13 +193,15 @@ impl Loc {
         let start_block = self.region_block(region);
         let region_bytes = self.region_bytes();
         let chunk_blocks = (SEAL_CHUNK_BYTES / self.block_bytes as usize).max(1);
+        let mut batch = IoBatch::with_capacity(region_bytes.div_ceil(SEAL_CHUNK_BYTES));
         let mut block = 0u64;
         while (block as usize) * (self.block_bytes as usize) < region_bytes {
             let off = block as usize * self.block_bytes as usize;
             let len = (chunk_blocks * self.block_bytes as usize).min(region_bytes - off);
-            io.write(start_block + block, &self.active_buf[off..off + len], self.handle)?;
+            batch.write(start_block + block, &self.active_buf[off..off + len], self.handle);
             block += (len / self.block_bytes as usize) as u64;
         }
+        io.submit_batch(batch)?;
         // Publish index entries.
         for (key, offset, value) in self.active_keys.drain(..) {
             self.regions[region as usize].keys.push(key);
@@ -237,6 +245,8 @@ impl Loc {
             }
         }
         if self.trim_on_evict {
+            // One DSM deallocate covering the whole region (a single
+            // command; identical through the batch or direct path).
             io.discard(self.region_block(region), self.region_blocks)?;
         }
         self.regions[region as usize].state = RegionState::Free;

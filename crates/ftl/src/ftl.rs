@@ -270,6 +270,59 @@ impl Ftl {
         if rg >= self.config.num_rgs {
             return Err(FtlError::InvalidRg(rg));
         }
+        self.map_one(lba, rg, ruh)
+    }
+
+    /// Maps `count` contiguous LBAs starting at `slba` through
+    /// `<rg, ruh>` in one call — the batch-mapping entry point behind
+    /// the NVMe layer's vectored write path.
+    ///
+    /// The whole batch is validated **before** any page is programmed
+    /// (unlike N sequential [`Ftl::write_placed`] calls, which could
+    /// partially apply before hitting an invalid LBA), and GC runs at
+    /// batch granularity: reclamation triggered by any RU switch inside
+    /// the batch is accumulated into the single aggregate receipt the
+    /// caller turns into one command latency. The mapping sequence is
+    /// identical to `count` sequential `write_placed` calls, so FTL
+    /// state (and therefore DLWA accounting) is bit-identical between
+    /// the batched and per-command paths.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ftl::write_placed`]; on a mid-batch media failure
+    /// ([`FtlError::OutOfSpace`] at end of life) the mapped prefix
+    /// remains, matching NVMe's indeterminate-on-error write contract.
+    pub fn write_placed_batch(
+        &mut self,
+        slba: Lba,
+        count: u64,
+        rg: u16,
+        ruh: RuhId,
+    ) -> Result<WriteReceipt, FtlError> {
+        let end = slba.checked_add(count).ok_or(FtlError::LbaOutOfRange(slba))?;
+        if end > self.l2p.len() as u64 {
+            return Err(FtlError::LbaOutOfRange(end));
+        }
+        if ruh >= self.config.num_ruhs {
+            return Err(FtlError::InvalidRuh(ruh));
+        }
+        if rg >= self.config.num_rgs {
+            return Err(FtlError::InvalidRg(rg));
+        }
+        let mut total = WriteReceipt::default();
+        for lba in slba..end {
+            let r = self.map_one(lba, rg, ruh)?;
+            total.program_ns += r.program_ns;
+            total.gc_ns += r.gc_ns;
+            total.relocated_pages += r.relocated_pages;
+            total.ru_switched |= r.ru_switched;
+        }
+        Ok(total)
+    }
+
+    /// Maps one already-validated LBA through `<rg, ruh>`: the shared
+    /// body of [`Ftl::write_placed`] and [`Ftl::write_placed_batch`].
+    fn map_one(&mut self, lba: Lba, rg: u16, ruh: RuhId) -> Result<WriteReceipt, FtlError> {
         let mut receipt = WriteReceipt::default();
 
         // Ensure the handle references an RU with space in this group.
@@ -340,6 +393,29 @@ impl Ftl {
             self.p2l[ppa.superblock as usize][ppa.page as usize] = NONE32;
             self.l2p[l as usize] = NONE64;
             self.stats.trimmed_lbas += 1;
+        }
+        Ok(())
+    }
+
+    /// Deallocates a batch of `(lba, count)` ranges in one call — the
+    /// mapping half of a vectored DSM deallocate. Every range is
+    /// validated against exported capacity **before** any mapping is
+    /// dropped, so an invalid range leaves the batch untouched (stricter
+    /// than N sequential [`Ftl::trim`] calls, which complete ranges
+    /// independently).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LbaOutOfRange`] naming the first offending range end.
+    pub fn trim_batch(&mut self, ranges: &[(Lba, u64)]) -> Result<(), FtlError> {
+        for &(lba, count) in ranges {
+            let end = lba.checked_add(count).ok_or(FtlError::LbaOutOfRange(lba))?;
+            if end > self.l2p.len() as u64 {
+                return Err(FtlError::LbaOutOfRange(end));
+            }
+        }
+        for &(lba, count) in ranges {
+            self.trim(lba, count)?;
         }
         Ok(())
     }
@@ -1028,6 +1104,63 @@ mod tests {
         assert_eq!(f.ruh_available_pages_in(0, 2), pages - 1);
         assert_eq!(f.ruh_available_pages_in(1, 2), pages - 1);
         assert_eq!(f.ruh_available_pages_in(2, 2), 0, "unknown group");
+    }
+
+    #[test]
+    fn batch_mapping_is_bit_identical_to_sequential() {
+        // Drive both FTLs well past GC onset with interleaved batch
+        // sizes; every observable (stats, busy time, full L2P) must
+        // match the per-command path exactly.
+        let mut batched = ftl();
+        let mut sequential = ftl();
+        let n = batched.exported_lbas();
+        let mut x = 0xFEED_BEEFu64;
+        for round in 0..(n / 2) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let count = 1 + (round % 7);
+            let slba = x % (n - count);
+            let b = batched.write_placed_batch(slba, count, 0, 1).unwrap();
+            let mut s = WriteReceipt::default();
+            for lba in slba..slba + count {
+                let r = sequential.write_placed(lba, 0, 1).unwrap();
+                s.program_ns += r.program_ns;
+                s.gc_ns += r.gc_ns;
+                s.relocated_pages += r.relocated_pages;
+                s.ru_switched |= r.ru_switched;
+            }
+            assert_eq!(b, s, "receipt diverged at round {round}");
+        }
+        assert_eq!(batched.stats(), sequential.stats());
+        assert_eq!(batched.busy_ns(), sequential.busy_ns());
+        assert_eq!(batched.l2p, sequential.l2p);
+        batched.check_invariants();
+    }
+
+    #[test]
+    fn batch_mapping_validates_before_mapping() {
+        let mut f = ftl();
+        let n = f.exported_lbas();
+        assert!(matches!(f.write_placed_batch(n - 1, 2, 0, 0), Err(FtlError::LbaOutOfRange(_))));
+        assert_eq!(f.mapped_lbas(), 0, "failed validation must not map a prefix");
+        let bad_ruh = f.config().num_ruhs;
+        assert!(matches!(f.write_placed_batch(0, 2, 0, bad_ruh), Err(FtlError::InvalidRuh(_))));
+        assert!(matches!(f.write_placed_batch(0, 2, 9, 0), Err(FtlError::InvalidRg(9))));
+    }
+
+    #[test]
+    fn trim_batch_is_all_or_nothing_on_validation() {
+        let mut f = ftl();
+        let n = f.exported_lbas();
+        f.write(0, 0).unwrap();
+        f.write(1, 0).unwrap();
+        // One valid + one out-of-range: nothing may be trimmed.
+        assert!(f.trim_batch(&[(0, 2), (n - 1, 2)]).is_err());
+        assert!(f.is_mapped(0) && f.is_mapped(1));
+        f.trim_batch(&[(0, 1), (1, 1)]).unwrap();
+        assert!(!f.is_mapped(0) && !f.is_mapped(1));
+        f.check_invariants();
     }
 
     #[test]

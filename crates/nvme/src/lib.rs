@@ -22,9 +22,17 @@
 //!   FDP event log (Media Relocated events, used to count GC events for
 //!   Figure 10b).
 //! * **Queue pairs** — per-worker submission/completion queues with a
-//!   virtual-time latency model over parallel device lanes. GC work
-//!   performed by the FTL occupies lanes, which is what turns write
-//!   amplification into p99 latency inflation (Figures 6 and 13).
+//!   virtual-time latency model over parallel device lanes and a
+//!   configurable queue depth: commands submit asynchronously and
+//!   complete in deterministic completion order, like the paper's
+//!   io_uring pairs. GC work performed by the FTL occupies lanes,
+//!   which is what turns write amplification into p99 latency
+//!   inflation (Figures 6 and 13).
+//! * **Vectored batch commands** — [`Controller::write_batch_ns`] maps
+//!   a whole batch of writes under one media-lock acquisition and
+//!   deallocate validates entire range vectors before dropping
+//!   anything, the entry points behind the cache's batched region
+//!   seals.
 //! * **Backing store** — pluggable payload storage ([`MemStore`] for
 //!   functional integrity in tests/examples, [`NullStore`] for
 //!   metadata-only DLWA experiments at scale).
@@ -40,10 +48,12 @@ pub mod namespace;
 pub mod queue;
 
 pub use command::{DeallocRange, IoCommand};
-pub use controller::{Controller, FdpStatsLog, NamespaceState, NamespaceStats, WriteCompletion};
+pub use controller::{
+    BatchWrite, Controller, FdpStatsLog, NamespaceState, NamespaceStats, WriteCompletion,
+};
 pub use datastore::{DataStore, MemStore, NullStore};
 pub use error::NvmeError;
 pub use identify::{ControllerIdentity, FdpConfigDescriptor};
 pub use logpage::{FdpConfigLog, RuhUsageDescriptor, RuhUsageLog};
 pub use namespace::{Namespace, NamespaceId};
-pub use queue::QueuePair;
+pub use queue::{CommandId, Completion, QueuePair};

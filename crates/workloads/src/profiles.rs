@@ -92,6 +92,21 @@ impl WorkloadProfile {
         WorkloadProfile { name: "wo-kv-cache", get_ratio: 0.0, ..Self::meta_kv_cache() }
     }
 
+    /// Large-object write stream: every SET is LOC-bound (≥ 8 KiB), so
+    /// device traffic is dominated by region seals — the workload
+    /// behind the `bench_throughput --qd` queue-depth scaling gate,
+    /// where batched seal submissions must beat the per-command path.
+    pub fn loc_seal_heavy() -> Self {
+        WorkloadProfile {
+            name: "loc-seal-heavy",
+            theta: 0.9,
+            get_ratio: 0.1,
+            delete_ratio: 0.0,
+            churn_per_op: 0.001,
+            sizes: SizeDist::new(vec![SizeBand { lo: 8_192, hi: 65_536, weight: 1.0 }]),
+        }
+    }
+
     /// Instantiates a generator over `keyspace` keys.
     pub fn generator(&self, keyspace: u64, seed: u64) -> TraceGen {
         TraceGen::new(
@@ -157,6 +172,15 @@ mod tests {
                 p.name
             );
         }
+    }
+
+    #[test]
+    fn loc_seal_heavy_is_large_object_only() {
+        let p = WorkloadProfile::loc_seal_heavy();
+        assert_eq!(p.sizes.fraction_below(8192), 0.0, "no SOC-bound objects");
+        let mut g = p.generator(10_000, 1);
+        let sets = (0..10_000).filter(|_| g.next_request().op == Op::Set).count();
+        assert!(sets > 8_500, "SET-dominant: {sets}");
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub struct ReplayConfig {
     /// paper's CacheBench runs tens of threads; the simulator is
     /// single-threaded with one virtual clock).
     pub report_workers: u32,
+    /// Device queue depth during the replay: how many commands the
+    /// cache's I/O path keeps in flight. 1 (the default) is the
+    /// synchronous per-command model and is bit-identical to the
+    /// pre-batching replayer; higher depths pipeline batched region
+    /// seals across device lanes in virtual time.
+    pub queue_depth: usize,
 }
 
 impl Default for ReplayConfig {
@@ -55,6 +61,7 @@ impl Default for ReplayConfig {
             interval_host_bytes: 256 << 20,
             max_ops: u64::MAX,
             report_workers: 32,
+            queue_depth: 1,
         }
     }
 }
@@ -152,6 +159,8 @@ impl Replayer {
             Ok(())
         };
 
+        cache.set_queue_depth(self.config.queue_depth);
+
         // Warm-up (uncounted), bounded by host bytes written.
         let mut total_ops = 0u64;
         {
@@ -169,6 +178,9 @@ impl Replayer {
             }
         }
 
+        // Reap in-flight completions so the measurement origin reflects
+        // all warm-up work (no-op at queue depth 1).
+        cache.drain_io();
         let stats0 = cache.stats();
         let log0 = ctrl.fdp_stats_log();
         let t0 = cache.now_ns();
@@ -201,6 +213,7 @@ impl Replayer {
             }
         }
 
+        cache.drain_io();
         let stats = cache.stats().delta(&stats0);
         let log = ctrl.fdp_stats_log();
         let dlog = log.delta(&log0);
@@ -268,6 +281,11 @@ pub struct PoolReplayConfig {
     pub seed: u64,
     /// How workers divide the trace.
     pub mode: PoolMode,
+    /// Device queue depth per shard (commands kept in flight; 1 = the
+    /// synchronous per-command model). Shard clocks only reflect reaped
+    /// completions, so the driver drains every shard at measurement
+    /// boundaries.
+    pub queue_depth: usize,
 }
 
 /// Replays a workload over `pool` from `cfg.workers` real OS threads
@@ -314,16 +332,19 @@ pub fn replay_pool<S: RequestSource + Send>(
             PoolMode::Contended => source_factory(cfg.seed + w as u64),
         })
         .collect();
+    pool.set_queue_depth(cfg.queue_depth);
     if cfg.warmup_ops > 0 {
         check(run_pool_round(pool, &mut sources, cfg.mode, cfg.warmup_ops))?;
     }
 
+    pool.drain_io();
     let stats0 = pool.stats();
     let log0 = ctrl.fdp_stats_log();
     let t0 = pool.now_ns();
 
     let ops = check(run_pool_round(pool, &mut sources, cfg.mode, cfg.measure_ops))?;
 
+    pool.drain_io();
     let stats = pool.stats().delta(&stats0);
     let dlog = ctrl.fdp_stats_log().delta(&log0);
     let elapsed_ns = pool.now_ns().saturating_sub(t0).max(1);
@@ -387,6 +408,7 @@ mod tests {
             interval_host_bytes: 4 << 20,
             max_ops: 200_000,
             report_workers: 1,
+            queue_depth: 1,
         });
         let r = replayer.run("FDP", profile.name, &mut cache, &ctrl, &mut gen).unwrap();
         assert!(r.dlwa >= 1.0, "dlwa {}", r.dlwa);
@@ -409,6 +431,7 @@ mod tests {
             interval_host_bytes: 8 << 20,
             max_ops: 100_000,
             report_workers: 1,
+            queue_depth: 1,
         });
         let r = replayer.run("FDP", profile.name, &mut cache, &ctrl, &mut gen).unwrap();
         assert_eq!(r.kgets, 0.0, "write-only trace has no GETs");
@@ -426,6 +449,7 @@ mod tests {
             interval_host_bytes: 1 << 30,
             max_ops: 20_000,
             report_workers: 1,
+            queue_depth: 1,
         });
         let r = replayer.run("x", profile.name, &mut cache, &ctrl, &mut gen).unwrap();
         let json = serde_json::to_string(&r).unwrap();
@@ -458,6 +482,7 @@ mod tests {
             measure_ops: 10_000,
             seed: 7,
             mode: crate::concurrent::PoolMode::Contended,
+            queue_depth: 1,
         };
         let r = replay_pool("FDP", profile.name, &pool, &ctrl, &cfg, |seed| {
             profile.generator(5_000, seed)
@@ -482,6 +507,7 @@ mod tests {
             measure_ops: 6_000,
             seed: 11,
             mode: crate::concurrent::PoolMode::Partitioned,
+            queue_depth: 1,
         };
         let r = replay_pool("FDP", profile.name, &pool, &ctrl, &cfg, |seed| {
             profile.generator(5_000, seed)

@@ -38,6 +38,7 @@ fn run(fdp: bool) {
         interval_host_bytes: device_bytes / 8,
         max_ops: u64::MAX,
         report_workers: 32,
+        queue_depth: 1,
     });
     let label = if fdp { "FDP" } else { "Non-FDP" };
     let r = replayer.run(label, profile.name, &mut cache, &ctrl, &mut gen).expect("replay");

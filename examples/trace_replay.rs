@@ -52,6 +52,7 @@ fn main() {
         interval_host_bytes: 128 << 20,
         max_ops: u64::MAX,
         report_workers: 1,
+        queue_depth: 1,
     });
     let result = replayer
         .run("FDP", "twitter-c12 (recorded)", &mut cache, &ctrl, &mut replay)

@@ -40,6 +40,7 @@ fn replay_once(workers: usize) -> fdpcache::workloads::ExperimentResult {
         measure_ops: 12_000,
         seed: 1234,
         mode: PoolMode::Partitioned,
+        queue_depth: 1,
     };
     replay_pool("FDP", profile.name, &pool, &ctrl, &cfg, |seed| profile.generator(5_000, seed))
         .unwrap()
