@@ -27,7 +27,6 @@ use fdpcache_cache::builder::{build_device, StoreKind};
 use fdpcache_cache::{CacheConfig, ConcurrentPool, NvmConfig};
 use fdpcache_core::RoundRobinPolicy;
 use fdpcache_ftl::FtlConfig;
-use fdpcache_nand::Geometry;
 use fdpcache_workloads::concurrent::{run_pool_round, PoolMode};
 use fdpcache_workloads::WorkloadProfile;
 use serde::Serialize;
@@ -68,9 +67,7 @@ impl Default for FullstackConfig {
 impl FullstackConfig {
     /// The device configuration for this run.
     pub fn ftl_config(&self) -> FtlConfig {
-        let geometry = Geometry::with_capacity(self.device_mib << 20, self.ru_mib << 20, 4096)
-            .expect("fullstack geometry must be constructible");
-        FtlConfig { geometry, num_ruhs: 8, seed: self.seed, ..FtlConfig::scaled_default() }
+        crate::throughput::bench_ftl_config(self.device_mib, self.ru_mib, self.seed)
     }
 
     fn cache_config(&self) -> CacheConfig {
@@ -164,12 +161,38 @@ pub struct QdTrajectoryPoint {
     pub speedup: f64,
 }
 
-/// The `BENCH_throughput.json` record both benchmark binaries emit with
-/// `--json <path>`: enough context to compare trajectories across PRs.
+/// One `(profile, store) → real ops/s` point of a `bench_wallclock`
+/// trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct WallclockTrajectoryPoint {
+    /// Workload profile label (`read_heavy`, `write_heavy`,
+    /// `loc_seal_heavy`).
+    pub profile: String,
+    /// Payload store label (`slab` or `hashmap`).
+    pub store: String,
+    /// Operations replayed.
+    pub ops: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+    /// Thousands of ops per wall-clock second.
+    pub kops: f64,
+    /// Device payload bytes moved (written + read).
+    pub bytes_moved: u64,
+    /// Payload bandwidth in MiB per wall-clock second.
+    pub mib_per_sec: f64,
+    /// Wall-clock speedup vs the hash-map reference on the same
+    /// profile (1.0 on reference rows).
+    pub speedup_vs_ref: f64,
+}
+
+/// The `BENCH_throughput.json` / `BENCH_wallclock.json` record the
+/// benchmark binaries emit with `--json <path>`: enough context to
+/// compare trajectories across PRs.
 #[derive(Debug, Clone, Serialize)]
 pub struct TrajectoryRecord {
-    /// Which benchmark produced the record (`device`, `fullstack`, or
-    /// `device-qd` for the queue-depth sweep).
+    /// Which benchmark produced the record (`device`, `fullstack`,
+    /// `device-qd` for the queue-depth sweep, or `wallclock` for the
+    /// real-time data-path sweep).
     pub bench: String,
     /// Device capacity in MiB.
     pub device_mib: u64,
@@ -179,11 +202,15 @@ pub struct TrajectoryRecord {
     pub trials: u64,
     /// Host cores visible to the run (scaling is bounded by these).
     pub host_cores: usize,
-    /// Worker sweep points in worker order (empty for `--qd` records).
+    /// Worker sweep points in worker order (empty for `--qd` and
+    /// wallclock records).
     pub points: Vec<TrajectoryPoint>,
     /// Queue-depth sweep points in depth order (empty unless the run
     /// used `--qd`).
     pub qd_points: Vec<QdTrajectoryPoint>,
+    /// Wall-clock data-path points, slab and reference rows per
+    /// profile (empty unless produced by `bench_wallclock`).
+    pub wallclock_points: Vec<WallclockTrajectoryPoint>,
 }
 
 impl TrajectoryRecord {
@@ -213,6 +240,7 @@ impl TrajectoryRecord {
                 })
                 .collect(),
             qd_points: Vec::new(),
+            wallclock_points: Vec::new(),
         }
     }
 
@@ -241,6 +269,42 @@ impl TrajectoryRecord {
                     wall_secs: r.wall_secs,
                     speedup: r.vkops / base,
                 })
+                .collect(),
+            wallclock_points: Vec::new(),
+        }
+    }
+
+    /// Builds a `wallclock` record from the slab-vs-reference sweep:
+    /// two rows per profile, the slab row carrying its speedup over
+    /// the reference.
+    pub fn new_wallclock(
+        device_mib: u64,
+        ops: u64,
+        trials: u64,
+        comparisons: &[crate::wallclock::WallclockComparison],
+    ) -> Self {
+        let point =
+            |r: &crate::wallclock::WallclockResult, speedup: f64| WallclockTrajectoryPoint {
+                profile: r.profile.clone(),
+                store: r.store.clone(),
+                ops: r.ops,
+                wall_secs: r.wall_secs,
+                kops: r.kops,
+                bytes_moved: r.bytes_moved,
+                mib_per_sec: r.mib_per_sec,
+                speedup_vs_ref: speedup,
+            };
+        TrajectoryRecord {
+            bench: "wallclock".to_string(),
+            device_mib,
+            ops_per_worker: ops,
+            trials,
+            host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            points: Vec::new(),
+            qd_points: Vec::new(),
+            wallclock_points: comparisons
+                .iter()
+                .flat_map(|c| [point(&c.slab, c.speedup()), point(&c.hash_ref, 1.0)])
                 .collect(),
         }
     }

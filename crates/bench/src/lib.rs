@@ -8,12 +8,17 @@
 pub mod fullstack;
 pub mod harness;
 pub mod throughput;
+pub mod wallclock;
 
 pub use fullstack::{
     emit_trajectory, run_fullstack, sweep_fullstack, FullstackConfig, QdTrajectoryPoint,
-    TrajectoryPoint, TrajectoryRecord,
+    TrajectoryPoint, TrajectoryRecord, WallclockTrajectoryPoint,
 };
 pub use harness::*;
 pub use throughput::{
     qd_sweep, run_qd_replay, run_throughput, sweep, QdResult, ThroughputConfig, ThroughputResult,
+};
+pub use wallclock::{
+    run_wallclock, sweep_wallclock, WallclockComparison, WallclockConfig, WallclockProfile,
+    WallclockResult, WallclockStore,
 };

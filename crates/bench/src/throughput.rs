@@ -29,6 +29,16 @@ use fdpcache_workloads::concurrent::{run_workers, Worker};
 use fdpcache_workloads::trace::Op;
 use fdpcache_workloads::{TraceGen, WorkloadProfile};
 
+/// The bench-device FTL configuration shared by every gate binary
+/// (`bench_throughput`, `bench_fullstack`, `bench_wallclock`), so the
+/// sweeps always measure the same device shape: 4 KiB LBAs, 8 RUHs,
+/// scaled defaults otherwise.
+pub fn bench_ftl_config(device_mib: u64, ru_mib: u64, seed: u64) -> FtlConfig {
+    let geometry = Geometry::with_capacity(device_mib << 20, ru_mib << 20, 4096)
+        .expect("bench geometry must be constructible");
+    FtlConfig { geometry, num_ruhs: 8, seed, ..FtlConfig::scaled_default() }
+}
+
 /// One throughput measurement: `workers` threads × `ops` each on a
 /// shared device.
 #[derive(Debug, Clone, Copy)]
@@ -73,9 +83,7 @@ impl Default for ThroughputConfig {
 impl ThroughputConfig {
     /// The device configuration for this run.
     pub fn ftl_config(&self) -> FtlConfig {
-        let geometry = Geometry::with_capacity(self.device_mib << 20, self.ru_mib << 20, 4096)
-            .expect("throughput geometry must be constructible");
-        FtlConfig { geometry, num_ruhs: 8, seed: self.seed, ..FtlConfig::scaled_default() }
+        bench_ftl_config(self.device_mib, self.ru_mib, self.seed)
     }
 }
 

@@ -92,6 +92,9 @@ pub struct Loc {
     handle: PlacementHandle,
     access_seq: u64,
     stats: LocStats,
+    /// Reusable block-aligned buffer for sealed-object device reads —
+    /// lookups must not pay a heap allocation per hit (DESIGN.md §5.3).
+    read_scratch: Vec<u8>,
 }
 
 impl Loc {
@@ -127,7 +130,30 @@ impl Loc {
             handle,
             access_seq: 0,
             stats: LocStats::default(),
+            read_scratch: Vec::new(),
         }
+    }
+
+    /// The covering-block read for an index entry: grows the reusable
+    /// scratch buffer as needed (amortized to zero allocations) and
+    /// reads the covering blocks from the device, returning the byte
+    /// range of the object within the scratch.
+    fn read_covering_blocks(
+        &mut self,
+        io: &mut IoManager,
+        entry: &IndexEntry,
+    ) -> Result<std::ops::Range<usize>, CacheError> {
+        let block_bytes = self.block_bytes as u64;
+        let first_block = entry.offset as u64 / block_bytes;
+        let last_byte = entry.offset as u64 + entry.value.len().max(1) as u64 - 1;
+        let nblocks = last_byte / block_bytes - first_block + 1;
+        let need = (nblocks * block_bytes) as usize;
+        if self.read_scratch.len() < need {
+            self.read_scratch.resize(need, 0);
+        }
+        io.read(self.region_block(entry.region) + first_block, &mut self.read_scratch[..need])?;
+        let start = entry.offset as usize - (first_block * block_bytes) as usize;
+        Ok(start..start + entry.value.len())
     }
 
     /// Region size in bytes.
@@ -307,7 +333,14 @@ impl Loc {
 
     /// Looks up an object. Objects still in the active buffer are served
     /// from memory (as CacheLib serves in-flight regions); sealed objects
-    /// cost a device read of the covering blocks.
+    /// cost a device read of the covering blocks into the reusable
+    /// scratch buffer.
+    ///
+    /// The returned value is the authoritative indexed one, handed back
+    /// **zero-copy**: cloning a `Value::Real` bumps the shared
+    /// `Arc<[u8]>` refcount, cloning a `Value::Synthetic` copies a
+    /// length — the lookup never materializes or re-copies payload
+    /// bytes into a fresh allocation.
     ///
     /// # Errors
     ///
@@ -322,17 +355,13 @@ impl Loc {
         let Some(entry) = self.index.get(&key).cloned() else {
             return Ok(None);
         };
-        // Read the covering blocks for real device timing.
-        let first_block = entry.offset as u64 / self.block_bytes as u64;
-        let last_byte = entry.offset as u64 + entry.value.len().max(1) as u64 - 1;
-        let last_block = last_byte / self.block_bytes as u64;
-        let nblocks = last_block - first_block + 1;
-        let mut buf = vec![0u8; (nblocks * self.block_bytes as u64) as usize];
-        io.read(self.region_block(entry.region) + first_block, &mut buf)?;
+        // Read the covering blocks for real device timing (scratch
+        // buffer reuse: no per-lookup allocation).
+        self.read_covering_blocks(io, &entry)?;
         self.access_seq += 1;
         self.regions[entry.region as usize].last_access = self.access_seq;
         self.stats.hits += 1;
-        // With a data-retaining store the bytes in `buf` equal the
+        // With a data-retaining store the scratch bytes equal the
         // materialized value (verified in tests); the authoritative value
         // is returned either way.
         Ok(Some(entry.value))
@@ -352,15 +381,8 @@ impl Loc {
         let Some(entry) = self.index.get(&key).cloned() else {
             return Ok(None);
         };
-        let first_block = entry.offset as u64 / self.block_bytes as u64;
-        let len = entry.value.len();
-        let last_byte = entry.offset as u64 + len.max(1) as u64 - 1;
-        let last_block = last_byte / self.block_bytes as u64;
-        let nblocks = last_block - first_block + 1;
-        let mut buf = vec![0u8; (nblocks * self.block_bytes as u64) as usize];
-        io.read(self.region_block(entry.region) + first_block, &mut buf)?;
-        let start = entry.offset as usize - (first_block * self.block_bytes as u64) as usize;
-        Ok(Some(buf[start..start + len].to_vec()))
+        let range = self.read_covering_blocks(io, &entry)?;
+        Ok(Some(self.read_scratch[range].to_vec()))
     }
 
     /// Removes an object from the index (its bytes become dead space in
@@ -468,6 +490,22 @@ mod tests {
         // first. (Both may eventually be evicted; check relative order via
         // which is still present right after the first eviction burst.)
         assert!(l.stats().region_evictions >= 1);
+    }
+
+    #[test]
+    fn lookups_hand_back_the_inserted_arc_without_copying() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        let value = Value::real(vec![0xEF; 10_000]);
+        let arc = value.as_real().unwrap().clone();
+        l.insert(&mut io, 4, value).unwrap();
+        // Active-buffer hit shares the buffer…
+        let hit = l.lookup(&mut io, 4).unwrap().unwrap();
+        assert!(std::sync::Arc::ptr_eq(&arc, hit.as_real().unwrap()), "active hit copied bytes");
+        // …and so does a sealed hit (force a seal, then re-look-up).
+        l.insert(&mut io, 5, Value::synthetic(30_000)).unwrap();
+        assert!(l.stats().seals >= 1);
+        let sealed = l.lookup(&mut io, 4).unwrap().unwrap();
+        assert!(std::sync::Arc::ptr_eq(&arc, sealed.as_real().unwrap()), "sealed hit copied bytes");
     }
 
     #[test]

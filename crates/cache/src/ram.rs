@@ -112,6 +112,10 @@ impl RamCache {
     }
 
     /// Looks up `key`, promoting it to most-recently-used on hit.
+    ///
+    /// Zero-copy: the returned `Value` shares the stored one —
+    /// `Value::Real` hits are an `Arc<[u8]>` refcount bump, never a
+    /// byte copy (DESIGN.md §5.3).
     pub fn get(&mut self, key: Key) -> Option<Value> {
         let idx = *self.map.get(&key)?;
         self.detach(idx);
@@ -304,6 +308,19 @@ mod tests {
         // Oldest first.
         assert_eq!(ev[0].key, 0);
         c.check_invariants();
+    }
+
+    #[test]
+    fn get_hands_back_the_stored_arc_without_copying() {
+        let mut c = RamCache::new(1000, 0);
+        let stored = Value::real(vec![7u8; 64]);
+        let arc = stored.as_real().unwrap().clone();
+        c.put(1, stored);
+        let hit = c.get(1).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&arc, hit.as_real().unwrap()),
+            "DRAM hit must share the inserted buffer (zero-copy)"
+        );
     }
 
     #[test]

@@ -242,12 +242,10 @@ impl Soc {
         key: Key,
         value: Value,
     ) -> Result<u64, CacheError> {
-        let need = ENTRY_META_BYTES + value.len();
+        let len = value.len();
+        let need = ENTRY_META_BYTES + len;
         if HEADER_BYTES + need > self.bucket_bytes as usize {
-            return Err(CacheError::ObjectTooLarge {
-                size: value.len(),
-                max: self.max_object_bytes(),
-            });
+            return Err(CacheError::ObjectTooLarge { size: len, max: self.max_object_bytes() });
         }
         let bucket = self.bucket_of(key);
         let entries = &mut self.buckets[bucket as usize];
@@ -261,10 +259,12 @@ impl Soc {
             self.buckets[bucket as usize].pop();
             evicted += 1;
         }
-        self.buckets[bucket as usize].insert(0, Entry { key, value: value.clone() });
+        // The value moves into the bucket; the only bytes touched are
+        // the serialization into the page scratch below.
+        self.buckets[bucket as usize].insert(0, Entry { key, value });
         self.stats.inserts += 1;
         self.stats.collision_evictions += evicted;
-        self.stats.app_bytes_written += value.len() as u64;
+        self.stats.app_bytes_written += len as u64;
         self.rewrite_bucket(io, bucket)?;
         Ok(evicted)
     }
@@ -272,6 +272,12 @@ impl Soc {
     /// Looks up an object. A bloom reject answers without touching
     /// flash; otherwise the bucket page is read (real I/O cost) and the
     /// authoritative list is consulted.
+    ///
+    /// A hit hands back the stored value **without touching its
+    /// bytes**: for `Value::Real` the clone below is a refcount bump on
+    /// the shared `Arc<[u8]>`, for `Value::Synthetic` it copies a
+    /// length. The page read into the reusable scratch buffer is the
+    /// only byte traffic.
     ///
     /// # Errors
     ///
@@ -463,6 +469,19 @@ mod tests {
         let v = s.lookup(&mut io, 7).unwrap().unwrap();
         assert_eq!(v.to_bytes(7), vec![0xAB; 333]);
         assert!(s.verify_bucket(&mut io, s.bucket_index(7)).unwrap());
+    }
+
+    #[test]
+    fn lookup_hands_back_the_inserted_arc_without_copying() {
+        let (mut s, mut io) = soc(2);
+        let value = Value::real(vec![0xCD; 100]);
+        let arc = value.as_real().unwrap().clone();
+        s.insert(&mut io, 9, value).unwrap();
+        let hit = s.lookup(&mut io, 9).unwrap().unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&arc, hit.as_real().unwrap()),
+            "SOC hit must share the inserted buffer (zero-copy)"
+        );
     }
 
     #[test]

@@ -44,6 +44,17 @@ impl Value {
         self.len() == 0
     }
 
+    /// The shared payload buffer of a real value, `None` for synthetic
+    /// ones. Cloning the returned `Arc` is the zero-copy way to hand a
+    /// value across cache layers (DESIGN.md §5.3) — `Value::clone`
+    /// itself only bumps this refcount, never copies bytes.
+    pub fn as_real(&self) -> Option<&Arc<[u8]>> {
+        match self {
+            Value::Real(b) => Some(b),
+            Value::Synthetic(_) => None,
+        }
+    }
+
     /// Writes the value's bytes into `out` (which must be `len()` long).
     ///
     /// Synthetic bytes are a deterministic function of `key` and
@@ -106,5 +117,14 @@ mod tests {
     fn empty_values() {
         assert!(Value::synthetic(0).is_empty());
         assert!(Value::real(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn as_real_exposes_the_shared_buffer_and_clone_is_zero_copy() {
+        let v = Value::real(vec![1u8, 2, 3]);
+        let c = v.clone();
+        // Cloning a real value must share the allocation, not copy it.
+        assert!(Arc::ptr_eq(v.as_real().unwrap(), c.as_real().unwrap()));
+        assert!(Value::synthetic(3).as_real().is_none());
     }
 }

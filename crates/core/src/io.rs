@@ -19,6 +19,10 @@
 //!   DSM command, commands stripe across device lanes through the
 //!   queue pair, and statistics update in bulk. The LOC seals each
 //!   region this way instead of issuing N sequential chunk writes.
+//!   Payloads stay vectored all the way down: each queued buffer
+//!   reaches the payload store through `DataStore::write_blocks`/
+//!   `read_blocks`, so a sealed region is a handful of slab `memcpy`s
+//!   rather than one hash insert per 4 KiB block (DESIGN.md §5.3).
 //!
 //! Commands inside one batch have **no ordering guarantees relative to
 //! each other** (NVMe gives none within a queue): the flush phases run

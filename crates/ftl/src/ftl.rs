@@ -232,6 +232,25 @@ impl Ftl {
         Ok(ns)
     }
 
+    /// Reads `nlb` contiguous LBAs starting at `start` under one call,
+    /// returning the summed media latency — the batch receipt behind
+    /// the controller's vectored read path. Per-LBA semantics (stats,
+    /// busy time, error on the first unmapped block) are identical to
+    /// `nlb` sequential [`Ftl::read`] calls; only the call count
+    /// changes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ftl::read`]; blocks before the failing one keep their read
+    /// accounting, matching the sequential loop this replaces.
+    pub fn read_contig(&mut self, start: Lba, nlb: u64) -> Result<u64, FtlError> {
+        let mut total_ns = 0u64;
+        for lba in start..start + nlb {
+            total_ns += self.read(lba)?;
+        }
+        Ok(total_ns)
+    }
+
     /// Writes `lba` through reclaim unit handle `ruh`.
     ///
     /// Overwrites invalidate the previous mapping first (that is the only

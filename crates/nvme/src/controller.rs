@@ -235,6 +235,9 @@ impl Controller {
         let ftl = Ftl::new(config.clone())?;
         let lba_bytes = ftl.lba_bytes();
         let exported_lbas = ftl.exported_lbas();
+        // Capacity-aware stores (the page slab) pre-size to the device
+        // here, before any I/O can reach them.
+        store.attach(exported_lbas, lba_bytes);
         Ok(Controller {
             ftl: Mutex::new(ftl),
             store,
@@ -428,10 +431,7 @@ impl Controller {
         // §5): a write racing a *deallocate of the same LBA* is not
         // linearizable — no client issues that pattern (trim traffic
         // comes from each namespace's own single-threaded engine).
-        for i in 0..nlb {
-            let off = i as usize * lba_bytes;
-            self.store.write_block(dev_start + i, &data[off..off + lba_bytes]);
-        }
+        self.store.write_blocks(dev_start, data, lba_bytes);
         let receipt = self.ftl.lock().write_placed_batch(dev_start, nlb, rg, ruh)?;
         let completion = WriteCompletion {
             service_ns: receipt.program_ns,
@@ -538,11 +538,8 @@ impl Controller {
             plan.push((dev_start, nlb, rg, ruh));
             total_bytes += w.data.len() as u64;
         }
-        for (w, &(dev_start, nlb, ..)) in writes.iter().zip(&plan) {
-            for i in 0..nlb {
-                let off = i as usize * lba_bytes;
-                self.store.write_block(dev_start + i, &w.data[off..off + lba_bytes]);
-            }
+        for (w, &(dev_start, ..)) in writes.iter().zip(&plan) {
+            self.store.write_blocks(dev_start, w.data, lba_bytes);
         }
         let mut completions = Vec::with_capacity(writes.len());
         {
@@ -599,27 +596,17 @@ impl Controller {
         let (dev_start, _) = ns
             .translate_range(slba, nlb)
             .ok_or(NvmeError::LbaOutOfRange { nsid: ns.nsid, lba: slba })?;
-        let mut total_ns = 0u64;
-        {
-            let mut ftl = self.ftl.lock();
-            for i in 0..nlb {
-                total_ns += ftl.read(dev_start + i).map_err(|e| match e {
-                    fdpcache_ftl::FtlError::Unmapped(l) => NvmeError::Unwritten(l),
-                    other => NvmeError::Ftl(other),
-                })?;
-            }
-        }
-        // Payload loads run outside the media lock. Non-goal (DESIGN.md
-        // §5): a read racing a deallocate of the same LBA may zero-fill
-        // — no client issues that pattern (trim traffic comes from each
-        // namespace's own single-threaded engine).
-        for i in 0..nlb {
-            let off = i as usize * lba_bytes;
-            let chunk = &mut out[off..off + lba_bytes];
-            if !self.store.read_block(dev_start + i, chunk) {
-                chunk.fill(0);
-            }
-        }
+        let total_ns = self.ftl.lock().read_contig(dev_start, nlb).map_err(|e| match e {
+            fdpcache_ftl::FtlError::Unmapped(l) => NvmeError::Unwritten(l),
+            other => NvmeError::Ftl(other),
+        })?;
+        // Payload loads run outside the media lock as one vectored
+        // transfer; the store zero-fills unbacked blocks itself (the
+        // slab serves them straight from its pre-zeroed pages). Non-goal
+        // (DESIGN.md §5): a read racing a deallocate of the same LBA may
+        // zero-fill — no client issues that pattern (trim traffic comes
+        // from each namespace's own single-threaded engine).
+        self.store.read_blocks(dev_start, out, lba_bytes);
         state.counters.reads.fetch_add(1, Ordering::Relaxed);
         state.counters.bytes_read.fetch_add(out.len() as u64, Ordering::Relaxed);
         Ok(total_ns)
@@ -665,9 +652,7 @@ impl Controller {
         }
         self.ftl.lock().trim_batch(&translated)?;
         for &(dev_start, count) in &translated {
-            for lba in dev_start..dev_start + count {
-                self.store.discard(lba);
-            }
+            self.store.discard_blocks(dev_start, count);
         }
         state.counters.discards.fetch_add(1, Ordering::Relaxed);
         Ok(())

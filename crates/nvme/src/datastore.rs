@@ -10,19 +10,30 @@
 //! its media lock (see [`crate::Controller`]), which is what lets
 //! payload memcpy traffic from N workers proceed in parallel.
 //!
-//! Two implementations:
+//! The trait is **vectored**: [`DataStore::write_blocks`],
+//! [`DataStore::read_blocks`] and [`DataStore::discard_blocks`] move N
+//! contiguous blocks per call, so a sealed 4 MiB cache region is a
+//! handful of slab `memcpy`s rather than a thousand per-block
+//! operations. Per-block entry points remain for direct use and as the
+//! building blocks of the default vectored implementations.
 //!
-//! * [`MemStore`] — sparse in-memory pages behind `SHARDS`-way sharded
-//!   locks (LBA-interleaved, so contiguous namespaces spread across
-//!   every shard); full read-back integrity for functional tests,
-//!   examples and the cache layer.
+//! Implementations:
+//!
+//! * [`MemStore`] — the primary store: a **pre-sized page slab**.
+//!   Exported capacity is divided into fixed segments (the lock
+//!   shards); each segment owns one contiguous buffer indexed directly
+//!   by LBA plus a written-bitmap. No per-write heap allocation, no
+//!   hashing: a vectored write is one bounds computation and one
+//!   `memcpy` per overlapped segment.
 //! * [`NullStore`] — discards payloads; DLWA/carbon experiments that
 //!   replay billions of accesses only need placement metadata, and
 //!   skipping payload copies keeps them fast.
+//! * [`HashStore`] (feature `hashmap-store`) — the seed's
+//!   `HashMap<u64, Box<[u8]>>` implementation, kept as the reference
+//!   the `bench_wallclock` gate compares the slab against and as the
+//!   model for the slab property tests.
 
-use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 /// Logical payload storage keyed by device LBA.
 ///
@@ -30,78 +41,404 @@ use parking_lot::Mutex;
 /// calls them concurrently from many worker threads without holding
 /// any device-wide lock.
 pub trait DataStore: Send + Sync {
+    /// Announces the device geometry once, before any I/O. The
+    /// controller calls this from [`crate::Controller::new`] so
+    /// capacity-aware stores ([`MemStore`]) can pre-size their slabs;
+    /// stores that need no sizing ignore it.
+    fn attach(&self, exported_lbas: u64, lba_bytes: u32) {
+        let _ = (exported_lbas, lba_bytes);
+    }
+
     /// Stores one logical block. `data` is exactly one LBA in length
     /// (enforced by the controller).
     fn write_block(&self, lba: u64, data: &[u8]);
+
     /// Loads one logical block into `out`. Returns `false` if the LBA has
     /// no stored payload (never written, deallocated, or a `NullStore`).
     fn read_block(&self, lba: u64, out: &mut [u8]) -> bool;
+
     /// Drops the payload for an LBA (deallocate).
     fn discard(&self, lba: u64);
+
     /// Whether payloads are actually retained (false for `NullStore`).
     fn retains_data(&self) -> bool;
+
+    /// Stores `data.len() / block_bytes` contiguous blocks starting at
+    /// `lba` — the vectored write behind the controller's data path.
+    /// Implementations that can should perform the whole transfer under
+    /// one lock pass per internal shard.
+    fn write_blocks(&self, lba: u64, data: &[u8], block_bytes: usize) {
+        for (i, chunk) in data.chunks(block_bytes).enumerate() {
+            self.write_block(lba + i as u64, chunk);
+        }
+    }
+
+    /// Loads `out.len() / block_bytes` contiguous blocks starting at
+    /// `lba`, zero-filling every block that has no stored payload (so
+    /// callers never post-process misses).
+    fn read_blocks(&self, lba: u64, out: &mut [u8], block_bytes: usize) {
+        for (i, chunk) in out.chunks_mut(block_bytes).enumerate() {
+            if !self.read_block(lba + i as u64, chunk) {
+                chunk.fill(0);
+            }
+        }
+    }
+
+    /// Drops the payloads of `count` contiguous blocks starting at
+    /// `lba` (vectored deallocate).
+    fn discard_blocks(&self, lba: u64, count: u64) {
+        for l in lba..lba + count {
+            self.discard(l);
+        }
+    }
 }
 
-/// Lock shards in [`MemStore`]. LBAs interleave across shards, so a
-/// contiguous namespace touches all of them and two namespaces never
-/// contend unless their LBAs collide modulo the shard count.
-const SHARDS: usize = 64;
+/// Blocks per slab segment (= lock shard) in [`MemStore`]: 2048 blocks
+/// = 8 MiB at 4 KiB LBAs. Segments are *contiguous* LBA ranges — the
+/// opposite of the seed's LBA-interleaved hash shards — so one vectored
+/// region write locks one segment (occasionally two at a boundary)
+/// instead of touching every shard, while distinct namespaces (carved
+/// sequentially from exported capacity) still land on distinct
+/// segments and never contend.
+const SEGMENT_BLOCKS: u64 = 2048;
 
-/// Sparse in-memory page store with sharded interior locking.
+/// Default slot size for a store used directly, before/without
+/// [`DataStore::attach`] (unit tests, tools). Attached stores use the
+/// device's LBA size.
+const DEFAULT_BLOCK_BYTES: usize = 4096;
+
+/// One slab segment: a contiguous page buffer plus a written-bitmap.
+/// On the production path, [`DataStore::attach`] allocates **and
+/// commits** every segment of the exported capacity up front — an
+/// attached `MemStore` costs the full device size in resident RAM from
+/// construction (size experiments accordingly; metadata-only runs use
+/// [`NullStore`]). Only segments created by unattached direct-use
+/// growth allocate their buffer lazily, on first write.
+#[derive(Debug, Default)]
+struct Segment {
+    /// `SEGMENT_BLOCKS * block_bytes` bytes; unwritten/discarded slots
+    /// are always zero — reads serve misses straight from the slab.
+    pages: Vec<u8>,
+    /// One bit per block: whether the slot currently holds a payload.
+    written: Vec<u64>,
+    /// Count of set bits (for `len`).
+    live: usize,
+}
+
+impl Segment {
+    /// Allocates **and commits** the segment's contiguous buffer: one
+    /// non-zero store per OS page forces the kernel to back that page
+    /// now (a plain zeroed allocation stays copy-on-write of the
+    /// shared zero page), so the data path never eats first-touch soft
+    /// faults — that cost belongs to setup, exactly like CacheLib
+    /// pre-faulting its region buffers at startup. The `black_box`
+    /// between the touch pass and the re-zero pass makes the non-zero
+    /// stores observable, so neither pass can ever be folded back into
+    /// a lazy `alloc_zeroed` by the optimizer.
+    fn allocate_committed(block_bytes: usize) -> Segment {
+        const OS_PAGE: usize = 4096;
+        let mut pages = vec![0u8; SEGMENT_BLOCKS as usize * block_bytes];
+        for i in (0..pages.len()).step_by(OS_PAGE) {
+            pages[i] = 1;
+        }
+        std::hint::black_box(&mut pages);
+        for i in (0..pages.len()).step_by(OS_PAGE) {
+            pages[i] = 0;
+        }
+        Segment { pages, written: vec![0u64; (SEGMENT_BLOCKS as usize).div_ceil(64)], live: 0 }
+    }
+
+    fn ensure_allocated(&mut self, block_bytes: usize) {
+        if self.pages.is_empty() {
+            *self = Segment::allocate_committed(block_bytes);
+        }
+    }
+
+    #[inline]
+    fn is_written(&self, slot: u64) -> bool {
+        !self.written.is_empty() && self.written[(slot / 64) as usize] & (1 << (slot % 64)) != 0
+    }
+
+    #[inline]
+    fn mark_written(&mut self, slot: u64) {
+        let word = &mut self.written[(slot / 64) as usize];
+        let bit = 1u64 << (slot % 64);
+        if *word & bit == 0 {
+            *word |= bit;
+            self.live += 1;
+        }
+    }
+
+    #[inline]
+    fn clear_written(&mut self, slot: u64) -> bool {
+        if self.written.is_empty() {
+            return false;
+        }
+        let word = &mut self.written[(slot / 64) as usize];
+        let bit = 1u64 << (slot % 64);
+        if *word & bit != 0 {
+            *word &= !bit;
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Geometry plus the segment table. Behind a `RwLock` only so
+/// [`DataStore::attach`] (and direct out-of-range use) can size the
+/// table through `&self`; the data path takes the read side, which is
+/// uncontended once the device is attached.
+#[derive(Debug)]
+struct Slab {
+    block_bytes: usize,
+    segments: Vec<Mutex<Segment>>,
+}
+
+/// Pre-sized page-slab store: contiguous per-segment buffers indexed
+/// directly by LBA.
+///
+/// Compared to the seed's sharded `HashMap<u64, Box<[u8]>>`, a write is
+/// a bounds computation plus a `memcpy` into a pre-existing slot — no
+/// hashing, no per-block boxing — and a vectored N-block transfer is
+/// one lock pass and one `memcpy` per overlapped segment. Misses read
+/// from the pre-zeroed slab page directly (discard re-zeroes its slot),
+/// so the miss path costs the same single `memcpy` as a hit.
 #[derive(Debug)]
 pub struct MemStore {
-    shards: Vec<Mutex<HashMap<u64, Box<[u8]>>>>,
+    inner: RwLock<Slab>,
 }
 
 impl Default for MemStore {
     fn default() -> Self {
-        MemStore { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+        MemStore {
+            inner: RwLock::new(Slab { block_bytes: DEFAULT_BLOCK_BYTES, segments: Vec::new() }),
+        }
     }
 }
 
 impl MemStore {
-    /// Creates an empty store.
+    /// Creates an empty, unsized store; [`DataStore::attach`] (called by
+    /// the controller) pre-sizes the segment table to the device.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn shard(&self, lba: u64) -> &Mutex<HashMap<u64, Box<[u8]>>> {
-        &self.shards[(lba % SHARDS as u64) as usize]
+    /// Creates a store pre-sized for `lbas` blocks of `lba_bytes` each
+    /// (direct/bench use without a controller).
+    pub fn with_capacity(lbas: u64, lba_bytes: u32) -> Self {
+        let s = Self::new();
+        DataStore::attach(&s, lbas, lba_bytes);
+        s
+    }
+
+    /// Grows the segment table (write lock) so `lba` is addressable —
+    /// only ever taken by direct, unattached use; the controller
+    /// validates LBAs against exported capacity, which `attach` covered.
+    fn grow_for(&self, lba: u64) {
+        let mut inner = self.inner.write();
+        let needed = (lba / SEGMENT_BLOCKS + 1) as usize;
+        while inner.segments.len() < needed {
+            inner.segments.push(Mutex::new(Segment::default()));
+        }
     }
 
     /// Number of LBAs currently holding payloads (aggregated on read).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.inner.read().segments.iter().map(|s| s.lock().live).sum()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
+        self.inner.read().segments.iter().all(|s| s.lock().live == 0)
+    }
+
+    /// Takes the table read guard, growing the table first (write
+    /// lock) when `last_lba` is beyond it — growth only ever happens in
+    /// direct, unattached use; the controller validates LBAs against
+    /// the exported capacity `attach` covered. One acquisition serves a
+    /// whole vectored transfer.
+    fn table(&self, last_lba: u64) -> parking_lot::RwLockReadGuard<'_, Slab> {
+        loop {
+            let inner = self.inner.read();
+            if ((last_lba / SEGMENT_BLOCKS) as usize) < inner.segments.len() {
+                return inner;
+            }
+            drop(inner);
+            self.grow_for(last_lba);
+        }
+    }
+}
+
+/// Runs `f` for each segment-contiguous sub-range of `[lba, lba + nlb)`
+/// with `(segment, first_slot, slot_count, byte_offset_into_transfer)`.
+/// The caller holds the table guard, so a whole vectored transfer is
+/// one table-lock acquisition.
+fn for_segments(
+    slab: &Slab,
+    lba: u64,
+    nlb: u64,
+    block_bytes: usize,
+    mut f: impl FnMut(&Mutex<Segment>, u64, u64, usize),
+) {
+    let mut done = 0u64;
+    while done < nlb {
+        let cur = lba + done;
+        let seg = (cur / SEGMENT_BLOCKS) as usize;
+        let slot = cur % SEGMENT_BLOCKS;
+        let span = (SEGMENT_BLOCKS - slot).min(nlb - done);
+        f(&slab.segments[seg], slot, span, (done as usize) * block_bytes);
+        done += span;
     }
 }
 
 impl DataStore for MemStore {
+    fn attach(&self, exported_lbas: u64, lba_bytes: u32) {
+        let mut inner = self.inner.write();
+        debug_assert!(
+            inner.segments.iter().all(|s| s.lock().live == 0),
+            "attach must precede payload traffic"
+        );
+        inner.block_bytes = lba_bytes as usize;
+        let segments = exported_lbas.div_ceil(SEGMENT_BLOCKS) as usize;
+        // Pre-size AND pre-fault the whole slab: one contiguous
+        // committed allocation per segment, so the hot path is pure
+        // memcpy from the first write on.
+        inner.segments = (0..segments)
+            .map(|_| Mutex::new(Segment::allocate_committed(lba_bytes as usize)))
+            .collect();
+    }
+
     fn write_block(&self, lba: u64, data: &[u8]) {
-        self.shard(lba).lock().insert(lba, data.into());
+        let inner = self.table(lba);
+        let block_bytes = inner.block_bytes;
+        debug_assert!(data.len() <= block_bytes, "block payload exceeds the slab slot");
+        let seg = &inner.segments[(lba / SEGMENT_BLOCKS) as usize];
+        let slot = lba % SEGMENT_BLOCKS;
+        let mut s = seg.lock();
+        s.ensure_allocated(block_bytes);
+        let off = slot as usize * block_bytes;
+        let n = data.len().min(block_bytes);
+        s.pages[off..off + n].copy_from_slice(&data[..n]);
+        s.pages[off + n..off + block_bytes].fill(0);
+        s.mark_written(slot);
     }
 
     fn read_block(&self, lba: u64, out: &mut [u8]) -> bool {
-        match self.shard(lba).lock().get(&lba) {
-            Some(p) => {
-                let n = p.len().min(out.len());
-                out[..n].copy_from_slice(&p[..n]);
-                true
-            }
-            None => false,
+        let inner = self.inner.read();
+        let block_bytes = inner.block_bytes;
+        let seg = (lba / SEGMENT_BLOCKS) as usize;
+        let slot = lba % SEGMENT_BLOCKS;
+        let Some(seg) = inner.segments.get(seg) else {
+            return false;
+        };
+        let s = seg.lock();
+        if !s.is_written(slot) {
+            return false;
         }
+        let off = slot as usize * block_bytes;
+        let n = out.len().min(block_bytes);
+        out[..n].copy_from_slice(&s.pages[off..off + n]);
+        true
     }
 
     fn discard(&self, lba: u64) {
-        self.shard(lba).lock().remove(&lba);
+        self.discard_blocks(lba, 1);
     }
 
     fn retains_data(&self) -> bool {
         true
+    }
+
+    fn write_blocks(&self, lba: u64, data: &[u8], block_bytes: usize) {
+        debug_assert_eq!(data.len() % block_bytes, 0, "vectored write must be whole blocks");
+        let nlb = (data.len() / block_bytes) as u64;
+        if nlb == 0 {
+            return;
+        }
+        let inner = self.table(lba + nlb - 1);
+        // Slot offsets derive from the attached geometry; a caller
+        // chunking at a different size would corrupt slot arithmetic.
+        debug_assert_eq!(
+            block_bytes, inner.block_bytes,
+            "vectored transfer must use the attached LBA size"
+        );
+        for_segments(&inner, lba, nlb, block_bytes, |seg, slot, span, data_off| {
+            let mut s = seg.lock();
+            s.ensure_allocated(block_bytes);
+            let off = slot as usize * block_bytes;
+            let bytes = span as usize * block_bytes;
+            s.pages[off..off + bytes].copy_from_slice(&data[data_off..data_off + bytes]);
+            for i in slot..slot + span {
+                s.mark_written(i);
+            }
+        });
+    }
+
+    fn read_blocks(&self, lba: u64, out: &mut [u8], block_bytes: usize) {
+        debug_assert_eq!(out.len() % block_bytes, 0, "vectored read must be whole blocks");
+        let mut nlb = (out.len() / block_bytes) as u64;
+        if nlb == 0 {
+            return;
+        }
+        let inner = self.inner.read();
+        debug_assert_eq!(
+            block_bytes, inner.block_bytes,
+            "vectored transfer must use the attached LBA size"
+        );
+        // Like discards, reads of beyond-table LBAs must not grow the
+        // table (they are misses by definition): clamp and zero-fill
+        // the out-of-table tail instead.
+        let table_blocks = inner.segments.len() as u64 * SEGMENT_BLOCKS;
+        if lba >= table_blocks {
+            out.fill(0);
+            return;
+        }
+        if nlb > table_blocks - lba {
+            nlb = table_blocks - lba;
+            out[(nlb as usize) * block_bytes..].fill(0);
+        }
+        for_segments(&inner, lba, nlb, block_bytes, |seg, slot, span, out_off| {
+            let s = seg.lock();
+            let bytes = span as usize * block_bytes;
+            let chunk = &mut out[out_off..out_off + bytes];
+            if s.pages.is_empty() {
+                // Untouched segment: every slot is (logically) zero.
+                chunk.fill(0);
+            } else {
+                // One contiguous copy serves hits and misses alike:
+                // unwritten/discarded slots are pre-zeroed in the slab.
+                let off = slot as usize * block_bytes;
+                chunk.copy_from_slice(&s.pages[off..off + bytes]);
+            }
+        });
+    }
+
+    fn discard_blocks(&self, lba: u64, count: u64) {
+        let inner = self.inner.read();
+        let block_bytes = inner.block_bytes;
+        // A discard of never-written (beyond-table) space is a no-op,
+        // never table growth. Clamp to the table.
+        let table_blocks = inner.segments.len() as u64 * SEGMENT_BLOCKS;
+        if lba >= table_blocks || count == 0 {
+            return;
+        }
+        let count = count.min(table_blocks - lba);
+        for_segments(&inner, lba, count, block_bytes, |seg, slot, span, _| {
+            let mut s = seg.lock();
+            if s.pages.is_empty() {
+                return;
+            }
+            for i in slot..slot + span {
+                if s.clear_written(i) {
+                    // Keep the invariant that unwritten slots are zero,
+                    // so reads can serve misses from the slab directly.
+                    let off = i as usize * block_bytes;
+                    s.pages[off..off + block_bytes].fill(0);
+                }
+            }
+        });
     }
 }
 
@@ -120,6 +457,95 @@ impl DataStore for NullStore {
 
     fn retains_data(&self) -> bool {
         false
+    }
+
+    fn write_blocks(&self, _lba: u64, _data: &[u8], _block_bytes: usize) {}
+
+    fn read_blocks(&self, _lba: u64, out: &mut [u8], _block_bytes: usize) {
+        // Vectored reads promise zero-filled misses (the controller no
+        // longer post-processes), so the whole buffer zeroes in one pass.
+        out.fill(0);
+    }
+
+    fn discard_blocks(&self, _lba: u64, _count: u64) {}
+}
+
+/// The seed's sparse hash-map store: `HashMap<u64, Box<[u8]>>` behind
+/// LBA-interleaved lock shards. Kept (feature `hashmap-store`) as the
+/// reference implementation the `bench_wallclock --check` gate measures
+/// the slab against; every write costs a hash probe plus a fresh boxed
+/// allocation, which is exactly the overhead [`MemStore`] removes.
+#[cfg(feature = "hashmap-store")]
+#[derive(Debug)]
+pub struct HashStore {
+    shards: Vec<Mutex<std::collections::HashMap<u64, Box<[u8]>>>>,
+}
+
+#[cfg(feature = "hashmap-store")]
+const HASH_SHARDS: usize = 64;
+
+#[cfg(feature = "hashmap-store")]
+impl Default for HashStore {
+    fn default() -> Self {
+        HashStore {
+            shards: (0..HASH_SHARDS)
+                .map(|_| Mutex::new(std::collections::HashMap::new()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(feature = "hashmap-store")]
+impl HashStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, lba: u64) -> &Mutex<std::collections::HashMap<u64, Box<[u8]>>> {
+        &self.shards[(lba % HASH_SHARDS as u64) as usize]
+    }
+
+    /// Number of LBAs currently holding payloads.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+}
+
+#[cfg(feature = "hashmap-store")]
+impl DataStore for HashStore {
+    fn write_block(&self, lba: u64, data: &[u8]) {
+        self.shard(lba).lock().insert(lba, data.into());
+    }
+
+    fn read_block(&self, lba: u64, out: &mut [u8]) -> bool {
+        match self.shard(lba).lock().get(&lba) {
+            Some(p) => {
+                let n = p.len().min(out.len());
+                out[..n].copy_from_slice(&p[..n]);
+                // Zero any tail beyond the stored payload so the
+                // default vectored `read_blocks` honours its zero-fill
+                // contract and this reference store stays byte-for-byte
+                // equivalent to the slab (which zero-pads short writes
+                // at write time).
+                out[n..].fill(0);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn discard(&self, lba: u64) {
+        self.shard(lba).lock().remove(&lba);
+    }
+
+    fn retains_data(&self) -> bool {
+        true
     }
 }
 
@@ -159,20 +585,98 @@ mod tests {
     }
 
     #[test]
-    fn memstore_spreads_across_shards() {
+    fn attach_presizes_and_commits_whole_device() {
         let s = MemStore::new();
-        for lba in 0..(SHARDS as u64 * 2) {
-            s.write_block(lba, &[lba as u8; 4]);
-        }
-        assert_eq!(s.len(), SHARDS * 2);
-        for shard in &s.shards {
-            assert_eq!(shard.lock().len(), 2);
+        DataStore::attach(&s, 5 * SEGMENT_BLOCKS + 3, 512);
+        assert_eq!(s.inner.read().segments.len(), 6);
+        assert_eq!(s.inner.read().block_bytes, 512);
+        // Every segment's contiguous buffer exists (and is zeroed)
+        // before the first write: no first-touch cost on the data path.
+        for seg in &s.inner.read().segments {
+            let seg = seg.lock();
+            assert_eq!(seg.pages.len(), SEGMENT_BLOCKS as usize * 512);
+            assert!(seg.pages.iter().all(|&b| b == 0));
         }
     }
 
     #[test]
+    fn vectored_write_round_trips_across_segment_boundary() {
+        let s = MemStore::with_capacity(3 * SEGMENT_BLOCKS, 8);
+        // 8-byte blocks; span the first segment boundary.
+        let start = SEGMENT_BLOCKS - 2;
+        let data: Vec<u8> = (0..4 * 8).map(|i| i as u8).collect();
+        s.write_blocks(start, &data, 8);
+        assert_eq!(s.len(), 4);
+        let mut out = vec![0u8; data.len()];
+        s.read_blocks(start, &mut out, 8);
+        assert_eq!(out, data);
+        // Per-block reads agree.
+        let mut one = [0u8; 8];
+        assert!(s.read_block(start + 2, &mut one));
+        assert_eq!(one, data[16..24]);
+    }
+
+    #[test]
+    fn vectored_read_zero_fills_misses_in_place() {
+        let s = MemStore::with_capacity(SEGMENT_BLOCKS, 4);
+        s.write_block(1, &[7; 4]);
+        let mut out = [9u8; 12];
+        s.read_blocks(0, &mut out, 4);
+        assert_eq!(out, [0, 0, 0, 0, 7, 7, 7, 7, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn vectored_discard_rezeroes_slots() {
+        let s = MemStore::with_capacity(SEGMENT_BLOCKS, 4);
+        for lba in 0..8u64 {
+            s.write_block(lba, &[0xFF; 4]);
+        }
+        s.discard_blocks(2, 4);
+        assert_eq!(s.len(), 4);
+        let mut out = [1u8; 32];
+        s.read_blocks(0, &mut out, 4);
+        let mut expect = [0xFFu8; 32];
+        expect[8..24].fill(0);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn discard_beyond_capacity_is_a_noop() {
+        let s = MemStore::with_capacity(16, 4);
+        s.discard_blocks(1 << 40, 8);
+        assert!(s.is_empty());
+        assert_eq!(s.inner.read().segments.len(), 1);
+    }
+
+    #[test]
+    fn read_beyond_capacity_zero_fills_without_growing() {
+        let s = MemStore::with_capacity(16, 4);
+        s.write_block(SEGMENT_BLOCKS - 1, &[9; 4]);
+        // Fully out of table: zeros, and no segment growth.
+        let mut out = [7u8; 8];
+        s.read_blocks(1 << 40, &mut out, 4);
+        assert_eq!(out, [0; 8]);
+        assert_eq!(s.inner.read().segments.len(), 1);
+        // Straddling the table edge: in-table block served, tail zeroed.
+        let mut out = [7u8; 8];
+        s.read_blocks(SEGMENT_BLOCKS - 1, &mut out, 4);
+        assert_eq!(out, [9, 9, 9, 9, 0, 0, 0, 0]);
+        assert_eq!(s.inner.read().segments.len(), 1);
+    }
+
+    #[test]
+    fn short_write_zeroes_slot_remainder() {
+        let s = MemStore::with_capacity(16, 8);
+        s.write_block(3, &[0xAA; 8]);
+        s.write_block(3, &[0x55; 4]); // shorter overwrite
+        let mut out = [0u8; 8];
+        assert!(s.read_block(3, &mut out));
+        assert_eq!(out, [0x55, 0x55, 0x55, 0x55, 0, 0, 0, 0]);
+    }
+
+    #[test]
     fn memstore_concurrent_writers_do_not_lose_blocks() {
-        let s = std::sync::Arc::new(MemStore::new());
+        let s = std::sync::Arc::new(MemStore::with_capacity(4_096, 4));
         std::thread::scope(|scope| {
             for t in 0..8u64 {
                 let s = s.clone();
@@ -191,6 +695,16 @@ mod tests {
     }
 
     #[test]
+    fn unattached_store_grows_on_demand() {
+        let s = MemStore::new();
+        s.write_block(10 * SEGMENT_BLOCKS + 5, &[3; 16]);
+        assert_eq!(s.len(), 1);
+        let mut out = [0u8; 16];
+        assert!(s.read_block(10 * SEGMENT_BLOCKS + 5, &mut out));
+        assert_eq!(out, [3; 16]);
+    }
+
+    #[test]
     fn nullstore_never_returns_data() {
         let s = NullStore;
         s.write_block(1, &[1; 4]);
@@ -198,5 +712,27 @@ mod tests {
         assert!(!s.read_block(1, &mut out));
         assert_eq!(out, [7; 4], "NullStore must not touch the buffer");
         assert!(!s.retains_data());
+        // The vectored read, by contract, zero-fills.
+        let mut vec_out = [7u8; 8];
+        s.read_blocks(0, &mut vec_out, 4);
+        assert_eq!(vec_out, [0; 8]);
+    }
+
+    #[cfg(feature = "hashmap-store")]
+    #[test]
+    fn hashstore_reference_round_trips() {
+        let s = HashStore::new();
+        s.write_block(7, &[1, 2, 3, 4]);
+        let mut out = [0u8; 4];
+        assert!(s.read_block(7, &mut out));
+        assert_eq!(out, [1, 2, 3, 4]);
+        assert_eq!(s.len(), 1);
+        s.discard(7);
+        assert!(s.is_empty());
+        // Default vectored paths compose the per-block entry points.
+        s.write_blocks(0, &[9u8; 12], 4);
+        let mut v = [1u8; 16];
+        s.read_blocks(0, &mut v, 4);
+        assert_eq!(v, [9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 0, 0, 0, 0]);
     }
 }

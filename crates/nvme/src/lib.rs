@@ -51,6 +51,8 @@ pub use command::{DeallocRange, IoCommand};
 pub use controller::{
     BatchWrite, Controller, FdpStatsLog, NamespaceState, NamespaceStats, WriteCompletion,
 };
+#[cfg(feature = "hashmap-store")]
+pub use datastore::HashStore;
 pub use datastore::{DataStore, MemStore, NullStore};
 pub use error::NvmeError;
 pub use identify::{ControllerIdentity, FdpConfigDescriptor};

@@ -18,8 +18,8 @@ use fdpcache::workloads::{
     replay_pool, run_pool_round, PoolMode, PoolReplayConfig, WorkloadProfile,
 };
 
-fn stack(shards: usize) -> (SharedController, ConcurrentPool) {
-    let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Null, true).unwrap();
+fn stack_on(store: StoreKind, shards: usize) -> (SharedController, ConcurrentPool) {
+    let ctrl = build_device(FtlConfig::tiny_test(), store, true).unwrap();
     let config = CacheConfig {
         ram_bytes: 32 << 10,
         ram_item_overhead: 0,
@@ -31,8 +31,16 @@ fn stack(shards: usize) -> (SharedController, ConcurrentPool) {
     (ctrl, p)
 }
 
-fn replay_once(workers: usize) -> fdpcache::workloads::ExperimentResult {
-    let (ctrl, pool) = stack(4);
+fn stack(shards: usize) -> (SharedController, ConcurrentPool) {
+    stack_on(StoreKind::Null, shards)
+}
+
+fn replay_on(
+    store: StoreKind,
+    workers: usize,
+    queue_depth: usize,
+) -> fdpcache::workloads::ExperimentResult {
+    let (ctrl, pool) = stack_on(store, 4);
     let profile = WorkloadProfile::meta_kv_cache();
     let cfg = PoolReplayConfig {
         workers,
@@ -40,10 +48,34 @@ fn replay_once(workers: usize) -> fdpcache::workloads::ExperimentResult {
         measure_ops: 12_000,
         seed: 1234,
         mode: PoolMode::Partitioned,
-        queue_depth: 1,
+        queue_depth,
     };
     replay_pool("FDP", profile.name, &pool, &ctrl, &cfg, |seed| profile.generator(5_000, seed))
         .unwrap()
+}
+
+fn replay_once(workers: usize) -> fdpcache::workloads::ExperimentResult {
+    replay_on(StoreKind::Null, workers, 1)
+}
+
+/// Asserts every virtual-time field of two replay results is
+/// bit-identical (floats compared by bits, not tolerance).
+fn assert_bit_identical(
+    a: &fdpcache::workloads::ExperimentResult,
+    b: &fdpcache::workloads::ExperimentResult,
+    what: &str,
+) {
+    assert_eq!(a.ops, b.ops, "{what}: ops");
+    assert_eq!(a.host_bytes, b.host_bytes, "{what}: host bytes");
+    assert_eq!(a.media_bytes, b.media_bytes, "{what}: media bytes");
+    assert_eq!(a.gc_events, b.gc_events, "{what}: GC events");
+    assert_eq!(a.hit_ratio.to_bits(), b.hit_ratio.to_bits(), "{what}: hit ratio");
+    assert_eq!(a.nvm_hit_ratio.to_bits(), b.nvm_hit_ratio.to_bits(), "{what}: nvm hit ratio");
+    assert_eq!(a.dlwa.to_bits(), b.dlwa.to_bits(), "{what}: DLWA");
+    assert_eq!(a.alwa.to_bits(), b.alwa.to_bits(), "{what}: ALWA");
+    assert_eq!(a.kops.to_bits(), b.kops.to_bits(), "{what}: virtual KOPS");
+    assert_eq!(a.p99_read_us.to_bits(), b.p99_read_us.to_bits(), "{what}: p99 read");
+    assert_eq!(a.p99_write_us.to_bits(), b.p99_write_us.to_bits(), "{what}: p99 write");
 }
 
 /// Same seed, two fresh stacks, one worker: every reported metric is
@@ -97,4 +129,46 @@ fn pool_replay_metrics_are_thread_count_invariant() {
     assert_eq!(one.host_bytes, four.host_bytes);
     assert_eq!(one.hit_ratio.to_bits(), four.hit_ratio.to_bits());
     assert_eq!(one.nvm_hit_ratio.to_bits(), four.nvm_hit_ratio.to_bits());
+}
+
+/// QD-1 and QD-4 replays are each a pure function of the seed: two
+/// fresh stacks at the same depth report bit-identical virtual-time
+/// results — the pipeline depth must never introduce nondeterminism.
+#[test]
+fn qd_replays_are_bit_identical_per_depth() {
+    for qd in [1usize, 4] {
+        let a = replay_on(StoreKind::Null, 1, qd);
+        let b = replay_on(StoreKind::Null, 1, qd);
+        assert_bit_identical(&a, &b, &format!("QD-{qd} rerun"));
+    }
+}
+
+/// The payload store is invisible to virtual time: swapping the
+/// slab-backed `MemStore` for the payload-free `NullStore` leaves
+/// every virtual-time field of the QD-1 **and** QD-4 replays
+/// bit-identical. This is the regression guard for the slab swap — the
+/// seed's virtual-time gates must keep reporting the exact numbers
+/// they did on the hash-map store (whose own equivalence is asserted
+/// by `bench_wallclock --check` and the wallclock unit tests, which
+/// compare slab vs hash-map directly).
+#[test]
+fn slab_store_never_perturbs_virtual_time_at_any_depth() {
+    for qd in [1usize, 4] {
+        let null = replay_on(StoreKind::Null, 1, qd);
+        let slab = replay_on(StoreKind::Mem, 1, qd);
+        assert_bit_identical(&null, &slab, &format!("QD-{qd} Null-vs-Mem"));
+        // And with real worker threads on the slab store, counters stay
+        // thread-count invariant exactly as on the seed store.
+        let slab4 = replay_on(StoreKind::Mem, 4, qd);
+        assert_eq!(slab.ops, slab4.ops, "QD-{qd}: ops changed with workers on the slab");
+        assert_eq!(
+            slab.host_bytes, slab4.host_bytes,
+            "QD-{qd}: host bytes changed with workers on the slab"
+        );
+        assert_eq!(
+            slab.hit_ratio.to_bits(),
+            slab4.hit_ratio.to_bits(),
+            "QD-{qd}: hit ratio changed with workers on the slab"
+        );
+    }
 }
