@@ -77,6 +77,7 @@ fn owner_breakdown(cfg: &ExpConfig) {
         max_ops: u64::MAX,
         report_workers: 1,
         queue_depth: 1,
+        fault: None,
     });
     let r = replayer.run(cfg.label(), cfg.workload.name, &mut cache, &ctrl, &mut gen).unwrap();
     let mut by_owner: std::collections::BTreeMap<String, u64> = Default::default();

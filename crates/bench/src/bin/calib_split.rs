@@ -47,6 +47,7 @@ fn split_probe(profile: &WorkloadProfile) -> (f64, f64) {
         max_ops: u64::MAX,
         report_workers: 1,
         queue_depth: 1,
+        fault: None,
     });
     replayer.run("probe", profile.name, &mut cache, &ctrl, &mut gen).expect("replay");
     let pages = ctrl.with_ftl(|f| f.ruh_host_pages().to_vec());

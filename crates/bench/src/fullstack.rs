@@ -185,14 +185,43 @@ pub struct WallclockTrajectoryPoint {
     pub speedup_vs_ref: f64,
 }
 
-/// The `BENCH_throughput.json` / `BENCH_wallclock.json` record the
-/// benchmark binaries emit with `--json <path>`: enough context to
-/// compare trajectories across PRs.
+/// One fault-scenario row of a `bench_faults` trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultTrajectoryPoint {
+    /// Scenario name (`none`, `read_flaky`, ...).
+    pub scenario: String,
+    /// Operations replayed.
+    pub ops: u64,
+    /// Final virtual clock (ns) — bit-identical across reruns.
+    pub now_ns: u64,
+    /// Faults injected by the device's plan.
+    pub injected: u64,
+    /// Failed command completions the cache's I/O path observed.
+    pub faults: u64,
+    /// Recovery retries performed.
+    pub retries: u64,
+    /// Targeted repair-writes performed.
+    pub repairs: u64,
+    /// Objects requeued out of failed region seals.
+    pub requeues: u64,
+    /// Acknowledged writes tracked by the verification shadow map.
+    pub acked: u64,
+    /// Acknowledged keys whose on-flash bytes verified exactly.
+    pub verified: u64,
+    /// Torn/wrong acknowledged keys (the gate requires 0).
+    pub lost: u64,
+    /// Whether the scenario's rerun was bit-identical.
+    pub deterministic: bool,
+}
+
+/// The `BENCH_throughput.json` / `BENCH_wallclock.json` /
+/// `BENCH_faults.json` record the benchmark binaries emit with
+/// `--json <path>`: enough context to compare trajectories across PRs.
 #[derive(Debug, Clone, Serialize)]
 pub struct TrajectoryRecord {
     /// Which benchmark produced the record (`device`, `fullstack`,
-    /// `device-qd` for the queue-depth sweep, or `wallclock` for the
-    /// real-time data-path sweep).
+    /// `device-qd` for the queue-depth sweep, `wallclock` for the
+    /// real-time data-path sweep, or `faults` for the fault gate).
     pub bench: String,
     /// Device capacity in MiB.
     pub device_mib: u64,
@@ -211,6 +240,9 @@ pub struct TrajectoryRecord {
     /// Wall-clock data-path points, slab and reference rows per
     /// profile (empty unless produced by `bench_wallclock`).
     pub wallclock_points: Vec<WallclockTrajectoryPoint>,
+    /// Fault-scenario points in gate order (empty unless produced by
+    /// `bench_faults`).
+    pub fault_points: Vec<FaultTrajectoryPoint>,
 }
 
 impl TrajectoryRecord {
@@ -241,6 +273,7 @@ impl TrajectoryRecord {
                 .collect(),
             qd_points: Vec::new(),
             wallclock_points: Vec::new(),
+            fault_points: Vec::new(),
         }
     }
 
@@ -271,6 +304,7 @@ impl TrajectoryRecord {
                 })
                 .collect(),
             wallclock_points: Vec::new(),
+            fault_points: Vec::new(),
         }
     }
 
@@ -305,6 +339,43 @@ impl TrajectoryRecord {
             wallclock_points: comparisons
                 .iter()
                 .flat_map(|c| [point(&c.slab, c.speedup()), point(&c.hash_ref, 1.0)])
+                .collect(),
+            fault_points: Vec::new(),
+        }
+    }
+
+    /// Builds a `faults` record from the fault-gate sweep (one row per
+    /// scenario; determinism evidence from each scenario's rerun).
+    pub fn new_faults(
+        device_mib: u64,
+        ops: u64,
+        entries: &[crate::faults::FaultSweepEntry],
+    ) -> Self {
+        TrajectoryRecord {
+            bench: "faults".to_string(),
+            device_mib,
+            ops_per_worker: ops,
+            trials: 2,
+            host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            points: Vec::new(),
+            qd_points: Vec::new(),
+            wallclock_points: Vec::new(),
+            fault_points: entries
+                .iter()
+                .map(|e| FaultTrajectoryPoint {
+                    scenario: e.first.scenario.clone(),
+                    ops,
+                    now_ns: e.first.now_ns,
+                    injected: e.first.injected.total(),
+                    faults: e.first.stats.faults,
+                    retries: e.first.stats.retries,
+                    repairs: e.first.stats.repairs,
+                    requeues: e.first.stats.requeues,
+                    acked: e.first.acked,
+                    verified: e.first.verified,
+                    lost: e.first.lost,
+                    deterministic: e.deterministic(),
+                })
                 .collect(),
         }
     }

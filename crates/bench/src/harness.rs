@@ -167,6 +167,7 @@ pub fn run_experiment(cfg: &ExpConfig) -> ExperimentResult {
         max_ops: 2_000_000_000,
         report_workers: 32,
         queue_depth: 1,
+        fault: None,
     });
     replayer
         .run(cfg.label(), cfg.workload.name, &mut cache, &ctrl, &mut gen)
@@ -739,6 +740,10 @@ mod tests {
             host_bytes: 1 << 30,
             media_bytes: 1 << 30,
             ops: 1000,
+            faults: 0,
+            retries: 0,
+            repairs: 0,
+            requeues: 0,
         };
         let a = mk("FDP");
         let b = mk("Non-FDP");

@@ -5,14 +5,19 @@
 //! same rows/series the paper reports and emit CSV for re-plotting.
 
 #![warn(missing_docs)]
+pub mod faults;
 pub mod fullstack;
 pub mod harness;
 pub mod throughput;
 pub mod wallclock;
 
+pub use faults::{
+    run_fault_scenario, run_plain_baseline, sweep_faults, FaultGateConfig, FaultRunResult,
+    FaultSweepEntry,
+};
 pub use fullstack::{
-    emit_trajectory, run_fullstack, sweep_fullstack, FullstackConfig, QdTrajectoryPoint,
-    TrajectoryPoint, TrajectoryRecord, WallclockTrajectoryPoint,
+    emit_trajectory, run_fullstack, sweep_fullstack, FaultTrajectoryPoint, FullstackConfig,
+    QdTrajectoryPoint, TrajectoryPoint, TrajectoryRecord, WallclockTrajectoryPoint,
 };
 pub use harness::*;
 pub use throughput::{

@@ -17,7 +17,7 @@ use fdpcache_core::{
     IoManager, PlacementHandleAllocator, PlacementPolicy, RoundRobinPolicy, SharedController,
 };
 use fdpcache_ftl::{FtlConfig, RuhId};
-use fdpcache_nvme::{Controller, MemStore, NamespaceId, NullStore};
+use fdpcache_nvme::{Controller, FaultConfig, FaultStore, MemStore, NamespaceId, NullStore};
 
 use crate::cache::HybridCache;
 use crate::config::CacheConfig;
@@ -47,6 +47,30 @@ pub fn build_device(
         StoreKind::Null => Box::new(NullStore),
     };
     let ctrl = Controller::new(ftl, boxed).map_err(CacheError::Config)?;
+    ctrl.set_fdp_enabled(fdp_enabled);
+    Ok(Arc::new(ctrl))
+}
+
+/// Builds a device controller whose payload store is wrapped in a
+/// [`FaultStore`] carrying the given fault schedule — the entry point
+/// for replaying any workload under a fault scenario. An empty
+/// `FaultConfig` behaves bit-identically to [`build_device`].
+///
+/// # Errors
+///
+/// Propagates FTL configuration validation failures.
+pub fn build_device_faulted(
+    ftl: FtlConfig,
+    store: StoreKind,
+    fdp_enabled: bool,
+    fault: FaultConfig,
+) -> Result<SharedController, CacheError> {
+    let inner: Box<dyn fdpcache_nvme::DataStore> = match store {
+        StoreKind::Mem => Box::new(MemStore::new()),
+        StoreKind::Null => Box::new(NullStore),
+    };
+    let ctrl = Controller::new(ftl, Box::new(FaultStore::new(inner, fault)))
+        .map_err(CacheError::Config)?;
     ctrl.set_fdp_enabled(fdp_enabled);
     Ok(Arc::new(ctrl))
 }

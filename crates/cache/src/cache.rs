@@ -73,9 +73,19 @@ impl HybridCache {
         self.promote_on_nvm_hit = promote;
     }
 
-    /// Cache statistics.
+    /// Cache statistics. The fault/retry/repair/requeue counters are
+    /// folded in from the engine and I/O layers on read (monotonic, so
+    /// `delta`/`merge` work unchanged); everything else counts at this
+    /// layer.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        let mut s = self.stats;
+        let soc = self.navy.soc().stats();
+        let loc = self.navy.loc().stats();
+        s.faults = self.navy.io().stats().faults;
+        s.retries = soc.write_retries + loc.seal_retries;
+        s.repairs = soc.repair_writes + loc.repair_writes;
+        s.requeues = loc.requeued_objects;
+        s
     }
 
     /// The flash engine pair.
@@ -116,6 +126,17 @@ impl HybridCache {
     /// Application-level write amplification of the flash layer.
     pub fn alwa(&self) -> f64 {
         self.navy.alwa()
+    }
+
+    /// Verifies one key's on-flash bytes against the acknowledged
+    /// object (see [`NavyEngine::verify_key`]); the probe behind the
+    /// `bench_faults --check` zero-lost-writes gate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-injected I/O failures only.
+    pub fn verify_flash_key(&mut self, key: Key) -> Result<crate::engine::FlashVerify, CacheError> {
+        self.navy.verify_key(key)
     }
 
     /// The byte totals behind ALWA: `(device bytes written, application

@@ -21,6 +21,21 @@ pub enum NvmSource {
     Loc,
 }
 
+/// Outcome of verifying one key's on-flash bytes against the
+/// authoritative in-memory copy ([`NavyEngine::verify_key`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashVerify {
+    /// The key is not in either flash engine.
+    Absent,
+    /// On-flash bytes match the acknowledged object exactly.
+    Verified,
+    /// On-flash bytes differ — a torn or lost acknowledged write.
+    Mismatch,
+    /// Verification could not run (payload-free store, or the
+    /// verification read itself hit an injected fault).
+    Unverifiable,
+}
+
 /// The flash cache: an engine pair sharing one I/O manager.
 ///
 /// Layout within the namespace: SOC buckets occupy the first
@@ -148,51 +163,145 @@ impl NavyEngine {
     /// Offers an object for flash insertion (post-RAM-eviction path).
     /// Returns whether it was admitted and written.
     ///
+    /// Recovery: a SOC insert that fails persistently under injected
+    /// faults was rolled back by the SOC and is reported as *not
+    /// admitted* (the object was never acknowledged as on flash — the
+    /// same observable outcome as an admission reject). LOC seal
+    /// failures are recovered inside the LOC (retry, then quarantine +
+    /// requeue); the requeued objects are re-inserted here.
+    ///
     /// # Errors
     ///
-    /// Object-size and I/O errors.
+    /// Object-size errors and non-injected I/O errors.
     pub fn insert(&mut self, key: Key, value: Value) -> Result<bool, CacheError> {
         if !self.admission.admit(key, value.len()) {
             return Ok(false);
         }
         // A key may change size class between inserts; the copy in the
         // other engine (if any) would be stale and must be dropped.
-        if self.is_small(value.len()) {
+        let admitted = if self.is_small(value.len()) {
             self.loc.remove(key);
-            self.soc.insert(&mut self.io, key, value)?;
+            match self.soc.insert(&mut self.io, key, value) {
+                Ok(_) => true,
+                // Rolled back by the SOC: treated as not admitted.
+                Err(e) if e.is_injected_fault() => false,
+                Err(e) => return Err(e),
+            }
         } else {
             self.soc.remove(&mut self.io, key)?;
             self.loc.insert(&mut self.io, key, value)?;
+            true
+        };
+        self.drain_loc_requeue()?;
+        Ok(admitted)
+    }
+
+    /// Re-queues objects rescued from failed LOC seals: each goes to
+    /// the SOC when it fits a bucket, otherwise back into the LOC's
+    /// fresh active region (different blocks, so per-LBA faults do not
+    /// repeat). Bounded at two passes — a requeue whose own seal also
+    /// persistently fails propagates as unrecoverable rather than
+    /// looping.
+    fn drain_loc_requeue(&mut self) -> Result<(), CacheError> {
+        for _pass in 0..2 {
+            let pending = self.loc.take_requeued();
+            if pending.is_empty() {
+                return Ok(());
+            }
+            for (key, value) in pending {
+                if value.len() <= self.soc.max_object_bytes() {
+                    match self.soc.reinsert(&mut self.io, key, value.clone()) {
+                        Ok(_) => continue,
+                        // SOC also faulting: fall through to the LOC.
+                        Err(e) if e.is_injected_fault() => {}
+                        Err(e) => return Err(e),
+                    }
+                    self.loc.reinsert(&mut self.io, key, value)?;
+                } else {
+                    self.loc.reinsert(&mut self.io, key, value)?;
+                }
+            }
         }
-        Ok(true)
+        let leftover = self.loc.take_requeued();
+        if leftover.is_empty() {
+            Ok(())
+        } else {
+            Err(CacheError::Unrecoverable(format!(
+                "seal failures: {} objects could not be requeued",
+                leftover.len()
+            )))
+        }
     }
 
     /// Looks an object up in both engines (SOC first for small-object
     /// dominant workloads; order does not affect correctness since keys
-    /// live in exactly one engine by size).
+    /// live in exactly one engine by size). Read faults are recovered
+    /// inside the engines (demote to miss + targeted repair-write); the
+    /// repair may seal a LOC region, so requeues drain here too.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
+    /// Propagates non-injected I/O failures.
     pub fn lookup(&mut self, key: Key) -> Result<Option<(Value, NvmSource)>, CacheError> {
         if let Some(v) = self.soc.lookup(&mut self.io, key)? {
             return Ok(Some((v, NvmSource::Soc)));
         }
-        if let Some(v) = self.loc.lookup(&mut self.io, key)? {
-            return Ok(Some((v, NvmSource::Loc)));
-        }
-        Ok(None)
+        let found = self.loc.lookup(&mut self.io, key)?;
+        self.drain_loc_requeue()?;
+        Ok(found.map(|v| (v, NvmSource::Loc)))
     }
 
-    /// Removes an object from whichever engine holds it.
+    /// Removes an object from whichever engine holds it. Removal
+    /// always takes effect even under persistent injected faults (the
+    /// SOC invalidates a bucket page it cannot rewrite) — a removal
+    /// that resurrected its key would serve stale data.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
+    /// Propagates non-injected I/O failures.
     pub fn remove(&mut self, key: Key) -> Result<bool, CacheError> {
         let in_soc = self.soc.remove(&mut self.io, key)?;
         let in_loc = self.loc.remove(key);
         Ok(in_soc || in_loc)
+    }
+
+    /// Verifies `key`'s on-flash bytes against the acknowledged object
+    /// (the "zero lost acknowledged writes" probe behind
+    /// `bench_faults --check`). SOC keys verify their whole bucket's
+    /// serialization; LOC keys compare the covering-block read against
+    /// the indexed value.
+    ///
+    /// # Errors
+    ///
+    /// Never — injected faults during verification reads are reported
+    /// as [`FlashVerify::Unverifiable`], non-injected errors propagate.
+    pub fn verify_key(&mut self, key: Key) -> Result<FlashVerify, CacheError> {
+        if !self.io.retains_data() {
+            return Ok(FlashVerify::Unverifiable);
+        }
+        if self.soc.contains(key) {
+            if !self.soc.bucket_on_flash(key) {
+                // Pending full rewrite after a failed repair: the
+                // authoritative copy is in memory, nothing on flash.
+                return Ok(FlashVerify::Unverifiable);
+            }
+            return match self.soc.verify_bucket(&mut self.io, self.soc.bucket_index(key)) {
+                Ok(true) => Ok(FlashVerify::Verified),
+                Ok(false) => Ok(FlashVerify::Mismatch),
+                Err(e) if e.is_injected_fault() => Ok(FlashVerify::Unverifiable),
+                Err(e) => Err(e),
+            };
+        }
+        if self.loc.contains(key) {
+            return match self.loc.verify_object(&mut self.io, key) {
+                Ok(Some(true)) => Ok(FlashVerify::Verified),
+                Ok(Some(false)) => Ok(FlashVerify::Mismatch),
+                Ok(None) => Ok(FlashVerify::Absent),
+                Err(e) if e.is_injected_fault() => Ok(FlashVerify::Unverifiable),
+                Err(e) => Err(e),
+            };
+        }
+        Ok(FlashVerify::Absent)
     }
 }
 

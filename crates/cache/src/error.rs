@@ -17,11 +17,30 @@ pub enum CacheError {
     },
     /// A device I/O failed.
     Io(NvmeError),
+    /// A runtime device-failure state the recovery paths could not
+    /// resolve (e.g. objects rescued from a failed region seal whose
+    /// requeue also failed persistently). Distinct from `Config`:
+    /// nothing about the setup was wrong, the device gave out.
+    Unrecoverable(String),
 }
 
 impl From<NvmeError> for CacheError {
     fn from(e: NvmeError) -> Self {
         CacheError::Io(e)
+    }
+}
+
+impl CacheError {
+    /// Whether the error is a device fault injected by the fault plan
+    /// (media error / busy rejection) — the class the cache's recovery
+    /// paths retry, requeue or repair rather than propagate.
+    pub fn is_injected_fault(&self) -> bool {
+        matches!(self, CacheError::Io(e) if e.is_injected_fault())
+    }
+
+    /// Whether the error is the transient device-busy rejection.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, CacheError::Io(e) if e.is_busy())
     }
 }
 
@@ -33,6 +52,7 @@ impl std::fmt::Display for CacheError {
                 write!(f, "object of {size} bytes exceeds maximum {max}")
             }
             CacheError::Io(e) => write!(f, "device I/O: {e}"),
+            CacheError::Unrecoverable(msg) => write!(f, "unrecoverable device failure: {msg}"),
         }
     }
 }

@@ -57,6 +57,7 @@ pub use admission::AdmissionPolicy;
 pub use cache::{GetOutcome, HybridCache};
 pub use concurrent::ConcurrentPool;
 pub use config::{CacheConfig, LocEviction, NvmConfig};
+pub use engine::FlashVerify;
 pub use error::CacheError;
 pub use pool::{shard_index, EnginePool};
 pub use stats::CacheStats;

@@ -28,6 +28,12 @@ use crate::Key;
 /// sequential I/O like CacheLib's region flushes.
 const SEAL_CHUNK_BYTES: usize = 64 << 10;
 
+/// Submission attempts per region seal before the region is declared
+/// bad: the first submit plus up to this-minus-one retries. Injected
+/// faults are transient by default (the schedule re-rolls per access),
+/// so retries recover everything but scripted permanent bad blocks.
+const SEAL_ATTEMPTS: u32 = 4;
+
 /// LOC statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LocStats {
@@ -47,6 +53,25 @@ pub struct LocStats {
     pub app_bytes_written: u64,
     /// Explicit removals.
     pub removes: u64,
+    /// Seal batch re-submissions after an injected fault.
+    pub seal_retries: u64,
+    /// Seals abandoned after every retry failed (region quarantined,
+    /// its objects handed back for requeueing).
+    pub seal_faults: u64,
+    /// Regions permanently quarantined by persistent seal faults.
+    pub quarantined_regions: u64,
+    /// Sealed-object reads that completed with an injected fault and
+    /// were demoted to a miss.
+    pub read_faults: u64,
+    /// Targeted repair-writes: objects re-inserted after a read fault
+    /// so subsequent lookups hit again.
+    pub repair_writes: u64,
+    /// Objects handed back for requeueing out of failed seals (never
+    /// silently dropped).
+    pub requeued_objects: u64,
+    /// Region-evict TRIMs skipped after persistent discard faults
+    /// (advisory command; data correctness is unaffected).
+    pub discard_faults: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +79,9 @@ enum RegionState {
     Free,
     Active,
     Sealed,
+    /// Every seal attempt on this region failed; it is withdrawn from
+    /// rotation permanently (a grown-bad erase block).
+    Quarantined,
 }
 
 #[derive(Debug)]
@@ -95,6 +123,9 @@ pub struct Loc {
     /// Reusable block-aligned buffer for sealed-object device reads —
     /// lookups must not pay a heap allocation per hit (DESIGN.md §5.3).
     read_scratch: Vec<u8>,
+    /// Objects rescued from a persistently failing seal, waiting for
+    /// the engine to re-queue them ([`Loc::take_requeued`]).
+    pending_requeue: Vec<(Key, Value)>,
 }
 
 impl Loc {
@@ -131,6 +162,7 @@ impl Loc {
             access_seq: 0,
             stats: LocStats::default(),
             read_scratch: Vec::new(),
+            pending_requeue: Vec::new(),
         }
     }
 
@@ -210,6 +242,16 @@ impl Loc {
     /// N sequential synchronous writes. At queue depths above 1 the
     /// chunks pipeline across device lanes; at depth 1 the timing is
     /// bit-identical to the old sequential loop.
+    ///
+    /// Recovery (DESIGN.md §6): an injected device fault fails the
+    /// batch all-or-nothing (the controller's fault gate plus FTL
+    /// rollback guarantee none of the region landed), so the seal is
+    /// simply re-submitted, up to [`SEAL_ATTEMPTS`] times. If every
+    /// attempt fails the region is **quarantined** (withdrawn from
+    /// rotation like a grown-bad erase block) and its objects are
+    /// parked in [`Loc::take_requeued`] for the engine to re-queue —
+    /// acknowledged inserts are never silently dropped. Only
+    /// non-injected errors (caller bugs) propagate.
     fn seal_active(&mut self, io: &mut IoManager) -> Result<(), CacheError> {
         let Some(region) = self.active else {
             return Ok(());
@@ -219,15 +261,41 @@ impl Loc {
         let start_block = self.region_block(region);
         let region_bytes = self.region_bytes();
         let chunk_blocks = (SEAL_CHUNK_BYTES / self.block_bytes as usize).max(1);
-        let mut batch = IoBatch::with_capacity(region_bytes.div_ceil(SEAL_CHUNK_BYTES));
-        let mut block = 0u64;
-        while (block as usize) * (self.block_bytes as usize) < region_bytes {
-            let off = block as usize * self.block_bytes as usize;
-            let len = (chunk_blocks * self.block_bytes as usize).min(region_bytes - off);
-            batch.write(start_block + block, &self.active_buf[off..off + len], self.handle);
-            block += (len / self.block_bytes as usize) as u64;
+        let mut attempt = 0u32;
+        loop {
+            let mut batch = IoBatch::with_capacity(region_bytes.div_ceil(SEAL_CHUNK_BYTES));
+            let mut block = 0u64;
+            while (block as usize) * (self.block_bytes as usize) < region_bytes {
+                let off = block as usize * self.block_bytes as usize;
+                let len = (chunk_blocks * self.block_bytes as usize).min(region_bytes - off);
+                batch.write(start_block + block, &self.active_buf[off..off + len], self.handle);
+                block += (len / self.block_bytes as usize) as u64;
+            }
+            match io.submit_batch(batch) {
+                Ok(_) => break,
+                Err(e) if e.is_injected_fault() => {
+                    attempt += 1;
+                    if attempt < SEAL_ATTEMPTS {
+                        self.stats.seal_retries += 1;
+                        continue;
+                    }
+                    // Persistent failure: quarantine the region and hand
+                    // every buffered object back for requeueing.
+                    self.stats.seal_faults += 1;
+                    self.stats.quarantined_regions += 1;
+                    self.regions[region as usize].state = RegionState::Quarantined;
+                    self.regions[region as usize].keys.clear();
+                    let rescued: Vec<(Key, Value)> =
+                        self.active_keys.drain(..).map(|(k, _, v)| (k, v)).collect();
+                    self.stats.requeued_objects += rescued.len() as u64;
+                    self.pending_requeue.extend(rescued);
+                    self.active = None;
+                    self.active_fill = 0;
+                    return Ok(());
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
-        io.submit_batch(batch)?;
         // Publish index entries.
         for (key, offset, value) in self.active_keys.drain(..) {
             self.regions[region as usize].keys.push(key);
@@ -239,6 +307,13 @@ impl Loc {
         self.active_fill = 0;
         self.stats.seals += 1;
         Ok(())
+    }
+
+    /// Drains the objects rescued from failed seals. The engine calls
+    /// this after every operation that may have sealed and re-queues
+    /// each object (SOC if it fits, else a fresh LOC region).
+    pub fn take_requeued(&mut self) -> Vec<(Key, Value)> {
+        std::mem::take(&mut self.pending_requeue)
     }
 
     /// Picks a sealed region to evict according to the policy.
@@ -273,7 +348,20 @@ impl Loc {
         if self.trim_on_evict {
             // One DSM deallocate covering the whole region (a single
             // command; identical through the batch or direct path).
-            io.discard(self.region_block(region), self.region_blocks)?;
+            // The TRIM is advisory — on an injected fault, retry once,
+            // then skip it: the region's blocks are simply overwritten
+            // by the next seal, exactly like the non-TRIM policy.
+            match io.discard(self.region_block(region), self.region_blocks) {
+                Ok(_) => {}
+                Err(e) if e.is_injected_fault() => {
+                    match io.discard(self.region_block(region), self.region_blocks) {
+                        Ok(_) => {}
+                        Err(e2) if e2.is_injected_fault() => self.stats.discard_faults += 1,
+                        Err(e2) => return Err(e2.into()),
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
         self.regions[region as usize].state = RegionState::Free;
         self.regions[region as usize].last_access = 0;
@@ -288,7 +376,15 @@ impl Loc {
             self.evict_region(io)?;
         }
         let region = self.free.pop_front().ok_or_else(|| {
-            CacheError::Config("LOC has no regions to open (capacity too small)".into())
+            if self.stats.quarantined_regions > 0 {
+                // Not a sizing mistake: quarantine ate the rotation.
+                CacheError::Unrecoverable(format!(
+                    "no LOC region left to open ({} quarantined by persistent seal faults)",
+                    self.stats.quarantined_regions
+                ))
+            } else {
+                CacheError::Config("LOC has no regions to open (capacity too small)".into())
+            }
         })?;
         self.regions[region as usize].state = RegionState::Active;
         self.regions[region as usize].keys.clear();
@@ -304,6 +400,32 @@ impl Loc {
     /// [`CacheError::ObjectTooLarge`] for objects exceeding a region, or
     /// I/O failures.
     pub fn insert(&mut self, io: &mut IoManager, key: Key, value: Value) -> Result<(), CacheError> {
+        self.insert_impl(io, key, value, true)
+    }
+
+    /// Re-homes an object the cache already acknowledged (repair-writes
+    /// after read faults, requeues out of failed seals): identical to
+    /// [`Loc::insert`] except the object does **not** count as new
+    /// application bytes — it was counted when first admitted, and
+    /// recounting would bias ALWA downward under fault scenarios (the
+    /// extra *device* bytes the re-home costs still show up in the
+    /// numerator, which is exactly the amplification faults cause).
+    pub(crate) fn reinsert(
+        &mut self,
+        io: &mut IoManager,
+        key: Key,
+        value: Value,
+    ) -> Result<(), CacheError> {
+        self.insert_impl(io, key, value, false)
+    }
+
+    fn insert_impl(
+        &mut self,
+        io: &mut IoManager,
+        key: Key,
+        value: Value,
+        count_app_bytes: bool,
+    ) -> Result<(), CacheError> {
         let len = value.len();
         if len > self.max_object_bytes() {
             return Err(CacheError::ObjectTooLarge { size: len, max: self.max_object_bytes() });
@@ -326,8 +448,10 @@ impl Loc {
         self.index.remove(&key);
         self.active_keys.retain(|(k, _, _)| *k != key);
         self.active_keys.push((key, offset, value));
-        self.stats.inserts += 1;
-        self.stats.app_bytes_written += len as u64;
+        if count_app_bytes {
+            self.stats.inserts += 1;
+            self.stats.app_bytes_written += len as u64;
+        }
         Ok(())
     }
 
@@ -356,8 +480,36 @@ impl Loc {
             return Ok(None);
         };
         // Read the covering blocks for real device timing (scratch
-        // buffer reuse: no per-lookup allocation).
-        self.read_covering_blocks(io, &entry)?;
+        // buffer reuse: no per-lookup allocation). An injected fault on
+        // this read demotes the lookup to a miss and triggers a
+        // targeted repair-write (DESIGN.md §6): a transient busy spike
+        // gets one immediate retry first.
+        match self.read_covering_blocks(io, &entry) {
+            Ok(_) => {}
+            Err(e) if e.is_injected_fault() => {
+                let mut recovered = false;
+                if e.is_busy() {
+                    match self.read_covering_blocks(io, &entry) {
+                        Ok(_) => recovered = true,
+                        Err(e2) if e2.is_injected_fault() => {}
+                        // Non-injected retry errors are caller bugs and
+                        // must surface, never be masked as a miss.
+                        Err(e2) => return Err(e2),
+                    }
+                }
+                if !recovered {
+                    self.stats.read_faults += 1;
+                    // Demote to miss: drop the unreadable copy, then
+                    // repair-write the (authoritative) value into the
+                    // current active region so future lookups hit.
+                    self.index.remove(&key);
+                    self.reinsert(io, key, entry.value)?;
+                    self.stats.repair_writes += 1;
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
         self.access_seq += 1;
         self.regions[entry.region as usize].last_access = self.access_seq;
         self.stats.hits += 1;
@@ -383,6 +535,40 @@ impl Loc {
         };
         let range = self.read_covering_blocks(io, &entry)?;
         Ok(Some(self.read_scratch[range].to_vec()))
+    }
+
+    /// Whether the LOC currently holds `key` (active buffer or index;
+    /// no device I/O).
+    pub fn contains(&self, key: Key) -> bool {
+        self.active_keys.iter().any(|(k, _, _)| *k == key) || self.index.contains_key(&key)
+    }
+
+    /// Verifies that the on-flash bytes of `key` match its indexed
+    /// value (requires a data-retaining store). Returns `None` when the
+    /// key is absent, `Some(true)` for active-buffer objects (not yet
+    /// on flash) and matching sealed objects, `Some(false)` on a byte
+    /// mismatch — a torn or lost acknowledged write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (callers treat injected faults as
+    /// "unverifiable", not as mismatches).
+    pub fn verify_object(
+        &mut self,
+        io: &mut IoManager,
+        key: Key,
+    ) -> Result<Option<bool>, CacheError> {
+        if let Some((_, _, v)) = self.active_keys.iter().find(|(k, _, _)| *k == key) {
+            // Still buffered in DRAM; nothing on flash to verify yet.
+            let _ = v;
+            return Ok(Some(true));
+        }
+        let Some(entry) = self.index.get(&key).cloned() else {
+            return Ok(None);
+        };
+        let range = self.read_covering_blocks(io, &entry)?;
+        let expect = entry.value.to_bytes(key);
+        Ok(Some(self.read_scratch[range] == expect[..]))
     }
 
     /// Removes an object from the index (its bytes become dead space in

@@ -29,6 +29,11 @@ const MAGIC: u32 = 0x534F_4342; // "SOCB"
 /// Per-entry metadata: key (8) + size (4).
 const ENTRY_META_BYTES: usize = 12;
 
+/// Bucket-page write attempts before an operation gives up on the
+/// device (first submit plus retries); injected faults are transient by
+/// default, so retries recover everything but scripted bad blocks.
+const WRITE_ATTEMPTS: u32 = 4;
+
 /// SOC statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SocStats {
@@ -50,6 +55,16 @@ pub struct SocStats {
     pub app_bytes_written: u64,
     /// Explicit removals.
     pub removes: u64,
+    /// Bucket-page write re-submissions after injected faults.
+    pub write_retries: u64,
+    /// Bucket rewrites abandoned after every retry failed (the
+    /// triggering operation was rolled back and reported an error).
+    pub write_faults: u64,
+    /// Bucket-page reads that completed with an injected fault.
+    pub read_faults: u64,
+    /// Targeted repair-writes: bucket pages rewritten from the
+    /// authoritative list after a read fault.
+    pub repair_writes: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -207,20 +222,60 @@ impl Soc {
 
     /// Writes the bucket page through the placement handle, performing
     /// the read-modify-write read first when the page already exists.
+    ///
+    /// Recovery (DESIGN.md §6): an injected fault on the RMW read is
+    /// absorbed after one retry (the authoritative entry list lives in
+    /// memory; the read models device cost only). An injected fault on
+    /// the page write is retried up to [`WRITE_ATTEMPTS`] times; a
+    /// persistent failure propagates so the caller can roll back its
+    /// in-memory mutation — the bucket is then still exactly its
+    /// pre-operation self, on flash and in memory.
     fn rewrite_bucket(&mut self, io: &mut IoManager, bucket: u64) -> Result<(), CacheError> {
         let block = self.bucket_block(bucket);
         let mut page = std::mem::take(&mut self.scratch);
         if self.written[bucket as usize] {
             // RMW read: real SOC must fetch the page before modifying.
-            io.read(block, &mut page)?;
-            self.stats.rmw_reads += 1;
+            let mut read = io.read(block, &mut page);
+            if read.as_ref().is_err_and(|e| e.is_injected_fault()) {
+                self.stats.read_faults += 1;
+                read = io.read(block, &mut page);
+            }
+            match read {
+                Ok(_) => self.stats.rmw_reads += 1,
+                // The page is about to be fully rewritten from the
+                // authoritative list; a persistently unreadable old
+                // page does not block the rewrite.
+                Err(e) if e.is_injected_fault() => {}
+                Err(e) => {
+                    self.scratch = page;
+                    return Err(e.into());
+                }
+            }
         }
         if io.retains_data() {
             self.serialize_bucket(bucket, &mut page);
         }
-        let res = io.write(block, &page, self.handle);
+        let mut attempt = 0u32;
+        let res = loop {
+            match io.write(block, &page, self.handle) {
+                Ok(_) => break Ok(()),
+                Err(e) if e.is_injected_fault() && attempt + 1 < WRITE_ATTEMPTS => {
+                    attempt += 1;
+                    self.stats.write_retries += 1;
+                }
+                Err(e) => break Err(e),
+            }
+        };
         self.scratch = page;
-        res?;
+        match res {
+            Ok(()) => {}
+            Err(e) => {
+                if e.is_injected_fault() {
+                    self.stats.write_faults += 1;
+                }
+                return Err(e.into());
+            }
+        }
         self.written[bucket as usize] = true;
         self.stats.page_writes += 1;
         // Blooms cannot delete: rebuild from the authoritative list.
@@ -232,6 +287,13 @@ impl Soc {
     /// room (FIFO within the bucket). Returns the number of entries
     /// evicted by collision.
     ///
+    /// If the bucket rewrite fails persistently under injected faults,
+    /// the in-memory mutation is **rolled back** (the new entry is
+    /// withdrawn, replaced/evicted entries are restored) before the
+    /// error propagates: a failed insert is never acknowledged and the
+    /// bucket — in memory and on flash — is exactly its pre-insert
+    /// self, so no previously acknowledged object is lost.
+    ///
     /// # Errors
     ///
     /// [`CacheError::ObjectTooLarge`] when the object cannot fit in an
@@ -242,6 +304,30 @@ impl Soc {
         key: Key,
         value: Value,
     ) -> Result<u64, CacheError> {
+        self.insert_impl(io, key, value, true)
+    }
+
+    /// Re-homes an object the cache already acknowledged (requeues out
+    /// of failed LOC seals): identical to [`Soc::insert`] except the
+    /// object does not count as new application bytes — it was counted
+    /// at first admission, and recounting would bias ALWA downward
+    /// under fault scenarios.
+    pub(crate) fn reinsert(
+        &mut self,
+        io: &mut IoManager,
+        key: Key,
+        value: Value,
+    ) -> Result<u64, CacheError> {
+        self.insert_impl(io, key, value, false)
+    }
+
+    fn insert_impl(
+        &mut self,
+        io: &mut IoManager,
+        key: Key,
+        value: Value,
+        count_app_bytes: bool,
+    ) -> Result<u64, CacheError> {
         let len = value.len();
         let need = ENTRY_META_BYTES + len;
         if HEADER_BYTES + need > self.bucket_bytes as usize {
@@ -249,23 +335,40 @@ impl Soc {
         }
         let bucket = self.bucket_of(key);
         let entries = &mut self.buckets[bucket as usize];
-        // Replace any existing entry for the key.
-        if let Some(pos) = entries.iter().position(|e| e.key == key) {
-            entries.remove(pos);
-        }
-        // Evict oldest entries until the new one fits.
-        let mut evicted = 0u64;
+        // Replace any existing entry for the key (kept for rollback).
+        let replaced =
+            entries.iter().position(|e| e.key == key).map(|pos| (pos, entries.remove(pos)));
+        // Evict oldest entries until the new one fits (kept for
+        // rollback, newest-evicted first).
+        let mut evicted_entries = Vec::new();
         while self.bucket_payload(bucket) + need > self.bucket_bytes as usize {
-            self.buckets[bucket as usize].pop();
-            evicted += 1;
+            match self.buckets[bucket as usize].pop() {
+                Some(e) => evicted_entries.push(e),
+                None => break,
+            }
         }
+        let evicted = evicted_entries.len() as u64;
         // The value moves into the bucket; the only bytes touched are
         // the serialization into the page scratch below.
         self.buckets[bucket as usize].insert(0, Entry { key, value });
-        self.stats.inserts += 1;
+        if let Err(e) = self.rewrite_bucket(io, bucket) {
+            // Roll back to the exact pre-insert bucket.
+            let entries = &mut self.buckets[bucket as usize];
+            entries.remove(0);
+            for old in evicted_entries.into_iter().rev() {
+                entries.push(old);
+            }
+            if let Some((pos, old)) = replaced {
+                let pos = pos.min(entries.len());
+                entries.insert(pos, old);
+            }
+            return Err(e);
+        }
         self.stats.collision_evictions += evicted;
-        self.stats.app_bytes_written += len as u64;
-        self.rewrite_bucket(io, bucket)?;
+        if count_app_bytes {
+            self.stats.inserts += 1;
+            self.stats.app_bytes_written += len as u64;
+        }
         Ok(evicted)
     }
 
@@ -292,9 +395,33 @@ impl Soc {
         if self.written[bucket as usize] {
             let block = self.bucket_block(bucket);
             let mut page = std::mem::take(&mut self.scratch);
-            let res = io.read(block, &mut page);
+            let mut res = io.read(block, &mut page);
+            if res.as_ref().is_err_and(|e| e.is_busy()) {
+                // Transient busy: one immediate retry.
+                res = io.read(block, &mut page);
+            }
             self.scratch = page;
-            res?;
+            match res {
+                Ok(_) => {}
+                Err(e) if e.is_injected_fault() => {
+                    // Demote to miss + targeted repair (DESIGN.md §6):
+                    // the authoritative entry list is intact in memory,
+                    // so rewrite the page from it; future lookups hit
+                    // again. A persistently failing repair leaves the
+                    // page marked unwritten — the next insert rewrites
+                    // it in full without the RMW read.
+                    self.stats.read_faults += 1;
+                    match self.rewrite_bucket(io, bucket) {
+                        Ok(()) => self.stats.repair_writes += 1,
+                        Err(e2) if e2.is_injected_fault() => {
+                            self.written[bucket as usize] = false;
+                        }
+                        Err(e2) => return Err(e2),
+                    }
+                    return Ok(None);
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
         let found =
             self.buckets[bucket as usize].iter().find(|e| e.key == key).map(|e| e.value.clone());
@@ -307,9 +434,19 @@ impl Soc {
     /// Removes an object if present, rewriting its bucket. Returns
     /// whether it was present.
     ///
+    /// Removal **always** takes effect: the authoritative in-memory
+    /// list drops the entry even when the bucket rewrite fails
+    /// persistently under injected faults — a removal that silently
+    /// resurrected its key would serve stale data (the engine relies
+    /// on this when a key changes size class: the superseded SOC copy
+    /// must never outlive the new LOC copy). On a persistent rewrite
+    /// failure the bucket's on-flash page is marked unwritten instead,
+    /// so lookups serve from the list without trusting the stale page
+    /// and the next insert rewrites it whole.
+    ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
+    /// Propagates non-injected I/O failures only.
     pub fn remove(&mut self, io: &mut IoManager, key: Key) -> Result<bool, CacheError> {
         let bucket = self.bucket_of(key);
         let entries = &mut self.buckets[bucket as usize];
@@ -317,8 +454,17 @@ impl Soc {
             return Ok(false);
         };
         entries.remove(pos);
+        match self.rewrite_bucket(io, bucket) {
+            Ok(()) => {}
+            Err(e) if e.is_injected_fault() => {
+                // The stale page must not be read again; invalidate it.
+                self.written[bucket as usize] = false;
+                self.bloom
+                    .rebuild(bucket as usize, self.buckets[bucket as usize].iter().map(|e| e.key));
+            }
+            Err(e) => return Err(e),
+        }
         self.stats.removes += 1;
-        self.rewrite_bucket(io, bucket)?;
         Ok(true)
     }
 
@@ -345,6 +491,18 @@ impl Soc {
     /// Bucket index a key hashes to (exposed for tests and experiments).
     pub fn bucket_index(&self, key: Key) -> u64 {
         self.bucket_of(key)
+    }
+
+    /// Whether the authoritative list currently holds `key` (no device
+    /// I/O; used by flash verification).
+    pub fn contains(&self, key: Key) -> bool {
+        self.buckets[self.bucket_of(key) as usize].iter().any(|e| e.key == key)
+    }
+
+    /// Whether the bucket holding `key` has a live on-flash page to
+    /// verify against (false after a persistently failed repair).
+    pub fn bucket_on_flash(&self, key: Key) -> bool {
+        self.written[self.bucket_of(key) as usize]
     }
 }
 

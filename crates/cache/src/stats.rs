@@ -24,6 +24,18 @@ pub struct CacheStats {
     pub nvm_inserts: u64,
     /// Application bytes handed to the flash engines.
     pub nvm_app_bytes: u64,
+    /// Device commands that completed with an injected failure status
+    /// (media error / busy) observed by this cache's I/O path.
+    pub faults: u64,
+    /// Command retries the recovery paths performed (seal re-submits,
+    /// bucket rewrite re-attempts).
+    pub retries: u64,
+    /// Targeted repair-writes after read faults (object re-written so
+    /// future lookups hit again).
+    pub repairs: u64,
+    /// Objects re-queued out of a region whose seal persistently failed
+    /// (never silently dropped).
+    pub requeues: u64,
 }
 
 impl CacheStats {
@@ -66,6 +78,10 @@ impl CacheStats {
             nvm_insert_attempts: self.nvm_insert_attempts + other.nvm_insert_attempts,
             nvm_inserts: self.nvm_inserts + other.nvm_inserts,
             nvm_app_bytes: self.nvm_app_bytes + other.nvm_app_bytes,
+            faults: self.faults + other.faults,
+            retries: self.retries + other.retries,
+            repairs: self.repairs + other.repairs,
+            requeues: self.requeues + other.requeues,
         }
     }
 
@@ -84,6 +100,10 @@ impl CacheStats {
                 .saturating_sub(earlier.nvm_insert_attempts),
             nvm_inserts: self.nvm_inserts.saturating_sub(earlier.nvm_inserts),
             nvm_app_bytes: self.nvm_app_bytes.saturating_sub(earlier.nvm_app_bytes),
+            faults: self.faults.saturating_sub(earlier.faults),
+            retries: self.retries.saturating_sub(earlier.retries),
+            repairs: self.repairs.saturating_sub(earlier.repairs),
+            requeues: self.requeues.saturating_sub(earlier.requeues),
         }
     }
 }
@@ -130,5 +150,14 @@ mod tests {
         assert_eq!(m.gets, 15);
         assert_eq!(m.soc_hits, 2);
         assert_eq!(m.loc_hits, 3);
+    }
+
+    #[test]
+    fn fault_counters_merge_and_delta() {
+        let a = CacheStats { faults: 4, retries: 3, repairs: 2, requeues: 1, ..Default::default() };
+        let m = a.merge(&a);
+        assert_eq!((m.faults, m.retries, m.repairs, m.requeues), (8, 6, 4, 2));
+        let d = m.delta(&a);
+        assert_eq!((d.faults, d.retries, d.repairs, d.requeues), (4, 3, 2, 1));
     }
 }

@@ -81,6 +81,12 @@ pub const DISCARD_BASE_SERVICE_NS: u64 = 20_000;
 /// entries are invalidated one by one under the media lock.
 pub const DISCARD_PER_BLOCK_NS: u64 = 32;
 
+/// Modeled service time of a command that completes with an injected
+/// media-error status (ns): the device spent retries/ECC time before
+/// giving up, longer than a clean metadata round trip but far below a
+/// GC stall. Fixed, so fault replays stay bit-reproducible.
+pub const FAULT_SERVICE_NS: u64 = 150_000;
+
 /// Snapshot of an I/O manager's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
@@ -96,6 +102,10 @@ pub struct IoStats {
     pub bytes_read: u64,
     /// Bytes deallocated by discard commands.
     pub bytes_discarded: u64,
+    /// Commands that completed with an injected failure status
+    /// (media error / busy rejection). Not counted in
+    /// `writes`/`reads`/`discards`, which track successes only.
+    pub faults: u64,
 }
 
 impl IoStats {
@@ -109,6 +119,7 @@ impl IoStats {
             bytes_written: self.bytes_written + other.bytes_written,
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_discarded: self.bytes_discarded + other.bytes_discarded,
+            faults: self.faults + other.faults,
         }
     }
 }
@@ -264,12 +275,44 @@ impl IoManager {
     /// command is left in flight and the clock only advances when the
     /// queue is full.
     fn submit_command(&mut self, service_ns: u64) -> u64 {
+        self.submit_command_status(service_ns, false)
+    }
+
+    /// [`IoManager::submit_command`] with an explicit completion status
+    /// (failed completions replay injected faults deterministically).
+    fn submit_command_status(&mut self, service_ns: u64, failed: bool) -> u64 {
         if self.queue_depth <= 1 {
-            self.qp.submit(service_ns, 0)
+            let id = self.qp.submit_async_status(service_ns, 0, failed);
+            loop {
+                match self.qp.complete() {
+                    Some(c) if c.id == id => return c.latency_ns,
+                    Some(_) => continue,
+                    // Unreachable by construction (the command was just
+                    // submitted), but never panic on the I/O path.
+                    None => return service_ns,
+                }
+            }
         } else {
-            let id = self.qp.submit_async(service_ns, 0);
+            let id = self.qp.submit_async_status(service_ns, 0, failed);
             self.qp.scheduled(id).map(|c| c.latency_ns).unwrap_or(service_ns)
         }
+    }
+
+    /// Completes an injected device fault deterministically: charges
+    /// the failed command's virtual-time cost through the queue pair
+    /// ([`FAULT_SERVICE_NS`] for media errors, the reported penalty for
+    /// busy rejections), counts it, and hands the error back for the
+    /// cache tier's recovery logic. Errors that are not injected faults
+    /// (validation bugs) pass through with no timing side effect.
+    fn fail_command(&mut self, e: NvmeError) -> NvmeError {
+        let service = match &e {
+            NvmeError::MediaError { .. } => FAULT_SERVICE_NS,
+            NvmeError::Busy { penalty_ns } => *penalty_ns,
+            _ => return e,
+        };
+        self.submit_command_status(service, true);
+        self.stats.faults += 1;
+        e
     }
 
     /// Namespace capacity in logical blocks.
@@ -374,7 +417,10 @@ impl IoManager {
         data: &[u8],
         handle: PlacementHandle,
     ) -> Result<u64, NvmeError> {
-        let completion = self.ctrl.write_ns(&self.ns, block, data, handle.dspec())?;
+        let completion = match self.ctrl.write_ns(&self.ns, block, data, handle.dspec()) {
+            Ok(c) => c,
+            Err(e) => return Err(self.fail_command(e)),
+        };
         // Multi-block writes stripe across device lanes: effective
         // service time divides by the parallelism actually usable.
         let nlb = (data.len() as u64 / self.block_bytes as u64).max(1);
@@ -395,7 +441,10 @@ impl IoManager {
     ///
     /// Propagates controller validation/FTL errors.
     pub fn read(&mut self, block: u64, out: &mut [u8]) -> Result<u64, NvmeError> {
-        let service_ns = self.ctrl.read_ns(&self.ns, block, out)?;
+        let service_ns = match self.ctrl.read_ns(&self.ns, block, out) {
+            Ok(ns) => ns,
+            Err(e) => return Err(self.fail_command(e)),
+        };
         self.charge_gc_interference(service_ns, GC_READ_INTERFERENCE_CAP);
         let lat = self.submit_command(service_ns);
         self.read_hist.record(lat);
@@ -413,7 +462,11 @@ impl IoManager {
     ///
     /// Propagates controller validation/FTL errors.
     pub fn discard(&mut self, block: u64, count: u64) -> Result<u64, NvmeError> {
-        self.ctrl.deallocate_ns(&self.ns, &[DeallocRange { slba: block, nlb: count }])?;
+        if let Err(e) =
+            self.ctrl.deallocate_ns(&self.ns, &[DeallocRange { slba: block, nlb: count }])
+        {
+            return Err(self.fail_command(e));
+        }
         let service = DISCARD_BASE_SERVICE_NS + count * DISCARD_PER_BLOCK_NS;
         let lat = self.submit_command(service);
         self.discard_hist.record(lat);
@@ -443,15 +496,18 @@ impl IoManager {
     ///
     /// Validation errors surface before any timing side effect: a
     /// failed batch leaves this manager's clock, histograms and
-    /// `IoStats` untouched. *Device-side* state is not rolled back —
-    /// per NVMe error semantics, an earlier phase that already
-    /// succeeded stands: a read/discard failure in phase 2/3 leaves
-    /// phase 1's writes mapped and counted in the namespace counters
-    /// and FDP log, so manager-vs-namespace counter parity only holds
-    /// for batches that complete. No cache client retains a failed
-    /// batch's state (engines propagate the error and the experiment
-    /// stops), so the divergence is observable only in post-mortem
-    /// counters.
+    /// `IoStats` untouched. Injected faults (media error / busy) are
+    /// different: the batch fails **all-or-nothing on the device** (the
+    /// controller's fault gate and FTL rollback guarantee no mapping of
+    /// the batch survives) and this manager charges one deterministic
+    /// failed completion of [`FAULT_SERVICE_NS`] (or the busy penalty)
+    /// while counting it in [`IoStats::faults`], so fault
+    /// replays stay bit-reproducible while the cache tier retries or
+    /// requeues. For *mixed* batches a read/discard fault in phase 2/3
+    /// still leaves phase 1's writes applied (NVMe gives no cross-
+    /// command ordering inside a queue); the only batch client, the
+    /// LOC region seal, is write-only, so its recovery treats any
+    /// batch error as "nothing of this region landed".
     pub fn submit_batch(&mut self, mut batch: IoBatch<'_>) -> Result<Vec<u64>, NvmeError> {
         // Phase 1: vectored write mapping under one media-lock hold.
         let writes: Vec<BatchWrite<'_>> = batch
@@ -467,14 +523,20 @@ impl IoManager {
         let write_completions = if writes.is_empty() {
             Vec::new()
         } else {
-            self.ctrl.write_batch_ns(&self.ns, &writes)?
+            match self.ctrl.write_batch_ns(&self.ns, &writes) {
+                Ok(c) => c,
+                Err(e) => return Err(self.fail_command(e)),
+            }
         };
         // Phase 2: reads (mapping check under the media lock per
         // command, payload loads outside it).
         let mut read_services = Vec::new();
         for op in batch.ops.iter_mut() {
             if let BatchOp::Read { block, out } = op {
-                read_services.push(self.ctrl.read_ns(&self.ns, *block, out)?);
+                match self.ctrl.read_ns(&self.ns, *block, out) {
+                    Ok(ns) => read_services.push(ns),
+                    Err(e) => return Err(self.fail_command(e)),
+                }
             }
         }
         // Phase 3: one vectored DSM deallocate for every discard.
@@ -489,7 +551,9 @@ impl IoManager {
             })
             .collect();
         if !ranges.is_empty() {
-            self.ctrl.deallocate_ns(&self.ns, &ranges)?;
+            if let Err(e) = self.ctrl.deallocate_ns(&self.ns, &ranges) {
+                return Err(self.fail_command(e));
+            }
         }
 
         // Phase 4: timing replay in queue order; stats in bulk.
@@ -784,6 +848,7 @@ mod tests {
             bytes_written: 4,
             bytes_read: 5,
             bytes_discarded: 6,
+            faults: 7,
         };
         let b = a.merge(&a);
         assert_eq!(
@@ -795,8 +860,61 @@ mod tests {
                 bytes_written: 8,
                 bytes_read: 10,
                 bytes_discarded: 12,
+                faults: 14,
             }
         );
+    }
+
+    #[test]
+    fn injected_faults_complete_failed_with_deterministic_timing() {
+        use fdpcache_nvme::{FaultConfig, FaultKind, FaultStore, ScriptedFault};
+        let cfg = FtlConfig::tiny_test();
+        let scripted = |kind, lba| ScriptedFault { kind, lba, at_access: 0, repeats: 1 };
+        let fault_cfg = FaultConfig {
+            scripted: vec![
+                scripted(FaultKind::WriteError, 0),
+                scripted(FaultKind::ReadError, 1),
+                ScriptedFault { kind: FaultKind::Busy, lba: 2, at_access: 1, repeats: 1 },
+            ],
+            busy_penalty_ns: 900_000,
+            ..Default::default()
+        };
+        let store = FaultStore::new(Box::new(MemStore::new()), fault_cfg);
+        let ctrl = Arc::new(Controller::new(cfg, Box::new(store)).unwrap());
+        let nsid = ctrl.create_namespace(64, vec![0, 1]).unwrap();
+        let mut io = IoManager::new(ctrl.clone(), nsid, 1).unwrap();
+        let data = vec![1u8; 4096];
+
+        // Scripted write fault: error completion, FAULT_SERVICE_NS.
+        let t0 = io.now_ns();
+        let err = io.write(0, &data, PlacementHandle::DEFAULT).unwrap_err();
+        assert!(matches!(err, NvmeError::MediaError { lba: 0, .. }));
+        assert_eq!(io.now_ns(), t0 + FAULT_SERVICE_NS);
+        // The retry (access 1) succeeds: the old mapping never existed,
+        // no side effect leaked from the failed attempt.
+        io.write(0, &data, PlacementHandle::DEFAULT).unwrap();
+        io.write(1, &data, PlacementHandle::DEFAULT).unwrap();
+        io.write(2, &data, PlacementHandle::DEFAULT).unwrap();
+
+        // Scripted read fault, then clean retry returns the payload.
+        let mut out = vec![0u8; 4096];
+        assert!(io.read(1, &mut out).unwrap_err().is_injected_fault());
+        io.read(1, &mut out).unwrap();
+        assert_eq!(out, data);
+
+        // Busy charges its penalty and succeeds on retry.
+        let t1 = io.now_ns();
+        let err = io.read(2, &mut out).unwrap_err();
+        assert!(matches!(err, NvmeError::Busy { penalty_ns: 900_000 }));
+        assert_eq!(io.now_ns(), t1 + 900_000);
+        io.read(2, &mut out).unwrap();
+
+        assert_eq!(io.stats().faults, 3);
+        assert_eq!(ctrl.fault_totals().total(), 3);
+        // Successful-command counters exclude the failures.
+        assert_eq!(io.stats().writes, 3);
+        assert_eq!(io.stats().reads, 2);
+        ctrl.with_ftl(|f| f.check_invariants());
     }
 
     #[test]

@@ -308,9 +308,12 @@ impl Ftl {
     ///
     /// # Errors
     ///
-    /// As [`Ftl::write_placed`]; on a mid-batch media failure
-    /// ([`FtlError::OutOfSpace`] at end of life) the mapped prefix
-    /// remains, matching NVMe's indeterminate-on-error write contract.
+    /// As [`Ftl::write_placed`]. A mid-batch media failure
+    /// ([`FtlError::OutOfSpace`] at end of life) **rolls back the
+    /// mapped prefix** before returning: a failed batch maps nothing
+    /// (its LBAs read as unwritten afterwards — within NVMe's
+    /// indeterminate-on-error write contract), so callers never see a
+    /// partially applied receipt.
     pub fn write_placed_batch(
         &mut self,
         slba: Lba,
@@ -330,13 +333,51 @@ impl Ftl {
         }
         let mut total = WriteReceipt::default();
         for lba in slba..end {
-            let r = self.map_one(lba, rg, ruh)?;
+            let r = match self.map_one(lba, rg, ruh) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.rollback_range(slba, lba - slba)?;
+                    return Err(e);
+                }
+            };
             total.program_ns += r.program_ns;
             total.gc_ns += r.gc_ns;
             total.relocated_pages += r.relocated_pages;
             total.ru_switched |= r.ru_switched;
         }
         Ok(total)
+    }
+
+    /// Unmaps `count` LBAs starting at `lba` as rollback of a
+    /// partially-applied batch: the mechanics of [`Ftl::trim`], but
+    /// accounted as `rolled_back_lbas` (these were never host
+    /// deallocations) and infallible on unmapped LBAs. The programmed
+    /// pages stay counted in `nand_pages_written` — the failed batch
+    /// really consumed media — so the write-amplification identity
+    /// (`nand = host + relocated`) is preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LbaOutOfRange`] for ranges beyond exported capacity
+    /// (callers pass pre-validated batch ranges, so this indicates a
+    /// caller bug, never a device state).
+    pub fn rollback_range(&mut self, lba: Lba, count: u64) -> Result<(), FtlError> {
+        let end = lba.checked_add(count).ok_or(FtlError::LbaOutOfRange(lba))?;
+        if end > self.l2p.len() as u64 {
+            return Err(FtlError::LbaOutOfRange(end));
+        }
+        for l in lba..end {
+            let entry = self.l2p[l as usize];
+            if entry == NONE64 {
+                continue;
+            }
+            let ppa = Ppa::unpack(entry);
+            self.nand.invalidate(ppa)?;
+            self.p2l[ppa.superblock as usize][ppa.page as usize] = NONE32;
+            self.l2p[l as usize] = NONE64;
+            self.stats.rolled_back_lbas += 1;
+        }
+        Ok(())
     }
 
     /// Maps one already-validated LBA through `<rg, ruh>`: the shared
@@ -637,7 +678,7 @@ impl Ftl {
 
     /// Exhaustive consistency check, used by tests and property tests.
     ///
-    /// Verifies the invariants listed in DESIGN.md §7:
+    /// Verifies the invariants listed in DESIGN.md §8:
     /// mapping bijectivity, valid-page accounting, free-pool sanity and
     /// the write-amplification identity.
     ///
@@ -1166,6 +1207,64 @@ mod tests {
         let bad_ruh = f.config().num_ruhs;
         assert!(matches!(f.write_placed_batch(0, 2, 0, bad_ruh), Err(FtlError::InvalidRuh(_))));
         assert!(matches!(f.write_placed_batch(0, 2, 9, 0), Err(FtlError::InvalidRg(9))));
+    }
+
+    #[test]
+    fn rollback_range_unmaps_and_accounts_separately() {
+        let mut f = ftl();
+        f.write(0, 0).unwrap();
+        f.write(1, 0).unwrap();
+        f.rollback_range(0, 4).unwrap(); // unmapped tail LBAs are skipped
+        assert!(!f.is_mapped(0) && !f.is_mapped(1));
+        assert_eq!(f.stats().rolled_back_lbas, 2);
+        assert_eq!(f.stats().trimmed_lbas, 0, "rollback must not count as host trim");
+        // WA identity survives: the programs still happened.
+        assert_eq!(
+            f.stats().nand_pages_written,
+            f.stats().host_pages_written + f.stats().relocated_pages
+        );
+        f.check_invariants();
+        assert!(f.rollback_range(f.exported_lbas(), 1).is_err());
+    }
+
+    #[test]
+    fn mid_batch_failure_rolls_back_the_mapped_prefix() {
+        // Wear the device out mid-batch: once OutOfSpace fires inside a
+        // multi-LBA batch, the batch's prefix must be unmapped.
+        let mut cfg = FtlConfig::tiny_test();
+        cfg.pe_limit = 8;
+        let mut f = Ftl::new(cfg).unwrap();
+        let n = f.exported_lbas();
+        let mut x = 41u64;
+        let mut failed = None;
+        for _ in 0..(n * 400) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let count = 4;
+            let slba = x % (n - count);
+            let before: Vec<u64> = (slba..slba + count).map(|l| f.l2p[l as usize]).collect();
+            match f.write_placed_batch(slba, count, 0, 0) {
+                Ok(_) => {}
+                Err(FtlError::OutOfSpace) => {
+                    failed = Some((slba, count, before));
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        }
+        let (slba, count, before) = failed.expect("device should wear out");
+        // No partially-applied mapping: every LBA of the failed batch is
+        // either rolled back (unmapped) or untouched (its pre-batch
+        // mapping) — never a new mapping from the failed batch.
+        for (i, lba) in (slba..slba + count).enumerate() {
+            let entry = f.l2p[lba as usize];
+            assert!(
+                entry == NONE64 || entry == before[i],
+                "failed batch left a new mapping at LBA {lba}"
+            );
+        }
+        f.check_invariants();
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct FtlStats {
     pub overwrites: u64,
     /// LBAs deallocated by trim.
     pub trimmed_lbas: u64,
+    /// LBAs unmapped by batch rollback (a mid-batch failure undoing a
+    /// partially-applied mapping; distinct from host trims).
+    pub rolled_back_lbas: u64,
     /// Host read operations.
     pub host_reads: u64,
     /// Reclaim units permanently retired after exceeding their rated
@@ -51,6 +54,7 @@ impl FtlStats {
             rus_erased: self.rus_erased.saturating_sub(earlier.rus_erased),
             overwrites: self.overwrites.saturating_sub(earlier.overwrites),
             trimmed_lbas: self.trimmed_lbas.saturating_sub(earlier.trimmed_lbas),
+            rolled_back_lbas: self.rolled_back_lbas.saturating_sub(earlier.rolled_back_lbas),
             host_reads: self.host_reads.saturating_sub(earlier.host_reads),
             retired_rus: self.retired_rus.saturating_sub(earlier.retired_rus),
         }

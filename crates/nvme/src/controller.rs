@@ -38,6 +38,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::datastore::DataStore;
 use crate::error::NvmeError;
+use crate::fault::{FaultOp, FaultTotals};
 use crate::identify::{ControllerIdentity, FdpConfigDescriptor};
 use crate::logpage::{FdpConfigLog, RuhUsageDescriptor, RuhUsageLog};
 use crate::namespace::{Namespace, NamespaceId};
@@ -306,6 +307,12 @@ impl Controller {
         self.store.retains_data()
     }
 
+    /// Snapshot of the store's injected-fault totals (all zero without
+    /// a [`crate::FaultStore`] decorator).
+    pub fn fault_totals(&self) -> FaultTotals {
+        self.store.fault_totals()
+    }
+
     /// Unallocated LBAs remaining for namespace creation.
     pub fn unallocated_lbas(&self) -> u64 {
         self.exported_lbas - self.admin.read().allocated_lbas
@@ -416,6 +423,12 @@ impl Controller {
         let lba_bytes = self.lba_bytes as usize;
         let (dev_start, nlb) = self.validate_write(ns, slba, data)?;
         let (rg, ruh) = self.resolve_placement(ns, dspec, self.fdp_enabled())?;
+        // Fault-plan gate: an injected failure completes the command
+        // with an error status before ANY side effect — the mapping and
+        // any previously acknowledged payload at these LBAs survive.
+        if let Some(f) = self.store.fault(FaultOp::Write, dev_start, nlb) {
+            return Err(f.into());
+        }
         // Payload copies proceed outside the media lock, in parallel
         // with other workers' FTL work and store traffic. They land
         // BEFORE the mapping is published so that (a) every mapped LBA
@@ -520,8 +533,12 @@ impl Controller {
     ///
     /// # Errors
     ///
-    /// Validation errors before any side effect; FTL failures may leave
-    /// a mapped prefix (NVMe indeterminate-on-error contract).
+    /// Validation errors and injected faults surface before any side
+    /// effect. A mid-batch FTL failure rolls back every mapping this
+    /// batch already applied ([`fdpcache_ftl::Ftl::rollback_range`]), so
+    /// a failed batch is all-or-nothing: no command of it is mapped or
+    /// counted (the rolled-back LBAs read as unwritten afterwards —
+    /// NVMe's indeterminate-on-error contract).
     pub fn write_batch_ns(
         &self,
         state: &NamespaceState,
@@ -538,14 +555,34 @@ impl Controller {
             plan.push((dev_start, nlb, rg, ruh));
             total_bytes += w.data.len() as u64;
         }
+        // Fault-plan gate, still before any side effect: a mid-batch
+        // injected fault (command k > 0) fails the WHOLE batch here, so
+        // previously acknowledged data at every LBA of the batch —
+        // including commands before k — survives untouched.
+        for &(dev_start, nlb, ..) in &plan {
+            if let Some(f) = self.store.fault(FaultOp::Write, dev_start, nlb) {
+                return Err(f.into());
+            }
+        }
         for (w, &(dev_start, ..)) in writes.iter().zip(&plan) {
             self.store.write_blocks(dev_start, w.data, lba_bytes);
         }
         let mut completions = Vec::with_capacity(writes.len());
         {
             let mut ftl = self.ftl.lock();
-            for &(dev_start, nlb, rg, ruh) in &plan {
-                let receipt = ftl.write_placed_batch(dev_start, nlb, rg, ruh)?;
+            for (i, &(dev_start, nlb, rg, ruh)) in plan.iter().enumerate() {
+                let receipt = match ftl.write_placed_batch(dev_start, nlb, rg, ruh) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // Command i's own prefix was rolled back by the
+                        // FTL; unmap the commands this batch already
+                        // applied so the error leaves no partial batch.
+                        for &(done_start, done_nlb, ..) in &plan[..i] {
+                            ftl.rollback_range(done_start, done_nlb)?;
+                        }
+                        return Err(e.into());
+                    }
+                };
                 completions.push(WriteCompletion {
                     service_ns: receipt.program_ns,
                     gc_ns: receipt.gc_ns,
@@ -596,6 +633,12 @@ impl Controller {
         let (dev_start, _) = ns
             .translate_range(slba, nlb)
             .ok_or(NvmeError::LbaOutOfRange { nsid: ns.nsid, lba: slba })?;
+        // Fault-plan gate: an injected read failure (media error,
+        // segment corruption, busy spike) completes with an error
+        // status before any media accounting or payload load.
+        if let Some(f) = self.store.fault(FaultOp::Read, dev_start, nlb) {
+            return Err(f.into());
+        }
         let total_ns = self.ftl.lock().read_contig(dev_start, nlb).map_err(|e| match e {
             fdpcache_ftl::FtlError::Unmapped(l) => NvmeError::Unwritten(l),
             other => NvmeError::Ftl(other),
@@ -649,6 +692,13 @@ impl Controller {
                 .translate_range(r.slba, r.nlb)
                 .ok_or(NvmeError::LbaOutOfRange { nsid: ns.nsid, lba: r.slba })?;
             translated.push((dev_start, count));
+        }
+        // Fault-plan gate: a failed DSM drops nothing (all-or-nothing,
+        // consistent with the validation behaviour above).
+        for &(dev_start, count) in &translated {
+            if let Some(f) = self.store.fault(FaultOp::Discard, dev_start, count) {
+                return Err(f.into());
+            }
         }
         self.ftl.lock().trim_batch(&translated)?;
         for &(dev_start, count) in &translated {

@@ -35,6 +35,8 @@
 
 use parking_lot::{Mutex, RwLock};
 
+use crate::fault::{FaultOp, FaultTotals, InjectedFault};
+
 /// Logical payload storage keyed by device LBA.
 ///
 /// Implementations must be internally synchronized: the controller
@@ -90,6 +92,21 @@ pub trait DataStore: Send + Sync {
         for l in lba..lba + count {
             self.discard(l);
         }
+    }
+
+    /// Asks the store's fault schedule (if any) whether a command of
+    /// class `op` covering `[lba, lba + nlb)` fails. The controller
+    /// consults this **before** any side effect of the command; plain
+    /// stores never fail. Only the [`crate::FaultStore`] decorator
+    /// overrides this.
+    fn fault(&self, op: FaultOp, lba: u64, nlb: u64) -> Option<InjectedFault> {
+        let _ = (op, lba, nlb);
+        None
+    }
+
+    /// Snapshot of injected-fault totals (all zero for plain stores).
+    fn fault_totals(&self) -> FaultTotals {
+        FaultTotals::default()
     }
 }
 

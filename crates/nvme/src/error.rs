@@ -2,6 +2,7 @@
 
 use fdpcache_ftl::FtlError;
 
+use crate::fault::{FaultKind, InjectedFault};
 use crate::namespace::NamespaceId;
 
 /// Errors completed back to the host by the simulated controller.
@@ -31,6 +32,22 @@ pub enum NvmeError {
     CapacityExceeded,
     /// Reading an LBA that was never written (or was deallocated).
     Unwritten(u64),
+    /// A media failure injected by the device's fault plan: the command
+    /// completed with an error status and had **no** side effect (no
+    /// mapping change, no payload change — all-or-nothing for batches).
+    MediaError {
+        /// First affected LBA (device-absolute).
+        lba: u64,
+        /// The injected failure kind.
+        kind: FaultKind,
+    },
+    /// The device transiently rejected the command (housekeeping
+    /// throttle). The caller should retry; the reported penalty is the
+    /// virtual-time latency the rejection cost.
+    Busy {
+        /// Latency penalty charged to the rejected command (ns).
+        penalty_ns: u64,
+    },
     /// An FTL-level failure.
     Ftl(FtlError),
 }
@@ -38,6 +55,29 @@ pub enum NvmeError {
 impl From<FtlError> for NvmeError {
     fn from(e: FtlError) -> Self {
         NvmeError::Ftl(e)
+    }
+}
+
+impl From<InjectedFault> for NvmeError {
+    fn from(f: InjectedFault) -> Self {
+        match f.kind {
+            FaultKind::Busy => NvmeError::Busy { penalty_ns: f.penalty_ns },
+            kind => NvmeError::MediaError { lba: f.lba, kind },
+        }
+    }
+}
+
+impl NvmeError {
+    /// Whether this error was injected by the fault plan (and is
+    /// therefore a *device* failure the cache tier should recover from,
+    /// as opposed to a caller bug like a range or buffer mismatch).
+    pub fn is_injected_fault(&self) -> bool {
+        matches!(self, NvmeError::MediaError { .. } | NvmeError::Busy { .. })
+    }
+
+    /// Whether this is the transient busy rejection (retry expected).
+    pub fn is_busy(&self) -> bool {
+        matches!(self, NvmeError::Busy { .. })
     }
 }
 
@@ -54,6 +94,12 @@ impl std::fmt::Display for NvmeError {
             }
             NvmeError::CapacityExceeded => write!(f, "namespace capacity exceeded"),
             NvmeError::Unwritten(lba) => write!(f, "LBA {lba} has never been written"),
+            NvmeError::MediaError { lba, kind } => {
+                write!(f, "injected media error ({kind:?}) at LBA {lba}")
+            }
+            NvmeError::Busy { penalty_ns } => {
+                write!(f, "device busy (retry after {penalty_ns} ns)")
+            }
             NvmeError::Ftl(e) => write!(f, "FTL: {e}"),
         }
     }
@@ -83,5 +129,20 @@ mod tests {
         let e = NvmeError::BufferSizeMismatch { expected: 4096, got: 512 };
         assert!(e.to_string().contains("4096"));
         assert!(e.to_string().contains("512"));
+    }
+
+    #[test]
+    fn injected_faults_convert_and_classify() {
+        let media: NvmeError =
+            InjectedFault { kind: FaultKind::ReadError, lba: 42, penalty_ns: 0 }.into();
+        assert!(matches!(media, NvmeError::MediaError { lba: 42, kind: FaultKind::ReadError }));
+        assert!(media.is_injected_fault());
+        assert!(!media.is_busy());
+        let busy: NvmeError = InjectedFault { kind: FaultKind::Busy, lba: 0, penalty_ns: 9 }.into();
+        assert!(matches!(busy, NvmeError::Busy { penalty_ns: 9 }));
+        assert!(busy.is_injected_fault() && busy.is_busy());
+        assert!(!NvmeError::Unwritten(1).is_injected_fault());
+        assert!(media.to_string().contains("42"));
+        assert!(busy.to_string().contains('9'));
     }
 }

@@ -36,12 +36,18 @@
 //! * **Backing store** — pluggable payload storage ([`MemStore`] for
 //!   functional integrity in tests/examples, [`NullStore`] for
 //!   metadata-only DLWA experiments at scale).
+//! * **Fault injection** — the [`FaultStore`] decorator carries a
+//!   seed-replayable [`FaultConfig`] schedule; the controller consults
+//!   it before every command's side effects and completes injected
+//!   failures as [`NvmeError::MediaError`]/[`NvmeError::Busy`]
+//!   (DESIGN.md §6).
 
 #![warn(missing_docs)]
 pub mod command;
 pub mod controller;
 pub mod datastore;
 pub mod error;
+pub mod fault;
 pub mod identify;
 pub mod logpage;
 pub mod namespace;
@@ -55,6 +61,10 @@ pub use controller::{
 pub use datastore::HashStore;
 pub use datastore::{DataStore, MemStore, NullStore};
 pub use error::NvmeError;
+pub use fault::{
+    FaultConfig, FaultKind, FaultOp, FaultPlan, FaultStore, FaultTotals, InjectedFault,
+    ScriptedFault,
+};
 pub use identify::{ControllerIdentity, FdpConfigDescriptor};
 pub use logpage::{FdpConfigLog, RuhUsageDescriptor, RuhUsageLog};
 pub use namespace::{Namespace, NamespaceId};

@@ -40,6 +40,10 @@ pub struct Completion {
     pub latency_ns: u64,
     /// Absolute virtual completion time, ns.
     pub completion_ns: u64,
+    /// Whether the command completed with an error status (injected
+    /// fault). Failed completions keep their deterministic place in
+    /// completion order — the CQ reports them exactly like successes.
+    pub failed: bool,
 }
 
 /// A per-worker queue pair with simulated timing.
@@ -135,6 +139,21 @@ impl QueuePair {
     /// is full, in which case the oldest completion is reaped first —
     /// the submitter stalls on a full SQ like a real queue-pair loop.
     pub fn submit_async(&mut self, service_ns: u64, background_ns: u64) -> CommandId {
+        self.submit_async_status(service_ns, background_ns, false)
+    }
+
+    /// [`QueuePair::submit_async`] with an explicit completion status:
+    /// `failed` marks the scheduled completion as an error completion
+    /// (injected media fault / busy rejection). Timing is identical to
+    /// a successful command of the same service time — the failure
+    /// still occupied the device for that long — so fault schedules
+    /// stay bit-reproducible.
+    pub fn submit_async_status(
+        &mut self,
+        service_ns: u64,
+        background_ns: u64,
+        failed: bool,
+    ) -> CommandId {
         while self.inflight.len() >= self.depth {
             self.complete();
         }
@@ -157,6 +176,7 @@ impl QueuePair {
             id,
             latency_ns: completion - self.now_ns,
             completion_ns: completion,
+            failed,
         });
         id
     }
@@ -393,6 +413,23 @@ mod tests {
         assert_eq!(q.in_flight(), 1);
         assert_eq!(q.now_ns(), 300, "three oldest completions reaped");
         assert_eq!(q.completed(), 3);
+    }
+
+    #[test]
+    fn failed_completions_keep_deterministic_order_and_timing() {
+        let mut q = QueuePair::with_depth(2, 8);
+        let ok = q.submit_async(300, 0);
+        let bad = q.submit_async_status(100, 0, true);
+        // The failed command is scheduled like any other...
+        assert!(q.scheduled(bad).unwrap().failed);
+        assert!(!q.scheduled(ok).unwrap().failed);
+        // ...and reaps in completion order, status intact.
+        let done = q.drain();
+        assert_eq!(
+            done.iter().map(|c| (c.id, c.failed)).collect::<Vec<_>>(),
+            vec![(bad, true), (ok, false)]
+        );
+        assert_eq!(q.now_ns(), 300);
     }
 
     #[test]

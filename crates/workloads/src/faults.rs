@@ -1,0 +1,160 @@
+//! Named fault scenarios: the workload-level face of the NVMe layer's
+//! deterministic fault injection (DESIGN.md §6).
+//!
+//! A [`FaultScenario`] pairs a stable name with a
+//! [`fdpcache_nvme::FaultConfig`], so any existing trace profile can be
+//! replayed "under `media_mixed`" the same way it is replayed "at QD 4":
+//! build the device with
+//! [`fdpcache_cache::builder::build_device_faulted`], set the scenario
+//! in [`crate::ReplayConfig`]/[`crate::PoolReplayConfig`] (which tags
+//! the result label), and drive the same generator. `bench_faults`
+//! sweeps every built-in scenario and gates determinism plus
+//! zero-lost-acknowledged-writes on each.
+//!
+//! Probabilities are deliberately small: fault decisions roll **per
+//! block access**, so a 256-block region seal at 200 ppm already faults
+//! about 5% of its submissions — enough to exercise every recovery
+//! path thousands of times per replay without tipping healthy
+//! workloads into permanent-failure territory.
+
+use fdpcache_nvme::{FaultConfig, FaultKind, ScriptedFault};
+
+/// A named, seed-replayable fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultScenario {
+    /// Stable scenario name (`none`, `read_flaky`, ...).
+    pub name: &'static str,
+    /// The schedule handed to the device's `FaultStore`.
+    pub config: FaultConfig,
+}
+
+impl FaultScenario {
+    /// The fault-free scenario: an empty plan, bit-identical to an
+    /// undecorated device (the transparency gate relies on this).
+    pub fn none() -> Self {
+        FaultScenario { name: "none", config: FaultConfig::default() }
+    }
+
+    /// Sporadic unrecoverable read errors: exercises demote-to-miss
+    /// plus targeted repair-writes in both engines.
+    pub fn read_flaky() -> Self {
+        FaultScenario {
+            name: "read_flaky",
+            config: FaultConfig { seed: 0xFA01, read_err_ppm: 1_500, ..Default::default() },
+        }
+    }
+
+    /// Sporadic program failures: exercises SOC bucket-rewrite retries
+    /// and LOC seal retries (mid-batch faults are all-or-nothing; a
+    /// 256-block region seal at this rate faults roughly a quarter of
+    /// its submissions, and the rare all-retries-fail seal exercises
+    /// quarantine + requeue).
+    pub fn write_flaky() -> Self {
+        FaultScenario {
+            name: "write_flaky",
+            config: FaultConfig { seed: 0xFA02, write_err_ppm: 1_200, ..Default::default() },
+        }
+    }
+
+    /// Everything at once: read + write + discard media errors plus
+    /// per-segment corruption detection.
+    pub fn media_mixed() -> Self {
+        FaultScenario {
+            name: "media_mixed",
+            config: FaultConfig {
+                seed: 0xFA03,
+                read_err_ppm: 800,
+                write_err_ppm: 800,
+                discard_err_ppm: 50_000,
+                corruption_ppm: 1_000,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Transient device-busy spikes with a heavy latency penalty:
+    /// exercises every retry loop without any data-affecting fault.
+    pub fn busy_bursts() -> Self {
+        FaultScenario {
+            name: "busy_bursts",
+            config: FaultConfig {
+                seed: 0xFA04,
+                busy_ppm: 8_000,
+                busy_penalty_ns: 800_000,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Permanently bad blocks: one in SOC bucket space that goes bad
+    /// after two clean writes (persistent insert rollback), plus
+    /// born-bad blocks inside two LOC regions, whose very first seals
+    /// exhaust every retry and force quarantine + requeue — all on top
+    /// of a light random write-error rate.
+    pub fn bad_blocks() -> Self {
+        let bad = |lba, at_access| ScriptedFault {
+            kind: FaultKind::WriteError,
+            lba,
+            at_access,
+            repeats: u64::MAX,
+        };
+        FaultScenario {
+            name: "bad_blocks",
+            config: FaultConfig {
+                seed: 0xFA05,
+                write_err_ppm: 200,
+                // LBA 700 sits in SOC bucket space of the gate stack;
+                // 1500 and 2300 inside its first LOC regions (born bad,
+                // so their first region seal quarantines).
+                scripted: vec![bad(700, 2), bad(1_500, 0), bad(2_300, 0)],
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Every built-in scenario, `none` first (the transparency
+    /// baseline), in stable gate order.
+    pub fn all_builtin() -> Vec<FaultScenario> {
+        vec![
+            FaultScenario::none(),
+            FaultScenario::read_flaky(),
+            FaultScenario::write_flaky(),
+            FaultScenario::media_mixed(),
+            FaultScenario::busy_bursts(),
+            FaultScenario::bad_blocks(),
+        ]
+    }
+
+    /// Looks a built-in scenario up by name.
+    pub fn by_name(name: &str) -> Option<FaultScenario> {
+        FaultScenario::all_builtin().into_iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_are_unique_and_resolvable() {
+        let all = FaultScenario::all_builtin();
+        let mut names: Vec<&str> = all.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate scenario names");
+        for s in &all {
+            assert_eq!(FaultScenario::by_name(s.name).as_ref(), Some(s));
+        }
+        assert!(FaultScenario::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn none_is_empty_and_others_are_not() {
+        assert!(FaultScenario::none().config.is_empty());
+        for s in FaultScenario::all_builtin() {
+            if s.name != "none" {
+                assert!(!s.config.is_empty(), "{} must inject something", s.name);
+            }
+        }
+    }
+}

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 pub mod concurrent;
+pub mod faults;
 pub mod profiles;
 pub mod replay;
 pub mod sizes;
@@ -36,6 +37,7 @@ pub mod zipf;
 pub use concurrent::{
     run_pool_round, run_workers, PoolMode, PoolWorkerReport, Worker, WorkerReport,
 };
+pub use faults::FaultScenario;
 pub use profiles::WorkloadProfile;
 pub use replay::{replay_pool, ExperimentResult, PoolReplayConfig, ReplayConfig, Replayer};
 pub use sizes::SizeDist;

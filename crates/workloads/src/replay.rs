@@ -51,6 +51,12 @@ pub struct ReplayConfig {
     /// pre-batching replayer; higher depths pipeline batched region
     /// seals across device lanes in virtual time.
     pub queue_depth: usize,
+    /// Fault scenario the device was built with (see
+    /// [`fdpcache_cache::builder::build_device_faulted`]). The replayer
+    /// tags the result label with the scenario name and the result
+    /// carries the cache's fault/retry/repair/requeue counters either
+    /// way; `None` means the plain, fault-free device.
+    pub fault: Option<crate::faults::FaultScenario>,
 }
 
 impl Default for ReplayConfig {
@@ -62,6 +68,7 @@ impl Default for ReplayConfig {
             max_ops: u64::MAX,
             report_workers: 32,
             queue_depth: 1,
+            fault: None,
         }
     }
 }
@@ -106,6 +113,15 @@ pub struct ExperimentResult {
     pub media_bytes: u64,
     /// Operations replayed (excluding warm-up).
     pub ops: u64,
+    /// Device commands that completed with an injected failure status
+    /// during measurement (0 on a fault-free device).
+    pub faults: u64,
+    /// Recovery retries performed during measurement.
+    pub retries: u64,
+    /// Targeted repair-writes performed during measurement.
+    pub repairs: u64,
+    /// Objects requeued out of failed region seals during measurement.
+    pub requeues: u64,
 }
 
 /// Replays traces against a cache.
@@ -237,9 +253,13 @@ impl Replayer {
             t.iter().sum::<f64>() / t.len() as f64
         };
 
+        let label = match &self.config.fault {
+            Some(s) if s.name != "none" => format!("{label}+{}", s.name),
+            _ => label.to_string(),
+        };
         Ok(ExperimentResult {
             workload: workload.to_string(),
-            label: label.to_string(),
+            label,
             dlwa_series,
             dlwa: dlog.dlwa(),
             dlwa_steady,
@@ -256,6 +276,10 @@ impl Replayer {
             host_bytes: dlog.host_bytes_written,
             media_bytes: dlog.media_bytes_written,
             ops: measured_ops,
+            faults: stats.faults,
+            retries: stats.retries,
+            repairs: stats.repairs,
+            requeues: stats.requeues,
         })
     }
 }
@@ -286,6 +310,26 @@ pub struct PoolReplayConfig {
     /// completions, so the driver drains every shard at measurement
     /// boundaries.
     pub queue_depth: usize,
+    /// Fault scenario the shared device was built with (label tag +
+    /// fault-counter context, as in [`ReplayConfig::fault`]). Fault
+    /// decisions key on per-LBA access history and shards own disjoint
+    /// LBA ranges, so faulted partitioned replays stay bit-identical
+    /// across reruns *and* worker counts.
+    pub fault: Option<crate::faults::FaultScenario>,
+}
+
+impl Default for PoolReplayConfig {
+    fn default() -> Self {
+        PoolReplayConfig {
+            workers: 4,
+            warmup_ops: 0,
+            measure_ops: 10_000,
+            seed: 42,
+            mode: PoolMode::Partitioned,
+            queue_depth: 1,
+            fault: None,
+        }
+    }
 }
 
 /// Replays a workload over `pool` from `cfg.workers` real OS threads
@@ -356,10 +400,14 @@ pub fn replay_pool<S: RequestSource + Send>(
     let write_hist = pool.write_latency();
     let dlwa = dlog.dlwa();
     let host_gib = dlog.host_bytes_written as f64 / (1u64 << 30) as f64;
+    let label = match &cfg.fault {
+        Some(s) if s.name != "none" => format!("{label}+{}", s.name),
+        _ => label.to_string(),
+    };
 
     Ok(ExperimentResult {
         workload: workload.to_string(),
-        label: label.to_string(),
+        label,
         dlwa_series: vec![(host_gib, dlwa)],
         dlwa,
         dlwa_steady: dlwa,
@@ -376,6 +424,10 @@ pub fn replay_pool<S: RequestSource + Send>(
         host_bytes: dlog.host_bytes_written,
         media_bytes: dlog.media_bytes_written,
         ops,
+        faults: stats.faults,
+        retries: stats.retries,
+        repairs: stats.repairs,
+        requeues: stats.requeues,
     })
 }
 
@@ -409,6 +461,7 @@ mod tests {
             max_ops: 200_000,
             report_workers: 1,
             queue_depth: 1,
+            fault: None,
         });
         let r = replayer.run("FDP", profile.name, &mut cache, &ctrl, &mut gen).unwrap();
         assert!(r.dlwa >= 1.0, "dlwa {}", r.dlwa);
@@ -432,6 +485,7 @@ mod tests {
             max_ops: 100_000,
             report_workers: 1,
             queue_depth: 1,
+            fault: None,
         });
         let r = replayer.run("FDP", profile.name, &mut cache, &ctrl, &mut gen).unwrap();
         assert_eq!(r.kgets, 0.0, "write-only trace has no GETs");
@@ -450,6 +504,7 @@ mod tests {
             max_ops: 20_000,
             report_workers: 1,
             queue_depth: 1,
+            fault: None,
         });
         let r = replayer.run("x", profile.name, &mut cache, &ctrl, &mut gen).unwrap();
         let json = serde_json::to_string(&r).unwrap();
@@ -483,6 +538,7 @@ mod tests {
             seed: 7,
             mode: crate::concurrent::PoolMode::Contended,
             queue_depth: 1,
+            fault: None,
         };
         let r = replay_pool("FDP", profile.name, &pool, &ctrl, &cfg, |seed| {
             profile.generator(5_000, seed)
@@ -508,6 +564,7 @@ mod tests {
             seed: 11,
             mode: crate::concurrent::PoolMode::Partitioned,
             queue_depth: 1,
+            fault: None,
         };
         let r = replay_pool("FDP", profile.name, &pool, &ctrl, &cfg, |seed| {
             profile.generator(5_000, seed)

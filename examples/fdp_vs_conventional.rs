@@ -39,6 +39,7 @@ fn run(fdp: bool) {
         max_ops: u64::MAX,
         report_workers: 32,
         queue_depth: 1,
+        fault: None,
     });
     let label = if fdp { "FDP" } else { "Non-FDP" };
     let r = replayer.run(label, profile.name, &mut cache, &ctrl, &mut gen).expect("replay");

@@ -53,6 +53,7 @@ fn main() {
         max_ops: u64::MAX,
         report_workers: 1,
         queue_depth: 1,
+        fault: None,
     });
     let result = replayer
         .run("FDP", "twitter-c12 (recorded)", &mut cache, &ctrl, &mut replay)

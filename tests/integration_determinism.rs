@@ -10,12 +10,13 @@
 //! side effects that depend on cross-shard interleaving (GC victim
 //! choice, hence media bytes and latency) may differ.
 
-use fdpcache::cache::builder::{build_device, StoreKind};
+use fdpcache::cache::builder::{build_device, build_device_faulted, StoreKind};
 use fdpcache::cache::{CacheConfig, CacheStats, ConcurrentPool, NvmConfig};
 use fdpcache::ftl::FtlConfig;
+use fdpcache::nvme::FaultConfig;
 use fdpcache::placement::{RoundRobinPolicy, SharedController};
 use fdpcache::workloads::{
-    replay_pool, run_pool_round, PoolMode, PoolReplayConfig, WorkloadProfile,
+    replay_pool, run_pool_round, FaultScenario, PoolMode, PoolReplayConfig, WorkloadProfile,
 };
 
 fn stack_on(store: StoreKind, shards: usize) -> (SharedController, ConcurrentPool) {
@@ -49,6 +50,7 @@ fn replay_on(
         seed: 1234,
         mode: PoolMode::Partitioned,
         queue_depth,
+        fault: None,
     };
     replay_pool("FDP", profile.name, &pool, &ctrl, &cfg, |seed| profile.generator(5_000, seed))
         .unwrap()
@@ -76,6 +78,11 @@ fn assert_bit_identical(
     assert_eq!(a.kops.to_bits(), b.kops.to_bits(), "{what}: virtual KOPS");
     assert_eq!(a.p99_read_us.to_bits(), b.p99_read_us.to_bits(), "{what}: p99 read");
     assert_eq!(a.p99_write_us.to_bits(), b.p99_write_us.to_bits(), "{what}: p99 write");
+    assert_eq!(
+        (a.faults, a.retries, a.repairs, a.requeues),
+        (b.faults, b.retries, b.repairs, b.requeues),
+        "{what}: fault/recovery counters"
+    );
 }
 
 /// Same seed, two fresh stacks, one worker: every reported metric is
@@ -140,6 +147,79 @@ fn qd_replays_are_bit_identical_per_depth() {
         let a = replay_on(StoreKind::Null, 1, qd);
         let b = replay_on(StoreKind::Null, 1, qd);
         assert_bit_identical(&a, &b, &format!("QD-{qd} rerun"));
+    }
+}
+
+/// A replay under an active fault schedule is still a pure function of
+/// its seeds: fault decisions key on per-LBA access history, never on
+/// thread interleaving, so a faulted QD-4 pool replay is bit-identical
+/// across reruns AND thread-count invariant in partitioned mode.
+#[test]
+fn faulted_qd_pool_replays_are_bit_identical_and_thread_invariant() {
+    // Hotter rates than the bench scenarios so a short replay sees a
+    // meaningful schedule.
+    let scenario = FaultScenario {
+        name: "determinism_mix",
+        config: FaultConfig {
+            seed: 0xD373,
+            read_err_ppm: 3_000,
+            write_err_ppm: 3_000,
+            busy_ppm: 5_000,
+            busy_penalty_ns: 400_000,
+            ..Default::default()
+        },
+    };
+    let replay = |workers: usize, qd: usize| {
+        let ctrl = build_device_faulted(
+            FtlConfig::tiny_test(),
+            StoreKind::Null,
+            true,
+            scenario.config.clone(),
+        )
+        .unwrap();
+        let config = CacheConfig {
+            ram_bytes: 32 << 10,
+            ram_item_overhead: 0,
+            nvm: NvmConfig { soc_fraction: 0.2, region_bytes: 8 * 4096, ..NvmConfig::default() },
+            use_fdp: true,
+        };
+        let pool =
+            ConcurrentPool::new(&ctrl, &config, 4, 0.9, || Box::new(RoundRobinPolicy::new()))
+                .unwrap();
+        let profile = WorkloadProfile::meta_kv_cache();
+        let cfg = PoolReplayConfig {
+            workers,
+            warmup_ops: 3_000,
+            measure_ops: 12_000,
+            seed: 1234,
+            mode: PoolMode::Partitioned,
+            queue_depth: qd,
+            fault: Some(scenario.clone()),
+        };
+        let r = replay_pool("FDP", profile.name, &pool, &ctrl, &cfg, |seed| {
+            profile.generator(5_000, seed)
+        })
+        .unwrap();
+        ctrl.with_ftl(|f| f.check_invariants());
+        r
+    };
+    for qd in [1usize, 4] {
+        let a = replay(1, qd);
+        let b = replay(1, qd);
+        assert_bit_identical(&a, &b, &format!("faulted QD-{qd} rerun"));
+        assert!(a.faults > 0, "QD-{qd}: the schedule must actually inject");
+        assert_eq!(a.label, "FDP+determinism_mix", "scenario must tag the label");
+        // Real worker threads: aggregate counters — including the
+        // fault/recovery set — are invariant to the thread count.
+        let four = replay(4, qd);
+        assert_eq!(a.ops, four.ops, "QD-{qd}: ops changed with workers under faults");
+        assert_eq!(a.host_bytes, four.host_bytes, "QD-{qd}: host bytes changed");
+        assert_eq!(a.hit_ratio.to_bits(), four.hit_ratio.to_bits(), "QD-{qd}: hit ratio");
+        assert_eq!(
+            (a.faults, a.retries, a.repairs, a.requeues),
+            (four.faults, four.retries, four.repairs, four.requeues),
+            "QD-{qd}: fault counters changed with the thread count"
+        );
     }
 }
 

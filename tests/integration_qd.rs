@@ -35,6 +35,7 @@ fn replay(queue_depth: usize) -> ExperimentResult {
         max_ops: 100_000,
         report_workers: 1,
         queue_depth,
+        fault: None,
     });
     replayer.run("qd", profile.name, &mut cache, &ctrl, &mut gen).unwrap()
 }
