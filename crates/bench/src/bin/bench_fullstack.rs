@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! cargo run --release --bin bench_fullstack [-- --check] [--ops N] [--trials N] [--json PATH]
+//! cargo run --release --bin bench_fullstack -- --read [--check] [--ops N] [--trials N] [--json PATH]
 //! ```
 //!
 //! Sweeps 1, 2, 4 and 8 worker threads, all calling **one**
@@ -28,16 +29,148 @@
 //!   pool-wide lock is indistinguishable by speedup anyway —
 //!   everything serializes — so the real assertion runs wherever CI
 //!   has cores.
+//!
+//! With `--read`, the binary instead runs the contended-read scaling
+//! gate: the `read-mostly-hot` profile (95/5 GET/SET on a Zipf(1.1)
+//! head, keyspace fully DRAM-resident) against one shared pool, GETs
+//! going through the lock-free epoch-protected index. The sweep prints
+//! a locked 1-thread baseline (`get_locked`) plus lock-free points at
+//! 1/2/4/8 readers; `--check` gates:
+//!
+//! * lock-free @ 1 reader ≥ 0.9× the locked baseline (the index probe
+//!   must not tax the uncontended path);
+//! * near-linear read scaling, core-adaptive: ≥ 8 cores — 8 readers ≥
+//!   6.0× the 1-reader lock-free point; 4–7 cores — ≥ 2.5×; 2–3 cores
+//!   — ≥ 1.3×; 1 core — scaling unobservable, the no-regression bound
+//!   above is the whole gate;
+//! * DRAM hit ratio ≥ 0.5 on every point (otherwise the run measured
+//!   flash misses, not read-path synchronization).
 
 use fdpcache_bench::{
-    emit_trajectory, parse_count_flag, parse_path_flag, sweep_fullstack, FullstackConfig,
+    emit_trajectory, parse_count_flag, parse_path_flag, sweep_fullstack, sweep_read,
+    FullstackConfig, ReadScalingConfig, TrajectoryRecord,
 };
 use fdpcache_metrics::Table;
+
+/// Contended-read scaling gate (`--read`): exits non-zero on failure
+/// when `check` is set.
+fn run_read_gate(args: &[String], check: bool, json_path: Option<String>) {
+    let mut cfg = ReadScalingConfig::default();
+    let mut trials = 3u64;
+    parse_count_flag(args, "--ops", &mut cfg.ops_per_worker);
+    parse_count_flag(args, "--trials", &mut trials);
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "contended-read gate: device {} MiB, {} pool shards, {} DRAM-resident keys, \
+         {} ops/worker, best of {trials} trial(s), {cores} host core(s)",
+        cfg.device_mib, cfg.shards, cfg.keyspace, cfg.ops_per_worker
+    );
+    let results = sweep_read(&cfg, trials);
+    let locked_base =
+        results.iter().find(|r| r.locked && r.workers == 1).expect("locked baseline point").kops;
+    let lockfree_base = results
+        .iter()
+        .find(|r| !r.locked && r.workers == 1)
+        .expect("1-reader lock-free point")
+        .kops;
+
+    let mut table = Table::new(vec![
+        "mode",
+        "readers",
+        "total ops",
+        "wall (s)",
+        "agg KOPS",
+        "RAM hit",
+        "speedup",
+    ])
+    .numeric();
+    for r in &results {
+        table.row(vec![
+            if r.locked { "locked" } else { "lockfree" }.to_string(),
+            r.workers.to_string(),
+            r.total_ops.to_string(),
+            format!("{:.3}", r.wall_secs),
+            format!("{:.0}", r.kops),
+            format!("{:.3}", r.ram_hit_ratio),
+            format!("{:.2}x", r.kops / lockfree_base),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if let Some(path) = json_path {
+        let record =
+            TrajectoryRecord::new_read(cfg.device_mib, cfg.ops_per_worker, trials, &results);
+        match record.write(&path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !check {
+        return;
+    }
+    // Premise: the sweep must be measuring DRAM hits, not flash misses.
+    for r in &results {
+        if r.ram_hit_ratio < 0.5 {
+            eprintln!(
+                "FAIL: {} @ {} readers hit DRAM on only {:.1}% of GETs — the keyspace \
+                 no longer fits in the pool's RAM, so the gate is not measuring the \
+                 read path",
+                if r.locked { "locked" } else { "lockfree" },
+                r.workers,
+                r.ram_hit_ratio * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+    // No-regression: the uncontended lock-free probe must not tax GETs.
+    let ratio = lockfree_base / locked_base;
+    if ratio < 0.9 {
+        eprintln!(
+            "FAIL: 1-reader lock-free GETs run at {ratio:.2}x the locked baseline \
+             (needs >= 0.90x) — the index probe added overhead to the uncontended path"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("OK: 1-reader lock-free vs locked baseline {ratio:.2}x >= 0.90x");
+    // Scaling: near-linear where the host has the cores to show it.
+    let eight = results.iter().find(|r| !r.locked && r.workers == 8).expect("8-reader point");
+    let speedup = eight.kops / lockfree_base;
+    let required = match cores {
+        0 | 1 => {
+            eprintln!(
+                "OK: single core — read scaling unobservable, no-regression bound \
+                 is the gate ({speedup:.2}x measured at 8 readers)"
+            );
+            return;
+        }
+        2 | 3 => 1.3,
+        4..=7 => 2.5,
+        _ => 6.0,
+    };
+    if speedup < required {
+        eprintln!(
+            "FAIL: 8-reader lock-free throughput is {speedup:.2}x the 1-reader point \
+             (needs >= {required:.1}x on {cores} core(s)) — are DRAM hits serializing \
+             on the shard lock?"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("OK: 8-reader read scaling {speedup:.2}x >= {required:.1}x ({cores} core(s))");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
     let json_path = parse_path_flag(&args, "--json");
+    if args.iter().any(|a| a == "--read") {
+        run_read_gate(&args, check, json_path);
+        return;
+    }
     let mut cfg = FullstackConfig::default();
     let mut trials = 3u64;
     parse_count_flag(&args, "--ops", &mut cfg.ops_per_worker);

@@ -24,11 +24,11 @@
 use std::time::Instant;
 
 use fdpcache_cache::builder::{build_device, StoreKind};
-use fdpcache_cache::{CacheConfig, ConcurrentPool, NvmConfig};
+use fdpcache_cache::{CacheConfig, ConcurrentPool, NvmConfig, Value};
 use fdpcache_core::RoundRobinPolicy;
 use fdpcache_ftl::FtlConfig;
 use fdpcache_workloads::concurrent::{run_pool_round, PoolMode};
-use fdpcache_workloads::WorkloadProfile;
+use fdpcache_workloads::{Op, WorkloadProfile};
 use serde::Serialize;
 
 use crate::throughput::ThroughputResult;
@@ -129,6 +129,167 @@ pub fn sweep_fullstack(cfg: &FullstackConfig, trials: u64) -> Vec<ThroughputResu
         .collect()
 }
 
+/// Configuration for the contended-read scaling gate
+/// (`bench_fullstack --read`): the read-mostly-hot profile over a
+/// DRAM-resident keyspace, so nearly every GET is a DRAM hit and the
+/// measurement isolates read-path synchronization cost.
+#[derive(Debug, Clone)]
+pub struct ReadScalingConfig {
+    /// Device capacity in MiB (small: flash traffic is incidental).
+    pub device_mib: u64,
+    /// Reclaim-unit size in MiB.
+    pub ru_mib: u64,
+    /// Cache shards in the pool.
+    pub shards: usize,
+    /// Keyspace size — sized to sit entirely in the pool's DRAM.
+    pub keyspace: u64,
+    /// Operations per worker in the measured phase.
+    pub ops_per_worker: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReadScalingConfig {
+    fn default() -> Self {
+        ReadScalingConfig {
+            device_mib: 128,
+            ru_mib: 8,
+            shards: 8,
+            keyspace: 2_000,
+            ops_per_worker: 200_000,
+            seed: 42,
+        }
+    }
+}
+
+impl ReadScalingConfig {
+    /// The device configuration for this run.
+    pub fn ftl_config(&self) -> FtlConfig {
+        crate::throughput::bench_ftl_config(self.device_mib, self.ru_mib, self.seed)
+    }
+
+    fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            // Generous DRAM: the whole keyspace (~0.5 MiB of ≤1.2 KiB
+            // objects) stays resident across all shards.
+            ram_bytes: 4 << 20,
+            ram_item_overhead: 0,
+            nvm: NvmConfig { soc_fraction: 0.1, region_bytes: 1 << 20, ..NvmConfig::default() },
+            use_fdp: true,
+        }
+    }
+}
+
+/// One point of the contended-read sweep.
+#[derive(Debug, Clone)]
+pub struct ReadScalingResult {
+    /// Reader thread count.
+    pub workers: usize,
+    /// Whether GETs went through the locked baseline path
+    /// (`get_locked`) instead of the lock-free index probe.
+    pub locked: bool,
+    /// Operations completed across all workers.
+    pub total_ops: u64,
+    /// Wall-clock seconds for the measured phase.
+    pub wall_secs: f64,
+    /// Aggregate throughput in thousands of ops per wall second.
+    pub kops: f64,
+    /// DRAM hit ratio over GETs — the gate's premise check (reads must
+    /// actually be DRAM hits for the scaling claim to mean anything).
+    pub ram_hit_ratio: f64,
+}
+
+/// Runs `workers` threads of the read-mostly-hot profile against one
+/// shared pool, GETs dispatched through the lock-free path or the
+/// locked baseline. The keyspace is pre-warmed into DRAM (coldest key
+/// first, so the Zipf head is most-recently-used when measurement
+/// starts).
+///
+/// # Panics
+///
+/// Panics on any worker I/O error or if the pool's merged counters
+/// disagree with the executed op count (lost operations).
+pub fn run_read_contended(
+    cfg: &ReadScalingConfig,
+    workers: usize,
+    locked: bool,
+) -> ReadScalingResult {
+    let ctrl = build_device(cfg.ftl_config(), StoreKind::Mem, true).expect("device");
+    let pool = ConcurrentPool::new(&ctrl, &cfg.cache_config(), cfg.shards, 0.9, || {
+        Box::new(RoundRobinPolicy::new())
+    })
+    .expect("pool");
+    let profile = WorkloadProfile::read_mostly_hot();
+    // Warm: publish every key, hottest (rank 0) last.
+    for key in (0..cfg.keyspace).rev() {
+        pool.put(key, Value::synthetic(200)).expect("warm put");
+    }
+    let stats_before = pool.stats();
+    let mut sources: Vec<_> = (0..workers)
+        .map(|w| profile.generator(cfg.keyspace, cfg.seed + 1_000 + w as u64))
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for source in &mut sources {
+            let pool = &pool;
+            s.spawn(move || {
+                for _ in 0..cfg.ops_per_worker {
+                    let req = source.next_request();
+                    match req.op {
+                        Op::Get if locked => {
+                            pool.get_locked(req.key).expect("get_locked");
+                        }
+                        Op::Get => {
+                            pool.get(req.key).expect("get");
+                        }
+                        Op::Set => {
+                            pool.put(req.key, Value::synthetic(req.size)).expect("put");
+                        }
+                        Op::Delete => {
+                            pool.delete(req.key).expect("delete");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
+    let total_ops = cfg.ops_per_worker * workers as u64;
+    // Coherence: the merged counters (locked + atomic read-side) must
+    // account for exactly the executed operations.
+    let delta = pool.stats().delta(&stats_before);
+    assert_eq!(
+        delta.gets + delta.puts + delta.deletes,
+        total_ops,
+        "pool lost operations on the {} read path",
+        if locked { "locked" } else { "lock-free" }
+    );
+    ctrl.with_ftl(|f| f.check_invariants());
+    ReadScalingResult {
+        workers,
+        locked,
+        total_ops,
+        wall_secs,
+        kops: total_ops as f64 / wall_secs / 1e3,
+        ram_hit_ratio: delta.ram_hit_ratio(),
+    }
+}
+
+/// The contended-read sweep behind `bench_fullstack --read`: a locked
+/// 1-thread baseline, then the lock-free path at 1, 2, 4 and 8 reader
+/// threads; best of `trials` per point.
+pub fn sweep_read(cfg: &ReadScalingConfig, trials: u64) -> Vec<ReadScalingResult> {
+    let best = |workers: usize, locked: bool| {
+        (0..trials.max(1))
+            .map(|_| run_read_contended(cfg, workers, locked))
+            .max_by(|a, b| a.kops.total_cmp(&b.kops))
+            .expect("at least one trial")
+    };
+    let mut out = vec![best(1, true)];
+    out.extend([1usize, 2, 4, 8].iter().map(|&w| best(w, false)));
+    out
+}
+
 /// One `workers → ops/sec` point of a throughput trajectory.
 #[derive(Debug, Clone, Serialize)]
 pub struct TrajectoryPoint {
@@ -183,6 +344,25 @@ pub struct WallclockTrajectoryPoint {
     /// Wall-clock speedup vs the hash-map reference on the same
     /// profile (1.0 on reference rows).
     pub speedup_vs_ref: f64,
+}
+
+/// One point of a `--read` contended-read trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReadTrajectoryPoint {
+    /// `locked` for the mutex baseline row, `lockfree` otherwise.
+    pub mode: String,
+    /// Reader thread count.
+    pub workers: usize,
+    /// Operations completed across all workers.
+    pub total_ops: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+    /// Aggregate throughput in thousands of ops per wall second.
+    pub kops: f64,
+    /// DRAM hit ratio over GETs during the measured phase.
+    pub ram_hit_ratio: f64,
+    /// Speedup vs the 1-thread lock-free point of the same sweep.
+    pub speedup: f64,
 }
 
 /// One fault-scenario row of a `bench_faults` trajectory.
@@ -243,6 +423,10 @@ pub struct TrajectoryRecord {
     /// Fault-scenario points in gate order (empty unless produced by
     /// `bench_faults`).
     pub fault_points: Vec<FaultTrajectoryPoint>,
+    /// Contended-read sweep points — locked baseline row first, then
+    /// lock-free rows in worker order (empty unless the run used
+    /// `--read`).
+    pub read_points: Vec<ReadTrajectoryPoint>,
 }
 
 impl TrajectoryRecord {
@@ -274,6 +458,7 @@ impl TrajectoryRecord {
             qd_points: Vec::new(),
             wallclock_points: Vec::new(),
             fault_points: Vec::new(),
+            read_points: Vec::new(),
         }
     }
 
@@ -305,6 +490,7 @@ impl TrajectoryRecord {
                 .collect(),
             wallclock_points: Vec::new(),
             fault_points: Vec::new(),
+            read_points: Vec::new(),
         }
     }
 
@@ -341,6 +527,7 @@ impl TrajectoryRecord {
                 .flat_map(|c| [point(&c.slab, c.speedup()), point(&c.hash_ref, 1.0)])
                 .collect(),
             fault_points: Vec::new(),
+            read_points: Vec::new(),
         }
     }
 
@@ -375,6 +562,48 @@ impl TrajectoryRecord {
                     verified: e.first.verified,
                     lost: e.first.lost,
                     deterministic: e.deterministic(),
+                })
+                .collect(),
+            read_points: Vec::new(),
+        }
+    }
+
+    /// Builds a `--read` record from a contended-read sweep (the first
+    /// lock-free point is the speedup baseline; the locked row reports
+    /// its speedup against that same baseline, so values below 1.0 mean
+    /// the lock-free path is faster).
+    pub fn new_read(
+        device_mib: u64,
+        ops_per_worker: u64,
+        trials: u64,
+        results: &[ReadScalingResult],
+    ) -> Self {
+        let base = results
+            .iter()
+            .find(|r| !r.locked && r.workers == 1)
+            .map(|r| r.kops)
+            .unwrap_or(1.0)
+            .max(1e-9);
+        TrajectoryRecord {
+            bench: "fullstack-read".to_string(),
+            device_mib,
+            ops_per_worker,
+            trials,
+            host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            points: Vec::new(),
+            qd_points: Vec::new(),
+            wallclock_points: Vec::new(),
+            fault_points: Vec::new(),
+            read_points: results
+                .iter()
+                .map(|r| ReadTrajectoryPoint {
+                    mode: if r.locked { "locked" } else { "lockfree" }.to_string(),
+                    workers: r.workers,
+                    total_ops: r.total_ops,
+                    wall_secs: r.wall_secs,
+                    kops: r.kops,
+                    ram_hit_ratio: r.ram_hit_ratio,
+                    speedup: r.kops / base,
                 })
                 .collect(),
         }
@@ -437,6 +666,54 @@ mod tests {
         assert_eq!(r.workers, 4);
         assert_eq!(r.total_ops, 4 * 2_000);
         assert!(r.kops > 0.0);
+    }
+
+    #[test]
+    fn read_contended_accounts_every_op_and_hits_dram() {
+        let cfg = ReadScalingConfig {
+            device_mib: 64,
+            ru_mib: 2,
+            shards: 4,
+            keyspace: 500,
+            ops_per_worker: 5_000,
+            ..ReadScalingConfig::default()
+        };
+        for locked in [false, true] {
+            let r = run_read_contended(&cfg, 2, locked);
+            assert_eq!(r.total_ops, 2 * 5_000);
+            assert!(r.kops > 0.0);
+            assert!(
+                r.ram_hit_ratio > 0.9,
+                "warmed keyspace must serve DRAM hits (locked={locked}, ratio={})",
+                r.ram_hit_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn read_trajectory_record_tags_modes() {
+        let point = |workers: usize, locked: bool, kops: f64| ReadScalingResult {
+            workers,
+            locked,
+            total_ops: 1_000,
+            wall_secs: 1.0,
+            kops,
+            ram_hit_ratio: 0.95,
+        };
+        let rec = TrajectoryRecord::new_read(
+            128,
+            1_000,
+            1,
+            &[point(1, true, 8.0), point(1, false, 10.0), point(8, false, 60.0)],
+        );
+        assert_eq!(rec.bench, "fullstack-read");
+        assert_eq!(rec.read_points.len(), 3);
+        assert_eq!(rec.read_points[0].mode, "locked");
+        assert!((rec.read_points[0].speedup - 0.8).abs() < 1e-12);
+        assert!((rec.read_points[2].speedup - 6.0).abs() < 1e-12);
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("\"read_points\""));
+        assert!(json.contains("\"lockfree\""));
     }
 
     #[test]

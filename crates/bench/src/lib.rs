@@ -16,8 +16,9 @@ pub use faults::{
     FaultSweepEntry,
 };
 pub use fullstack::{
-    emit_trajectory, run_fullstack, sweep_fullstack, FaultTrajectoryPoint, FullstackConfig,
-    QdTrajectoryPoint, TrajectoryPoint, TrajectoryRecord, WallclockTrajectoryPoint,
+    emit_trajectory, run_fullstack, run_read_contended, sweep_fullstack, sweep_read,
+    FaultTrajectoryPoint, FullstackConfig, QdTrajectoryPoint, ReadScalingConfig, ReadScalingResult,
+    ReadTrajectoryPoint, TrajectoryPoint, TrajectoryRecord, WallclockTrajectoryPoint,
 };
 pub use harness::*;
 pub use throughput::{

@@ -1,13 +1,16 @@
 //! The hybrid cache: DRAM LRU front + Navy flash engines, wired to the
 //! placement layer exactly like the paper's upstreamed CacheLib changes.
 
+use std::sync::Arc;
+
 use fdpcache_core::{IoManager, PlacementHandle, PlacementHandleAllocator};
 
 use crate::config::CacheConfig;
 use crate::engine::{NavyEngine, NvmSource};
 use crate::error::CacheError;
+use crate::index::ReadIndex;
 use crate::ram::RamCache;
-use crate::stats::CacheStats;
+use crate::stats::{CacheStats, ReadSideStats};
 use crate::value::Value;
 use crate::Key;
 
@@ -25,8 +28,11 @@ pub enum GetOutcome {
 }
 
 /// Host CPU time charged per cache operation (ns) on the simulated
-/// clock; drives the throughput readout.
-const HOST_OP_NS: u64 = 2_000;
+/// clock; drives the throughput readout. The lock-free read path
+/// charges the same amount per DRAM hit (through
+/// [`ReadSideStats::record_ram_hit`]), so virtual-time accounting is
+/// unchanged by where a hit is served.
+pub(crate) const HOST_OP_NS: u64 = 2_000;
 
 /// A CacheLib-style hybrid cache instance.
 ///
@@ -39,6 +45,10 @@ pub struct HybridCache {
     ram: RamCache,
     navy: NavyEngine,
     stats: CacheStats,
+    /// Counters for GETs served off the lock-free read path (shared
+    /// with the pool's unlocked `get`); folded into [`Self::stats`] and
+    /// [`Self::now_ns`] on read.
+    read_stats: Arc<ReadSideStats>,
     promote_on_nvm_hit: bool,
 }
 
@@ -64,8 +74,21 @@ impl HybridCache {
             ram: RamCache::new(config.ram_bytes, config.ram_item_overhead),
             navy,
             stats: CacheStats::default(),
+            read_stats: Arc::new(ReadSideStats::default()),
             promote_on_nvm_hit: true,
         })
+    }
+
+    /// The lock-free DRAM read index this cache publishes into. A pool
+    /// may probe it from any thread without locking the cache, pairing
+    /// hits with [`Self::read_stats`] accounting.
+    pub fn read_index(&self) -> Arc<ReadIndex> {
+        Arc::clone(self.ram.read_index())
+    }
+
+    /// The shared atomic counters for lock-free hits.
+    pub fn read_stats(&self) -> Arc<ReadSideStats> {
+        Arc::clone(&self.read_stats)
     }
 
     /// Disables promotion of flash hits into DRAM (ablation knob).
@@ -79,6 +102,7 @@ impl HybridCache {
     /// layer.
     pub fn stats(&self) -> CacheStats {
         let mut s = self.stats;
+        self.read_stats.fold_into(&mut s);
         let soc = self.navy.soc().stats();
         let loc = self.navy.loc().stats();
         s.faults = self.navy.io().stats().faults;
@@ -103,11 +127,14 @@ impl HybridCache {
         &self.ram
     }
 
-    /// Simulated time observed by this cache's I/O path (ns). With a
-    /// queue depth above 1, call [`HybridCache::drain_io`] first so
-    /// in-flight completions are reflected.
+    /// Simulated time observed by this cache's I/O path (ns), including
+    /// host time accrued by lock-free DRAM hits (which cannot advance
+    /// the `&mut` queue-pair clock and accumulate in an atomic side
+    /// counter instead). With a queue depth above 1, call
+    /// [`HybridCache::drain_io`] first so in-flight completions are
+    /// reflected.
     pub fn now_ns(&self) -> u64 {
-        self.navy.io().now_ns()
+        self.navy.io().now_ns() + self.read_stats.host_ns()
     }
 
     /// Reconfigures the device queue depth of this cache's queue pair

@@ -32,30 +32,63 @@
 //!   pair); [`ConcurrentPool::now_ns`] reports the **maximum** across
 //!   shards, i.e. the completion frontier of the parallel shard array.
 //!
+//! * **Lock-free DRAM hits** (DESIGN.md §5.1a): `get` first probes the
+//!   shard's epoch-protected [`ReadIndex`] — the publication surface
+//!   its `RamCache` maintains — entirely without the shard mutex. A hit
+//!   clones the `Arc`-backed value, bumps the shard's atomic
+//!   [`ReadSideStats`] (hit counters + virtual host time), and returns.
+//!   Only on an index miss does `get` fall back to the locked path for
+//!   the flash lookup. Readers on the head of a Zipf keyspace therefore
+//!   never serialize behind writers or each other.
+//!
 //! What is and is not linearizable: operations on the *same key* are
-//! linearizable (they serialize through the key's shard lock — a
-//! completed `put` is visible to every later `get` on any thread, a
-//! completed `delete` can never be observed un-deleted). Multi-key
-//! reads (`stats`, `alwa`) and operations on different keys have no
-//! cross-shard ordering guarantees.
+//! linearizable. Writes serialize through the key's shard lock, and a
+//! lock-free read observes the index — which the writer updates *while
+//! holding the lock* — so a completed `put` is visible to every later
+//! `get` on any thread, and a completed `delete` (which unpublishes
+//! before the lock is released) can never be observed un-deleted.
+//! Multi-key reads (`stats`, `alwa`) and operations on different keys
+//! have no cross-shard ordering guarantees.
+
+use std::sync::Arc;
 
 use fdpcache_core::{IoStats, PlacementPolicy, SharedController};
 use fdpcache_metrics::Histogram;
 use parking_lot::Mutex;
 
-use crate::cache::{GetOutcome, HybridCache};
+use crate::cache::{GetOutcome, HybridCache, HOST_OP_NS};
 use crate::config::CacheConfig;
 use crate::error::CacheError;
+use crate::index::ReadIndex;
 use crate::pool::{shard_index, EnginePool};
-use crate::stats::CacheStats;
+use crate::stats::{CacheStats, ReadSideStats};
 use crate::value::Value;
 use crate::Key;
 
+/// One shard: the locked hybrid cache plus unlocked handles onto its
+/// read index and read-side counters (cloned out of the cache at
+/// construction so `get` can use them without touching the mutex).
+#[derive(Debug)]
+struct Shard {
+    cache: Mutex<HybridCache>,
+    index: Arc<ReadIndex>,
+    read_stats: Arc<ReadSideStats>,
+}
+
+impl Shard {
+    fn new(cache: HybridCache) -> Self {
+        let index = cache.read_index();
+        let read_stats = cache.read_stats();
+        Shard { cache: Mutex::new(cache), index, read_stats }
+    }
+}
+
 /// A concurrent sharded cache pool: N locked [`HybridCache`] shards on
-/// one shared device, callable from any thread through `&self`.
+/// one shared device, callable from any thread through `&self`. DRAM
+/// hits are served lock-free (see the module docs).
 #[derive(Debug)]
 pub struct ConcurrentPool {
-    shards: Vec<Mutex<HybridCache>>,
+    shards: Vec<Shard>,
 }
 
 impl ConcurrentPool {
@@ -87,7 +120,7 @@ impl ConcurrentPool {
     /// Wraps an already-built engine pool's shards behind per-shard
     /// locks, making them callable from any thread.
     pub fn from_engine_pool(pool: EnginePool) -> Self {
-        ConcurrentPool { shards: pool.into_shards().into_iter().map(Mutex::new).collect() }
+        ConcurrentPool { shards: pool.into_shards().into_iter().map(Shard::new).collect() }
     }
 
     /// Number of shards.
@@ -105,16 +138,38 @@ impl ConcurrentPool {
     /// pin a tenant to a shard; tests inspect engines). Returns `None`
     /// for an out-of-range index.
     pub fn with_shard<R>(&self, idx: usize, f: impl FnOnce(&mut HybridCache) -> R) -> Option<R> {
-        self.shards.get(idx).map(|s| f(&mut s.lock()))
+        self.shards.get(idx).map(|s| f(&mut s.cache.lock()))
     }
 
     /// Looks up `key` in its shard. Callable from any thread.
+    ///
+    /// A DRAM hit is served **without the shard lock**: the probe walks
+    /// the shard's epoch-protected read index, records the hit in the
+    /// shard's atomic counters (including the per-op virtual host
+    /// time), and returns an `Arc`-shared value. Flash lookups and
+    /// misses fall back to the locked path.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn get(&self, key: Key) -> Result<(GetOutcome, Option<Value>), CacheError> {
-        self.shards[self.shard_of(key)].lock().get(key)
+        let shard = &self.shards[self.shard_of(key)];
+        if let Some(value) = shard.index.get(key) {
+            shard.read_stats.record_ram_hit(HOST_OP_NS);
+            return Ok((GetOutcome::RamHit, Some(value)));
+        }
+        shard.cache.lock().get(key)
+    }
+
+    /// Looks up `key` through the shard lock unconditionally — the
+    /// pre-lock-free read path, kept callable as the baseline the
+    /// `bench_fullstack --read` no-regression gate compares against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn get_locked(&self, key: Key) -> Result<(GetOutcome, Option<Value>), CacheError> {
+        self.shards[self.shard_of(key)].cache.lock().get(key)
     }
 
     /// Inserts `key` into its shard. Callable from any thread.
@@ -123,7 +178,7 @@ impl ConcurrentPool {
     ///
     /// Propagates I/O failures and size rejections.
     pub fn put(&self, key: Key, value: Value) -> Result<(), CacheError> {
-        self.shards[self.shard_of(key)].lock().put(key, value)
+        self.shards[self.shard_of(key)].cache.lock().put(key, value)
     }
 
     /// Deletes `key` from its shard. Callable from any thread.
@@ -132,13 +187,26 @@ impl ConcurrentPool {
     ///
     /// Propagates I/O failures.
     pub fn delete(&self, key: Key) -> Result<bool, CacheError> {
-        self.shards[self.shard_of(key)].lock().delete(key)
+        self.shards[self.shard_of(key)].cache.lock().delete(key)
+    }
+
+    /// Runs an epoch-reclamation sweep on every shard's read index and
+    /// returns the retired nodes still awaiting their grace period —
+    /// the bounded-memory probe of the reclamation safety tests.
+    pub fn collect_read_garbage(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.index.collect();
+                s.index.garbage_len()
+            })
+            .sum()
     }
 
     /// Toggles flash-hit promotion into DRAM on every shard.
     pub fn set_promote_on_nvm_hit(&self, promote: bool) {
         for s in &self.shards {
-            s.lock().set_promote_on_nvm_hit(promote);
+            s.cache.lock().set_promote_on_nvm_hit(promote);
         }
     }
 
@@ -146,7 +214,7 @@ impl ConcurrentPool {
     /// flight; 1 = synchronous per-command model).
     pub fn set_queue_depth(&self, depth: usize) {
         for s in &self.shards {
-            s.lock().set_queue_depth(depth);
+            s.cache.lock().set_queue_depth(depth);
         }
     }
 
@@ -156,14 +224,14 @@ impl ConcurrentPool {
     /// frontier [`ConcurrentPool::now_ns`] only reflects reaped work).
     pub fn drain_io(&self) {
         for s in &self.shards {
-            s.lock().drain_io();
+            s.cache.lock().drain_io();
         }
     }
 
     /// Aggregated cache statistics, merged on read shard by shard
     /// (per-shard consistent, not a cross-shard point-in-time cut).
     pub fn stats(&self) -> CacheStats {
-        self.shards.iter().fold(CacheStats::default(), |acc, s| acc.merge(&s.lock().stats()))
+        self.shards.iter().fold(CacheStats::default(), |acc, s| acc.merge(&s.cache.lock().stats()))
     }
 
     /// Aggregated device-side I/O counters across every shard's queue
@@ -171,26 +239,26 @@ impl ConcurrentPool {
     pub fn io_stats(&self) -> IoStats {
         self.shards
             .iter()
-            .fold(IoStats::default(), |acc, s| acc.merge(&s.lock().navy().io().stats()))
+            .fold(IoStats::default(), |acc, s| acc.merge(&s.cache.lock().navy().io().stats()))
     }
 
     /// Pool-wide ALWA (bytes-weighted across shards).
     pub fn alwa(&self) -> f64 {
-        crate::pool::pool_alwa(self.shards.iter().map(|s| s.lock().amp_bytes()))
+        crate::pool::pool_alwa(self.shards.iter().map(|s| s.cache.lock().amp_bytes()))
     }
 
     /// The pool's virtual-time frontier: the maximum simulated clock
     /// across shards. Shards run in parallel, so the slowest shard's
     /// clock is when the pool as a whole is done with submitted work.
     pub fn now_ns(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().now_ns()).max().unwrap_or(0)
+        self.shards.iter().map(|s| s.cache.lock().now_ns()).max().unwrap_or(0)
     }
 
     /// Merged device read-latency histogram across shards.
     pub fn read_latency(&self) -> Histogram {
         let mut h = Histogram::new();
         for s in &self.shards {
-            h.merge(s.lock().navy().read_latency());
+            h.merge(s.cache.lock().navy().read_latency());
         }
         h
     }
@@ -199,7 +267,7 @@ impl ConcurrentPool {
     pub fn write_latency(&self) -> Histogram {
         let mut h = Histogram::new();
         for s in &self.shards {
-            h.merge(s.lock().navy().write_latency());
+            h.merge(s.cache.lock().navy().write_latency());
         }
         h
     }

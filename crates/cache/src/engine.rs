@@ -1,5 +1,11 @@
 //! The Navy engine pair: SOC + LOC behind one namespace, with
 //! size-threshold routing and admission control.
+//!
+//! Concurrency note: everything here runs **under the shard mutex**.
+//! Flash lookups drive the shard's `&mut` queue pair and advance its
+//! virtual clock, so they cannot join the lock-free DRAM-hit path
+//! ([`crate::ReadIndex`]) — `ConcurrentPool::get` only falls through
+//! to this layer after the index misses (DESIGN.md §5.1a).
 
 use fdpcache_core::{IoManager, PlacementHandle};
 use fdpcache_metrics::Histogram;

@@ -46,6 +46,7 @@ pub mod concurrent;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod index;
 pub mod loc;
 pub mod pool;
 pub mod ram;
@@ -59,8 +60,9 @@ pub use concurrent::ConcurrentPool;
 pub use config::{CacheConfig, LocEviction, NvmConfig};
 pub use engine::FlashVerify;
 pub use error::CacheError;
+pub use index::{IndexEntry, ReadIndex};
 pub use pool::{shard_index, EnginePool};
-pub use stats::CacheStats;
+pub use stats::{CacheStats, ReadSideStats};
 pub use value::Value;
 
 /// Cache keys are 64-bit identifiers (trace keys are anonymized ids).

@@ -12,6 +12,11 @@
 //! (2 × pairs), every SOC and LOC across the pool writes through a
 //! distinct reclaim unit handle — the full-device use of the paper's
 //! 8-handle PM9D3 configuration.
+//!
+//! `EnginePool` itself is the single-threaded (`&mut self`) variant;
+//! [`crate::ConcurrentPool`] wraps the same shards behind per-shard
+//! mutexes and adds the lock-free DRAM-hit read path. The shard
+//! routing here ([`shard_index`]) is shared by both.
 
 use fdpcache_core::{IoManager, PlacementHandleAllocator, PlacementPolicy, SharedController};
 

@@ -4,9 +4,22 @@
 //! LRU evictions flow down to the flash engines. Size accounting is
 //! logical (value length + configured per-item overhead) so experiments
 //! can simulate tens-of-GB DRAM caches with synthetic values.
+//!
+//! ## Lock-free publication
+//!
+//! Every membership change is mirrored into a [`ReadIndex`] the cache
+//! owns: concurrent readers resolve DRAM hits through that index with
+//! no lock (DESIGN.md §5.1a). The locked [`RamCache::get`] keeps exact
+//! LRU promotion; lock-free index hits instead set the entry's
+//! `accessed` flag, and eviction grants flagged tail entries a second
+//! chance (one rotation) before evicting — CLOCK-style approximation
+//! only where lock-free reads actually happened, bit-identical to exact
+//! LRU when they didn't.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::index::{IndexEntry, ReadIndex};
 use crate::value::Value;
 use crate::Key;
 
@@ -15,7 +28,7 @@ const NIL: u32 = u32::MAX;
 #[derive(Debug)]
 struct Node {
     key: Key,
-    value: Value,
+    entry: Arc<IndexEntry>,
     charge: u64,
     prev: u32,
     next: u32,
@@ -41,11 +54,19 @@ pub struct RamCache {
     used_bytes: u64,
     capacity_bytes: u64,
     item_overhead: u32,
+    /// Lock-free publication surface; shared with `ConcurrentPool`.
+    index: Arc<ReadIndex>,
+    /// Cheap placeholder swapped into vacated slab slots so removed
+    /// payloads are released immediately, not at slot reuse.
+    tombstone: Arc<IndexEntry>,
 }
 
 impl RamCache {
     /// Creates a cache with the given byte budget and per-item overhead.
     pub fn new(capacity_bytes: u64, item_overhead: u32) -> Self {
+        // Size the index for the resident item count a small-object
+        // working set implies (~128 B/item is the profiles' mean).
+        let hint = (capacity_bytes / 128).max(1) as usize;
         RamCache {
             map: HashMap::new(),
             nodes: Vec::new(),
@@ -55,7 +76,15 @@ impl RamCache {
             used_bytes: 0,
             capacity_bytes,
             item_overhead,
+            index: Arc::new(ReadIndex::with_capacity_hint(hint)),
+            tombstone: IndexEntry::new(Value::Synthetic(0)),
         }
+    }
+
+    /// The lock-free read index this cache publishes into. Readers may
+    /// probe it from any thread without the owning shard's lock.
+    pub fn read_index(&self) -> &Arc<ReadIndex> {
+        &self.index
     }
 
     /// Bytes currently accounted.
@@ -120,13 +149,13 @@ impl RamCache {
         let idx = *self.map.get(&key)?;
         self.detach(idx);
         self.attach_front(idx);
-        Some(self.nodes[idx as usize].value.clone())
+        Some(self.nodes[idx as usize].entry.value().clone())
     }
 
     /// Looks up without promoting (for stats probes).
     pub fn peek(&self, key: Key) -> Option<&Value> {
         let idx = *self.map.get(&key)?;
-        Some(&self.nodes[idx as usize].value)
+        Some(self.nodes[idx as usize].entry.value())
     }
 
     /// Inserts or replaces `key`, evicting LRU items as needed to stay
@@ -145,22 +174,24 @@ impl RamCache {
             evicted.push(Evicted { key, value });
             return evicted;
         }
+        let entry = IndexEntry::new(value);
         // Replace in place if present.
         if let Some(&idx) = self.map.get(&key) {
             let old_charge = self.nodes[idx as usize].charge;
             self.used_bytes = self.used_bytes - old_charge + charge;
-            self.nodes[idx as usize].value = value;
+            self.nodes[idx as usize].entry = Arc::clone(&entry);
             self.nodes[idx as usize].charge = charge;
             self.detach(idx);
             self.attach_front(idx);
         } else {
+            let node = Node { key, entry: Arc::clone(&entry), charge, prev: NIL, next: NIL };
             let idx = match self.free.pop() {
                 Some(i) => {
-                    self.nodes[i as usize] = Node { key, value, charge, prev: NIL, next: NIL };
+                    self.nodes[i as usize] = node;
                     i
                 }
                 None => {
-                    self.nodes.push(Node { key, value, charge, prev: NIL, next: NIL });
+                    self.nodes.push(node);
                     (self.nodes.len() - 1) as u32
                 }
             };
@@ -168,7 +199,14 @@ impl RamCache {
             self.attach_front(idx);
             self.used_bytes += charge;
         }
-        // Evict until within budget.
+        // Publish after the local structures agree (replaces any older
+        // index entry atomically for lock-free readers).
+        self.index.insert(key, entry);
+        // Evict until within budget. A tail entry that lock-free
+        // readers flagged since its last consideration gets one second
+        // chance (rotate to front); the rotation budget bounds the
+        // sweep so concurrent flagging can never livelock eviction.
+        let mut chances = self.map.len();
         while self.used_bytes > self.capacity_bytes {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL, "over budget with empty list");
@@ -178,21 +216,30 @@ impl RamCache {
                 // above guarantees it fits alone.
                 break;
             }
+            if chances > 0 && self.nodes[victim as usize].entry.take_accessed() {
+                self.detach(victim);
+                self.attach_front(victim);
+                chances -= 1;
+                continue;
+            }
             let removed = self.remove(vkey).expect("tail must be present");
             evicted.push(removed);
         }
         evicted
     }
 
-    /// Removes `key`, returning it if present.
+    /// Removes `key`, returning it if present. Unpublishes the key from
+    /// the read index first, so no lock-free reader can hit a value the
+    /// locked structures no longer hold.
     pub fn remove(&mut self, key: Key) -> Option<Evicted> {
         let idx = self.map.remove(&key)?;
+        self.index.remove(key);
         self.detach(idx);
         let node = &mut self.nodes[idx as usize];
         self.used_bytes -= node.charge;
-        let value = std::mem::replace(&mut node.value, Value::Synthetic(0));
+        let entry = std::mem::replace(&mut node.entry, Arc::clone(&self.tombstone));
         self.free.push(idx);
-        Some(Evicted { key, value })
+        Some(Evicted { key, value: entry.value().clone() })
     }
 
     /// Internal consistency check for tests: list ↔ map agreement and
@@ -219,6 +266,19 @@ impl RamCache {
         assert_eq!(seen, self.map.len(), "list/map length mismatch");
         assert_eq!(bytes, self.used_bytes, "byte accounting mismatch");
         assert!(self.used_bytes <= self.capacity_bytes || self.map.len() <= 1);
+        // The lock-free index mirrors membership exactly (peek, not
+        // get, so the check never perturbs access flags).
+        for (&key, &idx) in &self.map {
+            let published = self
+                .index
+                .peek(key)
+                .unwrap_or_else(|| panic!("key {key} resident but unpublished in the read index"));
+            assert_eq!(
+                &published,
+                self.nodes[idx as usize].entry.value(),
+                "read index publishes a different value for {key}"
+            );
+        }
     }
 }
 
@@ -346,6 +406,46 @@ mod tests {
             c.put(k, val(10));
         }
         assert_eq!(c.nodes.len(), 10, "slab slots must be reused");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn index_mirrors_membership() {
+        let mut c = RamCache::new(30, 0);
+        c.put(1, val(10));
+        c.put(2, val(10));
+        assert_eq!(c.read_index().peek(1), Some(val(10)));
+        c.put(1, val(15)); // replace: index must follow
+        assert_eq!(c.read_index().peek(1), Some(val(15)));
+        c.remove(2);
+        assert_eq!(c.read_index().peek(2), None, "removed key still published");
+        // Eviction unpublishes too.
+        let ev = c.put(3, val(25));
+        assert!(!ev.is_empty());
+        for e in &ev {
+            assert_eq!(c.read_index().peek(e.key), None, "evicted {} still published", e.key);
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn flagged_tail_gets_a_second_chance() {
+        let mut c = RamCache::new(30, 0);
+        c.put(1, val(10));
+        c.put(2, val(10));
+        c.put(3, val(10));
+        // A lock-free reader touches key 1 (the LRU tail) through the
+        // index — no LRU promotion, only the accessed flag.
+        assert_eq!(c.read_index().get(1), Some(val(10)));
+        let ev = c.put(4, val(10));
+        // Second chance: 1 is rotated to the front, 2 is evicted.
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].key, 2, "flagged tail must survive one round");
+        assert!(c.peek(1).is_some());
+        // The flag was consumed: the next eviction takes 3 (LRU), and
+        // 1 only survives because it was rotated ahead of it.
+        let ev = c.put(5, val(10));
+        assert_eq!(ev[0].key, 3);
         c.check_invariants();
     }
 

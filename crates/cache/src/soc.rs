@@ -15,6 +15,12 @@
 //! The authoritative entry list per bucket lives in memory (see the crate
 //! docs' simulator concession); serialization to the on-flash format is
 //! exact and tested for round-trip fidelity.
+//!
+//! Concurrency note: the SOC is single-threaded state owned by its
+//! shard — lookups mutate bloom/bucket bookkeeping and charge device
+//! time on the shard's `&mut` queue pair, so every SOC call happens
+//! under the shard mutex. Only the DRAM tier publishes into the
+//! lock-free read index (DESIGN.md §5.1a).
 
 use fdpcache_core::{IoManager, PlacementHandle};
 

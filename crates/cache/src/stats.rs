@@ -1,5 +1,16 @@
 //! Cache-level statistics: the CacheBench-reported metrics of the paper
 //! (hit ratios, throughput inputs, ALWA).
+//!
+//! Two accounting domains exist since the lock-free read path landed
+//! (DESIGN.md §5.1a): the plain [`CacheStats`] struct is mutated under
+//! the shard lock as before, while hits served without the lock land in
+//! the shard's [`ReadSideStats`] atomics and are folded into every
+//! snapshot on read. Each atomic is only incremented (never reset), so
+//! any interleaving of concurrent readers produces monotonically
+//! non-decreasing merged snapshots — the mid-run coherence property the
+//! lock-free battery asserts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic hybrid-cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -108,6 +119,56 @@ impl CacheStats {
     }
 }
 
+/// Atomic counters for GETs served off the lock-free DRAM read path.
+///
+/// One instance per shard, shared between the shard's `HybridCache`
+/// (which folds it into [`CacheStats`] snapshots) and the pool's
+/// lock-free `get`. All counters use `Relaxed` ordering: they are
+/// statistics, not synchronization — exactness comes from
+/// `fetch_add`'s atomicity (no lost updates), and snapshot monotonicity
+/// from the counters never decreasing.
+#[derive(Debug, Default)]
+pub struct ReadSideStats {
+    gets: AtomicU64,
+    ram_hits: AtomicU64,
+    /// Virtual host-CPU nanoseconds accrued by lock-free hits; folded
+    /// into the shard clock by `HybridCache::now_ns`.
+    host_ns: AtomicU64,
+}
+
+impl ReadSideStats {
+    /// Records one DRAM hit served without the shard lock, accruing
+    /// `host_ns` of virtual host time.
+    pub fn record_ram_hit(&self, host_ns: u64) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.ram_hits.fetch_add(1, Ordering::Relaxed);
+        self.host_ns.fetch_add(host_ns, Ordering::Relaxed);
+    }
+
+    /// GETs served on the lock-free path so far.
+    pub fn gets(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    /// DRAM hits served on the lock-free path so far (equals `gets` —
+    /// the path only completes on hits — but kept separate so the fold
+    /// stays field-accurate if that ever changes).
+    pub fn ram_hits(&self) -> u64 {
+        self.ram_hits.load(Ordering::Relaxed)
+    }
+
+    /// Virtual host nanoseconds accrued by lock-free hits.
+    pub fn host_ns(&self) -> u64 {
+        self.host_ns.load(Ordering::Relaxed)
+    }
+
+    /// Adds this side's counters into a locked-path snapshot.
+    pub fn fold_into(&self, stats: &mut CacheStats) {
+        stats.gets += self.gets();
+        stats.ram_hits += self.ram_hits();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +220,33 @@ mod tests {
         assert_eq!((m.faults, m.retries, m.repairs, m.requeues), (8, 6, 4, 2));
         let d = m.delta(&a);
         assert_eq!((d.faults, d.retries, d.repairs, d.requeues), (4, 3, 2, 1));
+    }
+
+    #[test]
+    fn read_side_stats_fold_into_snapshots() {
+        let r = ReadSideStats::default();
+        r.record_ram_hit(2_000);
+        r.record_ram_hit(2_000);
+        assert_eq!((r.gets(), r.ram_hits(), r.host_ns()), (2, 2, 4_000));
+        let mut s = CacheStats { gets: 10, ram_hits: 1, ..Default::default() };
+        r.fold_into(&mut s);
+        assert_eq!((s.gets, s.ram_hits), (12, 3));
+    }
+
+    #[test]
+    fn read_side_counts_are_exact_under_contention() {
+        let r = ReadSideStats::default();
+        const PER_THREAD: u64 = 20_000;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        r.record_ram_hit(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.gets(), 4 * PER_THREAD, "lost increments");
+        assert_eq!(r.host_ns(), 4 * PER_THREAD * 3);
     }
 }

@@ -92,6 +92,26 @@ impl WorkloadProfile {
         WorkloadProfile { name: "wo-kv-cache", get_ratio: 0.0, ..Self::meta_kv_cache() }
     }
 
+    /// Read-mostly contended profile: 95/5 GET/SET on a hard Zipf head
+    /// of small objects, no churn. Paired with a keyspace small enough
+    /// to sit in DRAM, nearly every GET is a DRAM hit on a handful of
+    /// head keys — the workload behind the `bench_fullstack --read`
+    /// contended-read scaling gate, where lock-free index hits must
+    /// scale with reader threads instead of serializing on shard locks.
+    pub fn read_mostly_hot() -> Self {
+        WorkloadProfile {
+            name: "read-mostly-hot",
+            theta: 1.1,
+            get_ratio: 0.95,
+            delete_ratio: 0.0,
+            churn_per_op: 0.0,
+            sizes: SizeDist::new(vec![
+                SizeBand { lo: 50, hi: 300, weight: 0.85 },
+                SizeBand { lo: 301, hi: 1200, weight: 0.15 },
+            ]),
+        }
+    }
+
     /// Large-object write stream: every SET is LOC-bound (≥ 8 KiB), so
     /// device traffic is dominated by region seals — the workload
     /// behind the `bench_throughput --qd` queue-depth scaling gate,
@@ -172,6 +192,30 @@ mod tests {
                 p.name
             );
         }
+    }
+
+    #[test]
+    fn read_mostly_hot_is_get_dominant_on_a_zipf_head() {
+        let p = WorkloadProfile::read_mostly_hot();
+        let mut g = p.generator(2_000, 1);
+        let mut gets = 0usize;
+        let mut head_hits = 0usize;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            let r = g.next_request();
+            if r.op == Op::Get {
+                gets += 1;
+            }
+            if r.key < 50 {
+                head_hits += 1;
+            }
+        }
+        let get_ratio = gets as f64 / N as f64;
+        assert!((0.93..0.97).contains(&get_ratio), "GET ratio {get_ratio}");
+        // Zipf(1.1): the 50 hottest of 2000 keys draw the majority of
+        // accesses — the contention hot-spot the read gate relies on.
+        assert!(head_hits * 2 > N, "head keys draw only {head_hits}/{N}");
+        assert!(p.sizes.fraction_below(2048) >= 1.0, "must be DRAM-resident small objects");
     }
 
     #[test]

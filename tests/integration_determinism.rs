@@ -223,6 +223,106 @@ fn faulted_qd_pool_replays_are_bit_identical_and_thread_invariant() {
     }
 }
 
+/// Replays the read-mostly-hot contended profile (the workload behind
+/// the `bench_fullstack --read` gate) through the pool — the lock-free
+/// DRAM-hit path is live on every GET — optionally under a fault
+/// schedule.
+fn replay_read_mostly(
+    workers: usize,
+    fault: Option<FaultScenario>,
+) -> fdpcache::workloads::ExperimentResult {
+    let config = CacheConfig {
+        ram_bytes: 32 << 10,
+        ram_item_overhead: 0,
+        nvm: NvmConfig { soc_fraction: 0.2, region_bytes: 8 * 4096, ..NvmConfig::default() },
+        use_fdp: true,
+    };
+    let ctrl = match &fault {
+        Some(s) => {
+            build_device_faulted(FtlConfig::tiny_test(), StoreKind::Null, true, s.config.clone())
+                .unwrap()
+        }
+        None => build_device(FtlConfig::tiny_test(), StoreKind::Null, true).unwrap(),
+    };
+    let pool =
+        ConcurrentPool::new(&ctrl, &config, 8, 0.9, || Box::new(RoundRobinPolicy::new())).unwrap();
+    let profile = WorkloadProfile::read_mostly_hot();
+    let cfg = PoolReplayConfig {
+        workers,
+        warmup_ops: 3_000,
+        measure_ops: 12_000,
+        seed: 4242,
+        mode: PoolMode::Partitioned,
+        queue_depth: 1,
+        fault,
+    };
+    let r =
+        replay_pool("FDP", profile.name, &pool, &ctrl, &cfg, |seed| profile.generator(5_000, seed))
+            .unwrap();
+    ctrl.with_ftl(|f| f.check_invariants());
+    r
+}
+
+/// The lock-free read path must not cost the replayer its determinism:
+/// the read-mostly contended profile — nearly every op a lock-free
+/// DRAM hit — replays bit-identical across reruns, and its aggregate
+/// counters (including the atomic read-side gets/hits and the virtual
+/// host time they feed into KOPS) are invariant from 1 to 8 workers in
+/// partitioned mode, where each shard's epoch-protected index is read
+/// and written by exactly one thread.
+#[test]
+fn read_mostly_contended_replays_are_bit_identical_and_thread_invariant() {
+    let a = replay_read_mostly(1, None);
+    let b = replay_read_mostly(1, None);
+    assert_bit_identical(&a, &b, "read-mostly rerun");
+    assert!(a.hit_ratio > 0.5, "the Zipf head must mostly hit DRAM: {}", a.hit_ratio);
+    for workers in [4usize, 8] {
+        let w = replay_read_mostly(workers, None);
+        assert_eq!(a.ops, w.ops, "{workers} workers: ops");
+        assert_eq!(a.host_bytes, w.host_bytes, "{workers} workers: host bytes");
+        assert_eq!(a.hit_ratio.to_bits(), w.hit_ratio.to_bits(), "{workers} workers: hit ratio");
+        assert_eq!(
+            a.nvm_hit_ratio.to_bits(),
+            w.nvm_hit_ratio.to_bits(),
+            "{workers} workers: nvm hit ratio"
+        );
+        assert_eq!(a.kops.to_bits(), w.kops.to_bits(), "{workers} workers: virtual KOPS");
+    }
+}
+
+/// Same profile under an active fault schedule: lock-free DRAM hits
+/// never touch the device, so fault decisions still key on per-LBA
+/// access history alone — the replay stays bit-identical across reruns
+/// and its fault/recovery counters stay thread-count invariant.
+#[test]
+fn faulted_read_mostly_replays_stay_deterministic() {
+    let scenario = FaultScenario {
+        name: "read_mostly_mix",
+        config: FaultConfig {
+            seed: 0x4EAD,
+            read_err_ppm: 3_000,
+            write_err_ppm: 3_000,
+            busy_ppm: 5_000,
+            busy_penalty_ns: 400_000,
+            ..Default::default()
+        },
+    };
+    let a = replay_read_mostly(1, Some(scenario.clone()));
+    let b = replay_read_mostly(1, Some(scenario.clone()));
+    assert_bit_identical(&a, &b, "faulted read-mostly rerun");
+    assert!(a.faults > 0, "the schedule must actually inject");
+    assert_eq!(a.label, "FDP+read_mostly_mix", "scenario must tag the label");
+    let eight = replay_read_mostly(8, Some(scenario));
+    assert_eq!(a.ops, eight.ops, "8 workers: ops changed under faults");
+    assert_eq!(a.host_bytes, eight.host_bytes, "8 workers: host bytes");
+    assert_eq!(a.hit_ratio.to_bits(), eight.hit_ratio.to_bits(), "8 workers: hit ratio");
+    assert_eq!(
+        (a.faults, a.retries, a.repairs, a.requeues),
+        (eight.faults, eight.retries, eight.repairs, eight.requeues),
+        "8 workers: fault counters changed with the thread count"
+    );
+}
+
 /// The payload store is invisible to virtual time: swapping the
 /// slab-backed `MemStore` for the payload-free `NullStore` leaves
 /// every virtual-time field of the QD-1 **and** QD-4 replays

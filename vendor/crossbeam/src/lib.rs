@@ -1,10 +1,314 @@
 //! Offline shim for the `crossbeam` crate.
 //!
 //! The build environment has no network access to crates.io, so the
-//! workspace vendors the one API it uses: bounded MPSC channels with
-//! cloneable senders, backed by `std::sync::mpsc::sync_channel`.
+//! workspace vendors the two APIs it uses: bounded MPSC channels with
+//! cloneable senders (backed by `std::sync::mpsc::sync_channel`), and a
+//! minimal epoch-based reclamation scheme (`epoch`) for lock-free read
+//! paths that must defer frees past concurrent readers.
 
 #![warn(missing_docs)]
+
+/// Minimal epoch-based reclamation (the `crossbeam-epoch` idea, not its
+/// API): a [`epoch::Collector`] owns a global epoch counter and a fixed
+/// array of participant slots. Readers [`epoch::Collector::pin`] before
+/// touching shared pointers; writers unlink nodes while pinned and hand
+/// them to [`epoch::Guard::defer_drop`], which stamps them with the
+/// writer's pin epoch. A retired object is freed only once the global
+/// epoch **and every active participant** have advanced at least two
+/// epochs past that stamp — by then no reader that could still hold a
+/// reference remains pinned, and any later reader pinned at the newer
+/// epoch is ordered after the unlink (all epoch traffic is `SeqCst`).
+///
+/// Safety contract for users:
+/// - every traversal of the protected structure happens between `pin()`
+///   and the guard's drop;
+/// - writers are pinned while unlinking, and retire the unlinked node
+///   through **their own** guard (so the stamp equals the epoch at which
+///   the node was still reachable);
+/// - no reference obtained under a guard outlives that guard.
+pub mod epoch {
+    use std::any::Any;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
+    use std::sync::Mutex;
+
+    /// Sentinel slot value meaning "no participant here".
+    const INACTIVE: u64 = u64::MAX;
+    /// Fixed participant capacity. Pins briefly spin when more threads
+    /// than this pin simultaneously; 128 far exceeds the worker counts
+    /// the workspace ever spawns.
+    const SLOTS: usize = 128;
+    /// Retires between automatic collection sweeps.
+    const COLLECT_EVERY: u64 = 64;
+
+    /// One participant slot, padded to its own cache line so reader
+    /// pins don't false-share.
+    #[repr(align(64))]
+    struct Slot(AtomicU64);
+
+    struct Bag {
+        /// The retiring guard's pin epoch.
+        epoch: u64,
+        /// Type-erased garbage; dropped when freed.
+        _item: Box<dyn Any + Send>,
+    }
+
+    /// An epoch domain: global counter, participant slots, and the
+    /// retired-garbage list awaiting a safe grace period.
+    pub struct Collector {
+        global: AtomicU64,
+        slots: Box<[Slot]>,
+        garbage: Mutex<Vec<Bag>>,
+        retired_since_sweep: AtomicU64,
+        retired_total: AtomicU64,
+    }
+
+    impl std::fmt::Debug for Collector {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Collector")
+                .field("global", &self.global.load(SeqCst))
+                .field("garbage_len", &self.garbage_len())
+                .finish()
+        }
+    }
+
+    impl Default for Collector {
+        fn default() -> Self {
+            Collector::new()
+        }
+    }
+
+    impl Collector {
+        /// Creates an empty epoch domain.
+        pub fn new() -> Self {
+            Collector {
+                global: AtomicU64::new(0),
+                slots: (0..SLOTS).map(|_| Slot(AtomicU64::new(INACTIVE))).collect(),
+                garbage: Mutex::new(Vec::new()),
+                retired_since_sweep: AtomicU64::new(0),
+                retired_total: AtomicU64::new(0),
+            }
+        }
+
+        /// Pins the calling thread: claims a participant slot and
+        /// records the current global epoch in it. While the returned
+        /// [`Guard`] lives, no object retired at this epoch or later is
+        /// freed. Spins (yielding) if all slots are momentarily taken.
+        pub fn pin(&self) -> Guard<'_> {
+            let start = slot_hint();
+            loop {
+                for i in 0..SLOTS {
+                    let idx = (start + i) % SLOTS;
+                    let seen = self.global.load(SeqCst);
+                    if self.slots[idx].0.compare_exchange(INACTIVE, seen, SeqCst, SeqCst).is_ok() {
+                        // Revalidate: the slot store must be ordered
+                        // before the final global read, so a collector
+                        // that already observed a newer epoch cannot
+                        // have missed this pin at the older one.
+                        let mut epoch = seen;
+                        loop {
+                            let now = self.global.load(SeqCst);
+                            if now == epoch {
+                                return Guard { collector: self, slot: idx, epoch };
+                            }
+                            self.slots[idx].0.store(now, SeqCst);
+                            epoch = now;
+                        }
+                    }
+                }
+                std::thread::yield_now();
+            }
+        }
+
+        /// Advances the global epoch by one if every active participant
+        /// has caught up to it.
+        fn try_advance(&self) {
+            let global = self.global.load(SeqCst);
+            for slot in self.slots.iter() {
+                let v = slot.0.load(SeqCst);
+                if v != INACTIVE && v != global {
+                    return;
+                }
+            }
+            let _ = self.global.compare_exchange(global, global + 1, SeqCst, SeqCst);
+        }
+
+        /// Attempts an epoch advance, then frees every retired object
+        /// whose grace period has elapsed: bag epoch `e` is freed only
+        /// when the global epoch **and** all active participants are at
+        /// `e + 2` or beyond. Safe against concurrent new pins: a pin
+        /// begun after this check reads a global ≥ `e + 2` and is
+        /// therefore ordered after the retiring unlink.
+        pub fn collect(&self) {
+            self.try_advance();
+            let mut horizon = self.global.load(SeqCst);
+            for slot in self.slots.iter() {
+                let v = slot.0.load(SeqCst);
+                if v != INACTIVE && v < horizon {
+                    horizon = v;
+                }
+            }
+            let mut garbage = self.garbage.lock().unwrap();
+            garbage.retain(|bag| bag.epoch + 2 > horizon);
+        }
+
+        /// Number of retired objects still awaiting their grace period.
+        pub fn garbage_len(&self) -> usize {
+            self.garbage.lock().unwrap().len()
+        }
+
+        /// Total objects ever retired through this collector.
+        pub fn retired_total(&self) -> u64 {
+            self.retired_total.load(SeqCst)
+        }
+    }
+
+    impl Drop for Collector {
+        fn drop(&mut self) {
+            // Exclusive access: no guards can be alive (they borrow the
+            // collector), so all garbage is free to drop with the Vec.
+        }
+    }
+
+    /// Per-thread starting slot so concurrent pins rarely collide on
+    /// the same CAS target.
+    fn slot_hint() -> usize {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static HINT: usize = NEXT.fetch_add(1, SeqCst);
+        }
+        HINT.with(|h| *h % SLOTS)
+    }
+
+    /// An active pin. Dropping it unpins the thread; retiring through
+    /// it stamps garbage with the pin epoch.
+    pub struct Guard<'c> {
+        collector: &'c Collector,
+        slot: usize,
+        epoch: u64,
+    }
+
+    impl std::fmt::Debug for Guard<'_> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Guard").field("slot", &self.slot).field("epoch", &self.epoch).finish()
+        }
+    }
+
+    impl Guard<'_> {
+        /// Retires `item`: it is dropped no earlier than two epoch
+        /// advances past this guard's pin epoch, once no participant
+        /// remains pinned before that horizon. The caller must have
+        /// already unlinked `item` from every shared path while this
+        /// guard was pinned.
+        pub fn defer_drop(&self, item: Box<dyn Any + Send>) {
+            let c = self.collector;
+            c.garbage.lock().unwrap().push(Bag { epoch: self.epoch, _item: item });
+            c.retired_total.fetch_add(1, SeqCst);
+            if c.retired_since_sweep.fetch_add(1, SeqCst) % COLLECT_EVERY == COLLECT_EVERY - 1 {
+                c.collect();
+            }
+        }
+
+        /// The epoch this guard pinned at.
+        pub fn epoch(&self) -> u64 {
+            self.epoch
+        }
+    }
+
+    impl Drop for Guard<'_> {
+        fn drop(&mut self) {
+            self.collector.slots[self.slot].0.store(INACTIVE, SeqCst);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        /// Drop-tracking payload.
+        struct Tracked(Arc<AtomicBool>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.store(true, SeqCst);
+            }
+        }
+
+        #[test]
+        fn garbage_survives_while_pinned_and_frees_after() {
+            let c = Collector::new();
+            let dropped = Arc::new(AtomicBool::new(false));
+            let reader = c.pin();
+            {
+                let writer = c.pin();
+                writer.defer_drop(Box::new(Tracked(dropped.clone())));
+            }
+            // The reader pinned at the retire epoch keeps it alive
+            // through any number of collect calls.
+            for _ in 0..4 {
+                c.collect();
+            }
+            assert!(!dropped.load(SeqCst), "freed while a same-epoch reader was pinned");
+            assert_eq!(c.garbage_len(), 1);
+            drop(reader);
+            // Unpinned: two advances pass the horizon and free it.
+            for _ in 0..4 {
+                c.collect();
+            }
+            assert!(dropped.load(SeqCst), "not freed after the grace period");
+            assert_eq!(c.garbage_len(), 0);
+            assert_eq!(c.retired_total(), 1);
+        }
+
+        #[test]
+        fn epoch_advance_stalls_one_past_an_active_pin() {
+            let c = Collector::new();
+            let old = c.pin();
+            let before = c.global.load(SeqCst);
+            // One advance past the pin is legal (the participant lags by
+            // one); a second is not — that is exactly the stall that
+            // keeps the two-epoch grace period sound.
+            for _ in 0..4 {
+                c.collect();
+            }
+            assert_eq!(c.global.load(SeqCst), before + 1, "stall must hold at pin+1");
+            drop(old);
+            c.collect();
+            assert!(c.global.load(SeqCst) > before + 1, "failed to advance once unpinned");
+        }
+
+        #[test]
+        fn concurrent_churn_eventually_frees_everything() {
+            let c = Arc::new(Collector::new());
+            let freed: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
+            struct Count(Arc<AtomicU64>);
+            impl Drop for Count {
+                fn drop(&mut self) {
+                    self.0.fetch_add(1, SeqCst);
+                }
+            }
+            const PER_THREAD: u64 = 500;
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let c = Arc::clone(&c);
+                    let freed = Arc::clone(&freed);
+                    s.spawn(move || {
+                        for _ in 0..PER_THREAD {
+                            let g = c.pin();
+                            g.defer_drop(Box::new(Count(freed.clone())));
+                        }
+                    });
+                }
+            });
+            for _ in 0..4 {
+                c.collect();
+            }
+            assert_eq!(c.retired_total(), 4 * PER_THREAD);
+            assert_eq!(c.garbage_len(), 0, "garbage must drain once quiescent");
+            assert_eq!(freed.load(SeqCst), 4 * PER_THREAD);
+        }
+    }
+}
 
 /// Multi-producer channels (the `crossbeam-channel` subset we use).
 pub mod channel {
