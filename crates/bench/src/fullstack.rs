@@ -394,9 +394,46 @@ pub struct FaultTrajectoryPoint {
     pub deterministic: bool,
 }
 
+/// One crash-point row of a `bench_recovery` trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryTrajectoryPoint {
+    /// Crash-point label (`soc_bucket_rmw`, `loc_first_seal`, ...).
+    pub label: String,
+    /// Operations acknowledged before the kill fired.
+    pub ops_before_crash: u64,
+    /// Virtual clock at the crash (ns) — bit-identical across reruns.
+    pub now_at_crash_ns: u64,
+    /// FTL mapping-reconstruction strategy (`checkpoint`, `journal`,
+    /// `full-scan`).
+    pub ftl_path: String,
+    /// FDP event-ring entries lost to overflow at recovery; any
+    /// non-zero count forces the `full-scan` path.
+    pub ftl_events_dropped: u64,
+    /// Simulated recovery cost (FTL + cache reattachment, ns).
+    pub recovery_ns: u64,
+    /// Recovery budget the cost must fit in (ns).
+    pub recovery_budget_ns: u64,
+    /// Keys persisted at the crash that recovery must serve.
+    pub must_survive: u64,
+    /// Of those, served with untorn bytes of an acknowledged size.
+    pub recovered: u64,
+    /// Lost or torn persisted keys (the gate requires 0).
+    pub lost: u64,
+    /// Acknowledged-deleted keys recovery resurrected (gate requires
+    /// 0).
+    pub resurrected: u64,
+    /// Hit ratio over the post-recovery trace segment.
+    pub post_hit_ratio: f64,
+    /// Hit ratio of the same segment with no crash.
+    pub baseline_post_hit_ratio: f64,
+    /// Whether the crash-point rerun was bit-identical.
+    pub deterministic: bool,
+}
+
 /// The `BENCH_throughput.json` / `BENCH_wallclock.json` /
-/// `BENCH_faults.json` record the benchmark binaries emit with
-/// `--json <path>`: enough context to compare trajectories across PRs.
+/// `BENCH_faults.json` / `BENCH_recovery.json` record the benchmark
+/// binaries emit with `--json <path>`: enough context to compare
+/// trajectories across PRs.
 #[derive(Debug, Clone, Serialize)]
 pub struct TrajectoryRecord {
     /// Which benchmark produced the record (`device`, `fullstack`,
@@ -427,6 +464,9 @@ pub struct TrajectoryRecord {
     /// lock-free rows in worker order (empty unless the run used
     /// `--read`).
     pub read_points: Vec<ReadTrajectoryPoint>,
+    /// Warm-restart crash points in gate order (empty unless produced
+    /// by `bench_recovery`).
+    pub recovery_points: Vec<RecoveryTrajectoryPoint>,
 }
 
 impl TrajectoryRecord {
@@ -459,6 +499,7 @@ impl TrajectoryRecord {
             wallclock_points: Vec::new(),
             fault_points: Vec::new(),
             read_points: Vec::new(),
+            recovery_points: Vec::new(),
         }
     }
 
@@ -491,6 +532,7 @@ impl TrajectoryRecord {
             wallclock_points: Vec::new(),
             fault_points: Vec::new(),
             read_points: Vec::new(),
+            recovery_points: Vec::new(),
         }
     }
 
@@ -528,6 +570,7 @@ impl TrajectoryRecord {
                 .collect(),
             fault_points: Vec::new(),
             read_points: Vec::new(),
+            recovery_points: Vec::new(),
         }
     }
 
@@ -565,6 +608,7 @@ impl TrajectoryRecord {
                 })
                 .collect(),
             read_points: Vec::new(),
+            recovery_points: Vec::new(),
         }
     }
 
@@ -604,6 +648,47 @@ impl TrajectoryRecord {
                     kops: r.kops,
                     ram_hit_ratio: r.ram_hit_ratio,
                     speedup: r.kops / base,
+                })
+                .collect(),
+            recovery_points: Vec::new(),
+        }
+    }
+
+    /// Builds a `recovery` record from the warm-restart sweep (one row
+    /// per crash point; determinism evidence from each point's rerun).
+    pub fn new_recovery(
+        device_mib: u64,
+        ops: u64,
+        entries: &[crate::recovery::RecoverySweepEntry],
+    ) -> Self {
+        TrajectoryRecord {
+            bench: "recovery".to_string(),
+            device_mib,
+            ops_per_worker: ops,
+            trials: 2,
+            host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            points: Vec::new(),
+            qd_points: Vec::new(),
+            wallclock_points: Vec::new(),
+            fault_points: Vec::new(),
+            read_points: Vec::new(),
+            recovery_points: entries
+                .iter()
+                .map(|e| RecoveryTrajectoryPoint {
+                    label: e.first.label.clone(),
+                    ops_before_crash: e.first.ops_before_crash,
+                    now_at_crash_ns: e.first.now_at_crash_ns,
+                    ftl_path: e.first.ftl_path.clone(),
+                    ftl_events_dropped: e.first.ftl_events_dropped,
+                    recovery_ns: e.first.recovery_ns,
+                    recovery_budget_ns: e.first.recovery_budget_ns,
+                    must_survive: e.first.must_survive,
+                    recovered: e.first.recovered,
+                    lost: e.first.lost,
+                    resurrected: e.first.resurrected,
+                    post_hit_ratio: e.first.post_hit_ratio,
+                    baseline_post_hit_ratio: e.baseline_post_hit_ratio,
+                    deterministic: e.deterministic(),
                 })
                 .collect(),
         }

@@ -8,6 +8,7 @@
 pub mod faults;
 pub mod fullstack;
 pub mod harness;
+pub mod recovery;
 pub mod throughput;
 pub mod wallclock;
 
@@ -18,9 +19,14 @@ pub use faults::{
 pub use fullstack::{
     emit_trajectory, run_fullstack, run_read_contended, sweep_fullstack, sweep_read,
     FaultTrajectoryPoint, FullstackConfig, QdTrajectoryPoint, ReadScalingConfig, ReadScalingResult,
-    ReadTrajectoryPoint, TrajectoryPoint, TrajectoryRecord, WallclockTrajectoryPoint,
+    ReadTrajectoryPoint, RecoveryTrajectoryPoint, TrajectoryPoint, TrajectoryRecord,
+    WallclockTrajectoryPoint,
 };
 pub use harness::*;
+pub use recovery::{
+    baseline_segment_hit_ratios, builtin_crash_points, run_crash_recovery, sweep_recovery,
+    CrashSpec, RecoveryGateConfig, RecoveryRunResult, RecoverySweepEntry,
+};
 pub use throughput::{
     qd_sweep, run_qd_replay, run_throughput, sweep, QdResult, ThroughputConfig, ThroughputResult,
 };

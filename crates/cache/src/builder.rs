@@ -125,6 +125,32 @@ pub fn build_cache(
     HybridCache::new(config, io, &mut allocator)
 }
 
+/// Rebuilds a [`HybridCache`] on an existing namespace after a crash:
+/// same discovery and handle-allocation sequence as [`build_cache`],
+/// but the engines are reconstructed from flash-resident metadata
+/// ([`HybridCache::recover`]) instead of formatted (DESIGN.md §6.6).
+///
+/// The namespace must be the one the crashed cache ran on — recovery
+/// reattaches, it does not re-carve.
+///
+/// # Errors
+///
+/// Propagates construction and recovery-read failures from any layer.
+pub fn recover_cache(
+    ctrl: &SharedController,
+    nsid: NamespaceId,
+    config: &CacheConfig,
+    policy: Box<dyn PlacementPolicy>,
+) -> Result<HybridCache, CacheError> {
+    let ns = ctrl
+        .namespace(nsid)
+        .ok_or(CacheError::Io(fdpcache_nvme::NvmeError::InvalidNamespace(nsid)))?;
+    let identity = ctrl.identify();
+    let mut allocator = PlacementHandleAllocator::discover(&identity, &ns, policy);
+    let io = IoManager::new(ctrl.clone(), nsid, config.nvm.io_lanes).map_err(CacheError::Io)?;
+    HybridCache::recover(config, io, &mut allocator)
+}
+
 /// One-call setup for the common single-tenant experiment: device +
 /// namespace at `utilization` + cache. Uses round-robin placement.
 ///
@@ -185,6 +211,29 @@ mod tests {
                 .unwrap();
         assert!(cache.navy().soc().handle().is_default());
         assert!(cache.navy().loc().handle().is_default());
+    }
+
+    #[test]
+    fn recover_cache_reattaches_existing_namespace() {
+        let (ctrl, mut cache) =
+            build_stack(FtlConfig::tiny_test(), StoreKind::Mem, true, 0.9, &small_cache_config())
+                .unwrap();
+        // Spill past DRAM so some objects live on flash, then crash.
+        for k in 0..120u64 {
+            cache.put(k, crate::value::Value::synthetic(200)).unwrap();
+        }
+        let survivors = cache.persisted_keys();
+        assert!(!survivors.is_empty(), "workload must reach flash");
+        drop(cache);
+        let mut recovered =
+            recover_cache(&ctrl, 1, &small_cache_config(), Box::new(RoundRobinPolicy::new()))
+                .unwrap();
+        for k in &survivors {
+            let (_, v) = recovered.get(*k).unwrap();
+            assert!(v.is_some(), "sealed key {k} lost across recovery");
+        }
+        // Same handle assignment as the original construction order.
+        assert_ne!(recovered.navy().soc().handle(), recovered.navy().loc().handle());
     }
 
     #[test]

@@ -79,6 +79,55 @@ impl HybridCache {
         })
     }
 
+    /// Rebuilds a cache from the metadata persisted on flash after a
+    /// crash (the warm-restart path, DESIGN.md §6.4–6.6). The flash
+    /// engines come back from their checksummed on-device structures
+    /// via [`NavyEngine::recover`]; everything DRAM-resident is
+    /// deliberately fresh — an empty [`RamCache`] with a brand-new
+    /// lock-free [`ReadIndex`] (and its own epoch collector, so no
+    /// pre-crash guard or retired node can touch the new index), and
+    /// zeroed [`CacheStats`] (pre-crash acknowledged application bytes
+    /// must not be double-counted into post-recovery ALWA/DLWA
+    /// denominators).
+    ///
+    /// Handle allocation intentionally mirrors [`HybridCache::new`]
+    /// ("soc" then "loc"), so a recovered cache writes through the same
+    /// placement handles as its previous life.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation and engine recovery failures
+    /// ([`CacheError::Config`] when the store does not retain payload
+    /// bytes).
+    pub fn recover(
+        config: &CacheConfig,
+        io: IoManager,
+        allocator: &mut PlacementHandleAllocator,
+    ) -> Result<Self, CacheError> {
+        config.validate(io.block_bytes()).map_err(CacheError::Config)?;
+        let (soc_handle, loc_handle) = if config.use_fdp {
+            (allocator.allocate("soc"), allocator.allocate("loc"))
+        } else {
+            (PlacementHandle::DEFAULT, PlacementHandle::DEFAULT)
+        };
+        let navy = NavyEngine::recover(&config.nvm, io, soc_handle, loc_handle, 0x5EED)?;
+        Ok(HybridCache {
+            ram: RamCache::new(config.ram_bytes, config.ram_item_overhead),
+            navy,
+            stats: CacheStats::default(),
+            read_stats: Arc::new(ReadSideStats::default()),
+            promote_on_nvm_hit: true,
+        })
+    }
+
+    /// Keys whose latest acknowledged copy is persisted on flash right
+    /// now (see [`NavyEngine::persisted_keys`]) — the set a
+    /// crash-and-recover cycle must serve. DRAM-only objects are
+    /// volatile by design and excluded.
+    pub fn persisted_keys(&self) -> Vec<Key> {
+        self.navy.persisted_keys()
+    }
+
     /// The lock-free DRAM read index this cache publishes into. A pool
     /// may probe it from any thread without locking the cache, pairing
     /// hits with [`Self::read_stats`] accounting.
@@ -402,6 +451,50 @@ mod tests {
         c.put(1, Value::synthetic(100)).unwrap();
         c.get(1).unwrap();
         assert!(c.now_ns() >= t0 + 2 * HOST_OP_NS);
+    }
+
+    #[test]
+    fn recover_preserves_flash_and_forgets_dram() {
+        let ctrl = Controller::new(FtlConfig::tiny_test(), Box::new(MemStore::new())).unwrap();
+        let blocks = ctrl.unallocated_lbas();
+        let nsid = ctrl.create_namespace(blocks, vec![0, 1]).unwrap();
+        let identity = ctrl.identify();
+        let ns = ctrl.namespace(nsid).unwrap().clone();
+        let shared: SharedController = Arc::new(ctrl);
+        let config = CacheConfig {
+            ram_bytes: 1_000,
+            ram_item_overhead: 0,
+            nvm: NvmConfig { soc_fraction: 0.1, region_bytes: 16 * 4096, ..NvmConfig::default() },
+            use_fdp: true,
+        };
+        let mut alloc =
+            PlacementHandleAllocator::discover(&identity, &ns, Box::new(RoundRobinPolicy::new()));
+        let io = IoManager::new(Arc::clone(&shared), nsid, 4).unwrap();
+        let mut c = HybridCache::new(&config, io, &mut alloc).unwrap();
+        for k in 0..100u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        c.delete(0).unwrap();
+        let survivors = c.persisted_keys();
+        assert!(!survivors.is_empty());
+        assert!(!survivors.contains(&0), "deleted key must leave the persisted set");
+        // Crash: every host-side structure is dropped; only the device
+        // (controller + store) survives.
+        drop(c);
+        let mut alloc2 =
+            PlacementHandleAllocator::discover(&identity, &ns, Box::new(RoundRobinPolicy::new()));
+        let io2 = IoManager::new(shared, nsid, 4).unwrap();
+        let mut r = HybridCache::recover(&config, io2, &mut alloc2).unwrap();
+        assert_eq!(r.ram().len(), 0, "DRAM must come back empty");
+        assert_eq!(r.stats().gets, 0, "stats must come back zeroed");
+        for k in survivors {
+            let (_, v) = r.get(k).unwrap();
+            assert!(v.is_some(), "persisted key {k} lost by recovery");
+        }
+        let (o, _) = r.get(0).unwrap();
+        assert_eq!(o, GetOutcome::Miss, "deleted key resurrected by recovery");
+        // Recovered engines write through the same placement handles.
+        assert_ne!(r.navy().soc().handle(), r.navy().loc().handle());
     }
 
     #[test]

@@ -123,6 +123,28 @@ impl ConcurrentPool {
         ConcurrentPool { shards: pool.into_shards().into_iter().map(Shard::new).collect() }
     }
 
+    /// Rebuilds a concurrent pool after a crash from the surviving
+    /// namespaces, via [`EnginePool::recover`]. Every shard wrapper is
+    /// constructed fresh: the lock-free read path starts on the
+    /// recovered cache's **new, empty** [`ReadIndex`] and zeroed
+    /// [`ReadSideStats`] — no epoch-protected node from the crashed
+    /// instance can be observed, and keys deleted before the crash
+    /// cannot be resurrected through a stale index handle
+    /// (DESIGN.md §6.6).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Config`] for an empty namespace list; otherwise
+    /// propagates attach/recovery failures.
+    pub fn recover(
+        ctrl: &SharedController,
+        config: &CacheConfig,
+        nsids: &[fdpcache_nvme::NamespaceId],
+        policy_factory: impl FnMut() -> Box<dyn PlacementPolicy>,
+    ) -> Result<Self, CacheError> {
+        Ok(Self::from_engine_pool(EnginePool::recover(ctrl, config, nsids, policy_factory)?))
+    }
+
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards.len()
@@ -364,6 +386,45 @@ mod tests {
         let (outcome, _) = p.get(42).unwrap();
         assert_eq!(outcome, GetOutcome::Miss);
         assert!(!p.delete(42).unwrap());
+    }
+
+    #[test]
+    fn recovered_pool_starts_with_empty_read_indexes() {
+        let (ctrl, p) = pool(2);
+        for k in 0..300u64 {
+            p.put(k, Value::synthetic(64)).unwrap();
+        }
+        p.delete(11).unwrap();
+        let survivors: Vec<u64> =
+            (0..2).flat_map(|i| p.with_shard(i, |c| c.persisted_keys()).unwrap()).collect();
+        assert!(!survivors.is_empty());
+        let config = CacheConfig {
+            ram_bytes: 8192,
+            ram_item_overhead: 0,
+            nvm: NvmConfig { soc_fraction: 0.2, region_bytes: 8 * 4096, ..NvmConfig::default() },
+            use_fdp: true,
+        };
+        drop(p);
+        let r =
+            ConcurrentPool::recover(&ctrl, &config, &[1, 2], || Box::new(RoundRobinPolicy::new()))
+                .unwrap();
+        // Fresh read path: nothing published, no epoch garbage pending.
+        for k in &survivors {
+            let s = &r.shards[r.shard_of(*k)];
+            assert!(s.index.get(*k).is_none(), "recovered shard must start unpublished");
+        }
+        assert_eq!(r.collect_read_garbage(), 0);
+        assert_eq!(r.stats().gets, 0, "recovered stats must start zeroed");
+        // Flash survivors serve (through the locked path — DRAM is cold)
+        // and the pre-crash delete holds on both read paths.
+        for k in &survivors {
+            let (_, v) = r.get(*k).unwrap();
+            assert!(v.is_some(), "sealed key {k} lost across recovery");
+        }
+        let (outcome, _) = r.get(11).unwrap();
+        assert_eq!(outcome, GetOutcome::Miss, "lock-free path resurrected a deleted key");
+        let (outcome, _) = r.get_locked(11).unwrap();
+        assert_eq!(outcome, GetOutcome::Miss, "locked path resurrected a deleted key");
     }
 
     #[test]

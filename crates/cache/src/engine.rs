@@ -73,12 +73,40 @@ impl NavyEngine {
         loc_handle: PlacementHandle,
         seed: u64,
     ) -> Result<Self, CacheError> {
+        let (soc_blocks, region_blocks, num_regions) = Self::geometry(cfg, &io)?;
+        let soc = Soc::new(0, soc_blocks.max(1), cfg.bucket_bytes, soc_handle);
+        let loc = Loc::new(
+            soc_blocks,
+            num_regions.max(1),
+            region_blocks,
+            io.block_bytes(),
+            cfg.loc_eviction,
+            cfg.trim_on_region_evict,
+            loc_handle,
+            loc_handle,
+        );
+        Ok(NavyEngine {
+            io,
+            soc,
+            loc,
+            size_threshold: cfg.size_threshold,
+            admission: AdmissionPolicy::new(cfg.admission.clone(), seed),
+        })
+    }
+
+    /// Computes the SOC/LOC split for a namespace (shared by
+    /// [`NavyEngine::new`] and [`NavyEngine::recover`] — recovery must
+    /// derive bit-identical geometry from the same configuration).
+    fn geometry(cfg: &NvmConfig, io: &IoManager) -> Result<(u64, u64, u32), CacheError> {
         let block_bytes = io.block_bytes();
         let total_blocks = io.blocks();
         let soc_blocks = ((total_blocks as f64) * cfg.soc_fraction).floor() as u64;
         let region_blocks = cfg.region_bytes / block_bytes as u64;
         let loc_space = total_blocks - soc_blocks;
-        let num_regions = (loc_space / region_blocks) as u32;
+        // Each region's footprint is its payload blocks plus its footer
+        // slot in the trailing metadata area.
+        let num_regions =
+            (loc_space / (region_blocks + Loc::meta_blocks_for(region_blocks))) as u32;
         if cfg.soc_fraction > 0.0 && soc_blocks == 0 {
             return Err(CacheError::Config("namespace too small for any SOC bucket".into()));
         }
@@ -88,16 +116,40 @@ impl NavyEngine {
                  ({loc_space} blocks / {region_blocks} blocks-per-region)"
             )));
         }
-        let soc = Soc::new(0, soc_blocks.max(1), cfg.bucket_bytes, soc_handle);
-        let loc = Loc::new(
+        Ok((soc_blocks, region_blocks, num_regions))
+    }
+
+    /// Rebuilds the engine pair from the metadata both engines persist
+    /// at runtime (SOC bucket pages, LOC region footers — DESIGN.md
+    /// §6.4–6.5), re-reading and checksum-validating every structure
+    /// before trusting it. Configuration must match the pre-crash
+    /// instance; `io` must address the same namespace.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Config`] for invalid geometry or a store that does
+    /// not retain payload bytes; otherwise propagates non-injected I/O
+    /// failures from the recovery reads.
+    pub fn recover(
+        cfg: &NvmConfig,
+        mut io: IoManager,
+        soc_handle: PlacementHandle,
+        loc_handle: PlacementHandle,
+        seed: u64,
+    ) -> Result<Self, CacheError> {
+        let (soc_blocks, region_blocks, num_regions) = Self::geometry(cfg, &io)?;
+        let soc = Soc::recover(0, soc_blocks.max(1), cfg.bucket_bytes, soc_handle, &mut io)?;
+        let loc = Loc::recover(
             soc_blocks,
             num_regions.max(1),
             region_blocks,
-            block_bytes,
+            io.block_bytes(),
             cfg.loc_eviction,
             cfg.trim_on_region_evict,
             loc_handle,
-        );
+            loc_handle,
+            &mut io,
+        )?;
         Ok(NavyEngine {
             io,
             soc,
@@ -186,7 +238,7 @@ impl NavyEngine {
         // A key may change size class between inserts; the copy in the
         // other engine (if any) would be stale and must be dropped.
         let admitted = if self.is_small(value.len()) {
-            self.loc.remove(key);
+            self.loc.remove(&mut self.io, key)?;
             match self.soc.insert(&mut self.io, key, value) {
                 Ok(_) => true,
                 // Rolled back by the SOC: treated as not admitted.
@@ -267,8 +319,19 @@ impl NavyEngine {
     /// Propagates non-injected I/O failures.
     pub fn remove(&mut self, key: Key) -> Result<bool, CacheError> {
         let in_soc = self.soc.remove(&mut self.io, key)?;
-        let in_loc = self.loc.remove(key);
+        let in_loc = self.loc.remove(&mut self.io, key)?;
         Ok(in_soc || in_loc)
+    }
+
+    /// Keys with a live, persisted copy on flash right now (SOC bucket
+    /// pages plus footer-persisted LOC index entries; LOC active-buffer
+    /// objects are volatile and excluded). The must-survive oracle for
+    /// crash tests: after a kill at any point, [`NavyEngine::recover`]
+    /// must bring every one of these back.
+    pub fn persisted_keys(&self) -> Vec<Key> {
+        let mut keys = self.soc.persisted_keys();
+        keys.extend(self.loc.persisted_keys());
+        keys
     }
 
     /// Verifies `key`'s on-flash bytes against the acknowledged object

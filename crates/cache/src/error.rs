@@ -42,6 +42,15 @@ impl CacheError {
     pub fn is_busy(&self) -> bool {
         matches!(self, CacheError::Io(e) if e.is_busy())
     }
+
+    /// Whether a scripted kill point fired beneath this operation: the
+    /// simulated process is dead and the only legal next step is to
+    /// drop every in-memory structure and run recovery. No cache-level
+    /// retry/repair path handles this (it is deliberately **not** an
+    /// injected fault; see [`NvmeError::is_kill`]).
+    pub fn is_kill(&self) -> bool {
+        matches!(self, CacheError::Io(e) if e.is_kill())
+    }
 }
 
 impl std::fmt::Display for CacheError {

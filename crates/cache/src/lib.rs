@@ -42,6 +42,7 @@ pub mod admission;
 pub mod bloom;
 pub mod builder;
 pub mod cache;
+mod checksum;
 pub mod concurrent;
 pub mod config;
 pub mod engine;

@@ -13,12 +13,27 @@
 //!   the optional `trim_on_region_evict` flag reproduces the paper's
 //!   shelved FDP-specialized eviction policy (§5.5);
 //! * a DRAM index maps key → (region, offset, length): the LOC pays
-//!   DRAM for small flash metadata, the opposite tradeoff to the SOC.
+//!   DRAM for small flash metadata, the opposite tradeoff to the SOC;
+//! * a dedicated *metadata area* after the region array holds one
+//!   *footer* per region persisting its entry table (key, offset,
+//!   length) under a checksum, written as part of the same
+//!   all-or-nothing seal batch — this is what makes the DRAM index
+//!   rebuildable after a crash ([`Loc::recover`], DESIGN.md §6.4).
+//!   Keeping footers *outside* the regions preserves the LOC's
+//!   region-aligned payload layout: every region is a whole
+//!   `region_bytes` of payload, so regions pack into reclaim units and
+//!   invalidate in region-sized chunks exactly as they did before
+//!   footers existed — which is what keeps segregated-stream GC cheap
+//!   (the paper's core FDP argument). Deletes rewrite the footer
+//!   *before* the in-memory removal is acknowledged, so a crash can
+//!   never resurrect a deleted key from a stale footer.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use fdpcache_core::{IoBatch, IoManager, PlacementHandle};
+use fdpcache_nvme::NvmeError;
 
+use crate::checksum::page_checksum;
 use crate::config::LocEviction;
 use crate::error::CacheError;
 use crate::value::Value;
@@ -27,6 +42,26 @@ use crate::Key;
 /// Size of each device write when sealing a region (64 KiB): large
 /// sequential I/O like CacheLib's region flushes.
 const SEAL_CHUNK_BYTES: usize = 64 << 10;
+
+/// Footer block magic ("LOCM").
+const META_MAGIC: u32 = 0x4C4F_434D;
+/// Footer format version.
+const META_VERSION: u32 = 1;
+/// Per-footer-block header: magic (4) + version (4) + seal sequence
+/// (8) + region (4) + block index (4) + entries in this block (4) +
+/// total entries in the footer (4).
+const META_HEADER_BYTES: usize = 32;
+/// Per-entry footer bytes: key (8) + offset (4) + length (4).
+const META_ENTRY_BYTES: usize = 16;
+/// Trailing footer-block checksum (DESIGN.md §6.5).
+const META_CHECKSUM_BYTES: usize = 8;
+/// A footer's parsed entry table: (key, region offset, length) per
+/// surviving object, in on-flash order.
+type FooterEntries = Vec<(Key, u32, u32)>;
+
+/// Footer rewrite attempts (delete persistence, invalidation) before
+/// falling back to discarding the footer blocks.
+const META_WRITE_ATTEMPTS: u32 = 4;
 
 /// Submission attempts per region seal before the region is declared
 /// bad: the first submit plus up to this-minus-one retries. Injected
@@ -72,6 +107,14 @@ pub struct LocStats {
     /// Region-evict TRIMs skipped after persistent discard faults
     /// (advisory command; data correctness is unaffected).
     pub discard_faults: u64,
+    /// Region footers rewritten outside a seal (delete persistence and
+    /// cross-region scrubs of superseded entries).
+    pub footer_rewrites: u64,
+    /// Footer rewrites that failed persistently under injected faults
+    /// and fell back to invalidating the footer wholesale (the region's
+    /// remaining entries then survive only in DRAM — a crash treats the
+    /// region as evicted, never serves stale entries from it).
+    pub footer_faults: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,10 +130,15 @@ enum RegionState {
 #[derive(Debug)]
 struct Region {
     state: RegionState,
-    /// Keys written into this region (for index cleanup at eviction).
+    /// Keys written into this region (for index cleanup at eviction
+    /// and for locating footers that may still list a deleted key).
     keys: Vec<Key>,
     /// Last read sequence (LRU eviction).
     last_access: u64,
+    /// Monotonic sequence stamped into the footer at seal time;
+    /// recovery orders regions by it so newer copies of a key
+    /// supersede older ones.
+    seal_seq: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -118,7 +166,14 @@ pub struct Loc {
     eviction: LocEviction,
     trim_on_evict: bool,
     handle: PlacementHandle,
+    /// Placement handle for footer writes. The engine binds it to the
+    /// LOC's own handle (metadata stays within the tenant's streams);
+    /// it is separate so metadata placement can be varied without
+    /// touching the payload path.
+    meta_handle: PlacementHandle,
     access_seq: u64,
+    /// Next seal sequence number (resumes past the recovered maximum).
+    next_seal_seq: u64,
     stats: LocStats,
     /// Reusable block-aligned buffer for sealed-object device reads —
     /// lookups must not pay a heap allocation per hit (DESIGN.md §5.3).
@@ -130,7 +185,13 @@ pub struct Loc {
 
 impl Loc {
     /// Creates a LOC over `num_regions` regions of `region_blocks` blocks
-    /// each, starting at namespace-relative block `base_block`.
+    /// each, starting at namespace-relative block `base_block`. The
+    /// region array is followed by the metadata area (one
+    /// [`Loc::meta_blocks`]-sized footer slot per region), so the LOC's
+    /// total footprint is `num_regions * (region_blocks +
+    /// meta_blocks)`. Payload writes go through `handle`, footer writes
+    /// through `meta_handle`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         base_block: u64,
         num_regions: u32,
@@ -139,31 +200,176 @@ impl Loc {
         eviction: LocEviction,
         trim_on_evict: bool,
         handle: PlacementHandle,
+        meta_handle: PlacementHandle,
     ) -> Self {
-        let region_bytes = (region_blocks * block_bytes as u64) as usize;
-        Loc {
+        let mut loc = Loc {
             base_block,
             region_blocks,
             block_bytes,
             num_regions,
             regions: (0..num_regions)
-                .map(|_| Region { state: RegionState::Free, keys: Vec::new(), last_access: 0 })
+                .map(|_| Region {
+                    state: RegionState::Free,
+                    keys: Vec::new(),
+                    last_access: 0,
+                    seal_seq: 0,
+                })
                 .collect(),
             free: (0..num_regions).collect(),
             sealed_fifo: VecDeque::new(),
             active: None,
-            active_buf: vec![0u8; region_bytes],
+            active_buf: Vec::new(),
             active_fill: 0,
             active_keys: Vec::new(),
             index: HashMap::new(),
             eviction,
             trim_on_evict,
             handle,
+            meta_handle,
             access_seq: 0,
+            next_seal_seq: 1,
             stats: LocStats::default(),
             read_scratch: Vec::new(),
             pending_requeue: Vec::new(),
+        };
+        loc.active_buf = vec![0u8; loc.payload_bytes()];
+        loc
+    }
+
+    /// Metadata-area blocks per region for a given region size (~1.6%
+    /// of the region, at least one block). An associated function so
+    /// the engine's geometry computation can budget the metadata area
+    /// before a `Loc` exists.
+    pub fn meta_blocks_for(region_blocks: u64) -> u64 {
+        if region_blocks < 2 {
+            return 0; // degenerate 1-block region: nothing persistable
         }
+        (region_blocks / 64).max(1)
+    }
+
+    /// Footer slot size (blocks) in the metadata area for this LOC's
+    /// region geometry.
+    pub fn meta_blocks(&self) -> u64 {
+        Self::meta_blocks_for(self.region_blocks)
+    }
+
+    /// Bytes of a region available to object payloads (the whole
+    /// region — footers live in the separate metadata area).
+    pub fn payload_bytes(&self) -> usize {
+        (self.region_blocks * self.block_bytes as u64) as usize
+    }
+
+    /// Entries one footer block can hold.
+    fn entries_per_meta_block(&self) -> usize {
+        (self.block_bytes as usize - META_HEADER_BYTES - META_CHECKSUM_BYTES) / META_ENTRY_BYTES
+    }
+
+    /// Entries the whole footer can hold; a region seals early when its
+    /// entry table reaches this.
+    fn entry_capacity(&self) -> usize {
+        self.meta_blocks() as usize * self.entries_per_meta_block()
+    }
+
+    /// First footer block of `region` (namespace-relative): its slot in
+    /// the metadata area that follows the region array.
+    fn meta_block(&self, region: u32) -> u64 {
+        self.base_block
+            + self.num_regions as u64 * self.region_blocks
+            + region as u64 * self.meta_blocks()
+    }
+
+    /// Serializes a region footer into `out` (one buffer covering all
+    /// footer blocks). Entries beyond each block's capacity spill into
+    /// the next block; every block carries the full header and its own
+    /// trailing checksum so recovery can reject any torn block alone.
+    fn serialize_footer(
+        &self,
+        region: u32,
+        seal_seq: u64,
+        entries: &[(Key, u32, u32)],
+        out: &mut [u8],
+    ) {
+        let bb = self.block_bytes as usize;
+        debug_assert_eq!(out.len(), self.meta_blocks() as usize * bb);
+        debug_assert!(entries.len() <= self.entry_capacity());
+        out.fill(0);
+        let per = self.entries_per_meta_block();
+        for (bi, chunk) in out.chunks_exact_mut(bb).enumerate() {
+            let lo = (bi * per).min(entries.len());
+            let hi = ((bi + 1) * per).min(entries.len());
+            let slice = &entries[lo..hi];
+            chunk[0..4].copy_from_slice(&META_MAGIC.to_le_bytes());
+            chunk[4..8].copy_from_slice(&META_VERSION.to_le_bytes());
+            chunk[8..16].copy_from_slice(&seal_seq.to_le_bytes());
+            chunk[16..20].copy_from_slice(&region.to_le_bytes());
+            chunk[20..24].copy_from_slice(&(bi as u32).to_le_bytes());
+            chunk[24..28].copy_from_slice(&(slice.len() as u32).to_le_bytes());
+            chunk[28..32].copy_from_slice(&(entries.len() as u32).to_le_bytes());
+            let mut off = META_HEADER_BYTES;
+            for &(key, obj_off, obj_len) in slice {
+                chunk[off..off + 8].copy_from_slice(&key.to_le_bytes());
+                chunk[off + 8..off + 12].copy_from_slice(&obj_off.to_le_bytes());
+                chunk[off + 12..off + 16].copy_from_slice(&obj_len.to_le_bytes());
+                off += META_ENTRY_BYTES;
+            }
+            let cut = bb - META_CHECKSUM_BYTES;
+            let sum = page_checksum(&chunk[..cut]);
+            chunk[cut..].copy_from_slice(&sum.to_le_bytes());
+        }
+    }
+
+    /// Parses a region footer read back from flash. Returns the seal
+    /// sequence and entry table, or `None` if any block fails its
+    /// checksum, header validation, or internal consistency — recovery
+    /// then treats the region as unsealed.
+    fn parse_footer(&self, region: u32, buf: &[u8]) -> Option<(u64, FooterEntries)> {
+        let bb = self.block_bytes as usize;
+        let mut seal_seq: Option<u64> = None;
+        let mut total = 0usize;
+        let mut entries = Vec::new();
+        for (bi, chunk) in buf.chunks_exact(bb).enumerate() {
+            let cut = bb - META_CHECKSUM_BYTES;
+            let stored = u64::from_le_bytes(chunk[cut..].try_into().ok()?);
+            if stored != page_checksum(&chunk[..cut]) {
+                return None;
+            }
+            if u32::from_le_bytes(chunk[0..4].try_into().ok()?) != META_MAGIC
+                || u32::from_le_bytes(chunk[4..8].try_into().ok()?) != META_VERSION
+                || u32::from_le_bytes(chunk[16..20].try_into().ok()?) != region
+                || u32::from_le_bytes(chunk[20..24].try_into().ok()?) != bi as u32
+            {
+                return None;
+            }
+            let seq = u64::from_le_bytes(chunk[8..16].try_into().ok()?);
+            if *seal_seq.get_or_insert(seq) != seq {
+                return None; // torn footer: blocks from different seals
+            }
+            let count = u32::from_le_bytes(chunk[24..28].try_into().ok()?) as usize;
+            let t = u32::from_le_bytes(chunk[28..32].try_into().ok()?) as usize;
+            if bi == 0 {
+                total = t;
+            } else if t != total {
+                return None;
+            }
+            if count > self.entries_per_meta_block() {
+                return None;
+            }
+            let mut off = META_HEADER_BYTES;
+            for _ in 0..count {
+                let key = u64::from_le_bytes(chunk[off..off + 8].try_into().ok()?);
+                let o = u32::from_le_bytes(chunk[off + 8..off + 12].try_into().ok()?);
+                let l = u32::from_le_bytes(chunk[off + 12..off + 16].try_into().ok()?);
+                if o as u64 + l as u64 > self.payload_bytes() as u64 {
+                    return None;
+                }
+                entries.push((key, o, l));
+                off += META_ENTRY_BYTES;
+            }
+        }
+        if entries.len() != total {
+            return None;
+        }
+        seal_seq.map(|s| (s, entries))
     }
 
     /// The covering-block read for an index entry: grows the reusable
@@ -188,6 +394,26 @@ impl Loc {
         Ok(start..start + entry.value.len())
     }
 
+    /// Number of regions.
+    pub fn num_regions(&self) -> u32 {
+        self.num_regions
+    }
+
+    /// Namespace-relative start block of `region` — the start LBA of
+    /// its seal's payload write. Public so crash drivers can compute
+    /// scripted fault coordinates (e.g. kill the first command of a
+    /// region seal).
+    pub fn region_start_block(&self, region: u32) -> u64 {
+        self.region_block(region)
+    }
+
+    /// Namespace-relative first footer block of `region` (the start LBA
+    /// of its footer write/read commands; crash drivers target it to
+    /// kill inside metadata persistence).
+    pub fn meta_start_block(&self, region: u32) -> u64 {
+        self.meta_block(region)
+    }
+
     /// Region size in bytes.
     pub fn region_bytes(&self) -> usize {
         (self.region_blocks * self.block_bytes as u64) as usize
@@ -198,9 +424,10 @@ impl Loc {
         self.num_regions as u64 * self.region_bytes() as u64
     }
 
-    /// Largest storable object.
+    /// Largest storable object (one region's payload area; the footer
+    /// blocks are reserved).
     pub fn max_object_bytes(&self) -> usize {
-        self.region_bytes()
+        self.payload_bytes()
     }
 
     /// The placement handle this engine writes through.
@@ -259,17 +486,40 @@ impl Loc {
         // Write the full region (tail padding included) so the previous
         // contents of these blocks are entirely invalidated on device.
         let start_block = self.region_block(region);
-        let region_bytes = self.region_bytes();
+        let payload_bytes = self.payload_bytes();
         let chunk_blocks = (SEAL_CHUNK_BYTES / self.block_bytes as usize).max(1);
+        // The footer rides in the same all-or-nothing batch: a crash
+        // mid-seal leaves neither payload nor footer, so recovery reads
+        // the region as unsealed (its objects were buffered, i.e.
+        // acknowledged-but-not-sealed — the documented volatile class).
+        let seq = self.next_seal_seq;
+        let entries: Vec<(Key, u32, u32)> =
+            self.active_keys.iter().map(|(k, off, v)| (*k, *off, v.len() as u32)).collect();
+        let mut meta_buf = vec![0u8; self.meta_blocks() as usize * self.block_bytes as usize];
+        self.serialize_footer(region, seq, &entries, &mut meta_buf);
         let mut attempt = 0u32;
         loop {
-            let mut batch = IoBatch::with_capacity(region_bytes.div_ceil(SEAL_CHUNK_BYTES));
+            let mut batch = IoBatch::with_capacity(
+                payload_bytes.div_ceil(SEAL_CHUNK_BYTES)
+                    + meta_buf.len().div_ceil(SEAL_CHUNK_BYTES),
+            );
             let mut block = 0u64;
-            while (block as usize) * (self.block_bytes as usize) < region_bytes {
+            while (block as usize) * (self.block_bytes as usize) < payload_bytes {
                 let off = block as usize * self.block_bytes as usize;
-                let len = (chunk_blocks * self.block_bytes as usize).min(region_bytes - off);
+                let len = (chunk_blocks * self.block_bytes as usize).min(payload_bytes - off);
                 batch.write(start_block + block, &self.active_buf[off..off + len], self.handle);
                 block += (len / self.block_bytes as usize) as u64;
+            }
+            let meta_start = self.meta_block(region);
+            let mut moff = 0usize;
+            while moff < meta_buf.len() {
+                let len = (chunk_blocks * self.block_bytes as usize).min(meta_buf.len() - moff);
+                batch.write(
+                    meta_start + (moff / self.block_bytes as usize) as u64,
+                    &meta_buf[moff..moff + len],
+                    self.meta_handle,
+                );
+                moff += len;
             }
             match io.submit_batch(batch) {
                 Ok(_) => break,
@@ -302,10 +552,144 @@ impl Loc {
             self.index.insert(key, IndexEntry { region, offset, value });
         }
         self.regions[region as usize].state = RegionState::Sealed;
+        self.regions[region as usize].seal_seq = seq;
+        self.next_seal_seq += 1;
         self.sealed_fifo.push_back(region);
         self.active = None;
         self.active_fill = 0;
         self.stats.seals += 1;
+        Ok(())
+    }
+
+    /// Rewrites `region`'s persisted footer from the live index
+    /// (delete persistence, superseded-entry scrubs). Retries injected
+    /// faults up to [`META_WRITE_ATTEMPTS`] times, then falls back to
+    /// invalidating the footer wholesale — either way no stale entry
+    /// survives on flash. Only non-injected errors propagate.
+    fn rewrite_footer(&mut self, io: &mut IoManager, region: u32) -> Result<(), CacheError> {
+        if self.meta_blocks() == 0 {
+            return Ok(());
+        }
+        let mut entries: Vec<(Key, u32, u32)> = self
+            .index
+            .iter()
+            .filter(|(_, e)| e.region == region)
+            .map(|(k, e)| (*k, e.offset, e.value.len() as u32))
+            .collect();
+        entries.sort_unstable_by_key(|&(_, off, _)| off);
+        // The rebuilt footer lists exactly the region's live entries, so
+        // mirror that in the in-memory key list: superseded copies are
+        // gone from flash now, and leaving them listed would trigger a
+        // redundant rewrite the next time one of them is evicted.
+        self.regions[region as usize].keys = entries.iter().map(|&(k, _, _)| k).collect();
+        let seq = self.regions[region as usize].seal_seq;
+        let mut buf = vec![0u8; self.meta_blocks() as usize * self.block_bytes as usize];
+        self.serialize_footer(region, seq, &entries, &mut buf);
+        let start = self.meta_block(region);
+        let mut attempt = 0u32;
+        loop {
+            match io.write(start, &buf, self.meta_handle) {
+                Ok(_) => {
+                    self.stats.footer_rewrites += 1;
+                    return Ok(());
+                }
+                Err(e) if e.is_injected_fault() && attempt + 1 < META_WRITE_ATTEMPTS => {
+                    attempt += 1;
+                }
+                Err(e) if e.is_injected_fault() => {
+                    self.stats.footer_faults += 1;
+                    return self.invalidate_footer(io, region);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Retires `region`'s persisted footer by overwriting it with an
+    /// *empty* footer stamped with a fresh seal sequence. Unlike a
+    /// discard, this keeps the on-flash seal-sequence chain monotonic —
+    /// recovery still sees the region's retirement seq and cannot hand
+    /// out a sequence number that an older surviving footer outranks —
+    /// and it records the eviction durably (an all-zero/discarded
+    /// footer is indistinguishable from a never-sealed region). Falls
+    /// back to [`Loc::invalidate_footer`] on a persistent injected
+    /// fault; either way no evicted key survives on flash.
+    fn retire_footer(&mut self, io: &mut IoManager, region: u32) -> Result<(), CacheError> {
+        if self.meta_blocks() == 0 {
+            return Ok(());
+        }
+        let seq = self.next_seal_seq;
+        self.next_seal_seq += 1;
+        let mut buf = vec![0u8; self.meta_blocks() as usize * self.block_bytes as usize];
+        self.serialize_footer(region, seq, &[], &mut buf);
+        let start = self.meta_block(region);
+        let mut attempt = 0u32;
+        loop {
+            match io.write(start, &buf, self.meta_handle) {
+                Ok(_) => {
+                    self.stats.footer_rewrites += 1;
+                    return Ok(());
+                }
+                Err(e) if e.is_injected_fault() && attempt + 1 < META_WRITE_ATTEMPTS => {
+                    attempt += 1;
+                }
+                Err(e) if e.is_injected_fault() => {
+                    self.stats.footer_faults += 1;
+                    return self.invalidate_footer(io, region);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Invalidates `region`'s persisted footer by discarding its
+    /// blocks: recovery then reads the region as unsealed. A persistent
+    /// discard fault is counted and tolerated — the stale-footer window
+    /// it leaves closes at the region's next seal, which overwrites the
+    /// footer under a fresh sequence (DESIGN.md §6.4).
+    fn invalidate_footer(&mut self, io: &mut IoManager, region: u32) -> Result<(), CacheError> {
+        if self.meta_blocks() == 0 {
+            return Ok(());
+        }
+        let start = self.meta_block(region);
+        match io.discard(start, self.meta_blocks()) {
+            Ok(_) => Ok(()),
+            Err(e) if e.is_injected_fault() => match io.discard(start, self.meta_blocks()) {
+                Ok(_) => Ok(()),
+                Err(e2) if e2.is_injected_fault() => {
+                    self.stats.discard_faults += 1;
+                    Ok(())
+                }
+                Err(e2) => Err(e2.into()),
+            },
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Scrubs `keys` out of every sealed region footer that may still
+    /// list them (superseded older copies included), so a crash cannot
+    /// resurrect them. `skip` excludes a region already handled by the
+    /// caller (e.g. one being invalidated wholesale).
+    fn scrub_footers_for_keys(
+        &mut self,
+        io: &mut IoManager,
+        keys: &HashSet<Key>,
+        skip: Option<u32>,
+    ) -> Result<(), CacheError> {
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let candidates: Vec<u32> = (0..self.num_regions)
+            .filter(|&r| {
+                Some(r) != skip
+                    && self.regions[r as usize].state == RegionState::Sealed
+                    && self.regions[r as usize].keys.iter().any(|k| keys.contains(k))
+            })
+            .collect();
+        for r in candidates {
+            self.regions[r as usize].keys.retain(|k| !keys.contains(k));
+            self.rewrite_footer(io, r)?;
+        }
         Ok(())
     }
 
@@ -335,6 +719,7 @@ impl Loc {
         };
         self.sealed_fifo.retain(|&r| r != region);
         let keys = std::mem::take(&mut self.regions[region as usize].keys);
+        let mut dropped: HashSet<Key> = HashSet::new();
         for key in keys {
             // Only drop entries that still point into this region (the
             // key may have been rewritten into a newer region since).
@@ -342,6 +727,7 @@ impl Loc {
                 if e.region == region {
                     self.index.remove(&key);
                     self.stats.evicted_objects += 1;
+                    dropped.insert(key);
                 }
             }
         }
@@ -363,6 +749,16 @@ impl Loc {
                 Err(e) => return Err(e.into()),
             }
         }
+        // The region's persisted footer must not outlive its index
+        // entries: a crash after this point would otherwise resurrect
+        // the evicted (possibly since-deleted) keys. The footer lives
+        // in the metadata area, so the payload TRIM above never covers
+        // it.
+        self.retire_footer(io, region)?;
+        // An evicted key's *older* superseded copy may still be listed
+        // in another sealed region's footer; scrub those so recovery
+        // cannot serve a stale value for a key the cache just dropped.
+        self.scrub_footers_for_keys(io, &dropped, Some(region))?;
         self.regions[region as usize].state = RegionState::Free;
         self.regions[region as usize].last_access = 0;
         self.free.push_back(region);
@@ -433,7 +829,13 @@ impl Loc {
         if self.active.is_none() {
             self.open_region(io)?;
         }
-        if self.active_fill + len > self.region_bytes() {
+        // Seal when the payload area overflows — or, rarely, when the
+        // footer's entry table is full (footer capacity is sized for
+        // ~250 entries per 4 KiB footer block, far above the object
+        // counts large-object regions see in practice).
+        if self.active_fill + len > self.payload_bytes()
+            || self.active_keys.len() >= self.entry_capacity()
+        {
             self.seal_active(io)?;
             self.open_region(io)?;
         }
@@ -571,9 +973,25 @@ impl Loc {
         Ok(Some(self.read_scratch[range] == expect[..]))
     }
 
-    /// Removes an object from the index (its bytes become dead space in
-    /// the region until eviction reclaims them).
-    pub fn remove(&mut self, key: Key) -> bool {
+    /// Removes an object. Its bytes become dead space in the region
+    /// until eviction reclaims them, but the removal is **persisted
+    /// before it is acknowledged**: every sealed region footer that may
+    /// still list the key — the live copy and any superseded older
+    /// copies — is rewritten from the live index first, so a
+    /// crash-and-recover cycle can never resurrect a deleted key
+    /// (DESIGN.md §6.4). Active-buffer copies are dropped in memory
+    /// only (the buffer is volatile by definition).
+    ///
+    /// Like [`Soc::remove`](crate::soc::Soc::remove), the in-memory
+    /// removal always takes effect: a persistent injected fault on the
+    /// footer rewrite falls back to invalidating the footer wholesale
+    /// rather than resurrecting the key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-injected I/O failures (including a scripted kill,
+    /// in which case the removal was never acknowledged).
+    pub fn remove(&mut self, io: &mut IoManager, key: Key) -> Result<bool, CacheError> {
         let in_active = {
             let before = self.active_keys.len();
             self.active_keys.retain(|(k, _, _)| *k != key);
@@ -581,9 +999,140 @@ impl Loc {
         };
         let in_index = self.index.remove(&key).is_some();
         if in_active || in_index {
+            let mut keys = HashSet::with_capacity(1);
+            keys.insert(key);
+            self.scrub_footers_for_keys(io, &keys, None)?;
             self.stats.removes += 1;
         }
-        in_active || in_index
+        Ok(in_active || in_index)
+    }
+
+    /// Keys with a live, sealed, footer-persisted copy on flash right
+    /// now — exactly the LOC objects a crash-and-recover cycle must
+    /// bring back (active-buffer objects are volatile and excluded).
+    pub fn persisted_keys(&self) -> Vec<Key> {
+        self.index
+            .iter()
+            .filter(|(_, e)| self.regions[e.region as usize].state == RegionState::Sealed)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Rebuilds a LOC from the region footers persisted on flash
+    /// (DESIGN.md §6.4). Geometry and policy arguments must match the
+    /// pre-crash instance (they are host-side configuration, not
+    /// recovered state).
+    ///
+    /// Each region's footer blocks are read back; a region is trusted
+    /// as sealed only if every footer block validates (checksum, magic,
+    /// version, region id, block order, consistent seal sequence).
+    /// Valid regions are processed in ascending seal-sequence order and
+    /// their payload bytes re-read from the device, so a newer sealed
+    /// copy of a key supersedes any older one. Everything else is
+    /// deliberately volatile and comes back empty: the active buffer
+    /// (acknowledged-but-unsealed objects), LRU access recency, and all
+    /// statistics including `app_bytes_written` — recovered objects
+    /// were already counted as application bytes in their first life,
+    /// and recounting them would bias ALWA.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Config`] without a data-retaining store; otherwise
+    /// propagates non-injected I/O failures. Injected read faults are
+    /// retried once, then the affected region is treated as unsealed.
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover(
+        base_block: u64,
+        num_regions: u32,
+        region_blocks: u64,
+        block_bytes: u32,
+        eviction: LocEviction,
+        trim_on_evict: bool,
+        handle: PlacementHandle,
+        meta_handle: PlacementHandle,
+        io: &mut IoManager,
+    ) -> Result<Self, CacheError> {
+        if !io.retains_data() {
+            return Err(CacheError::Config(
+                "LOC recovery requires a data-retaining store (payload bytes must survive)".into(),
+            ));
+        }
+        let mut loc = Loc::new(
+            base_block,
+            num_regions,
+            region_blocks,
+            block_bytes,
+            eviction,
+            trim_on_evict,
+            handle,
+            meta_handle,
+        );
+        if loc.meta_blocks() == 0 {
+            return Ok(loc); // degenerate geometry persists nothing
+        }
+        let mut footer = vec![0u8; loc.meta_blocks() as usize * block_bytes as usize];
+        let mut sealed: Vec<(u64, u32, FooterEntries)> = Vec::new();
+        for region in 0..num_regions {
+            let start = loc.meta_block(region);
+            let mut res = io.read(start, &mut footer);
+            if res.as_ref().is_err_and(|e| e.is_injected_fault()) {
+                loc.stats.read_faults += 1;
+                res = io.read(start, &mut footer);
+            }
+            match res {
+                Ok(_) => {}
+                Err(NvmeError::Unwritten(_)) => continue,
+                Err(e) if e.is_injected_fault() => continue,
+                Err(e) => return Err(e.into()),
+            }
+            let Some((seq, entries)) = loc.parse_footer(region, &footer) else {
+                continue;
+            };
+            sealed.push((seq, region, entries));
+        }
+        // Ascending seal order: later regions supersede earlier ones
+        // for keys that were overwritten between seals.
+        sealed.sort_unstable_by_key(|&(seq, region, _)| (seq, region));
+        let mut payload = vec![0u8; loc.payload_bytes()];
+        for (seq, region, entries) in sealed {
+            if entries.is_empty() {
+                // A retired (or fully scrubbed) footer: the region holds
+                // no live objects, so it stays free — but its sequence
+                // still advances the seal-seq high-water mark so the
+                // recovered engine never reissues an on-flash sequence.
+                loc.next_seal_seq = loc.next_seal_seq.max(seq + 1);
+                continue;
+            }
+            {
+                let mut res = io.read(loc.region_block(region), &mut payload);
+                if res.as_ref().is_err_and(|e| e.is_injected_fault()) {
+                    loc.stats.read_faults += 1;
+                    res = io.read(loc.region_block(region), &mut payload);
+                }
+                match res {
+                    Ok(_) => {}
+                    // Footer valid but payload unreadable: the region's
+                    // objects are lost as if evicted; leave it free.
+                    Err(NvmeError::Unwritten(_)) => continue,
+                    Err(e) if e.is_injected_fault() => continue,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            loc.free.retain(|&r| r != region);
+            let r = &mut loc.regions[region as usize];
+            r.state = RegionState::Sealed;
+            r.seal_seq = seq;
+            r.keys = entries.iter().map(|&(k, _, _)| k).collect();
+            loc.sealed_fifo.push_back(region);
+            loc.next_seal_seq = loc.next_seal_seq.max(seq + 1);
+            for (key, off, len) in entries {
+                let bytes = payload[off as usize..(off + len) as usize].to_vec();
+                loc.index
+                    .insert(key, IndexEntry { region, offset: off, value: Value::real(bytes) });
+            }
+        }
+        Ok(loc)
     }
 }
 
@@ -607,7 +1156,19 @@ mod tests {
 
     /// 4 regions × 8 blocks (32 KiB regions).
     fn loc(eviction: LocEviction) -> (Loc, IoManager) {
-        (Loc::new(0, 4, 8, BLOCK, eviction, false, PlacementHandle::with_dspec(1)), io(64))
+        (
+            Loc::new(
+                0,
+                4,
+                8,
+                BLOCK,
+                eviction,
+                false,
+                PlacementHandle::with_dspec(1),
+                PlacementHandle::DEFAULT,
+            ),
+            io(64),
+        )
     }
 
     #[test]
@@ -638,8 +1199,9 @@ mod tests {
         let (mut l, mut io) = loc(LocEviction::Fifo);
         let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
         l.insert(&mut io, 7, Value::real(payload.clone())).unwrap();
-        // Force a seal by overfilling.
-        l.insert(&mut io, 8, Value::synthetic(30_000)).unwrap();
+        // Force a seal by overfilling (payload area is 28 KiB: one
+        // footer block of the 8 is reserved).
+        l.insert(&mut io, 8, Value::synthetic(25_000)).unwrap();
         assert!(l.stats().seals >= 1);
         let raw = l.read_raw(&mut io, 7).unwrap().unwrap();
         assert_eq!(raw, payload);
@@ -688,7 +1250,7 @@ mod tests {
         let hit = l.lookup(&mut io, 4).unwrap().unwrap();
         assert!(std::sync::Arc::ptr_eq(&arc, hit.as_real().unwrap()), "active hit copied bytes");
         // …and so does a sealed hit (force a seal, then re-look-up).
-        l.insert(&mut io, 5, Value::synthetic(30_000)).unwrap();
+        l.insert(&mut io, 5, Value::synthetic(25_000)).unwrap();
         assert!(l.stats().seals >= 1);
         let sealed = l.lookup(&mut io, 4).unwrap().unwrap();
         assert!(std::sync::Arc::ptr_eq(&arc, sealed.as_real().unwrap()), "sealed hit copied bytes");
@@ -707,9 +1269,9 @@ mod tests {
     fn remove_hides_object() {
         let (mut l, mut io) = loc(LocEviction::Fifo);
         l.insert(&mut io, 5, Value::synthetic(10_000)).unwrap();
-        assert!(l.remove(5));
+        assert!(l.remove(&mut io, 5).unwrap());
         assert!(l.lookup(&mut io, 5).unwrap().is_none());
-        assert!(!l.remove(5));
+        assert!(!l.remove(&mut io, 5).unwrap());
     }
 
     #[test]
@@ -729,19 +1291,196 @@ mod tests {
         l.insert(&mut io, 1, Value::synthetic(3000)).unwrap();
         let payload: Vec<u8> = (0..6000u32).map(|i| (i % 241) as u8).collect();
         l.insert(&mut io, 2, Value::real(payload.clone())).unwrap();
-        l.insert(&mut io, 3, Value::synthetic(30_000)).unwrap(); // force seal
+        l.insert(&mut io, 3, Value::synthetic(25_000)).unwrap(); // force seal
         assert_eq!(l.read_raw(&mut io, 2).unwrap().unwrap(), payload);
     }
 
     #[test]
     fn trim_on_evict_issues_discards() {
         let mut io_mgr = io(64);
-        let mut l = Loc::new(0, 4, 8, BLOCK, LocEviction::Fifo, true, PlacementHandle::DEFAULT);
+        let mut l = Loc::new(
+            0,
+            4,
+            8,
+            BLOCK,
+            LocEviction::Fifo,
+            true,
+            PlacementHandle::DEFAULT,
+            PlacementHandle::DEFAULT,
+        );
         for k in 0..12u64 {
             l.insert(&mut io_mgr, k, Value::synthetic(16_000)).unwrap();
         }
         assert!(l.stats().region_evictions >= 1);
         assert!(io_mgr.stats().discards >= 1, "trim_on_evict must discard region blocks");
+    }
+
+    #[test]
+    fn recover_rebuilds_sealed_regions_from_footers() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 239) as u8).collect();
+        l.insert(&mut io, 1, Value::real(payload.clone())).unwrap();
+        l.insert(&mut io, 2, Value::synthetic(12_000)).unwrap();
+        l.insert(&mut io, 3, Value::synthetic(12_000)).unwrap(); // seals region 0
+        l.insert(&mut io, 4, Value::synthetic(10_000)).unwrap(); // active (volatile)
+        assert_eq!(l.stats().seals, 1);
+        let survivors = l.persisted_keys();
+        assert_eq!(
+            {
+                let mut s = survivors.clone();
+                s.sort_unstable();
+                s
+            },
+            vec![1, 2]
+        );
+        drop(l);
+        let mut r = Loc::recover(
+            0,
+            4,
+            8,
+            BLOCK,
+            LocEviction::Fifo,
+            false,
+            PlacementHandle::with_dspec(1),
+            PlacementHandle::DEFAULT,
+            &mut io,
+        )
+        .unwrap();
+        let mut recovered = r.persisted_keys();
+        recovered.sort_unstable();
+        assert_eq!(recovered, vec![1, 2]);
+        assert!(r.lookup(&mut io, 3).unwrap().is_none(), "in-flight seal key 3 must be volatile");
+        assert!(r.lookup(&mut io, 4).unwrap().is_none(), "active-buffer key 4 must be volatile");
+        assert_eq!(r.read_raw(&mut io, 1).unwrap().unwrap(), payload, "payload bytes mangled");
+        assert_eq!(r.lookup(&mut io, 2).unwrap().unwrap().len(), 12_000);
+        assert_eq!(r.stats().app_bytes_written, 0, "recovered objects must not recount app bytes");
+        // The recovered LOC keeps working: inserts seal into the free
+        // regions with a sequence past the recovered maximum.
+        for k in 10..16u64 {
+            r.insert(&mut io, k, Value::synthetic(16_000)).unwrap();
+        }
+        assert!(r.lookup(&mut io, 14).unwrap().is_some());
+    }
+
+    #[test]
+    fn deleted_key_stays_dead_across_recovery() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        // Key 5's first copy seals into region 0; its overwrite seals
+        // into region 1 — region 0's footer still lists the stale copy.
+        l.insert(&mut io, 5, Value::synthetic(12_000)).unwrap();
+        l.insert(&mut io, 6, Value::synthetic(12_000)).unwrap();
+        l.insert(&mut io, 7, Value::synthetic(12_000)).unwrap(); // seals region 0
+        l.insert(&mut io, 5, Value::synthetic(13_000)).unwrap();
+        l.insert(&mut io, 8, Value::synthetic(25_000)).unwrap(); // seals region 1
+        assert_eq!(l.stats().seals, 2);
+        // Delete must scrub *both* footers before acknowledging.
+        assert!(l.remove(&mut io, 5).unwrap());
+        assert!(l.stats().footer_rewrites >= 2, "both footers must be rewritten");
+        drop(l);
+        let mut r = Loc::recover(
+            0,
+            4,
+            8,
+            BLOCK,
+            LocEviction::Fifo,
+            false,
+            PlacementHandle::with_dspec(1),
+            PlacementHandle::DEFAULT,
+            &mut io,
+        )
+        .unwrap();
+        assert!(r.lookup(&mut io, 5).unwrap().is_none(), "deleted key resurrected by recovery");
+        assert!(r.lookup(&mut io, 6).unwrap().is_some(), "unrelated key lost by the scrub");
+        assert!(r.lookup(&mut io, 7).unwrap().is_some());
+    }
+
+    #[test]
+    fn overwrites_recover_to_the_newest_sealed_copy() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        let old: Vec<u8> = vec![0x0D; 12_000];
+        let new: Vec<u8> = vec![0x0E; 13_000];
+        l.insert(&mut io, 5, Value::real(old)).unwrap();
+        l.insert(&mut io, 6, Value::synthetic(12_000)).unwrap();
+        l.insert(&mut io, 7, Value::synthetic(12_000)).unwrap(); // seals region 0
+        l.insert(&mut io, 5, Value::real(new.clone())).unwrap();
+        l.insert(&mut io, 8, Value::synthetic(25_000)).unwrap(); // seals region 1
+        drop(l);
+        let mut r = Loc::recover(
+            0,
+            4,
+            8,
+            BLOCK,
+            LocEviction::Fifo,
+            false,
+            PlacementHandle::with_dspec(1),
+            PlacementHandle::DEFAULT,
+            &mut io,
+        )
+        .unwrap();
+        assert_eq!(
+            r.read_raw(&mut io, 5).unwrap().unwrap(),
+            new,
+            "recovery must prefer the higher seal sequence"
+        );
+    }
+
+    #[test]
+    fn evicted_region_footer_is_invalidated() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        // Fill all 4 regions plus one to force an eviction.
+        for k in 0..10u64 {
+            l.insert(&mut io, k, Value::synthetic(16_000)).unwrap();
+        }
+        assert!(l.stats().region_evictions >= 1);
+        let survivors = l.persisted_keys();
+        drop(l);
+        let mut r = Loc::recover(
+            0,
+            4,
+            8,
+            BLOCK,
+            LocEviction::Fifo,
+            false,
+            PlacementHandle::with_dspec(1),
+            PlacementHandle::DEFAULT,
+            &mut io,
+        )
+        .unwrap();
+        assert!(r.lookup(&mut io, 0).unwrap().is_none(), "evicted key resurrected by recovery");
+        let mut recovered = r.persisted_keys();
+        let mut expected = survivors;
+        recovered.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(recovered, expected);
+    }
+
+    #[test]
+    fn corrupt_footer_demotes_region_to_unsealed() {
+        let (mut l, mut io) = loc(LocEviction::Fifo);
+        l.insert(&mut io, 1, Value::synthetic(12_000)).unwrap();
+        l.insert(&mut io, 2, Value::synthetic(12_000)).unwrap();
+        l.insert(&mut io, 3, Value::synthetic(12_000)).unwrap(); // seals region 0
+        let meta_block = l.meta_block(0);
+        drop(l);
+        // Corrupt the footer out-of-band (simulated torn write).
+        let mut page = vec![0u8; BLOCK as usize];
+        io.read(meta_block, &mut page).unwrap();
+        page[40] ^= 0xFF;
+        io.write(meta_block, &page, PlacementHandle::with_dspec(1)).unwrap();
+        let mut r = Loc::recover(
+            0,
+            4,
+            8,
+            BLOCK,
+            LocEviction::Fifo,
+            false,
+            PlacementHandle::with_dspec(1),
+            PlacementHandle::DEFAULT,
+            &mut io,
+        )
+        .unwrap();
+        assert!(r.is_empty(), "a corrupt footer must not be trusted");
+        assert!(r.lookup(&mut io, 1).unwrap().is_none());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! routing here ([`shard_index`]) is shared by both.
 
 use fdpcache_core::{IoManager, PlacementHandleAllocator, PlacementPolicy, SharedController};
+use fdpcache_nvme::NamespaceId;
 
 use crate::builder::create_namespace;
 use crate::cache::{GetOutcome, HybridCache};
@@ -120,6 +121,54 @@ impl EnginePool {
             let io =
                 IoManager::new(ctrl.clone(), nsid, config.nvm.io_lanes).map_err(CacheError::Io)?;
             shards.push(HybridCache::new(&per_shard_config, io, &mut allocator)?);
+        }
+        Ok(EnginePool { shards })
+    }
+
+    /// Rebuilds a pool after a crash from the namespaces a previous
+    /// [`EnginePool::new`] carved (DESIGN.md §6.6). `nsids` lists those
+    /// namespaces **in pair order** — namespaces survive in the
+    /// controller and cannot be re-carved, so recovery reattaches them.
+    /// Handle assignment replays the exact construction sequence of
+    /// `new` (per-pair allocator with `2 × pair` staggered pre-picks,
+    /// then SOC before LOC inside [`HybridCache::recover`]), so every
+    /// engine lands back on the reclaim unit handle it wrote through
+    /// before the crash.
+    ///
+    /// Each shard's flash-resident state (SOC buckets, sealed LOC
+    /// regions) is rebuilt from on-device metadata; DRAM contents,
+    /// read indexes and statistics start empty.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Config`] for an empty namespace list; otherwise
+    /// propagates attach/recovery failures.
+    pub fn recover(
+        ctrl: &SharedController,
+        config: &CacheConfig,
+        nsids: &[NamespaceId],
+        mut policy_factory: impl FnMut() -> Box<dyn PlacementPolicy>,
+    ) -> Result<Self, CacheError> {
+        if nsids.is_empty() {
+            return Err(CacheError::Config("engine pool needs at least one pair".into()));
+        }
+        let pairs = nsids.len();
+        let mut shards = Vec::with_capacity(pairs);
+        let per_shard_config =
+            CacheConfig { ram_bytes: (config.ram_bytes / pairs as u64).max(1), ..config.clone() };
+        for (pair, &nsid) in nsids.iter().enumerate() {
+            let ns = ctrl
+                .namespace(nsid)
+                .ok_or(CacheError::Io(fdpcache_nvme::NvmeError::InvalidNamespace(nsid)))?;
+            let identity = ctrl.identify();
+            let mut allocator =
+                PlacementHandleAllocator::discover(&identity, &ns, policy_factory());
+            for _ in 0..(2 * pair) {
+                let _ = allocator.allocate("stagger");
+            }
+            let io =
+                IoManager::new(ctrl.clone(), nsid, config.nvm.io_lanes).map_err(CacheError::Io)?;
+            shards.push(HybridCache::recover(&per_shard_config, io, &mut allocator)?);
         }
         Ok(EnginePool { shards })
     }
@@ -287,6 +336,66 @@ mod tests {
         let (outcome, _) = p.get(42).unwrap();
         assert_eq!(outcome, GetOutcome::Miss);
         assert!(!p.delete(42).unwrap());
+    }
+
+    #[test]
+    fn pool_recovers_surviving_shards_after_crash() {
+        let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Mem, true).unwrap();
+        let config = CacheConfig {
+            ram_bytes: 2048,
+            ram_item_overhead: 0,
+            nvm: NvmConfig { soc_fraction: 0.2, region_bytes: 8 * 4096, ..NvmConfig::default() },
+            use_fdp: true,
+        };
+        let mut p =
+            EnginePool::new(&ctrl, &config, 2, 0.9, || Box::new(RoundRobinPolicy::new())).unwrap();
+        for k in 0..300u64 {
+            p.put(k, Value::synthetic(64)).unwrap();
+        }
+        p.delete(7).unwrap();
+        let survivors: Vec<(usize, Vec<u64>)> =
+            p.shards.iter().enumerate().map(|(i, s)| (i, s.persisted_keys())).collect();
+        let old_handles: Vec<_> =
+            p.shards.iter().map(|s| (s.navy().soc().handle(), s.navy().loc().handle())).collect();
+        drop(p);
+        // Namespaces 1 and 2 survive in the controller; reattach them.
+        let r = EnginePool::recover(&ctrl, &config, &[1, 2], || Box::new(RoundRobinPolicy::new()))
+            .unwrap();
+        let mut r = r;
+        for (shard, keys) in &survivors {
+            assert!(!keys.is_empty(), "shard {shard} never reached flash");
+            for k in keys {
+                assert_ne!(*k, 7, "deleted key must not be persisted");
+                let idx = r.shard_of(*k);
+                assert_eq!(idx, *shard, "routing must be stable across recovery");
+                let (_, v) = r.get(*k).unwrap();
+                assert!(v.is_some(), "sealed key {k} lost across pool recovery");
+            }
+        }
+        let (outcome, _) = r.get(7).unwrap();
+        assert_eq!(outcome, GetOutcome::Miss, "deleted key resurrected by recovery");
+        for (i, s) in r.shards.iter().enumerate() {
+            assert_eq!(
+                (s.navy().soc().handle(), s.navy().loc().handle()),
+                old_handles[i],
+                "shard {i} must recover onto its pre-crash placement handles"
+            );
+        }
+    }
+
+    #[test]
+    fn recover_rejects_empty_namespace_list() {
+        let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Mem, true).unwrap();
+        let config = CacheConfig {
+            ram_bytes: 4096,
+            ram_item_overhead: 0,
+            nvm: NvmConfig { soc_fraction: 0.2, region_bytes: 8 * 4096, ..NvmConfig::default() },
+            use_fdp: true,
+        };
+        assert!(matches!(
+            EnginePool::recover(&ctrl, &config, &[], || Box::new(RoundRobinPolicy::new())),
+            Err(CacheError::Config(_))
+        ));
     }
 
     #[test]

@@ -23,8 +23,10 @@
 //! lock-free read index (DESIGN.md §5.1a).
 
 use fdpcache_core::{IoManager, PlacementHandle};
+use fdpcache_nvme::NvmeError;
 
 use crate::bloom::BloomArray;
+use crate::checksum::page_checksum;
 use crate::error::CacheError;
 use crate::value::Value;
 use crate::Key;
@@ -34,6 +36,9 @@ const HEADER_BYTES: usize = 8;
 const MAGIC: u32 = 0x534F_4342; // "SOCB"
 /// Per-entry metadata: key (8) + size (4).
 const ENTRY_META_BYTES: usize = 12;
+/// Trailing page checksum (DESIGN.md §6.5): recovery trusts a bucket
+/// page only when the last 8 bytes checksum the rest of it.
+const CHECKSUM_BYTES: usize = 8;
 
 /// Bucket-page write attempts before an operation gives up on the
 /// device (first submit plus retries); injected faults are transient by
@@ -129,6 +134,62 @@ impl Soc {
         }
     }
 
+    /// Rebuilds a SOC from the bucket pages persisted on flash
+    /// (DESIGN.md §6.5). Each bucket page is read back and trusted only
+    /// if its trailing checksum validates; never-written and
+    /// checksum-failing pages come back as virgin buckets. Recovered
+    /// values are materialized payload bytes ([`Value::real`]), so they
+    /// serialize bit-identically to what was on flash.
+    ///
+    /// Requires a data-retaining store; geometry arguments must match
+    /// the pre-crash instance (the caller rebuilds them from
+    /// configuration, which is host-side input, not recovered state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-injected I/O failures (an injected read fault is
+    /// retried once, then the bucket is treated as lost — recovery
+    /// must not wedge on a flaky page).
+    pub fn recover(
+        base_block: u64,
+        num_buckets: u64,
+        bucket_bytes: u32,
+        handle: PlacementHandle,
+        io: &mut IoManager,
+    ) -> Result<Self, CacheError> {
+        let mut soc = Soc::new(base_block, num_buckets, bucket_bytes, handle);
+        let mut page = vec![0u8; bucket_bytes as usize];
+        for bucket in 0..num_buckets {
+            let block = soc.bucket_block(bucket);
+            let mut res = io.read(block, &mut page);
+            if res.as_ref().is_err_and(|e| e.is_injected_fault()) {
+                soc.stats.read_faults += 1;
+                res = io.read(block, &mut page);
+            }
+            match res {
+                Ok(_) => {}
+                Err(NvmeError::Unwritten(_)) => continue,
+                Err(e) if e.is_injected_fault() => continue,
+                Err(e) => return Err(e.into()),
+            }
+            let Some(parsed) = Self::parse_bucket(&page) else {
+                // Readable but not a valid bucket (torn or foreign
+                // page): recovery must not trust it.
+                continue;
+            };
+            let mut off = HEADER_BYTES;
+            for (key, size) in parsed {
+                off += ENTRY_META_BYTES;
+                let bytes = page[off..off + size as usize].to_vec();
+                off += size as usize;
+                soc.buckets[bucket as usize].push(Entry { key, value: Value::real(bytes) });
+            }
+            soc.written[bucket as usize] = true;
+            soc.bloom.rebuild(bucket as usize, soc.buckets[bucket as usize].iter().map(|e| e.key));
+        }
+        Ok(soc)
+    }
+
     /// Number of buckets.
     pub fn num_buckets(&self) -> u64 {
         self.num_buckets
@@ -159,7 +220,14 @@ impl Soc {
 
     /// Largest object the SOC can hold.
     pub fn max_object_bytes(&self) -> usize {
-        self.bucket_bytes as usize - HEADER_BYTES - ENTRY_META_BYTES
+        self.bucket_bytes as usize - HEADER_BYTES - ENTRY_META_BYTES - CHECKSUM_BYTES
+    }
+
+    /// Bytes of a bucket page available to the header + entries (the
+    /// trailing checksum is reserved).
+    #[inline]
+    fn usable_bucket_bytes(&self) -> usize {
+        self.bucket_bytes as usize - CHECKSUM_BYTES
     }
 
     #[inline]
@@ -167,7 +235,10 @@ impl Soc {
         bucket_hash(key) % self.num_buckets
     }
 
-    fn bucket_block(&self, bucket: u64) -> u64 {
+    /// Namespace-relative block holding `bucket`'s page. Public so
+    /// crash drivers can compute scripted fault coordinates (every
+    /// bucket operation is a command starting at this block).
+    pub fn bucket_block(&self, bucket: u64) -> u64 {
         self.base_block + bucket
     }
 
@@ -194,13 +265,22 @@ impl Soc {
             e.value.materialize(e.key, &mut out[off..off + e.value.len()]);
             off += e.value.len();
         }
+        let cut = out.len() - CHECKSUM_BYTES;
+        let sum = page_checksum(&out[..cut]);
+        out[cut..].copy_from_slice(&sum.to_le_bytes());
     }
 
     /// Parses an on-flash bucket page into `(key, size)` pairs. Returns
-    /// `None` when the page is not a serialized bucket (wrong magic or
-    /// inconsistent lengths).
+    /// `None` when the page is not a serialized bucket (wrong magic,
+    /// inconsistent lengths, or a trailing checksum mismatch — recovery
+    /// treats such a page as never written).
     pub fn parse_bucket(page: &[u8]) -> Option<Vec<(Key, u32)>> {
-        if page.len() < HEADER_BYTES {
+        if page.len() < HEADER_BYTES + CHECKSUM_BYTES {
+            return None;
+        }
+        let cut = page.len() - CHECKSUM_BYTES;
+        let stored = u64::from_le_bytes(page[cut..].try_into().ok()?);
+        if stored != page_checksum(&page[..cut]) {
             return None;
         }
         let magic = u32::from_le_bytes(page[0..4].try_into().ok()?);
@@ -211,13 +291,13 @@ impl Soc {
         let mut out = Vec::with_capacity(count);
         let mut off = HEADER_BYTES;
         for _ in 0..count {
-            if off + ENTRY_META_BYTES > page.len() {
+            if off + ENTRY_META_BYTES > cut {
                 return None;
             }
             let key = u64::from_le_bytes(page[off..off + 8].try_into().ok()?);
             let size = u32::from_le_bytes(page[off + 8..off + 12].try_into().ok()?);
             off += ENTRY_META_BYTES;
-            if off + size as usize > page.len() {
+            if off + size as usize > cut {
                 return None;
             }
             off += size as usize;
@@ -336,7 +416,7 @@ impl Soc {
     ) -> Result<u64, CacheError> {
         let len = value.len();
         let need = ENTRY_META_BYTES + len;
-        if HEADER_BYTES + need > self.bucket_bytes as usize {
+        if HEADER_BYTES + need > self.usable_bucket_bytes() {
             return Err(CacheError::ObjectTooLarge { size: len, max: self.max_object_bytes() });
         }
         let bucket = self.bucket_of(key);
@@ -347,7 +427,7 @@ impl Soc {
         // Evict oldest entries until the new one fits (kept for
         // rollback, newest-evicted first).
         let mut evicted_entries = Vec::new();
-        while self.bucket_payload(bucket) + need > self.bucket_bytes as usize {
+        while self.bucket_payload(bucket) + need > self.usable_bucket_bytes() {
             match self.buckets[bucket as usize].pop() {
                 Some(e) => evicted_entries.push(e),
                 None => break,
@@ -510,6 +590,20 @@ impl Soc {
     pub fn bucket_on_flash(&self, key: Key) -> bool {
         self.written[self.bucket_of(key) as usize]
     }
+
+    /// Keys whose serialized copy is live on flash right now (entries
+    /// in buckets with a written, un-invalidated page). These are
+    /// exactly the SOC objects a crash-and-recover cycle must bring
+    /// back — the must-survive oracle for crash tests.
+    pub fn persisted_keys(&self) -> Vec<Key> {
+        let mut keys = Vec::new();
+        for (b, entries) in self.buckets.iter().enumerate() {
+            if self.written[b] {
+                keys.extend(entries.iter().map(|e| e.key));
+            }
+        }
+        keys
+    }
 }
 
 #[cfg(test)]
@@ -656,6 +750,52 @@ mod tests {
         page[0..4].copy_from_slice(&MAGIC.to_le_bytes());
         page[4..8].copy_from_slice(&1000u32.to_le_bytes()); // count too big
         assert!(Soc::parse_bucket(&page).is_none());
+    }
+
+    #[test]
+    fn recover_rebuilds_buckets_from_flash() {
+        let (mut s, mut io) = soc(8);
+        for k in 0..30u64 {
+            s.insert(&mut io, k, Value::synthetic(64 + k as u32)).unwrap();
+        }
+        s.remove(&mut io, 3).unwrap();
+        let survivors = s.persisted_keys();
+        drop(s);
+        let mut r = Soc::recover(0, 8, 4096, PlacementHandle::with_dspec(0), &mut io).unwrap();
+        let mut recovered = r.persisted_keys();
+        let mut expected = survivors.clone();
+        recovered.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(recovered, expected);
+        assert!(r.lookup(&mut io, 3).unwrap().is_none(), "removed key must stay dead");
+        for k in survivors {
+            let v = r.lookup(&mut io, k).unwrap().expect("survivor lost");
+            assert_eq!(v.len(), 64 + k as usize, "size mangled for key {k}");
+            // Recovered bytes must match the original synthetic
+            // materialization exactly.
+            assert_eq!(v.to_bytes(k), Value::synthetic(64 + k as u32).to_bytes(k));
+        }
+        // Re-serialization of recovered buckets is bit-identical.
+        for b in 0..8 {
+            assert!(r.verify_bucket(&mut io, b).unwrap(), "bucket {b} mismatched after recovery");
+        }
+    }
+
+    #[test]
+    fn recover_treats_corrupt_page_as_virgin() {
+        let (mut s, mut io) = soc(4);
+        s.insert(&mut io, 1, Value::synthetic(100)).unwrap();
+        let bucket = s.bucket_index(1);
+        let block = s.bucket_block(bucket);
+        // Corrupt the persisted page out-of-band (simulated torn write).
+        let mut page = vec![0u8; 4096];
+        io.read(block, &mut page).unwrap();
+        page[100] ^= 0xFF;
+        io.write(block, &page, PlacementHandle::with_dspec(0)).unwrap();
+        drop(s);
+        let mut r = Soc::recover(0, 4, 4096, PlacementHandle::with_dspec(0), &mut io).unwrap();
+        assert!(r.lookup(&mut io, 1).unwrap().is_none(), "corrupt bucket must not be trusted");
+        assert!(r.persisted_keys().is_empty());
     }
 
     #[test]

@@ -365,6 +365,78 @@ fn epoch_reclamation_frees_garbage_without_use_after_retire() {
     assert_eq!(backlog, 0, "retired nodes were never freed after quiescence");
 }
 
+/// Warm restart meets the lock-free read path: a recovered pool must
+/// start with a *fresh* read-side — empty per-shard `ReadIndex`, a
+/// quiesced epoch collector (zero retired nodes, zero garbage) — and a
+/// key whose delete completed before the crash must stay dead on the
+/// lock-free path even while writers republish survivors around it.
+#[test]
+fn recovered_pool_keeps_deletes_dead_and_starts_with_a_fresh_read_index() {
+    const DEAD: u64 = 13;
+    const KEYS: u64 = 120;
+    let ctrl = build_device(FtlConfig::tiny_test(), StoreKind::Mem, true).unwrap();
+    // Tiny DRAM: the population spills to the SOC, so recovery has
+    // flash-resident state to rebuild (and to scrub the delete from).
+    let config = CacheConfig {
+        ram_bytes: 2 << 10,
+        ram_item_overhead: 0,
+        nvm: NvmConfig { soc_fraction: 0.2, region_bytes: 8 * 4096, ..NvmConfig::default() },
+        use_fdp: true,
+    };
+    let pool =
+        ConcurrentPool::new(&ctrl, &config, 1, 0.9, || Box::new(RoundRobinPolicy::new())).unwrap();
+    for key in 0..KEYS {
+        pool.put(key, Value::synthetic(90)).unwrap();
+    }
+    let persisted_before: std::collections::BTreeSet<u64> =
+        pool.with_shard(0, |c| c.persisted_keys().into_iter().collect()).unwrap();
+    assert!(persisted_before.contains(&DEAD), "DEAD must be flash-resident before its delete");
+    assert!(pool.delete(DEAD).unwrap(), "delete must acknowledge");
+    let survivors: Vec<u64> =
+        pool.with_shard(0, |c| c.persisted_keys()).unwrap().into_iter().collect();
+    assert!(!survivors.is_empty());
+    drop(pool); // the crash: every host-side structure is gone
+
+    let pool = ConcurrentPool::recover(&ctrl, &config, &[1], || Box::new(RoundRobinPolicy::new()))
+        .unwrap();
+    // Fresh read-side state: nothing published, nothing retired.
+    assert_eq!(pool.collect_read_garbage(), 0, "recovered epoch collector must start empty");
+    assert_eq!(
+        pool.with_shard(0, |c| c.read_index().retired_total()).unwrap(),
+        0,
+        "recovered ReadIndex must not inherit pre-crash retirements"
+    );
+    // Concurrent witnesses: readers hammer the dead key on the
+    // lock-free path while a writer republishes survivors (promotions
+    // and overwrites churning the same index).
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let (pool, done, survivors) = (&pool, &done, &survivors);
+        scope.spawn(move || {
+            for round in 0..3u64 {
+                for &k in survivors.iter() {
+                    pool.put(k, Value::real(encode(k, round + 1))).unwrap();
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+        });
+        for _ in 0..2 {
+            scope.spawn(move || {
+                while !done.load(Ordering::SeqCst) {
+                    let (outcome, value) = pool.get(DEAD).unwrap();
+                    assert_eq!(outcome, GetOutcome::Miss, "deleted key resurrected by recovery");
+                    assert!(value.is_none());
+                }
+            });
+        }
+    });
+    // The locked baseline agrees once everything quiesces.
+    assert_eq!(pool.get_locked(DEAD).unwrap().0, GetOutcome::Miss);
+    for &k in &survivors {
+        assert!(pool.get(k).unwrap().1.is_some(), "survivor {k} lost after recovery");
+    }
+}
+
 /// Mid-run stats coherence: merged-on-read snapshots taken while
 /// readers and writers are live must be monotonic (counters never go
 /// backward), never overshoot the work actually issued, and land on

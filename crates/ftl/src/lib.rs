@@ -31,8 +31,12 @@
 //! ## Non-goals
 //!
 //! Payload bytes are not stored here (see `fdpcache-nvme`'s backing
-//! store); there is no mapping-table persistence or power-loss handling —
-//! the paper's experiments never exercise those.
+//! store). Mapping persistence *is* modeled for the warm-restart path:
+//! [`Ftl::snapshot`] checkpoints the table and
+//! [`Ftl::recover_mapping`] rebuilds it from a checkpoint, the FDP event
+//! journal, or a full spare-area scan (DESIGN.md §6.6) — but there is
+//! no wear-aware data placement or real power-loss-protection
+//! hardware model.
 
 #![warn(missing_docs)]
 pub mod config;
@@ -46,7 +50,7 @@ pub mod stats;
 pub use config::{FtlConfig, GcPolicy, RuhType};
 pub use error::FtlError;
 pub use events::{EventLog, FdpEvent};
-pub use ftl::Ftl;
+pub use ftl::{Ftl, FtlRecoveryReport, FtlSnapshot, RecoveryPath};
 pub use gc::GcRng;
 pub use ru::{RuInfo, RuOwner};
 pub use stats::FtlStats;

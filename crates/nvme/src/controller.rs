@@ -33,7 +33,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use fdpcache_ftl::{FdpEvent, Ftl, FtlConfig, RuhId, DEFAULT_RUH};
+use fdpcache_ftl::{FdpEvent, Ftl, FtlConfig, FtlRecoveryReport, FtlSnapshot, RuhId, DEFAULT_RUH};
 use parking_lot::{Mutex, RwLock};
 
 use crate::datastore::DataStore;
@@ -81,6 +81,11 @@ pub struct FdpStatsLog {
     pub media_bytes_erased: u64,
     /// Media Relocated events since reset (GC operations).
     pub media_relocated_events: u64,
+    /// Events lost to event-log ring overflow. GC-energy accounting that
+    /// counts drained *Media Relocated* events under-counts by (up to)
+    /// this much; a nonzero value also disqualifies the event journal
+    /// for mapping recovery (the full-scan fallback takes over).
+    pub log_events_dropped: u64,
 }
 
 impl FdpStatsLog {
@@ -104,6 +109,7 @@ impl FdpStatsLog {
             media_relocated_events: self
                 .media_relocated_events
                 .saturating_sub(earlier.media_relocated_events),
+            log_events_dropped: self.log_events_dropped.saturating_sub(earlier.log_events_dropped),
         }
     }
 }
@@ -731,12 +737,32 @@ impl Controller {
             media_bytes_written: s.nand_pages_written * page,
             media_bytes_erased: s.rus_erased * ru_bytes,
             media_relocated_events: s.gc_runs,
+            log_events_dropped: ftl.events().dropped(),
         }
     }
 
     /// Drains the FDP event log (host event consumption).
     pub fn drain_fdp_events(&self) -> Vec<FdpEvent> {
         self.ftl.lock().events_mut().drain()
+    }
+
+    /// Captures a hash-sealed checkpoint of the FTL's volatile mapping
+    /// state. A real host persists this blob to stable storage; the
+    /// simulator's crash drivers keep it across the simulated process
+    /// death and hand it back to [`Controller::recover_ftl`].
+    pub fn checkpoint_ftl(&self) -> FtlSnapshot {
+        self.ftl.lock().snapshot()
+    }
+
+    /// Rebuilds the FTL's volatile mapping tables after a simulated
+    /// crash, picking the cheapest strategy the persisted evidence
+    /// supports (see [`Ftl::recover_mapping`]): a hash-valid, current
+    /// checkpoint loads directly; a stale checkpoint with a complete
+    /// event journal scans only journal-named reclaim units; anything
+    /// else — including a journal that overflowed (`dropped > 0`) —
+    /// falls back to the full out-of-band media scan.
+    pub fn recover_ftl(&self, checkpoint: Option<&FtlSnapshot>) -> FtlRecoveryReport {
+        self.ftl.lock().recover_mapping(checkpoint)
     }
 
     /// Reads the reclaim unit handle usage log page: per-handle host

@@ -48,6 +48,16 @@ pub enum NvmeError {
         /// Latency penalty charged to the rejected command (ns).
         penalty_ns: u64,
     },
+    /// A scripted kill point fired: the simulated host process died
+    /// before the command had any side effect. Unlike
+    /// [`NvmeError::MediaError`] this is **not** classified as an
+    /// injected device fault — retry/repair loops must propagate it
+    /// untouched so the crash driver can drop all in-memory state and
+    /// run recovery.
+    Killed {
+        /// Device-absolute start LBA of the command that was in flight.
+        lba: u64,
+    },
     /// An FTL-level failure.
     Ftl(FtlError),
 }
@@ -62,6 +72,7 @@ impl From<InjectedFault> for NvmeError {
     fn from(f: InjectedFault) -> Self {
         match f.kind {
             FaultKind::Busy => NvmeError::Busy { penalty_ns: f.penalty_ns },
+            FaultKind::Kill => NvmeError::Killed { lba: f.lba },
             kind => NvmeError::MediaError { lba: f.lba, kind },
         }
     }
@@ -78,6 +89,12 @@ impl NvmeError {
     /// Whether this is the transient busy rejection (retry expected).
     pub fn is_busy(&self) -> bool {
         matches!(self, NvmeError::Busy { .. })
+    }
+
+    /// Whether a scripted kill point fired (the crash driver tears the
+    /// stack down and recovers; nothing else may handle this).
+    pub fn is_kill(&self) -> bool {
+        matches!(self, NvmeError::Killed { .. })
     }
 }
 
@@ -99,6 +116,9 @@ impl std::fmt::Display for NvmeError {
             }
             NvmeError::Busy { penalty_ns } => {
                 write!(f, "device busy (retry after {penalty_ns} ns)")
+            }
+            NvmeError::Killed { lba } => {
+                write!(f, "scripted kill point at LBA {lba}: process crashed")
             }
             NvmeError::Ftl(e) => write!(f, "FTL: {e}"),
         }
@@ -142,6 +162,14 @@ mod tests {
         assert!(matches!(busy, NvmeError::Busy { penalty_ns: 9 }));
         assert!(busy.is_injected_fault() && busy.is_busy());
         assert!(!NvmeError::Unwritten(1).is_injected_fault());
+        let killed: NvmeError =
+            InjectedFault { kind: FaultKind::Kill, lba: 7, penalty_ns: 0 }.into();
+        assert!(matches!(killed, NvmeError::Killed { lba: 7 }));
+        assert!(killed.is_kill());
+        assert!(
+            !killed.is_injected_fault(),
+            "kill must not look like a recoverable device fault to retry loops"
+        );
         assert!(media.to_string().contains("42"));
         assert!(busy.to_string().contains('9'));
     }

@@ -67,6 +67,13 @@ pub enum FaultKind {
     Corruption,
     /// Transient device-busy rejection (retry after the penalty).
     Busy,
+    /// Deterministic process-kill point: the host crashes *before* the
+    /// command has any side effect. Scripted-only (no probability knob) —
+    /// crash points must be exact coordinates so recovery replays are
+    /// seed-stable. The driver that sees the resulting
+    /// [`crate::NvmeError::Killed`] drops all in-memory state and runs
+    /// recovery; retry loops must never swallow it.
+    Kill,
 }
 
 impl FaultKind {
@@ -78,6 +85,7 @@ impl FaultKind {
             FaultKind::DiscardError => 2,
             FaultKind::Corruption => 3,
             FaultKind::Busy => 4,
+            FaultKind::Kill => 5,
         }
     }
 }
@@ -178,6 +186,8 @@ pub struct FaultTotals {
     pub corruption_errors: u64,
     /// Busy rejections injected.
     pub busy_events: u64,
+    /// Scripted kill points fired.
+    pub kill_events: u64,
 }
 
 impl FaultTotals {
@@ -188,6 +198,7 @@ impl FaultTotals {
             + self.discard_errors
             + self.corruption_errors
             + self.busy_events
+            + self.kill_events
     }
 }
 
@@ -198,6 +209,7 @@ struct AtomicTotals {
     discard_errors: AtomicU64,
     corruption_errors: AtomicU64,
     busy_events: AtomicU64,
+    kill_events: AtomicU64,
 }
 
 impl AtomicTotals {
@@ -208,6 +220,7 @@ impl AtomicTotals {
             FaultKind::DiscardError => &self.discard_errors,
             FaultKind::Corruption => &self.corruption_errors,
             FaultKind::Busy => &self.busy_events,
+            FaultKind::Kill => &self.kill_events,
         };
         c.fetch_add(1, Ordering::Relaxed);
     }
@@ -219,6 +232,7 @@ impl AtomicTotals {
             discard_errors: self.discard_errors.load(Ordering::Relaxed),
             corruption_errors: self.corruption_errors.load(Ordering::Relaxed),
             busy_events: self.busy_events.load(Ordering::Relaxed),
+            kill_events: self.kill_events.load(Ordering::Relaxed),
         }
     }
 }
@@ -250,7 +264,7 @@ pub struct FaultPlan {
     /// trigger), indexed by [`FaultKind::idx`]. Dead kinds skip their
     /// counter bumps entirely on the hot path — safe, because a kind
     /// that never fires has no observable schedule.
-    live: [bool; 5],
+    live: [bool; 6],
     /// Access counters keyed by `(location << 3) | kind`, sharded by
     /// location so disjoint namespaces never contend.
     counters: Vec<Mutex<HashMap<u64, u64>>>,
@@ -261,7 +275,7 @@ impl FaultPlan {
     /// Builds a plan from a configuration.
     pub fn new(config: FaultConfig) -> Self {
         let enabled = !config.is_empty();
-        let mut live = [false; 5];
+        let mut live = [false; 6];
         live[FaultKind::ReadError.idx() as usize] = config.read_err_ppm > 0;
         live[FaultKind::WriteError.idx() as usize] = config.write_err_ppm > 0;
         live[FaultKind::DiscardError.idx() as usize] = config.discard_err_ppm > 0;
@@ -332,6 +346,17 @@ impl FaultPlan {
     pub fn inject(&self, op: FaultOp, lba: u64, nlb: u64) -> Option<InjectedFault> {
         if !self.enabled {
             return None;
+        }
+        // Scripted kill points come first: a crash pre-empts every other
+        // failure mode, and it must fire before the command has any side
+        // effect. Decided once per command on its start LBA; Kill has no
+        // probability knob, so only scripted coordinates can trip it.
+        if self.is_live(FaultKind::Kill) {
+            let n = self.bump(FaultKind::Kill, lba);
+            if self.fires(FaultKind::Kill, lba, n, 0) {
+                self.totals.count(FaultKind::Kill);
+                return Some(InjectedFault { kind: FaultKind::Kill, lba, penalty_ns: 0 });
+            }
         }
         // Transient busy, decided once per command on its start LBA.
         if self.is_live(FaultKind::Busy) {
@@ -588,6 +613,34 @@ mod tests {
         assert_eq!(f.lba, CORRUPTION_SEGMENT_BLOCKS);
         // Reads confined to other segments pass.
         assert!(p.inject(FaultOp::Read, 0, 4).is_none());
+    }
+
+    #[test]
+    fn kill_points_are_scripted_only_and_preempt_other_kinds() {
+        let cfg = FaultConfig {
+            busy_ppm: 1_000_000,
+            scripted: vec![ScriptedFault {
+                kind: FaultKind::Kill,
+                lba: 4,
+                at_access: 1,
+                repeats: 1,
+            }],
+            ..Default::default()
+        };
+        let p = plan(cfg);
+        // Access 0 of LBA 4 misses the kill window and falls through to
+        // the (certain) busy roll.
+        assert_eq!(p.inject(FaultOp::Write, 4, 1).unwrap().kind, FaultKind::Busy);
+        // Access 1 is the scripted crash: it pre-empts the busy roll.
+        let f = p.inject(FaultOp::Write, 4, 1).unwrap();
+        assert_eq!(f.kind, FaultKind::Kill);
+        assert_eq!(f.lba, 4);
+        assert_eq!(p.totals().kill_events, 1);
+        // Once spent, the schedule continues normally. The kill counter
+        // is per command start LBA across all op classes, so the window
+        // stays spent for reads too.
+        assert_eq!(p.inject(FaultOp::Write, 4, 1).unwrap().kind, FaultKind::Busy);
+        assert_ne!(p.inject(FaultOp::Read, 4, 1).map(|f| f.kind), Some(FaultKind::Kill));
     }
 
     #[test]

@@ -112,6 +112,45 @@ impl FaultScenario {
         }
     }
 
+    /// A deterministic crash point and nothing else: one scripted
+    /// [`FaultKind::Kill`] that fires the first time block `lba` is
+    /// accessed for the `at_access`-th time, stops the in-flight
+    /// command before any side effect, and never fires again
+    /// (`repeats: 1` — the recovered process must not be re-killed by
+    /// its own plan). Replaying the same workload with the same crash
+    /// point is bit-identical, which is what makes crash-recovery
+    /// testable (DESIGN.md §6.6).
+    ///
+    /// Not part of [`FaultScenario::all_builtin`]: the fault-sweep gate
+    /// replays to completion, while a kill by definition does not
+    /// complete.
+    pub fn crash_at(lba: u64, at_access: u64) -> Self {
+        FaultScenario {
+            name: "crash",
+            config: FaultConfig {
+                seed: 0xFA06,
+                scripted: vec![ScriptedFault { kind: FaultKind::Kill, lba, at_access, repeats: 1 }],
+                ..Default::default()
+            },
+        }
+    }
+
+    /// This scenario with a one-shot kill point layered on top — crash
+    /// recovery under live media faults. The base schedule (seed,
+    /// probabilistic rates, scripted faults) is untouched, so the
+    /// pre-crash replay stays bit-identical to the uncrashed run of the
+    /// base scenario.
+    #[must_use]
+    pub fn with_kill(mut self, lba: u64, at_access: u64) -> Self {
+        self.config.scripted.push(ScriptedFault {
+            kind: FaultKind::Kill,
+            lba,
+            at_access,
+            repeats: 1,
+        });
+        self
+    }
+
     /// Every built-in scenario, `none` first (the transparency
     /// baseline), in stable gate order.
     pub fn all_builtin() -> Vec<FaultScenario> {
@@ -146,6 +185,21 @@ mod tests {
             assert_eq!(FaultScenario::by_name(s.name).as_ref(), Some(s));
         }
         assert!(FaultScenario::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn crash_points_are_one_shot_and_stack_on_any_base() {
+        let c = FaultScenario::crash_at(42, 3);
+        assert_eq!(c.config.scripted.len(), 1);
+        assert_eq!(c.config.scripted[0].kind, FaultKind::Kill);
+        assert_eq!(c.config.scripted[0].repeats, 1, "kill must not re-fire after recovery");
+        assert!(FaultScenario::by_name("crash").is_none(), "crash is not a sweep scenario");
+
+        let base = FaultScenario::write_flaky();
+        let killed = base.clone().with_kill(42, 0);
+        assert_eq!(killed.config.seed, base.config.seed, "base schedule must be untouched");
+        assert_eq!(killed.config.write_err_ppm, base.config.write_err_ppm);
+        assert_eq!(killed.config.scripted.len(), base.config.scripted.len() + 1);
     }
 
     #[test]
