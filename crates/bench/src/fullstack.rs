@@ -346,6 +346,40 @@ pub struct WallclockTrajectoryPoint {
     pub speedup_vs_ref: f64,
 }
 
+/// One point of a `bench_wallclock` reactor sweep: a `(service mode,
+/// queue depth, drivers, workers)` pool topology → real ops/s.
+#[derive(Debug, Clone, Serialize)]
+pub struct PoolWallclockTrajectoryPoint {
+    /// Workload profile label.
+    pub profile: String,
+    /// Service-mode label (`inline` / `reactor`).
+    pub service: String,
+    /// Device queue depth per shard.
+    pub queue_depth: usize,
+    /// Real driver threads partitioning the trace.
+    pub drivers: usize,
+    /// Reactor workers (0 on inline rows).
+    pub workers: usize,
+    /// Pool shards.
+    pub shards: usize,
+    /// Operations replayed.
+    pub ops: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+    /// Thousands of ops per wall-clock second.
+    pub kops: f64,
+    /// Device payload bytes moved (written + read).
+    pub bytes_moved: u64,
+    /// Payload bandwidth in MiB per wall-clock second.
+    pub mib_per_sec: f64,
+    /// Final virtual clock frontier (ns) — identical across service
+    /// modes on single-driver rows.
+    pub now_ns: u64,
+    /// Wall-clock speedup vs the inline QD-1 single-driver row of the
+    /// same profile (1.0 on that baseline row).
+    pub speedup_vs_inline_qd1: f64,
+}
+
 /// One point of a `--read` contended-read trajectory.
 #[derive(Debug, Clone, Serialize)]
 pub struct ReadTrajectoryPoint {
@@ -457,6 +491,9 @@ pub struct TrajectoryRecord {
     /// Wall-clock data-path points, slab and reference rows per
     /// profile (empty unless produced by `bench_wallclock`).
     pub wallclock_points: Vec<WallclockTrajectoryPoint>,
+    /// Reactor-sweep pool points, five service topologies per profile
+    /// (empty unless produced by `bench_wallclock`).
+    pub wallclock_pool_points: Vec<PoolWallclockTrajectoryPoint>,
     /// Fault-scenario points in gate order (empty unless produced by
     /// `bench_faults`).
     pub fault_points: Vec<FaultTrajectoryPoint>,
@@ -497,6 +534,7 @@ impl TrajectoryRecord {
                 .collect(),
             qd_points: Vec::new(),
             wallclock_points: Vec::new(),
+            wallclock_pool_points: Vec::new(),
             fault_points: Vec::new(),
             read_points: Vec::new(),
             recovery_points: Vec::new(),
@@ -530,20 +568,24 @@ impl TrajectoryRecord {
                 })
                 .collect(),
             wallclock_points: Vec::new(),
+            wallclock_pool_points: Vec::new(),
             fault_points: Vec::new(),
             read_points: Vec::new(),
             recovery_points: Vec::new(),
         }
     }
 
-    /// Builds a `wallclock` record from the slab-vs-reference sweep:
-    /// two rows per profile, the slab row carrying its speedup over
-    /// the reference.
+    /// Builds a `wallclock` record from the slab-vs-reference sweep
+    /// (two rows per profile, the slab row carrying its speedup over
+    /// the reference) and the reactor sweep (five service-topology
+    /// rows per profile, each carrying its speedup over the inline
+    /// QD-1 baseline).
     pub fn new_wallclock(
         device_mib: u64,
         ops: u64,
         trials: u64,
         comparisons: &[crate::wallclock::WallclockComparison],
+        pool_sweeps: &[crate::wallclock::PoolProfileSweep],
     ) -> Self {
         let point =
             |r: &crate::wallclock::WallclockResult, speedup: f64| WallclockTrajectoryPoint {
@@ -568,6 +610,27 @@ impl TrajectoryRecord {
                 .iter()
                 .flat_map(|c| [point(&c.slab, c.speedup()), point(&c.hash_ref, 1.0)])
                 .collect(),
+            wallclock_pool_points: pool_sweeps
+                .iter()
+                .flat_map(|s| {
+                    let base = s.baseline().kops.max(1e-9);
+                    s.points.iter().map(move |p| PoolWallclockTrajectoryPoint {
+                        profile: p.profile.clone(),
+                        service: p.mode.clone(),
+                        queue_depth: p.queue_depth,
+                        drivers: p.drivers,
+                        workers: p.workers,
+                        shards: p.shards,
+                        ops: p.ops,
+                        wall_secs: p.wall_secs,
+                        kops: p.kops,
+                        bytes_moved: p.bytes_moved,
+                        mib_per_sec: p.mib_per_sec,
+                        now_ns: p.now_ns,
+                        speedup_vs_inline_qd1: p.kops / base,
+                    })
+                })
+                .collect(),
             fault_points: Vec::new(),
             read_points: Vec::new(),
             recovery_points: Vec::new(),
@@ -590,6 +653,7 @@ impl TrajectoryRecord {
             points: Vec::new(),
             qd_points: Vec::new(),
             wallclock_points: Vec::new(),
+            wallclock_pool_points: Vec::new(),
             fault_points: entries
                 .iter()
                 .map(|e| FaultTrajectoryPoint {
@@ -637,6 +701,7 @@ impl TrajectoryRecord {
             points: Vec::new(),
             qd_points: Vec::new(),
             wallclock_points: Vec::new(),
+            wallclock_pool_points: Vec::new(),
             fault_points: Vec::new(),
             read_points: results
                 .iter()
@@ -670,6 +735,7 @@ impl TrajectoryRecord {
             points: Vec::new(),
             qd_points: Vec::new(),
             wallclock_points: Vec::new(),
+            wallclock_pool_points: Vec::new(),
             fault_points: Vec::new(),
             read_points: Vec::new(),
             recovery_points: entries

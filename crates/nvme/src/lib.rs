@@ -52,6 +52,7 @@ pub mod identify;
 pub mod logpage;
 pub mod namespace;
 pub mod queue;
+pub mod reactor;
 
 pub use command::{DeallocRange, IoCommand};
 pub use controller::{
@@ -69,3 +70,4 @@ pub use identify::{ControllerIdentity, FdpConfigDescriptor};
 pub use logpage::{FdpConfigLog, RuhUsageDescriptor, RuhUsageLog};
 pub use namespace::{Namespace, NamespaceId};
 pub use queue::{CommandId, Completion, QueuePair};
+pub use reactor::{IoReactor, ReactorConfig, ReactorIoStats, ServiceMode, SubmitTelemetry};

@@ -1,0 +1,533 @@
+//! Completion reactor: a per-device I/O service that executes device
+//! work (validation, payload memcpys into the slab/hash store, FTL
+//! mapping) on dedicated worker threads instead of the caller's
+//! thread.
+//!
+//! The replayed SQ/CQ pipeline (PR 3) overlaps outstanding commands in
+//! *virtual* time only — wall-clock service still ran synchronously
+//! inside each shard's mutex-held call, so independent shards
+//! serialized on the device even though their virtual clocks
+//! pipelined. The reactor closes that gap: callers enqueue a
+//! submission into a bounded ring, drop out of the device-service
+//! critical section, and park on a per-submission completion gate
+//! while one of the reactor's workers performs the real memcpy/slab
+//! work. Independent shards therefore overlap slab reads, writes,
+//! seals, and discards in wall-clock.
+//!
+//! # Threading model
+//!
+//! One [`IoReactor`] per device, created lazily by the first caller
+//! that switches its [`crate::Controller`] handle into
+//! [`ServiceMode::Reactor`]. The reactor owns:
+//!
+//! * a bounded MPSC submission ring (`Mutex<VecDeque<Job>>` plus
+//!   `not_empty`/`not_full` condvars — the vendored `parking_lot`
+//!   shim has no `Condvar`, so the ring uses `std::sync` directly);
+//! * `workers` poller threads that pull submissions and run them.
+//!
+//! # Park/wake protocol
+//!
+//! [`IoReactor::execute`] boxes the service closure together with a
+//! reference to a stack-allocated completion gate, pushes it onto the
+//! ring (blocking while the ring is full — backpressure, counted in
+//! [`ReactorIoStats::ring_full_waits`]), then parks on the gate until
+//! a worker publishes the completion. Because the caller never
+//! returns before its completion is published, the closure may borrow
+//! from the caller's stack even though the ring stores `'static`
+//! jobs; see the safety comment in `execute`. Workers never enqueue,
+//! so ring-full backpressure cannot deadlock: every parked producer
+//! is eventually woken by a consumer that only consumes.
+//!
+//! If a service closure panics, the worker survives
+//! (`catch_unwind`), the gate is poisoned by a drop guard, and the
+//! parked caller re-raises the panic on its own thread.
+//!
+//! # Why virtual time stays deterministic
+//!
+//! The reactor moves *where* device service executes, not *what* it
+//! computes: a caller submits one closure and parks until it
+//! finishes, so per-caller submission order — and therefore every
+//! virtual-time observation (service latencies, GC interference,
+//! queue-pair clocks, histograms) — is byte-identical to inline
+//! execution. Wall-clock overlap comes only from *different* shards
+//! having submissions in flight at once, which the partitioned
+//! determinism suite already proves invariant.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Where device service (the real memcpy/slab work) executes.
+///
+/// `Inline` is today's bit-identical path: service runs on the
+/// caller's thread inside the shard critical section. `Reactor`
+/// replays identical virtual clocks but ships the service closure to
+/// a per-device [`IoReactor`] so independent shards overlap device
+/// time in wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServiceMode {
+    /// Execute device service synchronously on the caller's thread.
+    #[default]
+    Inline,
+    /// Execute device service on the device's completion reactor.
+    Reactor {
+        /// Worker threads to request when this caller is the one that
+        /// instantiates the device's reactor. The reactor is created
+        /// once per device; later callers share it and their worker
+        /// count is ignored.
+        workers: usize,
+    },
+}
+
+impl ServiceMode {
+    /// Short label for bench records and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServiceMode::Inline => "inline",
+            ServiceMode::Reactor { .. } => "reactor",
+        }
+    }
+}
+
+/// Sizing knobs for an [`IoReactor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReactorConfig {
+    /// Worker (poller) threads servicing the submission ring.
+    pub workers: usize,
+    /// Ring capacity; producers block once this many submissions are
+    /// queued (backpressure).
+    pub ring_capacity: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig { workers: 4, ring_capacity: 64 }
+    }
+}
+
+/// Per-device reactor counters, nested inside the I/O manager's
+/// `IoStats` and merged field-wise across shards.
+///
+/// `submissions`/`completions` differ between service modes by
+/// construction (inline mode never submits), and `ring_full_waits`/
+/// `parked_ns` are wall-clock observations — so determinism
+/// comparisons must go through the stats' virtual view, which zeroes
+/// this struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorIoStats {
+    /// Submissions pushed onto a reactor ring.
+    pub submissions: u64,
+    /// Completions published back to parked callers.
+    pub completions: u64,
+    /// Times a producer found the ring full and had to park before
+    /// its submission was accepted (backpressure events).
+    pub ring_full_waits: u64,
+    /// Total wall-clock nanoseconds callers spent parked on
+    /// completion gates.
+    pub parked_ns: u64,
+}
+
+impl ReactorIoStats {
+    /// Field-wise sum, mirroring `IoStats::merge`.
+    pub fn merge(&self, other: &ReactorIoStats) -> ReactorIoStats {
+        ReactorIoStats {
+            submissions: self.submissions + other.submissions,
+            completions: self.completions + other.completions,
+            ring_full_waits: self.ring_full_waits + other.ring_full_waits,
+            parked_ns: self.parked_ns + other.parked_ns,
+        }
+    }
+}
+
+/// Wall-clock telemetry for one [`IoReactor::execute`] call, folded
+/// into the caller's `ReactorIoStats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitTelemetry {
+    /// Ring-full park events this submission hit before being queued.
+    pub ring_full_waits: u64,
+    /// Nanoseconds the caller spent parked on the completion gate.
+    pub parked_ns: u64,
+}
+
+/// A type-erased submission. Jobs are created with a caller-stack
+/// lifetime and transmuted to `'static`; see the safety comment in
+/// [`IoReactor::execute`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Ring state shared between producers and workers.
+struct Ring {
+    jobs: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    shutdown: AtomicBool,
+    submissions: AtomicU64,
+    completions: AtomicU64,
+    ring_full_waits: AtomicU64,
+    parked_ns: AtomicU64,
+}
+
+impl Ring {
+    /// Lock the job queue, ignoring poisoning: jobs run *outside* the
+    /// ring lock and panics inside them are caught, so the queue is
+    /// never left mid-mutation.
+    fn lock_jobs(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.jobs.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Result slot a parked caller waits on.
+enum GateState<R> {
+    Pending,
+    Done(R),
+    /// The service closure panicked on a worker; the caller re-raises.
+    Poisoned,
+}
+
+struct Gate<R> {
+    state: Mutex<GateState<R>>,
+    cv: Condvar,
+}
+
+impl<R> Gate<R> {
+    fn new() -> Self {
+        Gate { state: Mutex::new(GateState::Pending), cv: Condvar::new() }
+    }
+
+    fn complete(&self, r: R) {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *s = GateState::Done(r);
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    fn poison(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if matches!(*s, GateState::Pending) {
+            *s = GateState::Poisoned;
+        }
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) -> R {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match std::mem::replace(&mut *s, GateState::Pending) {
+                GateState::Done(r) => return r,
+                GateState::Poisoned => {
+                    panic!("reactor worker panicked while servicing a submission")
+                }
+                GateState::Pending => {
+                    s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+                }
+            }
+        }
+    }
+}
+
+/// Poisons the gate if the service closure unwinds, so the parked
+/// caller wakes and re-raises instead of hanging forever.
+struct CompletionGuard<'a, R> {
+    gate: &'a Gate<R>,
+}
+
+impl<R> Drop for CompletionGuard<'_, R> {
+    fn drop(&mut self) {
+        self.gate.poison();
+    }
+}
+
+/// Per-device completion reactor: a bounded submission ring plus
+/// worker threads that execute device service off the caller's
+/// thread. See the module docs for the threading model and the
+/// determinism argument.
+pub struct IoReactor {
+    ring: Arc<Ring>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for IoReactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IoReactor")
+            .field("workers", &self.workers.len())
+            .field("ring_capacity", &self.ring.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl IoReactor {
+    /// Start a reactor with `config.workers` poller threads (at least
+    /// one) and a ring of `config.ring_capacity` slots (at least one).
+    pub fn new(config: ReactorConfig) -> IoReactor {
+        let ring = Arc::new(Ring {
+            jobs: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: config.ring_capacity.max(1),
+            shutdown: AtomicBool::new(false),
+            submissions: AtomicU64::new(0),
+            completions: AtomicU64::new(0),
+            ring_full_waits: AtomicU64::new(0),
+            parked_ns: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let ring = Arc::clone(&ring);
+                std::thread::Builder::new()
+                    .name(format!("io-reactor-{i}"))
+                    .spawn(move || worker_loop(&ring))
+                    .expect("spawn reactor worker")
+            })
+            .collect();
+        IoReactor { ring, workers }
+    }
+
+    /// Number of worker threads servicing this reactor.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Device-wide counters accumulated since the reactor started.
+    pub fn stats(&self) -> ReactorIoStats {
+        ReactorIoStats {
+            submissions: self.ring.submissions.load(Ordering::Relaxed),
+            completions: self.ring.completions.load(Ordering::Relaxed),
+            ring_full_waits: self.ring.ring_full_waits.load(Ordering::Relaxed),
+            parked_ns: self.ring.parked_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Push a job, blocking while the ring is full. Returns the
+    /// number of ring-full park events. Workers never call this, so
+    /// the backpressure wait always resolves.
+    fn push(&self, job: Job) -> u64 {
+        let mut waits = 0u64;
+        let mut q = self.ring.lock_jobs();
+        while q.len() >= self.ring.capacity {
+            waits += 1;
+            self.ring.ring_full_waits.fetch_add(1, Ordering::Relaxed);
+            q = self.ring.not_full.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+        q.push_back(job);
+        self.ring.submissions.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        self.ring.not_empty.notify_one();
+        waits
+    }
+
+    /// Submit one service closure and park until a worker completes
+    /// it. Returns the closure's result plus wall-clock telemetry.
+    ///
+    /// The closure may borrow from the caller's stack: this call does
+    /// not return until the completion has been published, so every
+    /// borrow outlives the job's execution. A panic inside the
+    /// closure is re-raised here, on the caller's thread.
+    ///
+    /// Service closures must not re-enter the reactor (a job that
+    /// parks on another submission of the same ring could exhaust all
+    /// workers). Controller service calls never do.
+    pub fn execute<R, F>(&self, f: F) -> (R, SubmitTelemetry)
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        let gate: Gate<R> = Gate::new();
+        let job: Box<dyn FnOnce() + Send + '_> = {
+            let gate = &gate;
+            Box::new(move || {
+                let guard = CompletionGuard { gate };
+                let r = f();
+                std::mem::forget(guard);
+                gate.complete(r);
+            })
+        };
+        // SAFETY: the job borrows `gate` (this stack frame) and `f`'s
+        // captures (the caller's environment). We erase those
+        // lifetimes to store the job in the ring, which is sound
+        // because this function does not return until the job has
+        // run: we park on `gate` unconditionally below, and the gate
+        // is only released by the job itself — either via `complete`
+        // on success or via the `CompletionGuard` poisoning it during
+        // unwind. Shutdown cannot strand the job either: `Drop`
+        // requires exclusive access to the reactor, which no thread
+        // can obtain while a caller is parked inside `execute`, and
+        // workers drain the ring before exiting.
+        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+        let ring_full_waits = self.push(job);
+        let parked = Instant::now();
+        let r = gate.wait();
+        let parked_ns = parked.elapsed().as_nanos() as u64;
+        // Completion counted on the caller's side, after the gate
+        // published it: a caller that has returned from `execute` is
+        // guaranteed to see its own completion in `stats()`.
+        self.ring.completions.fetch_add(1, Ordering::Relaxed);
+        self.ring.parked_ns.fetch_add(parked_ns, Ordering::Relaxed);
+        (r, SubmitTelemetry { ring_full_waits, parked_ns })
+    }
+
+    /// Fire-and-forget submission: enqueue a `'static` job without a
+    /// completion gate. Used by tests to verify that shutdown drains
+    /// all in-flight work; the drop path runs every queued job before
+    /// joining the workers.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let ring = Arc::clone(&self.ring);
+        self.push(Box::new(move || {
+            f();
+            ring.completions.fetch_add(1, Ordering::Relaxed);
+        }));
+    }
+}
+
+impl Drop for IoReactor {
+    fn drop(&mut self) {
+        self.ring.shutdown.store(true, Ordering::Release);
+        self.ring.not_empty.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Worker loop: pop jobs until the ring is shut down *and* drained.
+/// Jobs run outside the ring lock; panics are caught so one poisoned
+/// submission cannot take the worker (or the ring lock) down with it.
+fn worker_loop(ring: &Ring) {
+    loop {
+        let job = {
+            let mut q = ring.lock_jobs();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break Some(job);
+                }
+                if ring.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = ring.not_empty.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        match job {
+            Some(job) => {
+                ring.not_full.notify_one();
+                // Completions are counted by the observer (the parked
+                // caller, or the spawn wrapper), not here: a panicked
+                // service closure publishes a poisoned gate, which is
+                // a re-raise on the caller — not a completion.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn execute_returns_closure_result_with_borrowed_state() {
+        let reactor = IoReactor::new(ReactorConfig::default());
+        let mut buf = vec![0u8; 64];
+        let payload = vec![7u8; 64];
+        let (n, telemetry) = reactor.execute(|| {
+            buf.copy_from_slice(&payload);
+            buf.len()
+        });
+        assert_eq!(n, 64);
+        assert_eq!(buf, payload);
+        let stats = reactor.stats();
+        assert_eq!(stats.submissions, 1);
+        assert_eq!(stats.completions, 1);
+        assert!(stats.parked_ns >= telemetry.parked_ns);
+    }
+
+    #[test]
+    fn concurrent_callers_each_get_their_own_completion() {
+        let reactor = Arc::new(IoReactor::new(ReactorConfig { workers: 3, ring_capacity: 2 }));
+        let mut handles = Vec::new();
+        for caller in 0..8u64 {
+            let reactor = Arc::clone(&reactor);
+            handles.push(std::thread::spawn(move || {
+                let mut sum = 0u64;
+                for i in 0..50u64 {
+                    let (v, _) = reactor.execute(|| caller * 1_000 + i);
+                    sum += v;
+                }
+                sum
+            }));
+        }
+        for (caller, h) in handles.into_iter().enumerate() {
+            let expected: u64 = (0..50u64).map(|i| caller as u64 * 1_000 + i).sum();
+            assert_eq!(h.join().unwrap(), expected);
+        }
+        let stats = reactor.stats();
+        assert_eq!(stats.submissions, 8 * 50);
+        assert_eq!(stats.completions, 8 * 50);
+    }
+
+    #[test]
+    fn ring_full_backpressure_makes_progress_on_capacity_one() {
+        let reactor = Arc::new(IoReactor::new(ReactorConfig { workers: 1, ring_capacity: 1 }));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reactor = Arc::clone(&reactor);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    let (v, _) = reactor.execute(move || i + 1);
+                    assert_eq!(v, i + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reactor.stats().completions, 400);
+    }
+
+    #[test]
+    fn drop_drains_spawned_work_before_joining() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let reactor = IoReactor::new(ReactorConfig { workers: 2, ring_capacity: 128 });
+            for _ in 0..64 {
+                let counter = Arc::clone(&counter);
+                reactor.spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller_and_spares_the_worker() {
+        let reactor = IoReactor::new(ReactorConfig { workers: 1, ring_capacity: 4 });
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            let _ = reactor.execute(|| panic!("service exploded"));
+        }));
+        assert!(boom.is_err());
+        // The single worker must still be alive and servicing.
+        let (v, _) = reactor.execute(|| 41 + 1);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn stats_merge_is_field_wise() {
+        let a = ReactorIoStats { submissions: 1, completions: 2, ring_full_waits: 3, parked_ns: 4 };
+        let b =
+            ReactorIoStats { submissions: 10, completions: 20, ring_full_waits: 30, parked_ns: 40 };
+        let m = a.merge(&b);
+        assert_eq!(m.submissions, 11);
+        assert_eq!(m.completions, 22);
+        assert_eq!(m.ring_full_waits, 33);
+        assert_eq!(m.parked_ns, 44);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the completion reactor behind `ServiceMode::Reactor`:
+//!
+//! * **Exactly-once conservation vs. the inline reference model** —
+//!   for any job list and any worker/ring topology, every submission
+//!   completes exactly once with exactly the result the same closure
+//!   produces inline, and the device-wide counters conserve
+//!   (`submissions == completions == jobs`).
+//! * **No lost or duplicated completions under arbitrary
+//!   interleavings** — concurrent producers with interleaved
+//!   submissions each observe their own results; a shared execution
+//!   ledger proves every job ran exactly once.
+//! * **Ring-full backpressure never deadlocks** — tiny rings (down to
+//!   one slot) under heavy producer fan-in still complete everything;
+//!   producers park and are always woken because workers only consume.
+//! * **Clean shutdown drains all in-flight work** — dropping the
+//!   reactor runs every queued fire-and-forget job before joining the
+//!   workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use fdpcache_nvme::{IoReactor, ReactorConfig};
+
+/// The deterministic "device service" both models run: mixes a
+/// producer id and a job index so duplicated or cross-delivered
+/// completions are distinguishable.
+fn service(producer: u64, job: u64) -> u64 {
+    producer.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(job).rotate_left(13)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation vs. the inline reference: one producer, arbitrary
+    /// job list, arbitrary topology. The reactor must return exactly
+    /// what running each closure inline returns, in order, and its
+    /// counters must balance.
+    #[test]
+    fn reactor_results_match_the_inline_reference_model(
+        workers in 1usize..5,
+        ring_capacity in 1usize..8,
+        jobs in proptest::collection::vec(0u64..1_000, 1..64),
+    ) {
+        let reactor = IoReactor::new(ReactorConfig { workers, ring_capacity });
+        let inline: Vec<u64> = jobs.iter().map(|&j| service(1, j)).collect();
+        let reacted: Vec<u64> =
+            jobs.iter().map(|&j| reactor.execute(|| service(1, j)).0).collect();
+        prop_assert_eq!(reacted, inline);
+        let stats = reactor.stats();
+        prop_assert_eq!(stats.submissions, jobs.len() as u64);
+        prop_assert_eq!(stats.completions, jobs.len() as u64);
+    }
+
+    /// Exactly-once under arbitrary interleavings: several producer
+    /// threads share one reactor; an execution ledger (one atomic per
+    /// job) proves no job is lost or run twice, and every producer
+    /// receives its own results (never another producer's).
+    #[test]
+    fn no_lost_or_duplicated_completions_across_producers(
+        workers in 1usize..5,
+        ring_capacity in 1usize..6,
+        producers in 2usize..5,
+        jobs_per_producer in 1u64..40,
+    ) {
+        let reactor = Arc::new(IoReactor::new(ReactorConfig { workers, ring_capacity }));
+        let ledger: Arc<Vec<AtomicU64>> = Arc::new(
+            (0..producers as u64 * jobs_per_producer).map(|_| AtomicU64::new(0)).collect(),
+        );
+        let handles: Vec<_> = (0..producers as u64)
+            .map(|p| {
+                let reactor = Arc::clone(&reactor);
+                let ledger = Arc::clone(&ledger);
+                std::thread::spawn(move || {
+                    for j in 0..jobs_per_producer {
+                        let slot = p * jobs_per_producer + j;
+                        let (got, _) = reactor.execute(|| {
+                            ledger[slot as usize].fetch_add(1, Ordering::SeqCst);
+                            service(p, j)
+                        });
+                        assert_eq!(got, service(p, j), "producer {p} got a foreign completion");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (slot, ran) in ledger.iter().enumerate() {
+            prop_assert_eq!(ran.load(Ordering::SeqCst), 1, "job {} ran != once", slot);
+        }
+        let stats = reactor.stats();
+        let total = producers as u64 * jobs_per_producer;
+        prop_assert_eq!(stats.submissions, total);
+        prop_assert_eq!(stats.completions, total);
+    }
+
+    /// Backpressure liveness: a one-slot ring (the worst case) under
+    /// any producer fan-in completes every submission — the test
+    /// finishing at all is the no-deadlock property; the counters
+    /// closing the books is the conservation half.
+    #[test]
+    fn ring_full_backpressure_never_deadlocks(
+        workers in 1usize..4,
+        producers in 1usize..6,
+        jobs_per_producer in 1u64..60,
+    ) {
+        let reactor = Arc::new(IoReactor::new(ReactorConfig { workers, ring_capacity: 1 }));
+        let done = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..producers as u64)
+            .map(|p| {
+                let reactor = Arc::clone(&reactor);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    for j in 0..jobs_per_producer {
+                        let (v, _) = reactor.execute(|| service(p, j));
+                        assert_eq!(v, service(p, j));
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = producers as u64 * jobs_per_producer;
+        prop_assert_eq!(done.load(Ordering::SeqCst), total);
+        prop_assert_eq!(reactor.stats().completions, total);
+    }
+
+    /// Clean shutdown drains: every fire-and-forget job queued before
+    /// the reactor drops has run by the time `drop` returns, no matter
+    /// the topology or backlog size.
+    #[test]
+    fn shutdown_drains_all_in_flight_work(
+        workers in 1usize..5,
+        ring_capacity in 1usize..128,
+        backlog in 1u64..96,
+    ) {
+        let ran = Arc::new(AtomicU64::new(0));
+        {
+            let reactor = IoReactor::new(ReactorConfig { workers, ring_capacity });
+            for _ in 0..backlog {
+                let ran = Arc::clone(&ran);
+                reactor.spawn(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        prop_assert_eq!(ran.load(Ordering::SeqCst), backlog);
+    }
+}
