@@ -268,14 +268,24 @@ impl Controller {
     /// The device's completion reactor, created on first use with
     /// `workers` poller threads. Later callers share the same
     /// reactor; their worker-count request is ignored (one reactor
-    /// per device, like one media array per device).
+    /// per device, like one media array per device). A mismatched
+    /// request is reported on stderr so topology mistakes in bench
+    /// sweeps don't pass silently.
     pub fn reactor(&self, workers: usize) -> Arc<IoReactor> {
-        Arc::clone(self.reactor.get_or_init(|| {
+        let reactor = Arc::clone(self.reactor.get_or_init(|| {
             Arc::new(IoReactor::new(ReactorConfig {
                 workers: workers.max(1),
                 ..ReactorConfig::default()
             }))
-        }))
+        }));
+        if reactor.worker_count() != workers.max(1) {
+            eprintln!(
+                "warning: reactor already running with {} workers; ignoring request for {}",
+                reactor.worker_count(),
+                workers.max(1)
+            );
+        }
+        reactor
     }
 
     /// Device-wide reactor counters, if a reactor has been created.

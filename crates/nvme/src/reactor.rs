@@ -200,8 +200,14 @@ impl<R> Gate<R> {
     fn complete(&self, r: R) {
         let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
         *s = GateState::Done(r);
-        drop(s);
+        // Notify while still holding the lock. The gate lives on the
+        // caller's stack: if we unlocked first, a spurious wakeup could
+        // let the waiter observe Done, return from wait(), and free the
+        // Gate before our notify_one() touched the Condvar. Because the
+        // waiter must reacquire the mutex to leave wait(), notifying
+        // under the lock guarantees the Gate outlives our last access.
         self.cv.notify_one();
+        drop(s);
     }
 
     fn poison(&self) {
@@ -209,8 +215,9 @@ impl<R> Gate<R> {
         if matches!(*s, GateState::Pending) {
             *s = GateState::Poisoned;
         }
-        drop(s);
+        // Notify under the lock — same lifetime argument as complete().
         self.cv.notify_one();
+        drop(s);
     }
 
     fn wait(&self) -> R {
