@@ -464,10 +464,56 @@ pub struct RecoveryTrajectoryPoint {
     pub deterministic: bool,
 }
 
+/// One chaos-storm row of a `bench_chaos` trajectory: storm-gate rows
+/// (first run of each determinism pair) followed by the
+/// topology-invariance rows (same storm across worker counts and
+/// service modes). Breaker transition traces are compared in-process;
+/// the record keeps the flattened evidence.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosTrajectoryPoint {
+    /// Storm name (`storm_recover`, `busy_brownout`, ...).
+    pub storm: String,
+    /// Service-mode label (`inline` / `reactor`).
+    pub service: String,
+    /// Worker threads driving the partitioned streams.
+    pub workers: usize,
+    /// Largest per-shard virtual clock frontier (ns) — bit-identical
+    /// across reruns, worker counts and service modes.
+    pub now_ns: u64,
+    /// Faults injected by the device's plan.
+    pub injected: u64,
+    /// Injected-fault errors that surfaced to the driver.
+    pub surfaced: u64,
+    /// Breaker openings summed across shards.
+    pub opens: u64,
+    /// Breaker probe-success closes summed across shards.
+    pub closes: u64,
+    /// Whether every shard that opened also re-closed and ended the
+    /// replay serving flash again.
+    pub reclosed: bool,
+    /// Flash lookups answered as degraded DRAM-only misses.
+    pub degraded_misses: u64,
+    /// RAM evictions shed while a breaker was open.
+    pub shed_evictions: u64,
+    /// Device pages patrol-read by the background scrubber.
+    pub scrubbed_pages: u64,
+    /// Corrupt/unreadable entries the scrubber repaired.
+    pub scrub_repairs: u64,
+    /// Acknowledged writes tracked by the verification shadow map.
+    pub acked: u64,
+    /// Acknowledged keys whose on-flash bytes verified exactly.
+    pub verified: u64,
+    /// Torn/wrong acknowledged keys (the gate requires 0).
+    pub lost: u64,
+    /// Storm rows: whether the rerun was bit-identical. Topology rows:
+    /// whether this run matched the sweep's first topology run.
+    pub deterministic: bool,
+}
+
 /// The `BENCH_throughput.json` / `BENCH_wallclock.json` /
-/// `BENCH_faults.json` / `BENCH_recovery.json` record the benchmark
-/// binaries emit with `--json <path>`: enough context to compare
-/// trajectories across PRs.
+/// `BENCH_faults.json` / `BENCH_recovery.json` / `BENCH_chaos.json`
+/// record the benchmark binaries emit with `--json <path>`: enough
+/// context to compare trajectories across PRs.
 #[derive(Debug, Clone, Serialize)]
 pub struct TrajectoryRecord {
     /// Which benchmark produced the record (`device`, `fullstack`,
@@ -504,6 +550,12 @@ pub struct TrajectoryRecord {
     /// Warm-restart crash points in gate order (empty unless produced
     /// by `bench_recovery`).
     pub recovery_points: Vec<RecoveryTrajectoryPoint>,
+    /// Chaos-storm points — storm gate rows first, then topology
+    /// invariance rows (empty unless produced by `bench_chaos`).
+    pub chaos_points: Vec<ChaosTrajectoryPoint>,
+    /// Scrub-precedence scenario outcome (`None` unless produced by
+    /// `bench_chaos`).
+    pub chaos_precedence: Option<crate::chaos::ScrubPrecedenceResult>,
 }
 
 impl TrajectoryRecord {
@@ -538,6 +590,8 @@ impl TrajectoryRecord {
             fault_points: Vec::new(),
             read_points: Vec::new(),
             recovery_points: Vec::new(),
+            chaos_points: Vec::new(),
+            chaos_precedence: None,
         }
     }
 
@@ -572,6 +626,8 @@ impl TrajectoryRecord {
             fault_points: Vec::new(),
             read_points: Vec::new(),
             recovery_points: Vec::new(),
+            chaos_points: Vec::new(),
+            chaos_precedence: None,
         }
     }
 
@@ -634,6 +690,8 @@ impl TrajectoryRecord {
             fault_points: Vec::new(),
             read_points: Vec::new(),
             recovery_points: Vec::new(),
+            chaos_points: Vec::new(),
+            chaos_precedence: None,
         }
     }
 
@@ -673,6 +731,8 @@ impl TrajectoryRecord {
                 .collect(),
             read_points: Vec::new(),
             recovery_points: Vec::new(),
+            chaos_points: Vec::new(),
+            chaos_precedence: None,
         }
     }
 
@@ -716,6 +776,8 @@ impl TrajectoryRecord {
                 })
                 .collect(),
             recovery_points: Vec::new(),
+            chaos_points: Vec::new(),
+            chaos_precedence: None,
         }
     }
 
@@ -757,6 +819,58 @@ impl TrajectoryRecord {
                     deterministic: e.deterministic(),
                 })
                 .collect(),
+            chaos_points: Vec::new(),
+            chaos_precedence: None,
+        }
+    }
+
+    /// Builds a `chaos` record from the chaos-soak sweep: one row per
+    /// storm (first run of each determinism pair), then the topology
+    /// invariance rows, plus the scrub-precedence outcome.
+    pub fn new_chaos(device_mib: u64, ops: u64, sweep: &crate::chaos::ChaosSweep) -> Self {
+        let point = |r: &crate::chaos::ChaosRunResult, deterministic: bool| ChaosTrajectoryPoint {
+            storm: r.storm.clone(),
+            service: r.service.clone(),
+            workers: r.workers,
+            now_ns: r.shard_now_ns.iter().copied().max().unwrap_or(0),
+            injected: r.injected.total(),
+            surfaced: r.surfaced,
+            opens: r.total_opens(),
+            closes: r.total_closes(),
+            reclosed: r.all_reclosed(),
+            degraded_misses: r.stats.degraded_misses,
+            shed_evictions: r.stats.shed_evictions,
+            scrubbed_pages: r.stats.scrubbed_pages,
+            scrub_repairs: r.stats.scrub_repairs,
+            acked: r.acked,
+            verified: r.verified,
+            lost: r.lost,
+            deterministic,
+        };
+        let mut chaos_points: Vec<ChaosTrajectoryPoint> =
+            sweep.storms.iter().map(|e| point(&e.first, e.deterministic())).collect();
+        let baseline = sweep.topology.first();
+        chaos_points.extend(
+            sweep
+                .topology
+                .iter()
+                .map(|r| point(r, baseline.map(|b| b.matches(r)).unwrap_or(false))),
+        );
+        TrajectoryRecord {
+            bench: "chaos".to_string(),
+            device_mib,
+            ops_per_worker: ops,
+            trials: 2,
+            host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            points: Vec::new(),
+            qd_points: Vec::new(),
+            wallclock_points: Vec::new(),
+            wallclock_pool_points: Vec::new(),
+            fault_points: Vec::new(),
+            read_points: Vec::new(),
+            recovery_points: Vec::new(),
+            chaos_points,
+            chaos_precedence: Some(sweep.precedence.clone()),
         }
     }
 

@@ -5,6 +5,7 @@
 //! same rows/series the paper reports and emit CSV for re-plotting.
 
 #![warn(missing_docs)]
+pub mod chaos;
 pub mod faults;
 pub mod fullstack;
 pub mod harness;
@@ -12,15 +13,19 @@ pub mod recovery;
 pub mod throughput;
 pub mod wallclock;
 
+pub use chaos::{
+    run_chaos_storm, run_scrub_precedence, sweep_chaos, ChaosGateConfig, ChaosRunResult,
+    ChaosSweep, ChaosSweepEntry, ScrubPrecedenceResult, ShardBreakerTrace, TOPOLOGY_WORKERS,
+};
 pub use faults::{
     run_fault_scenario, run_plain_baseline, sweep_faults, FaultGateConfig, FaultRunResult,
     FaultSweepEntry,
 };
 pub use fullstack::{
     emit_trajectory, run_fullstack, run_read_contended, sweep_fullstack, sweep_read,
-    FaultTrajectoryPoint, FullstackConfig, PoolWallclockTrajectoryPoint, QdTrajectoryPoint,
-    ReadScalingConfig, ReadScalingResult, ReadTrajectoryPoint, RecoveryTrajectoryPoint,
-    TrajectoryPoint, TrajectoryRecord, WallclockTrajectoryPoint,
+    ChaosTrajectoryPoint, FaultTrajectoryPoint, FullstackConfig, PoolWallclockTrajectoryPoint,
+    QdTrajectoryPoint, ReadScalingConfig, ReadScalingResult, ReadTrajectoryPoint,
+    RecoveryTrajectoryPoint, TrajectoryPoint, TrajectoryRecord, WallclockTrajectoryPoint,
 };
 pub use harness::*;
 pub use recovery::{

@@ -3,8 +3,9 @@
 
 use std::sync::Arc;
 
-use fdpcache_core::{IoManager, PlacementHandle, PlacementHandleAllocator, ServiceMode};
+use fdpcache_core::{IoManager, IoStats, PlacementHandle, PlacementHandleAllocator, ServiceMode};
 
+use crate::breaker::{BreakerState, FlashBreaker};
 use crate::config::CacheConfig;
 use crate::engine::{NavyEngine, NvmSource};
 use crate::error::CacheError;
@@ -50,6 +51,9 @@ pub struct HybridCache {
     /// [`Self::now_ns`] on read.
     read_stats: Arc<ReadSideStats>,
     promote_on_nvm_hit: bool,
+    /// Per-shard flash circuit breaker (DESIGN.md §6.7): opens on a
+    /// `Failing` device and degrades this shard to DRAM-only serving.
+    breaker: FlashBreaker,
 }
 
 impl HybridCache {
@@ -76,6 +80,7 @@ impl HybridCache {
             stats: CacheStats::default(),
             read_stats: Arc::new(ReadSideStats::default()),
             promote_on_nvm_hit: true,
+            breaker: FlashBreaker::new(),
         })
     }
 
@@ -117,6 +122,7 @@ impl HybridCache {
             stats: CacheStats::default(),
             read_stats: Arc::new(ReadSideStats::default()),
             promote_on_nvm_hit: true,
+            breaker: FlashBreaker::new(),
         })
     }
 
@@ -237,9 +243,108 @@ impl HybridCache {
         self.navy.io_mut()
     }
 
+    /// The per-shard flash circuit breaker (state, open/close counts,
+    /// and the virtual-time transition trace the chaos gate replays).
+    pub fn breaker(&self) -> &FlashBreaker {
+        &self.breaker
+    }
+
+    /// Retunes the breaker's probe-backoff schedule (see
+    /// [`FlashBreaker::set_backoff`]). Chaos replays with short op
+    /// budgets shorten it: an open shard serves at host-op cost only,
+    /// so its virtual clock crawls toward the probe deadline.
+    pub fn set_breaker_backoff(&mut self, initial_ns: u64, max_ns: u64) {
+        self.breaker.set_backoff(initial_ns, max_ns);
+    }
+
+    /// Advances the breaker state machine against the device's current
+    /// health verdict. On the `Closed → Open` edge this shard enters
+    /// degraded mode: LOC requeues are parked so background drains stop
+    /// hammering a failing device.
+    fn poll_breaker(&mut self) -> BreakerState {
+        let health = self.navy.io().health();
+        let now = self.navy.io().now_ns();
+        let was = self.breaker.state();
+        let state = self.breaker.poll(health, now);
+        if was == BreakerState::Closed && state == BreakerState::Open {
+            self.stats.breaker_opens += 1;
+            self.navy.set_park_requeues(true);
+        }
+        state
+    }
+
+    /// Judges a half-open probe from the device command delta it
+    /// produced. Zero commands (e.g. an admission reject) is
+    /// inconclusive and leaves the breaker half-open; a fault-free
+    /// delta closes the breaker, credits the health monitor one
+    /// recovery step, and drains the requeues parked while degraded.
+    fn settle_probe(&mut self, before: IoStats) -> Result<(), CacheError> {
+        let after = self.navy.io().stats();
+        let commands = |s: &IoStats| s.writes + s.reads + s.discards + s.faults;
+        if commands(&after) == commands(&before) {
+            return Ok(());
+        }
+        let now = self.navy.io().now_ns();
+        if after.faults == before.faults {
+            self.breaker.probe_succeeded(now);
+            self.stats.breaker_closes += 1;
+            self.navy.io_mut().credit_health_recovery();
+            self.navy.set_park_requeues(false);
+            self.navy.drain_parked()?;
+        } else {
+            self.breaker.probe_failed(now);
+        }
+        Ok(())
+    }
+
+    /// Routes a DRAM eviction toward flash through the breaker: shed
+    /// while open (caches are lossy; nothing acknowledged is lost),
+    /// probe-wrapped while half-open, plain [`Self::flash_insert`]
+    /// while closed.
+    fn degraded_flash_insert(&mut self, key: Key, value: Value) -> Result<(), CacheError> {
+        match self.poll_breaker() {
+            BreakerState::Open => {
+                self.stats.shed_evictions += 1;
+                Ok(())
+            }
+            state => {
+                let probing = state == BreakerState::HalfOpen;
+                let before = self.navy.io().stats();
+                self.flash_insert(key, value)?;
+                if probing {
+                    self.settle_probe(before)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs one budgeted patrol-scrub slice over the flash engines
+    /// (about `budget_pages` device pages of patrol reads; see
+    /// [`NavyEngine::scrub`]), repairing latent corruption through the
+    /// existing repair paths before a client read can observe it.
+    /// Returns `(pages_read, repairs)`. A no-op while the breaker is
+    /// open — patrol traffic must not hammer a failing device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-injected I/O failures.
+    pub fn scrub(&mut self, budget_pages: u64) -> Result<(u64, u64), CacheError> {
+        if self.poll_breaker() == BreakerState::Open {
+            return Ok((0, 0));
+        }
+        let (pages, repairs) = self.navy.scrub(budget_pages)?;
+        self.stats.scrubbed_pages += pages;
+        self.stats.scrub_repairs += repairs;
+        Ok((pages, repairs))
+    }
+
     /// Looks up `key`. Flash hits are promoted into DRAM (which may
     /// cascade evictions back to flash, the paper's read-driven flash
-    /// write traffic).
+    /// write traffic). While the breaker is open the flash layers are
+    /// not consulted: the lookup degrades to a DRAM-only miss (counted
+    /// in [`CacheStats::degraded_misses`]) rather than queueing more
+    /// work on a failing device.
     ///
     /// # Errors
     ///
@@ -252,7 +357,18 @@ impl HybridCache {
             return Ok((GetOutcome::RamHit, Some(v)));
         }
         self.stats.nvm_lookups += 1;
-        match self.navy.lookup(key)? {
+        let breaker = self.poll_breaker();
+        if breaker == BreakerState::Open {
+            self.stats.degraded_misses += 1;
+            return Ok((GetOutcome::Miss, None));
+        }
+        let probing = breaker == BreakerState::HalfOpen;
+        let before = self.navy.io().stats();
+        let found = self.navy.lookup(key)?;
+        if probing {
+            self.settle_probe(before)?;
+        }
+        match found {
             Some((value, source)) => {
                 let outcome = match source {
                     NvmSource::Soc => {
@@ -267,7 +383,7 @@ impl HybridCache {
                 if self.promote_on_nvm_hit {
                     for evicted in self.ram.put(key, value.clone()) {
                         if evicted.key != key {
-                            self.flash_insert(evicted.key, evicted.value)?;
+                            self.degraded_flash_insert(evicted.key, evicted.value)?;
                         }
                     }
                 }
@@ -294,7 +410,7 @@ impl HybridCache {
         self.stats.puts += 1;
         self.io_mut().advance(HOST_OP_NS);
         for evicted in self.ram.put(key, value) {
-            self.flash_insert(evicted.key, evicted.value)?;
+            self.degraded_flash_insert(evicted.key, evicted.value)?;
         }
         Ok(())
     }
@@ -328,7 +444,7 @@ impl HybridCache {
 mod tests {
     use super::*;
     use crate::config::NvmConfig;
-    use fdpcache_core::{RoundRobinPolicy, SharedController};
+    use fdpcache_core::{HealthState, RoundRobinPolicy, SharedController};
     use fdpcache_ftl::FtlConfig;
     use fdpcache_nvme::{Controller, MemStore};
 
@@ -503,6 +619,178 @@ mod tests {
         assert_eq!(o, GetOutcome::Miss, "deleted key resurrected by recovery");
         // Recovered engines write through the same placement handles.
         assert_ne!(r.navy().soc().handle(), r.navy().loc().handle());
+    }
+
+    fn build_faulted(
+        ram_bytes: u64,
+        fault: fdpcache_nvme::FaultConfig,
+    ) -> (SharedController, HybridCache) {
+        use crate::builder::{build_cache, build_device_faulted, create_namespace, StoreKind};
+        let ctrl =
+            build_device_faulted(FtlConfig::tiny_test(), StoreKind::Mem, true, fault).unwrap();
+        let nsid = create_namespace(&ctrl, 0.9, vec![0, 1]).unwrap();
+        let config = CacheConfig {
+            ram_bytes,
+            ram_item_overhead: 0,
+            nvm: NvmConfig { soc_fraction: 0.1, region_bytes: 16 * 4096, ..NvmConfig::default() },
+            use_fdp: true,
+        };
+        let cache = build_cache(&ctrl, nsid, &config, Box::new(RoundRobinPolicy::new())).unwrap();
+        (ctrl, cache)
+    }
+
+    /// Drives eviction-driven flash writes until the breaker trips.
+    fn storm_until_open(ctrl: &SharedController, c: &mut HybridCache) {
+        ctrl.set_fault_rates(fdpcache_nvme::FaultRates {
+            write_err_ppm: 1_000_000,
+            ..fdpcache_nvme::FaultRates::default()
+        });
+        let mut k = 1_000u64;
+        while c.breaker().state() != BreakerState::Open {
+            c.put(k, Value::synthetic(90)).unwrap();
+            k += 1;
+            assert!(k < 20_000, "breaker never opened under a 100% write-fault storm");
+        }
+    }
+
+    #[test]
+    fn breaker_opens_under_write_storm_and_degrades_to_dram_only() {
+        let (ctrl, mut c) = build_faulted(1_000, fdpcache_nvme::FaultConfig::default());
+        for k in 0..100u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        assert!(c.stats().nvm_inserts > 0, "seeding must reach flash");
+        storm_until_open(&ctrl, &mut c);
+        assert_eq!(c.navy().io().health(), HealthState::Failing);
+        assert_eq!(c.stats().breaker_opens, 1);
+        assert!(c.navy().park_requeues(), "requeues must park while degraded");
+        // A flash-resident key degrades to a miss without touching the
+        // device (early seed keys left DRAM long ago).
+        let resident = *c.persisted_keys().iter().min().expect("flash must hold keys");
+        let reads_before = c.navy().io().stats().reads;
+        let (o, v) = c.get(resident).unwrap();
+        assert_eq!(o, GetOutcome::Miss);
+        assert!(v.is_none());
+        assert_eq!(c.navy().io().stats().reads, reads_before, "open breaker must not issue I/O");
+        assert!(c.stats().degraded_misses >= 1);
+        // Evictions shed instead of queueing onto the failing device.
+        let shed_before = c.stats().shed_evictions;
+        for k in 50_000..50_050u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        assert!(c.stats().shed_evictions > shed_before);
+        // DRAM keeps serving: the freshest key is still a RAM hit.
+        let (o, _) = c.get(50_049).unwrap();
+        assert_eq!(o, GetOutcome::RamHit);
+    }
+
+    #[test]
+    fn breaker_probe_recloses_after_faults_clear() {
+        let (ctrl, mut c) = build_faulted(1_000, fdpcache_nvme::FaultConfig::default());
+        for k in 0..100u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        storm_until_open(&ctrl, &mut c);
+        let resident = *c.persisted_keys().iter().min().expect("flash must hold keys");
+        // Device recovers; the next lookup past the probe backoff is the
+        // half-open probe and must both serve the hit and reclose.
+        ctrl.set_fault_rates(fdpcache_nvme::FaultRates::default());
+        c.navy_mut().io_mut().advance(60_000_000);
+        let (o, v) = c.get(resident).unwrap();
+        assert_eq!(o, GetOutcome::SocHit, "probe lookup must serve the flash hit");
+        assert!(v.is_some());
+        assert_eq!(c.breaker().state(), BreakerState::Closed);
+        assert_eq!(c.stats().breaker_closes, 1);
+        assert!(!c.navy().park_requeues(), "parked requeues must drain on reclose");
+        // Flash writes resume.
+        let inserts_before = c.stats().nvm_inserts;
+        for k in 90_000..90_100u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        assert!(c.stats().nvm_inserts > inserts_before);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_doubles_backoff() {
+        let (ctrl, mut c) = build_faulted(1_000, fdpcache_nvme::FaultConfig::default());
+        for k in 0..100u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        storm_until_open(&ctrl, &mut c);
+        // Storm continues on reads too, so the probe itself faults.
+        ctrl.set_fault_rates(fdpcache_nvme::FaultRates {
+            read_err_ppm: 1_000_000,
+            write_err_ppm: 1_000_000,
+            ..fdpcache_nvme::FaultRates::default()
+        });
+        let resident = *c.persisted_keys().iter().min().expect("flash must hold keys");
+        c.navy_mut().io_mut().advance(60_000_000);
+        let (o, _) = c.get(resident).unwrap();
+        assert_eq!(o, GetOutcome::Miss, "faulted probe must not surface a hit");
+        assert_eq!(c.breaker().state(), BreakerState::Open, "failed probe must reopen");
+        assert_eq!(c.stats().breaker_closes, 0);
+        // And the reopened breaker keeps shedding without more probes
+        // until the doubled backoff elapses.
+        let (o, _) = c.get(resident).unwrap();
+        assert_eq!(o, GetOutcome::Miss);
+        assert!(c.stats().degraded_misses >= 1);
+    }
+
+    #[test]
+    fn scrub_patrols_cleanly_on_a_healthy_device() {
+        let mut c = build(1_000, true);
+        for k in 0..100u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        let (pages, repairs) = c.scrub(100_000).unwrap();
+        assert!(pages > 0, "patrol must read sealed flash state");
+        assert_eq!(repairs, 0, "clean device must need no repairs");
+        let s = c.stats();
+        assert_eq!(s.scrubbed_pages, pages);
+        assert_eq!(s.scrub_repairs, 0);
+        for k in c.persisted_keys() {
+            let (_, v) = c.get(k).unwrap();
+            assert!(v.is_some(), "scrub must not disturb persisted key {k}");
+        }
+    }
+
+    #[test]
+    fn scrub_repairs_corruption_without_losing_persisted_keys() {
+        let (ctrl, mut c) = build_faulted(1_000, fdpcache_nvme::FaultConfig::default());
+        for k in 0..100u64 {
+            c.put(k, Value::synthetic(90)).unwrap();
+        }
+        // Latent corruption starts landing on reads; patrol scrubbing
+        // finds it and repairs through the normal paths.
+        ctrl.set_fault_rates(fdpcache_nvme::FaultRates {
+            corruption_ppm: 120_000,
+            ..fdpcache_nvme::FaultRates::default()
+        });
+        let mut repairs = 0;
+        for _ in 0..30 {
+            repairs += c.scrub(100_000).unwrap().1;
+        }
+        assert!(repairs > 0, "corruption storm must trigger scrub repairs");
+        // Storm ends; fault-free probes must re-close the breaker. It
+        // can first open on the next poll (the storm's faults are still
+        // in the health window), and probes against memory-served or
+        // RAM-resident keys are inconclusive, so sweep every persisted
+        // key until one probe lands a clean device read.
+        ctrl.set_fault_rates(fdpcache_nvme::FaultRates::default());
+        for _ in 0..40 {
+            c.navy_mut().io_mut().advance(500_000_000);
+            for k in c.persisted_keys() {
+                let _ = c.get(k).unwrap();
+            }
+            if c.breaker().state() == BreakerState::Closed {
+                break;
+            }
+        }
+        assert_eq!(c.breaker().state(), BreakerState::Closed);
+        for k in c.persisted_keys() {
+            let (_, v) = c.get(k).unwrap();
+            assert!(v.is_some(), "acknowledged key {k} lost under scrub-and-repair");
+        }
     }
 
     #[test]

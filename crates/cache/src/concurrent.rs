@@ -262,6 +262,33 @@ impl ConcurrentPool {
         }
     }
 
+    /// Retunes every shard's breaker probe-backoff schedule (see
+    /// [`HybridCache::set_breaker_backoff`]).
+    pub fn set_breaker_backoff(&self, initial_ns: u64, max_ns: u64) {
+        for s in &self.shards {
+            s.cache.lock().set_breaker_backoff(initial_ns, max_ns);
+        }
+    }
+
+    /// Runs one budgeted patrol-scrub slice on every shard (the page
+    /// budget applies per shard; see [`HybridCache::scrub`]). Shards
+    /// whose breaker is open skip their slice. Returns the pool totals
+    /// `(pages_read, repairs)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-injected I/O failures.
+    pub fn scrub(&self, budget_pages_per_shard: u64) -> Result<(u64, u64), CacheError> {
+        let mut pages = 0;
+        let mut repairs = 0;
+        for s in &self.shards {
+            let (p, r) = s.cache.lock().scrub(budget_pages_per_shard)?;
+            pages += p;
+            repairs += r;
+        }
+        Ok((pages, repairs))
+    }
+
     /// Aggregated cache statistics, merged on read shard by shard
     /// (per-shard consistent, not a cross-shard point-in-time cut).
     pub fn stats(&self) -> CacheStats {
@@ -437,6 +464,22 @@ mod tests {
         assert_eq!(outcome, GetOutcome::Miss, "lock-free path resurrected a deleted key");
         let (outcome, _) = r.get_locked(11).unwrap();
         assert_eq!(outcome, GetOutcome::Miss, "locked path resurrected a deleted key");
+    }
+
+    #[test]
+    fn pool_scrub_patrols_every_shard() {
+        let (_ctrl, p) = pool(2);
+        for k in 0..500u64 {
+            p.put(k, Value::synthetic(64)).unwrap();
+        }
+        let (pages, repairs) = p.scrub(100_000).unwrap();
+        assert!(pages > 0, "patrol must cover flash-resident state");
+        assert_eq!(repairs, 0, "clean device must need no repairs");
+        assert_eq!(p.stats().scrubbed_pages, pages);
+        for k in 0..500u64 {
+            let (_, v) = p.get(k).unwrap();
+            assert!(v.is_some(), "scrub must not disturb key {k}");
+        }
     }
 
     #[test]

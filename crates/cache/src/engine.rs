@@ -55,6 +55,14 @@ pub struct NavyEngine {
     loc: Loc,
     size_threshold: u32,
     admission: AdmissionPolicy,
+    /// While set (degraded-mode serving, flash breaker open), objects
+    /// rescued from failed seals stay parked in the LOC's requeue
+    /// channel instead of being re-driven into a failing device; they
+    /// drain — never drop — when the breaker closes.
+    park_requeues: bool,
+    /// Round-robin patrol-scrub position over SOC buckets then LOC
+    /// regions.
+    scrub_cursor: u64,
 }
 
 impl NavyEngine {
@@ -91,6 +99,8 @@ impl NavyEngine {
             loc,
             size_threshold: cfg.size_threshold,
             admission: AdmissionPolicy::new(cfg.admission.clone(), seed),
+            park_requeues: false,
+            scrub_cursor: 0,
         })
     }
 
@@ -156,6 +166,8 @@ impl NavyEngine {
             loc,
             size_threshold: cfg.size_threshold,
             admission: AdmissionPolicy::new(cfg.admission.clone(), seed),
+            park_requeues: false,
+            scrub_cursor: 0,
         })
     }
 
@@ -261,6 +273,12 @@ impl NavyEngine {
     /// persistently fails propagates as unrecoverable rather than
     /// looping.
     fn drain_loc_requeue(&mut self) -> Result<(), CacheError> {
+        if self.park_requeues {
+            // Degraded mode: rescued objects stay parked rather than
+            // being re-driven into a failing device (and never escalate
+            // to Unrecoverable while the breaker is not closed).
+            return Ok(());
+        }
         for _pass in 0..2 {
             let pending = self.loc.take_requeued();
             if pending.is_empty() {
@@ -289,6 +307,70 @@ impl NavyEngine {
                 leftover.len()
             )))
         }
+    }
+
+    /// Switches requeue parking (see the `park_requeues` field). The
+    /// breaker sets this when it opens; clearing it does **not** drain
+    /// by itself — call [`NavyEngine::drain_parked`].
+    pub fn set_park_requeues(&mut self, park: bool) {
+        self.park_requeues = park;
+    }
+
+    /// Whether rescued seal objects are currently being parked.
+    pub fn park_requeues(&self) -> bool {
+        self.park_requeues
+    }
+
+    /// Objects currently parked in the LOC requeue channel.
+    pub fn parked_requeues(&self) -> usize {
+        self.loc.pending_requeues()
+    }
+
+    /// Drains every parked requeue back into the engines (breaker
+    /// re-close path).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Unrecoverable`] when objects still cannot be
+    /// re-homed, non-injected I/O errors otherwise.
+    pub fn drain_parked(&mut self) -> Result<(), CacheError> {
+        self.drain_loc_requeue()
+    }
+
+    /// One budgeted patrol-scrub step: reads back roughly `budget`
+    /// device pages (SOC bucket pages, LOC sealed objects — a LOC
+    /// region is scrubbed whole, so the budget can overshoot by one
+    /// region's object count) and verifies them against the
+    /// authoritative in-memory state, repairing any corruption found
+    /// before a client read can observe it. The cursor round-robins SOC
+    /// buckets then LOC regions across calls, covering the whole flash
+    /// footprint. Returns `(pages_read, repairs)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-injected I/O failures.
+    pub fn scrub(&mut self, budget: u64) -> Result<(u64, u64), CacheError> {
+        let soc_buckets = self.soc.num_buckets();
+        let slots = soc_buckets + self.loc.num_regions() as u64;
+        let mut pages = 0u64;
+        let mut repairs = 0u64;
+        let mut visited = 0u64;
+        while pages < budget && visited < slots {
+            visited += 1;
+            let slot = self.scrub_cursor % slots;
+            self.scrub_cursor = self.scrub_cursor.wrapping_add(1);
+            let (p, r) = if slot < soc_buckets {
+                self.soc.scrub_bucket(&mut self.io, slot)?
+            } else {
+                self.loc.scrub_region(&mut self.io, (slot - soc_buckets) as u32)?
+            };
+            pages += p;
+            repairs += r;
+        }
+        // A LOC repair may have sealed the active region; its rescued
+        // objects re-home now unless degraded mode parks them.
+        self.drain_loc_requeue()?;
+        Ok((pages, repairs))
     }
 
     /// Looks an object up in both engines (SOC first for small-object

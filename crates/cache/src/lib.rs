@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 pub mod admission;
 pub mod bloom;
+pub mod breaker;
 pub mod builder;
 pub mod cache;
 mod checksum;
@@ -56,6 +57,7 @@ pub mod stats;
 pub mod value;
 
 pub use admission::AdmissionPolicy;
+pub use breaker::{BreakerState, BreakerTransition, FlashBreaker};
 pub use cache::{GetOutcome, HybridCache};
 pub use concurrent::ConcurrentPool;
 pub use config::{CacheConfig, LocEviction, NvmConfig};

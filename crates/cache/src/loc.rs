@@ -31,7 +31,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use fdpcache_core::{IoBatch, IoManager, PlacementHandle};
-use fdpcache_nvme::NvmeError;
+use fdpcache_nvme::{NvmeError, RetryPolicy};
 
 use crate::checksum::page_checksum;
 use crate::config::LocEviction;
@@ -59,15 +59,27 @@ const META_CHECKSUM_BYTES: usize = 8;
 /// surviving object, in on-flash order.
 type FooterEntries = Vec<(Key, u32, u32)>;
 
-/// Footer rewrite attempts (delete persistence, invalidation) before
-/// falling back to discarding the footer blocks.
-const META_WRITE_ATTEMPTS: u32 = 4;
+/// Footer rewrites (delete persistence, invalidation) run under this
+/// unified [`RetryPolicy`] before falling back to discarding the
+/// footer blocks. Immediate (zero-backoff) so the schedule reproduces
+/// the legacy 4-attempt loop bit-identically.
+fn meta_retry() -> RetryPolicy {
+    RetryPolicy::immediate(4)
+}
 
-/// Submission attempts per region seal before the region is declared
-/// bad: the first submit plus up to this-minus-one retries. Injected
+/// Region seals run under this [`RetryPolicy`] before the region is
+/// declared bad: the first submit plus up to three retries. Injected
 /// faults are transient by default (the schedule re-rolls per access),
 /// so retries recover everything but scripted permanent bad blocks.
-const SEAL_ATTEMPTS: u32 = 4;
+fn seal_retry() -> RetryPolicy {
+    RetryPolicy::immediate(4)
+}
+
+/// One extra attempt for advisory/transient failures (busy lookup
+/// spikes, advisory TRIMs): the legacy single-retry sites.
+fn transient_retry() -> RetryPolicy {
+    RetryPolicy::immediate(2)
+}
 
 /// LOC statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -473,7 +485,8 @@ impl Loc {
     /// Recovery (DESIGN.md §6): an injected device fault fails the
     /// batch all-or-nothing (the controller's fault gate plus FTL
     /// rollback guarantee none of the region landed), so the seal is
-    /// simply re-submitted, up to [`SEAL_ATTEMPTS`] times. If every
+    /// simply re-submitted under the unified [`seal_retry`] policy
+    /// (four attempts, zero backoff — the legacy schedule). If every
     /// attempt fails the region is **quarantined** (withdrawn from
     /// rotation like a grown-bad erase block) and its objects are
     /// parked in [`Loc::take_requeued`] for the engine to re-queue —
@@ -497,7 +510,7 @@ impl Loc {
             self.active_keys.iter().map(|(k, off, v)| (*k, *off, v.len() as u32)).collect();
         let mut meta_buf = vec![0u8; self.meta_blocks() as usize * self.block_bytes as usize];
         self.serialize_footer(region, seq, &entries, &mut meta_buf);
-        let mut attempt = 0u32;
+        let mut schedule = seal_retry().schedule(region as u64);
         loop {
             let mut batch = IoBatch::with_capacity(
                 payload_bytes.div_ceil(SEAL_CHUNK_BYTES)
@@ -524,8 +537,10 @@ impl Loc {
             match io.submit_batch(batch) {
                 Ok(_) => break,
                 Err(e) if e.is_injected_fault() => {
-                    attempt += 1;
-                    if attempt < SEAL_ATTEMPTS {
+                    if let Some(backoff_ns) = schedule.next_backoff_ns() {
+                        if backoff_ns > 0 {
+                            io.advance(backoff_ns);
+                        }
                         self.stats.seal_retries += 1;
                         continue;
                     }
@@ -563,8 +578,8 @@ impl Loc {
 
     /// Rewrites `region`'s persisted footer from the live index
     /// (delete persistence, superseded-entry scrubs). Retries injected
-    /// faults up to [`META_WRITE_ATTEMPTS`] times, then falls back to
-    /// invalidating the footer wholesale — either way no stale entry
+    /// faults under the unified [`meta_retry`] policy, then falls back
+    /// to invalidating the footer wholesale — either way no stale entry
     /// survives on flash. Only non-injected errors propagate.
     fn rewrite_footer(&mut self, io: &mut IoManager, region: u32) -> Result<(), CacheError> {
         if self.meta_blocks() == 0 {
@@ -586,20 +601,24 @@ impl Loc {
         let mut buf = vec![0u8; self.meta_blocks() as usize * self.block_bytes as usize];
         self.serialize_footer(region, seq, &entries, &mut buf);
         let start = self.meta_block(region);
-        let mut attempt = 0u32;
+        let mut schedule = meta_retry().schedule(start);
         loop {
             match io.write(start, &buf, self.meta_handle) {
                 Ok(_) => {
                     self.stats.footer_rewrites += 1;
                     return Ok(());
                 }
-                Err(e) if e.is_injected_fault() && attempt + 1 < META_WRITE_ATTEMPTS => {
-                    attempt += 1;
-                }
-                Err(e) if e.is_injected_fault() => {
-                    self.stats.footer_faults += 1;
-                    return self.invalidate_footer(io, region);
-                }
+                Err(e) if e.is_injected_fault() => match schedule.next_backoff_ns() {
+                    Some(backoff_ns) => {
+                        if backoff_ns > 0 {
+                            io.advance(backoff_ns);
+                        }
+                    }
+                    None => {
+                        self.stats.footer_faults += 1;
+                        return self.invalidate_footer(io, region);
+                    }
+                },
                 Err(e) => return Err(e.into()),
             }
         }
@@ -623,20 +642,24 @@ impl Loc {
         let mut buf = vec![0u8; self.meta_blocks() as usize * self.block_bytes as usize];
         self.serialize_footer(region, seq, &[], &mut buf);
         let start = self.meta_block(region);
-        let mut attempt = 0u32;
+        let mut schedule = meta_retry().schedule(start);
         loop {
             match io.write(start, &buf, self.meta_handle) {
                 Ok(_) => {
                     self.stats.footer_rewrites += 1;
                     return Ok(());
                 }
-                Err(e) if e.is_injected_fault() && attempt + 1 < META_WRITE_ATTEMPTS => {
-                    attempt += 1;
-                }
-                Err(e) if e.is_injected_fault() => {
-                    self.stats.footer_faults += 1;
-                    return self.invalidate_footer(io, region);
-                }
+                Err(e) if e.is_injected_fault() => match schedule.next_backoff_ns() {
+                    Some(backoff_ns) => {
+                        if backoff_ns > 0 {
+                            io.advance(backoff_ns);
+                        }
+                    }
+                    None => {
+                        self.stats.footer_faults += 1;
+                        return self.invalidate_footer(io, region);
+                    }
+                },
                 Err(e) => return Err(e.into()),
             }
         }
@@ -652,17 +675,18 @@ impl Loc {
             return Ok(());
         }
         let start = self.meta_block(region);
-        match io.discard(start, self.meta_blocks()) {
-            Ok(_) => Ok(()),
-            Err(e) if e.is_injected_fault() => match io.discard(start, self.meta_blocks()) {
-                Ok(_) => Ok(()),
-                Err(e2) if e2.is_injected_fault() => {
-                    self.stats.discard_faults += 1;
-                    Ok(())
+        let mut schedule = transient_retry().schedule(start);
+        loop {
+            match io.discard(start, self.meta_blocks()) {
+                Ok(_) => return Ok(()),
+                Err(e) if e.is_injected_fault() => {
+                    if schedule.next_backoff_ns().is_none() {
+                        self.stats.discard_faults += 1;
+                        return Ok(());
+                    }
                 }
-                Err(e2) => Err(e2.into()),
-            },
-            Err(e) => Err(e.into()),
+                Err(e) => return Err(e.into()),
+            }
         }
     }
 
@@ -698,6 +722,13 @@ impl Loc {
     /// each object (SOC if it fits, else a fresh LOC region).
     pub fn take_requeued(&mut self) -> Vec<(Key, Value)> {
         std::mem::take(&mut self.pending_requeue)
+    }
+
+    /// Objects currently parked in the requeue channel (rescued from
+    /// failed seals, not yet re-homed). Degraded-mode serving leaves
+    /// them parked here until the breaker closes.
+    pub fn pending_requeues(&self) -> usize {
+        self.pending_requeue.len()
     }
 
     /// Picks a sealed region to evict according to the policy.
@@ -737,16 +768,18 @@ impl Loc {
             // The TRIM is advisory — on an injected fault, retry once,
             // then skip it: the region's blocks are simply overwritten
             // by the next seal, exactly like the non-TRIM policy.
-            match io.discard(self.region_block(region), self.region_blocks) {
-                Ok(_) => {}
-                Err(e) if e.is_injected_fault() => {
-                    match io.discard(self.region_block(region), self.region_blocks) {
-                        Ok(_) => {}
-                        Err(e2) if e2.is_injected_fault() => self.stats.discard_faults += 1,
-                        Err(e2) => return Err(e2.into()),
+            let mut schedule = transient_retry().schedule(self.region_block(region));
+            loop {
+                match io.discard(self.region_block(region), self.region_blocks) {
+                    Ok(_) => break,
+                    Err(e) if e.is_injected_fault() => {
+                        if schedule.next_backoff_ns().is_none() {
+                            self.stats.discard_faults += 1;
+                            break;
+                        }
                     }
+                    Err(e) => return Err(e.into()),
                 }
-                Err(e) => return Err(e.into()),
             }
         }
         // The region's persisted footer must not outlive its index
@@ -891,12 +924,16 @@ impl Loc {
             Err(e) if e.is_injected_fault() => {
                 let mut recovered = false;
                 if e.is_busy() {
-                    match self.read_covering_blocks(io, &entry) {
-                        Ok(_) => recovered = true,
-                        Err(e2) if e2.is_injected_fault() => {}
-                        // Non-injected retry errors are caller bugs and
-                        // must surface, never be masked as a miss.
-                        Err(e2) => return Err(e2),
+                    let mut schedule = transient_retry().schedule(key);
+                    while !recovered && schedule.next_backoff_ns().is_some() {
+                        match self.read_covering_blocks(io, &entry) {
+                            Ok(_) => recovered = true,
+                            Err(e2) if e2.is_injected_fault() => {}
+                            // Non-injected retry errors are caller bugs
+                            // and must surface, never be masked as a
+                            // miss.
+                            Err(e2) => return Err(e2),
+                        }
                     }
                 }
                 if !recovered {
@@ -971,6 +1008,58 @@ impl Loc {
         let range = self.read_covering_blocks(io, &entry)?;
         let expect = entry.value.to_bytes(key);
         Ok(Some(self.read_scratch[range] == expect[..]))
+    }
+
+    /// Patrol-reads every indexed object of `region` (no-op unless the
+    /// region is sealed), demoting and repair-writing any whose
+    /// covering blocks fault or whose bytes mismatch the authoritative
+    /// indexed value — the read-fault recovery path of [`Loc::lookup`],
+    /// run *before* a client read can observe the corruption. Repairs
+    /// relocate the object into the active region, so a permanent bad
+    /// block stops being read for that key. Byte comparison needs a
+    /// data-retaining store; fault-demotion works on any store.
+    /// Returns `(pages_read, repairs)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-injected I/O failures.
+    pub(crate) fn scrub_region(
+        &mut self,
+        io: &mut IoManager,
+        region: u32,
+    ) -> Result<(u64, u64), CacheError> {
+        if self.regions[region as usize].state != RegionState::Sealed {
+            return Ok((0, 0));
+        }
+        let keys: Vec<Key> =
+            self.index.iter().filter(|(_, e)| e.region == region).map(|(k, _)| *k).collect();
+        let retains = io.retains_data();
+        let mut pages = 0u64;
+        let mut repairs = 0u64;
+        for key in keys {
+            // Re-fetch per key: an earlier repair in this sweep may
+            // have sealed the active region and evicted this one.
+            let Some(entry) = self.index.get(&key).cloned() else { continue };
+            if entry.region != region {
+                continue;
+            }
+            pages += 1;
+            let intact = match self.read_covering_blocks(io, &entry) {
+                Ok(range) => !retains || self.read_scratch[range] == entry.value.to_bytes(key)[..],
+                Err(e) if e.is_injected_fault() => {
+                    self.stats.read_faults += 1;
+                    false
+                }
+                Err(e) => return Err(e),
+            };
+            if !intact {
+                self.index.remove(&key);
+                self.reinsert(io, key, entry.value)?;
+                self.stats.repair_writes += 1;
+                repairs += 1;
+            }
+        }
+        Ok((pages, repairs))
     }
 
     /// Removes an object. Its bytes become dead space in the region

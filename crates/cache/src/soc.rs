@@ -23,7 +23,7 @@
 //! lock-free read index (DESIGN.md §5.1a).
 
 use fdpcache_core::{IoManager, PlacementHandle};
-use fdpcache_nvme::NvmeError;
+use fdpcache_nvme::{NvmeError, RetryPolicy};
 
 use crate::bloom::BloomArray;
 use crate::checksum::page_checksum;
@@ -40,10 +40,20 @@ const ENTRY_META_BYTES: usize = 12;
 /// page only when the last 8 bytes checksum the rest of it.
 const CHECKSUM_BYTES: usize = 8;
 
-/// Bucket-page write attempts before an operation gives up on the
-/// device (first submit plus retries); injected faults are transient by
-/// default, so retries recover everything but scripted bad blocks.
-const WRITE_ATTEMPTS: u32 = 4;
+/// Bucket-page writes run under this unified [`RetryPolicy`] before an
+/// operation gives up on the device (first submit plus three retries);
+/// injected faults are transient by default, so retries recover
+/// everything but scripted bad blocks. Immediate (zero-backoff) so the
+/// schedule reproduces the legacy 4-attempt loop bit-identically.
+fn write_retry() -> RetryPolicy {
+    RetryPolicy::immediate(4)
+}
+
+/// One extra attempt for transient failures (busy lookup spikes, RMW /
+/// recovery reads): the legacy single-retry sites.
+fn transient_retry() -> RetryPolicy {
+    RetryPolicy::immediate(2)
+}
 
 /// SOC statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -161,8 +171,11 @@ impl Soc {
         let mut page = vec![0u8; bucket_bytes as usize];
         for bucket in 0..num_buckets {
             let block = soc.bucket_block(bucket);
+            let mut schedule = transient_retry().schedule(block);
             let mut res = io.read(block, &mut page);
-            if res.as_ref().is_err_and(|e| e.is_injected_fault()) {
+            while res.as_ref().is_err_and(|e| e.is_injected_fault())
+                && schedule.next_backoff_ns().is_some()
+            {
                 soc.stats.read_faults += 1;
                 res = io.read(block, &mut page);
             }
@@ -312,7 +325,8 @@ impl Soc {
     /// Recovery (DESIGN.md §6): an injected fault on the RMW read is
     /// absorbed after one retry (the authoritative entry list lives in
     /// memory; the read models device cost only). An injected fault on
-    /// the page write is retried up to [`WRITE_ATTEMPTS`] times; a
+    /// the page write is retried under the unified [`write_retry`]
+    /// policy (four attempts, zero backoff — the legacy schedule); a
     /// persistent failure propagates so the caller can roll back its
     /// in-memory mutation — the bucket is then still exactly its
     /// pre-operation self, on flash and in memory.
@@ -321,8 +335,11 @@ impl Soc {
         let mut page = std::mem::take(&mut self.scratch);
         if self.written[bucket as usize] {
             // RMW read: real SOC must fetch the page before modifying.
+            let mut schedule = transient_retry().schedule(block);
             let mut read = io.read(block, &mut page);
-            if read.as_ref().is_err_and(|e| e.is_injected_fault()) {
+            while read.as_ref().is_err_and(|e| e.is_injected_fault())
+                && schedule.next_backoff_ns().is_some()
+            {
                 self.stats.read_faults += 1;
                 read = io.read(block, &mut page);
             }
@@ -341,14 +358,19 @@ impl Soc {
         if io.retains_data() {
             self.serialize_bucket(bucket, &mut page);
         }
-        let mut attempt = 0u32;
+        let mut schedule = write_retry().schedule(block);
         let res = loop {
             match io.write(block, &page, self.handle) {
                 Ok(_) => break Ok(()),
-                Err(e) if e.is_injected_fault() && attempt + 1 < WRITE_ATTEMPTS => {
-                    attempt += 1;
-                    self.stats.write_retries += 1;
-                }
+                Err(e) if e.is_injected_fault() => match schedule.next_backoff_ns() {
+                    Some(backoff_ns) => {
+                        if backoff_ns > 0 {
+                            io.advance(backoff_ns);
+                        }
+                        self.stats.write_retries += 1;
+                    }
+                    None => break Err(e),
+                },
                 Err(e) => break Err(e),
             }
         };
@@ -481,8 +503,9 @@ impl Soc {
         if self.written[bucket as usize] {
             let block = self.bucket_block(bucket);
             let mut page = std::mem::take(&mut self.scratch);
+            let mut schedule = transient_retry().schedule(block);
             let mut res = io.read(block, &mut page);
-            if res.as_ref().is_err_and(|e| e.is_busy()) {
+            while res.as_ref().is_err_and(|e| e.is_busy()) && schedule.next_backoff_ns().is_some() {
                 // Transient busy: one immediate retry.
                 res = io.read(block, &mut page);
             }
@@ -572,6 +595,107 @@ impl Soc {
         let shadow: Vec<(Key, u32)> =
             self.buckets[bucket as usize].iter().map(|e| (e.key, e.value.len() as u32)).collect();
         Ok(parsed == shadow)
+    }
+
+    /// Patrol-reads one bucket page (no-op for virgin buckets) and
+    /// repairs it from the authoritative in-memory entry list when the
+    /// read faults or the serialization mismatches (torn/corrupted
+    /// pages fail the trailing checksum at parse time, DESIGN.md §6.5)
+    /// — *before* a client lookup can observe the corruption. The
+    /// rewritten page is verified in turn: a rewrite onto a
+    /// permanently unreadable block "succeeds" yet still faults on
+    /// read-back, so the repair falls back to invalidating the page
+    /// (lookups then serve from the authoritative list with no device
+    /// read) — the same invalidation a persistently unwritable repair
+    /// takes. Both forms count as repairs. Returns
+    /// `(pages_read, repairs)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-injected I/O failures.
+    pub(crate) fn scrub_bucket(
+        &mut self,
+        io: &mut IoManager,
+        bucket: u64,
+    ) -> Result<(u64, u64), CacheError> {
+        if !self.written[bucket as usize] {
+            return Ok((0, 0));
+        }
+        let intact = if io.retains_data() {
+            match self.verify_bucket(io, bucket) {
+                Ok(ok) => ok,
+                Err(e) if e.is_injected_fault() => {
+                    self.stats.read_faults += 1;
+                    false
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            // Payload-free store: the patrol read can detect injected
+            // faults but has no bytes to compare.
+            let mut page = std::mem::take(&mut self.scratch);
+            let res = io.read(self.bucket_block(bucket), &mut page);
+            self.scratch = page;
+            match res {
+                Ok(_) => true,
+                Err(e) if e.is_injected_fault() => {
+                    self.stats.read_faults += 1;
+                    false
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        if intact {
+            return Ok((1, 0));
+        }
+        match self.rewrite_bucket(io, bucket) {
+            Ok(()) => {
+                // Verify the fresh copy: on a permanently unreadable
+                // block the rewrite completes but the page still
+                // faults, and a client lookup must never touch it.
+                let readable = if io.retains_data() {
+                    match self.verify_bucket(io, bucket) {
+                        Ok(ok) => ok,
+                        Err(e) if e.is_injected_fault() => {
+                            self.stats.read_faults += 1;
+                            false
+                        }
+                        Err(e) => return Err(e),
+                    }
+                } else {
+                    let mut page = std::mem::take(&mut self.scratch);
+                    let res = io.read(self.bucket_block(bucket), &mut page);
+                    self.scratch = page;
+                    match res {
+                        Ok(_) => true,
+                        Err(e) if e.is_injected_fault() => {
+                            self.stats.read_faults += 1;
+                            false
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                };
+                if !readable {
+                    self.written[bucket as usize] = false;
+                    self.bloom.rebuild(
+                        bucket as usize,
+                        self.buckets[bucket as usize].iter().map(|e| e.key),
+                    );
+                }
+                self.stats.repair_writes += 1;
+                Ok((2, 1))
+            }
+            Err(e) if e.is_injected_fault() => {
+                // Persistently unwritable: invalidate the page so the
+                // next insert rewrites it in full without the RMW read
+                // (lookups serve from the authoritative list meanwhile).
+                self.written[bucket as usize] = false;
+                self.bloom
+                    .rebuild(bucket as usize, self.buckets[bucket as usize].iter().map(|e| e.key));
+                Ok((1, 1))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Bucket index a key hashes to (exposed for tests and experiments).

@@ -47,6 +47,22 @@ pub struct CacheStats {
     /// Objects re-queued out of a region whose seal persistently failed
     /// (never silently dropped).
     pub requeues: u64,
+    /// Flash circuit-breaker openings (device crossed `Failing`;
+    /// serving degraded to DRAM-only).
+    pub breaker_opens: u64,
+    /// Breaker re-closes after a fault-free half-open probe.
+    pub breaker_closes: u64,
+    /// Flash lookups answered as misses because the breaker was open.
+    pub degraded_misses: u64,
+    /// RAM evictions shed (not written to flash) while the breaker was
+    /// open. Evictions are a lossy-cache contract, never acknowledged
+    /// persistence, so shedding loses nothing the cache promised.
+    pub shed_evictions: u64,
+    /// Device pages patrol-read by the background scrubber.
+    pub scrubbed_pages: u64,
+    /// Corrupt/unreadable entries the scrubber repaired before any
+    /// client read observed them.
+    pub scrub_repairs: u64,
 }
 
 impl CacheStats {
@@ -93,6 +109,12 @@ impl CacheStats {
             retries: self.retries + other.retries,
             repairs: self.repairs + other.repairs,
             requeues: self.requeues + other.requeues,
+            breaker_opens: self.breaker_opens + other.breaker_opens,
+            breaker_closes: self.breaker_closes + other.breaker_closes,
+            degraded_misses: self.degraded_misses + other.degraded_misses,
+            shed_evictions: self.shed_evictions + other.shed_evictions,
+            scrubbed_pages: self.scrubbed_pages + other.scrubbed_pages,
+            scrub_repairs: self.scrub_repairs + other.scrub_repairs,
         }
     }
 
@@ -115,6 +137,12 @@ impl CacheStats {
             retries: self.retries.saturating_sub(earlier.retries),
             repairs: self.repairs.saturating_sub(earlier.repairs),
             requeues: self.requeues.saturating_sub(earlier.requeues),
+            breaker_opens: self.breaker_opens.saturating_sub(earlier.breaker_opens),
+            breaker_closes: self.breaker_closes.saturating_sub(earlier.breaker_closes),
+            degraded_misses: self.degraded_misses.saturating_sub(earlier.degraded_misses),
+            shed_evictions: self.shed_evictions.saturating_sub(earlier.shed_evictions),
+            scrubbed_pages: self.scrubbed_pages.saturating_sub(earlier.scrubbed_pages),
+            scrub_repairs: self.scrub_repairs.saturating_sub(earlier.scrub_repairs),
         }
     }
 }
@@ -220,6 +248,33 @@ mod tests {
         assert_eq!((m.faults, m.retries, m.repairs, m.requeues), (8, 6, 4, 2));
         let d = m.delta(&a);
         assert_eq!((d.faults, d.retries, d.repairs, d.requeues), (4, 3, 2, 1));
+    }
+
+    #[test]
+    fn degraded_mode_counters_merge_and_delta() {
+        let a = CacheStats {
+            breaker_opens: 1,
+            breaker_closes: 2,
+            degraded_misses: 3,
+            shed_evictions: 4,
+            scrubbed_pages: 5,
+            scrub_repairs: 6,
+            ..Default::default()
+        };
+        let m = a.merge(&a);
+        assert_eq!(
+            (
+                m.breaker_opens,
+                m.breaker_closes,
+                m.degraded_misses,
+                m.shed_evictions,
+                m.scrubbed_pages,
+                m.scrub_repairs
+            ),
+            (2, 4, 6, 8, 10, 12)
+        );
+        let d = m.delta(&a);
+        assert_eq!(d, a);
     }
 
     #[test]

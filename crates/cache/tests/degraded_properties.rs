@@ -1,0 +1,217 @@
+//! Degraded-mode model checking: once the device fails hard enough to
+//! open the flash circuit breaker, the hybrid cache must serve exactly
+//! like a DRAM-only cache — RAM presence matches a reference LRU,
+//! every hit returns the latest acknowledged bytes, deleted keys never
+//! resurrect, and the breaker never re-closes while faults persist.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use fdpcache_cache::builder::{build_cache, build_device_faulted, create_namespace, StoreKind};
+use fdpcache_cache::value::Value;
+use fdpcache_cache::{BreakerState, CacheConfig, HybridCache, NvmConfig};
+use fdpcache_core::{RoundRobinPolicy, SharedController};
+use fdpcache_ftl::FtlConfig;
+use fdpcache_nvme::{FaultConfig, FaultRates};
+
+const RAM_BYTES: u64 = 8 << 10;
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Put { key: u8, len: u16, fill: u8 },
+    Get { key: u8 },
+    Delete { key: u8 },
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    // The vendored proptest has no weighted arms; puts and gets each
+    // appear twice so deletes stay the rare case.
+    let key = 0..24u8;
+    let put = (0..24u8, 16..300u16, any::<u8>()).prop_map(|(key, len, fill)| CacheOp::Put {
+        key,
+        len,
+        fill,
+    });
+    prop_oneof![
+        put.clone(),
+        put,
+        key.clone().prop_map(|key| CacheOp::Get { key }),
+        key.clone().prop_map(|key| CacheOp::Get { key }),
+        key.prop_map(|key| CacheOp::Delete { key }),
+    ]
+}
+
+/// A naive reference LRU (MRU-first order, byte capacity) mirroring
+/// what a DRAM-only cache would keep.
+struct RefLru {
+    order: Vec<(u64, u32)>,
+    capacity: u64,
+}
+
+impl RefLru {
+    fn used(&self) -> u64 {
+        self.order.iter().map(|&(_, s)| s as u64).sum()
+    }
+    fn get(&mut self, key: u64) -> Option<u32> {
+        let pos = self.order.iter().position(|&(k, _)| k == key)?;
+        let e = self.order.remove(pos);
+        self.order.insert(0, e);
+        Some(e.1)
+    }
+    fn put(&mut self, key: u64, size: u32) {
+        self.order.retain(|&(k, _)| k != key);
+        if size as u64 > self.capacity {
+            return;
+        }
+        self.order.insert(0, (key, size));
+        while self.used() > self.capacity {
+            self.order.pop();
+        }
+    }
+    fn remove(&mut self, key: u64) -> bool {
+        let before = self.order.len();
+        self.order.retain(|&(k, _)| k != key);
+        self.order.len() != before
+    }
+}
+
+/// Builds a cache on a fault-decorated device (rates initially zero),
+/// returning the controller handle for live retuning.
+fn build(seed: u64) -> (SharedController, HybridCache) {
+    let fault = FaultConfig { seed, ..FaultConfig::default() };
+    let ctrl =
+        build_device_faulted(FtlConfig::tiny_test(), StoreKind::Mem, true, fault).expect("device");
+    let nsid = create_namespace(&ctrl, 0.9, vec![0, 1]).expect("namespace");
+    let config = CacheConfig {
+        ram_bytes: RAM_BYTES,
+        ram_item_overhead: 0,
+        nvm: NvmConfig { soc_fraction: 0.1, region_bytes: 16 * 4096, ..NvmConfig::default() },
+        use_fdp: true,
+    };
+    let cache =
+        build_cache(&ctrl, nsid, &config, Box::new(RoundRobinPolicy::new())).expect("cache");
+    (ctrl, cache)
+}
+
+/// Drives RAM-overflowing puts into an always-failing device until the
+/// breaker opens, mirroring every put in the model. Returns the next
+/// fresh warmup key ordinal.
+fn open_breaker(cache: &mut HybridCache, model: &mut RefLru) -> u64 {
+    const WARM_LEN: u32 = 120;
+    let mut i = 0u64;
+    while cache.breaker().state() != BreakerState::Open {
+        assert!(i < 8_000, "breaker failed to open under a 100% error storm");
+        let key = (1u64 << 40) | i;
+        cache.put(key, Value::synthetic(WARM_LEN)).expect("warmup put");
+        model.put(key, WARM_LEN);
+        i += 1;
+    }
+    i
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With the breaker open, get/put/delete agree with the DRAM-only
+    /// reference model: same presence, latest-acknowledged bytes on
+    /// every hit, no resurrection after delete — and the breaker stays
+    /// open for as long as the faults persist.
+    #[test]
+    fn degraded_serving_matches_dram_only_model(
+        seed in 0u64..1 << 32,
+        ops in prop::collection::vec(cache_op(), 1..150),
+    ) {
+        let (ctrl, mut cache) = build(seed);
+        let mut model = RefLru { order: Vec::new(), capacity: RAM_BYTES };
+        let mut expected: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+
+        // Warm the RAM tier, then fail the device completely and keep
+        // evicting until the health window condemns it and the breaker
+        // opens.
+        ctrl.set_fault_rates(FaultRates {
+            read_err_ppm: 1_000_000,
+            write_err_ppm: 1_000_000,
+            ..FaultRates::default()
+        });
+        open_breaker(&mut cache, &mut model);
+        prop_assert!(cache.stats().breaker_opens >= 1);
+
+        for op in ops {
+            match op {
+                CacheOp::Put { key, len, fill } => {
+                    let key = key as u64;
+                    let bytes = vec![fill; len as usize];
+                    cache.put(key, Value::real(bytes.clone()))
+                        .expect("degraded put must not error");
+                    model.put(key, len as u32);
+                    expected.insert(key, bytes);
+                }
+                CacheOp::Get { key } => {
+                    let key = key as u64;
+                    let (_, got) = cache.get(key).expect("degraded get must not error");
+                    let want = model.get(key);
+                    prop_assert_eq!(
+                        got.is_some(),
+                        want.is_some(),
+                        "presence diverged from the DRAM-only model for key {}", key
+                    );
+                    if let Some(v) = got {
+                        prop_assert_eq!(v.len() as u32, want.expect("model hit"));
+                        prop_assert_eq!(
+                            &v.to_bytes(key),
+                            expected.get(&key).expect("hit implies an acknowledged put"),
+                            "hit served stale or torn bytes for key {}", key
+                        );
+                    }
+                }
+                CacheOp::Delete { key } => {
+                    let key = key as u64;
+                    let present = cache.delete(key).expect("degraded delete must not error");
+                    prop_assert_eq!(present, model.remove(key), "delete presence diverged");
+                    expected.remove(&key);
+                    let (_, resurrected) = cache.get(key).expect("get after delete");
+                    prop_assert!(resurrected.is_none(), "key {} resurrected after delete", key);
+                }
+            }
+        }
+
+        // Faults never cleared, so no probe can have succeeded.
+        let stats = cache.stats();
+        prop_assert_eq!(stats.breaker_closes, 0, "breaker re-closed under persistent faults");
+        prop_assert!(cache.breaker().state() != BreakerState::Closed);
+    }
+
+    /// Clearing the fault rates lets fault-free probes re-close the
+    /// breaker, and flash serving resumes (the recovery half of the
+    /// degraded-mode contract).
+    #[test]
+    fn breaker_recloses_after_faults_clear(seed in 0u64..1 << 32) {
+        let (ctrl, mut cache) = build(seed);
+        let mut model = RefLru { order: Vec::new(), capacity: RAM_BYTES };
+        ctrl.set_fault_rates(FaultRates {
+            read_err_ppm: 1_000_000,
+            write_err_ppm: 1_000_000,
+            ..FaultRates::default()
+        });
+        let next = open_breaker(&mut cache, &mut model);
+        ctrl.set_fault_rates(FaultRates::default());
+        // Half-open probes need a real device command to conclude:
+        // keep evicting fresh keys as virtual time advances past the
+        // probe backoff.
+        let mut reclosed = false;
+        for i in 0..40_u64 {
+            cache.navy_mut().io_mut().advance(500_000_000);
+            for j in 0..64u64 {
+                let key = (1u64 << 41) | (i * 64 + j + next);
+                cache.put(key, Value::synthetic(120)).expect("recovery put");
+            }
+            if cache.breaker().state() == BreakerState::Closed {
+                reclosed = true;
+                break;
+            }
+        }
+        prop_assert!(reclosed, "breaker failed to re-close after faults cleared");
+        prop_assert!(cache.stats().breaker_closes >= 1);
+    }
+}

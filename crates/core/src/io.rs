@@ -45,10 +45,12 @@ use std::sync::Arc;
 
 use fdpcache_metrics::Histogram;
 use fdpcache_nvme::{
-    BatchWrite, Controller, DeallocRange, IoReactor, NamespaceId, NamespaceState, NvmeError,
-    QueuePair,
+    BatchWrite, Controller, DeallocRange, HealthMonitor, IoReactor, NamespaceId, NamespaceState,
+    NvmeError, QueuePair,
 };
-pub use fdpcache_nvme::{ReactorIoStats, ServiceMode};
+pub use fdpcache_nvme::{
+    HealthConfig, HealthIoStats, HealthState, HealthTransition, ReactorIoStats, ServiceMode,
+};
 
 use crate::handle::PlacementHandle;
 
@@ -113,6 +115,10 @@ pub struct IoStats {
     /// `ring_full_waits` are wall-clock observations, so determinism
     /// comparisons must use [`IoStats::virtual_view`].
     pub reactor: ReactorIoStats,
+    /// Device-health view from this manager's windowed monitor
+    /// (virtual-time, so deterministic across service modes; merged
+    /// snapshots take the worst `state` across shards).
+    pub health: HealthIoStats,
 }
 
 impl IoStats {
@@ -128,6 +134,7 @@ impl IoStats {
             bytes_discarded: self.bytes_discarded + other.bytes_discarded,
             faults: self.faults + other.faults,
             reactor: self.reactor.merge(&other.reactor),
+            health: self.health.merge(&other.health),
         }
     }
 
@@ -249,6 +256,11 @@ pub struct IoManager {
     /// drain this backlog a slice at a time alongside each submission,
     /// which is what makes sustained GC visible in p99 latency.
     gc_backlog_ns: u64,
+    /// Per-shard device-health monitor: fed from every completed
+    /// command (successes and injected failures) with virtual-time
+    /// stamps, so its classification replays bit-identically across
+    /// service modes, worker counts and reruns.
+    health: HealthMonitor,
 }
 
 impl std::fmt::Debug for IoManager {
@@ -293,6 +305,7 @@ impl IoManager {
             service_mode: ServiceMode::Inline,
             reactor: None,
             gc_backlog_ns: 0,
+            health: HealthMonitor::default(),
         })
     }
 
@@ -361,6 +374,11 @@ impl IoManager {
         };
         self.submit_command_status(service, true);
         self.stats.faults += 1;
+        let now = self.qp.now_ns();
+        match &e {
+            NvmeError::Busy { .. } => self.health.record_busy(now),
+            _ => self.health.record_error(now),
+        }
         e
     }
 
@@ -395,9 +413,31 @@ impl IoManager {
         &self.ns
     }
 
-    /// Cumulative I/O statistics.
+    /// Cumulative I/O statistics (with the health monitor's current
+    /// snapshot folded in).
     pub fn stats(&self) -> IoStats {
-        self.stats
+        let mut s = self.stats;
+        s.health = self.health.io_stats();
+        s
+    }
+
+    /// Current device-health classification from this shard's monitor.
+    pub fn health(&self) -> HealthState {
+        self.health.state()
+    }
+
+    /// Health-state transition trace (virtual-time stamped), for
+    /// breaker logic and deterministic chaos gates.
+    pub fn health_transitions(&self) -> &[HealthTransition] {
+        self.health.transitions()
+    }
+
+    /// Credits an observed recovery (e.g. a successful circuit-breaker
+    /// probe after injected faults cleared): steps the health state
+    /// down one level immediately and restarts the observation window.
+    pub fn credit_health_recovery(&mut self) {
+        let now = self.qp.now_ns();
+        self.health.credit_recovery(now);
     }
 
     /// Observed write-latency histogram.
@@ -504,6 +544,7 @@ impl IoManager {
         self.gc_backlog_ns += completion.gc_ns;
         self.charge_gc_interference(service, GC_WRITE_INTERFERENCE_CAP);
         let lat = self.submit_command(service);
+        self.health.record_ok(self.qp.now_ns());
         self.write_hist.record(lat);
         self.stats.writes += 1;
         self.stats.bytes_written += data.len() as u64;
@@ -525,6 +566,7 @@ impl IoManager {
         };
         self.charge_gc_interference(service_ns, GC_READ_INTERFERENCE_CAP);
         let lat = self.submit_command(service_ns);
+        self.health.record_ok(self.qp.now_ns());
         self.read_hist.record(lat);
         self.stats.reads += 1;
         self.stats.bytes_read += out.len() as u64;
@@ -548,6 +590,7 @@ impl IoManager {
         }
         let service = DISCARD_BASE_SERVICE_NS + count * DISCARD_PER_BLOCK_NS;
         let lat = self.submit_command(service);
+        self.health.record_ok(self.qp.now_ns());
         self.discard_hist.record(lat);
         self.stats.discards += 1;
         self.stats.bytes_discarded += count * self.block_bytes as u64;
@@ -656,6 +699,7 @@ impl IoManager {
                     self.gc_backlog_ns += completion.gc_ns;
                     self.charge_gc_interference(service, GC_WRITE_INTERFERENCE_CAP);
                     let lat = self.submit_command(service);
+                    self.health.record_ok(self.qp.now_ns());
                     self.write_hist.record(lat);
                     bulk.writes += 1;
                     bulk.bytes_written += data.len() as u64;
@@ -666,6 +710,7 @@ impl IoManager {
                     ri += 1;
                     self.charge_gc_interference(service, GC_READ_INTERFERENCE_CAP);
                     let lat = self.submit_command(service);
+                    self.health.record_ok(self.qp.now_ns());
                     self.read_hist.record(lat);
                     bulk.reads += 1;
                     bulk.bytes_read += out.len() as u64;
@@ -674,6 +719,7 @@ impl IoManager {
                 BatchOp::Discard { count, .. } => {
                     let service = DISCARD_BASE_SERVICE_NS + count * DISCARD_PER_BLOCK_NS;
                     let lat = self.submit_command(service);
+                    self.health.record_ok(self.qp.now_ns());
                     self.discard_hist.record(lat);
                     bulk.discards += 1;
                     bulk.bytes_discarded += count * self.block_bytes as u64;
@@ -939,6 +985,15 @@ mod tests {
                 completions: 9,
                 ring_full_waits: 10,
                 parked_ns: 11,
+                config_mismatches: 12,
+            },
+            health: HealthIoStats {
+                state: HealthState::Degraded,
+                errors: 13,
+                busys: 14,
+                windows: 15,
+                degradations: 16,
+                recoveries: 17,
             },
         };
         let b = a.merge(&a);
@@ -957,12 +1012,23 @@ mod tests {
                     completions: 18,
                     ring_full_waits: 20,
                     parked_ns: 22,
+                    config_mismatches: 24,
+                },
+                health: HealthIoStats {
+                    state: HealthState::Degraded,
+                    errors: 26,
+                    busys: 28,
+                    windows: 30,
+                    degradations: 32,
+                    recoveries: 34,
                 },
             }
         );
-        // The virtual view keeps every deterministic field and zeroes
-        // only the wall-clock reactor counters.
+        // The virtual view keeps every deterministic field (health
+        // included — it is virtual-time derived) and zeroes only the
+        // wall-clock reactor counters.
         assert_eq!(b.virtual_view(), IoStats { reactor: ReactorIoStats::default(), ..b });
+        assert_eq!(b.virtual_view().health, b.health);
     }
 
     #[test]
@@ -1052,8 +1118,13 @@ mod tests {
             io.write(0, &data, PlacementHandle::DEFAULT).unwrap();
         }
         assert_eq!(inline.now_ns(), reactor.now_ns());
+        // stats() equality now also covers the health snapshot: the
+        // monitor is virtual-time fed, so both service modes observe
+        // the same error at the same stamp.
         assert_eq!(inline.stats(), reactor.stats().virtual_view());
         assert_eq!(inline.stats().faults, 1);
+        assert_eq!(inline.stats().health.errors, 1);
+        assert_eq!(inline.stats().health, reactor.stats().health);
     }
 
     #[test]
@@ -1105,7 +1176,57 @@ mod tests {
         // Successful-command counters exclude the failures.
         assert_eq!(io.stats().writes, 3);
         assert_eq!(io.stats().reads, 2);
+        // The health monitor saw every completion, split by kind, but
+        // too few events in too little time to close a window.
+        assert_eq!(io.stats().health.errors, 2);
+        assert_eq!(io.stats().health.busys, 1);
+        assert_eq!(io.health(), HealthState::Healthy);
         ctrl.with_ftl(|f| f.check_invariants());
+    }
+
+    #[test]
+    fn io_path_walks_health_down_and_back() {
+        use fdpcache_nvme::{FaultConfig, FaultKind, FaultStore, ScriptedFault};
+        // A permanent bad block: every write to LBA 0 fails, each one
+        // charging FAULT_SERVICE_NS, so observation windows fill with
+        // pure-error traffic and the classifier escalates one level
+        // per window.
+        let fault_cfg = FaultConfig {
+            scripted: vec![ScriptedFault {
+                kind: FaultKind::WriteError,
+                lba: 0,
+                at_access: 0,
+                repeats: u64::MAX,
+            }],
+            ..Default::default()
+        };
+        let store = FaultStore::new(Box::new(MemStore::new()), fault_cfg);
+        let ctrl = Arc::new(Controller::new(FtlConfig::tiny_test(), Box::new(store)).unwrap());
+        let nsid = ctrl.create_namespace(64, vec![0, 1]).unwrap();
+        let mut io = IoManager::new(ctrl, nsid, 1).unwrap();
+        let data = vec![1u8; 4096];
+        while io.health() != HealthState::Failing {
+            io.write(0, &data, PlacementHandle::DEFAULT).unwrap_err();
+            assert!(io.stats().faults < 5_000, "health never reached Failing");
+        }
+        assert_eq!(io.stats().health.degradations, 2);
+        // A successful breaker probe credits one level back...
+        io.credit_health_recovery();
+        assert_eq!(io.health(), HealthState::Degraded);
+        // ...and sustained clean traffic (host think time spacing the
+        // ops out so windows elapse) walks the rest of the way down.
+        let mut clean = 0u64;
+        while io.health() != HealthState::Healthy {
+            io.advance(2_000_000);
+            io.write(1, &data, PlacementHandle::DEFAULT).unwrap();
+            clean += 1;
+            assert!(clean < 5_000, "health never recovered");
+        }
+        assert_eq!(io.stats().health.recoveries, 2);
+        // Transition trace is virtual-time stamped and monotone.
+        let trace = io.health_transitions();
+        assert_eq!(trace.len(), 4);
+        assert!(trace.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
     }
 
     #[test]

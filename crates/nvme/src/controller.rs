@@ -38,7 +38,8 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::datastore::DataStore;
 use crate::error::NvmeError;
-use crate::fault::{FaultOp, FaultTotals};
+use crate::fault::{FaultOp, FaultRates, FaultTotals};
+use crate::health::{HealthConfig, HealthMonitor, HealthState};
 use crate::identify::{ControllerIdentity, FdpConfigDescriptor};
 use crate::logpage::{FdpConfigLog, RuhUsageDescriptor, RuhUsageLog};
 use crate::namespace::{Namespace, NamespaceId};
@@ -269,8 +270,8 @@ impl Controller {
     /// `workers` poller threads. Later callers share the same
     /// reactor; their worker-count request is ignored (one reactor
     /// per device, like one media array per device). A mismatched
-    /// request is reported on stderr so topology mistakes in bench
-    /// sweeps don't pass silently.
+    /// request bumps [`ReactorIoStats::config_mismatches`] so bench
+    /// sweeps can assert topology mistakes don't pass silently.
     pub fn reactor(&self, workers: usize) -> Arc<IoReactor> {
         let reactor = Arc::clone(self.reactor.get_or_init(|| {
             Arc::new(IoReactor::new(ReactorConfig {
@@ -279,11 +280,7 @@ impl Controller {
             }))
         }));
         if reactor.worker_count() != workers.max(1) {
-            eprintln!(
-                "warning: reactor already running with {} workers; ignoring request for {}",
-                reactor.worker_count(),
-                workers.max(1)
-            );
+            reactor.note_config_mismatch();
         }
         reactor
     }
@@ -350,6 +347,26 @@ impl Controller {
     /// a [`crate::FaultStore`] decorator).
     pub fn fault_totals(&self) -> FaultTotals {
         self.store.fault_totals()
+    }
+
+    /// Retunes the store's live fault-injection probabilities (chaos
+    /// phase changes). Returns `false` when the store carries no fault
+    /// schedule. Deterministic as long as callers retune at
+    /// deterministic points in the op stream (quiesced boundaries).
+    pub fn set_fault_rates(&self, rates: FaultRates) -> bool {
+        self.store.set_fault_rates(rates)
+    }
+
+    /// Coarse device-wide health classification: the cumulative
+    /// injected-fault rate over all completed commands, through the
+    /// default [`HealthConfig`] thresholds. This is the fleet
+    /// dashboard view; the authoritative degraded-mode signal is the
+    /// windowed per-shard monitor embedded in each I/O manager (see
+    /// [`HealthMonitor`]).
+    pub fn health(&self) -> HealthState {
+        let io = self.device_io_stats();
+        let commands = io.writes + io.reads + io.discards;
+        HealthMonitor::classify_totals(&HealthConfig::default(), &self.fault_totals(), commands)
     }
 
     /// Unallocated LBAs remaining for namespace creation.

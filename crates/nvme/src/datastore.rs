@@ -35,7 +35,7 @@
 
 use parking_lot::{Mutex, RwLock};
 
-use crate::fault::{FaultOp, FaultTotals, InjectedFault};
+use crate::fault::{FaultOp, FaultRates, FaultTotals, InjectedFault};
 
 /// Logical payload storage keyed by device LBA.
 ///
@@ -107,6 +107,14 @@ pub trait DataStore: Send + Sync {
     /// Snapshot of injected-fault totals (all zero for plain stores).
     fn fault_totals(&self) -> FaultTotals {
         FaultTotals::default()
+    }
+
+    /// Retunes the store's live fault-injection probabilities (chaos
+    /// phase changes). Returns `false` for stores without a fault
+    /// schedule; only the [`crate::FaultStore`] decorator honours it.
+    fn set_fault_rates(&self, rates: FaultRates) -> bool {
+        let _ = rates;
+        false
     }
 }
 

@@ -40,7 +40,7 @@
 //! to the undecorated store (asserted by the property tests).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -160,6 +160,49 @@ impl FaultConfig {
             self.busy_penalty_ns
         }
     }
+
+    /// The probability knobs as a live-tunable rate set.
+    pub fn rates(&self) -> FaultRates {
+        FaultRates {
+            read_err_ppm: self.read_err_ppm,
+            write_err_ppm: self.write_err_ppm,
+            discard_err_ppm: self.discard_err_ppm,
+            corruption_ppm: self.corruption_ppm,
+            busy_ppm: self.busy_ppm,
+        }
+    }
+}
+
+/// The per-kind probability knobs of a [`FaultConfig`], separated out
+/// so chaos drivers can retune a live plan between phases (escalating
+/// storms, fault-clear windows) without rebuilding the stack. Scripted
+/// triggers and the seed stay fixed for the plan's lifetime; only the
+/// ppm rates move. Determinism is preserved as long as retunes happen
+/// at deterministic points in the op stream (the access counters keep
+/// advancing, so the same retune schedule replays the same faults).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultRates {
+    /// Per-block read media-error probability (ppm).
+    pub read_err_ppm: u32,
+    /// Per-block write media-error probability (ppm).
+    pub write_err_ppm: u32,
+    /// Per-block discard media-error probability (ppm).
+    pub discard_err_ppm: u32,
+    /// Per-segment detected-corruption probability on reads (ppm).
+    pub corruption_ppm: u32,
+    /// Per-command device-busy probability (ppm).
+    pub busy_ppm: u32,
+}
+
+impl FaultRates {
+    /// Whether any probability is nonzero.
+    pub fn any(&self) -> bool {
+        self.read_err_ppm > 0
+            || self.write_err_ppm > 0
+            || self.discard_err_ppm > 0
+            || self.corruption_ppm > 0
+            || self.busy_ppm > 0
+    }
 }
 
 /// One injected failure, as reported to the controller.
@@ -241,9 +284,11 @@ impl AtomicTotals {
 /// so two namespaces — disjoint LBA ranges — never contend).
 const COUNTER_SHARDS: u64 = 64;
 
-/// splitmix64 finalizer over the decision coordinates.
+/// splitmix64 finalizer over the decision coordinates. Shared with the
+/// retry layer's jitter hash so every deterministic roll in the crate
+/// uses one mixing function.
 #[inline]
-fn decision_hash(seed: u64, kind: u64, id: u64, n: u64) -> u64 {
+pub(crate) fn decision_hash(seed: u64, kind: u64, id: u64, n: u64) -> u64 {
     let mut z = seed
         ^ kind.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ id.wrapping_mul(0xBF58_476D_1CE4_E5B9)
@@ -259,12 +304,21 @@ fn decision_hash(seed: u64, kind: u64, id: u64, n: u64) -> u64 {
 #[derive(Debug)]
 pub struct FaultPlan {
     config: FaultConfig,
-    enabled: bool,
-    /// Per-kind "this kind can ever fire" (nonzero ppm or a scripted
-    /// trigger), indexed by [`FaultKind::idx`]. Dead kinds skip their
-    /// counter bumps entirely on the hot path — safe, because a kind
-    /// that never fires has no observable schedule.
-    live: [bool; 6],
+    /// Whether anything (a scripted trigger or a live rate) can fire.
+    /// Updated by [`FaultPlan::set_rates`]; a disabled plan's `inject`
+    /// returns `None` before touching any counter.
+    enabled: AtomicBool,
+    /// Per-kind "a scripted trigger exists", indexed by
+    /// [`FaultKind::idx`]. Fixed for the plan's lifetime.
+    scripted_live: [bool; 6],
+    /// Live per-kind ppm rates (the rated kinds, indices 0..=4; Kill
+    /// has no probability knob). Retunable through `&self` so chaos
+    /// drivers can phase rates mid-run. A kind with rate 0 and no
+    /// scripted trigger skips its counter bumps entirely on the hot
+    /// path — safe, because a kind that never fires has no observable
+    /// schedule (and a retune schedule is itself part of the replayed
+    /// plan).
+    rates: [AtomicU32; 5],
     /// Access counters keyed by `(location << 3) | kind`, sharded by
     /// location so disjoint namespaces never contend.
     counters: Vec<Mutex<HashMap<u64, u64>>>,
@@ -274,34 +328,76 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// Builds a plan from a configuration.
     pub fn new(config: FaultConfig) -> Self {
-        let enabled = !config.is_empty();
-        let mut live = [false; 6];
-        live[FaultKind::ReadError.idx() as usize] = config.read_err_ppm > 0;
-        live[FaultKind::WriteError.idx() as usize] = config.write_err_ppm > 0;
-        live[FaultKind::DiscardError.idx() as usize] = config.discard_err_ppm > 0;
-        live[FaultKind::Corruption.idx() as usize] = config.corruption_ppm > 0;
-        live[FaultKind::Busy.idx() as usize] = config.busy_ppm > 0;
+        let enabled = AtomicBool::new(!config.is_empty());
+        let mut scripted_live = [false; 6];
         for s in &config.scripted {
-            live[s.kind.idx() as usize] = true;
+            scripted_live[s.kind.idx() as usize] = true;
         }
+        let r = config.rates();
+        let rates = [
+            AtomicU32::new(r.read_err_ppm),
+            AtomicU32::new(r.write_err_ppm),
+            AtomicU32::new(r.discard_err_ppm),
+            AtomicU32::new(r.corruption_ppm),
+            AtomicU32::new(r.busy_ppm),
+        ];
         FaultPlan {
             config,
             enabled,
-            live,
+            scripted_live,
+            rates,
             counters: (0..COUNTER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             totals: AtomicTotals::default(),
         }
     }
 
-    /// Whether `kind` can ever fire under this configuration.
+    /// The live ppm rate for `kind` (0 for Kill, which has no knob).
     #[inline]
-    fn is_live(&self, kind: FaultKind) -> bool {
-        self.live[kind.idx() as usize]
+    fn rate(&self, kind: FaultKind) -> u32 {
+        let idx = kind.idx() as usize;
+        if idx < self.rates.len() {
+            self.rates[idx].load(Ordering::Relaxed)
+        } else {
+            0
+        }
     }
 
-    /// The plan's configuration.
+    /// Whether `kind` can currently fire (scripted trigger or live rate).
+    #[inline]
+    fn is_live(&self, kind: FaultKind) -> bool {
+        self.scripted_live[kind.idx() as usize] || self.rate(kind) > 0
+    }
+
+    /// The plan's construction-time configuration. The probability
+    /// knobs reflect the original values even after a retune; use
+    /// [`FaultPlan::rates`] for the live set.
     pub fn config(&self) -> &FaultConfig {
         &self.config
+    }
+
+    /// Snapshot of the live probability rates.
+    pub fn rates(&self) -> FaultRates {
+        FaultRates {
+            read_err_ppm: self.rates[0].load(Ordering::Relaxed),
+            write_err_ppm: self.rates[1].load(Ordering::Relaxed),
+            discard_err_ppm: self.rates[2].load(Ordering::Relaxed),
+            corruption_ppm: self.rates[3].load(Ordering::Relaxed),
+            busy_ppm: self.rates[4].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Retunes the live probability rates (chaos phase changes). The
+    /// seed, scripted triggers and access counters are untouched, so
+    /// the same retune schedule applied at the same points in the op
+    /// stream replays the same faults.
+    pub fn set_rates(&self, rates: FaultRates) {
+        self.rates[0].store(rates.read_err_ppm, Ordering::Relaxed);
+        self.rates[1].store(rates.write_err_ppm, Ordering::Relaxed);
+        self.rates[2].store(rates.discard_err_ppm, Ordering::Relaxed);
+        self.rates[3].store(rates.corruption_ppm, Ordering::Relaxed);
+        self.rates[4].store(rates.busy_ppm, Ordering::Relaxed);
+        let enabled = rates.any() || !self.config.scripted.is_empty();
+        self.enabled.store(enabled, Ordering::Relaxed);
     }
 
     /// Snapshot of the injection totals.
@@ -344,7 +440,7 @@ impl FaultPlan {
     /// with an empty configuration returns `None` without touching any
     /// counter.
     pub fn inject(&self, op: FaultOp, lba: u64, nlb: u64) -> Option<InjectedFault> {
-        if !self.enabled {
+        if !self.enabled.load(Ordering::Relaxed) {
             return None;
         }
         // Scripted kill points come first: a crash pre-empts every other
@@ -361,7 +457,7 @@ impl FaultPlan {
         // Transient busy, decided once per command on its start LBA.
         if self.is_live(FaultKind::Busy) {
             let n = self.bump(FaultKind::Busy, lba);
-            if self.fires(FaultKind::Busy, lba, n, self.config.busy_ppm) {
+            if self.fires(FaultKind::Busy, lba, n, self.rate(FaultKind::Busy)) {
                 self.totals.count(FaultKind::Busy);
                 return Some(InjectedFault {
                     kind: FaultKind::Busy,
@@ -370,11 +466,12 @@ impl FaultPlan {
                 });
             }
         }
-        let (kind, ppm) = match op {
-            FaultOp::Read => (FaultKind::ReadError, self.config.read_err_ppm),
-            FaultOp::Write => (FaultKind::WriteError, self.config.write_err_ppm),
-            FaultOp::Discard => (FaultKind::DiscardError, self.config.discard_err_ppm),
+        let kind = match op {
+            FaultOp::Read => FaultKind::ReadError,
+            FaultOp::Write => FaultKind::WriteError,
+            FaultOp::Discard => FaultKind::DiscardError,
         };
+        let ppm = self.rate(kind);
         if self.is_live(kind) {
             if op == FaultOp::Discard {
                 // DSM deallocate is a metadata command: one decision per
@@ -408,8 +505,9 @@ impl FaultPlan {
             let n = self.bump(FaultKind::Corruption, lba);
             let first = lba / CORRUPTION_SEGMENT_BLOCKS;
             let last = (lba + nlb - 1) / CORRUPTION_SEGMENT_BLOCKS;
+            let ppm = self.rate(FaultKind::Corruption);
             for seg in first..=last {
-                if self.fires(FaultKind::Corruption, seg, n, self.config.corruption_ppm) {
+                if self.fires(FaultKind::Corruption, seg, n, ppm) {
                     self.totals.count(FaultKind::Corruption);
                     return Some(InjectedFault {
                         kind: FaultKind::Corruption,
@@ -446,6 +544,11 @@ impl FaultStore {
     /// Snapshot of the injection totals.
     pub fn totals(&self) -> FaultTotals {
         self.plan.totals()
+    }
+
+    /// The plan's live probability rates.
+    pub fn rates(&self) -> FaultRates {
+        self.plan.rates()
     }
 }
 
@@ -488,6 +591,11 @@ impl DataStore for FaultStore {
 
     fn fault_totals(&self) -> FaultTotals {
         self.plan.totals()
+    }
+
+    fn set_fault_rates(&self, rates: FaultRates) -> bool {
+        self.plan.set_rates(rates);
+        true
     }
 }
 
@@ -641,6 +749,44 @@ mod tests {
         // stays spent for reads too.
         assert_eq!(p.inject(FaultOp::Write, 4, 1).unwrap().kind, FaultKind::Busy);
         assert_ne!(p.inject(FaultOp::Read, 4, 1).map(|f| f.kind), Some(FaultKind::Kill));
+    }
+
+    #[test]
+    fn live_rate_retune_phases_deterministically() {
+        // A rate retune at a fixed point in the access stream must be
+        // part of the replayed schedule: same phases → same faults.
+        let run = || -> Vec<bool> {
+            let p = plan(FaultConfig { seed: 11, ..Default::default() });
+            let mut out = Vec::new();
+            for i in 0..100u64 {
+                out.push(p.inject(FaultOp::Write, i % 16, 1).is_some());
+            }
+            p.set_rates(FaultRates { write_err_ppm: 400_000, ..Default::default() });
+            for i in 0..100u64 {
+                out.push(p.inject(FaultOp::Write, i % 16, 1).is_some());
+            }
+            p.set_rates(FaultRates::default());
+            for i in 0..100u64 {
+                out.push(p.inject(FaultOp::Write, i % 16, 1).is_some());
+            }
+            out
+        };
+        let a = run();
+        assert_eq!(a, run(), "retune schedule must replay bit-identically");
+        assert!(a[..100].iter().all(|f| !f), "phase 1 is fault-free");
+        assert!(a[100..200].iter().any(|f| *f), "storm phase must inject");
+        assert!(a[200..].iter().all(|f| !f), "cleared phase is fault-free");
+    }
+
+    #[test]
+    fn retuned_empty_plan_disables_and_reenables() {
+        let p = plan(FaultConfig { seed: 2, write_err_ppm: 1_000_000, ..Default::default() });
+        assert!(p.inject(FaultOp::Write, 0, 1).is_some());
+        p.set_rates(FaultRates::default());
+        assert!(p.inject(FaultOp::Write, 0, 1).is_none());
+        assert_eq!(p.rates(), FaultRates::default());
+        p.set_rates(FaultRates { write_err_ppm: 1_000_000, ..Default::default() });
+        assert!(p.inject(FaultOp::Write, 0, 1).is_some());
     }
 
     #[test]

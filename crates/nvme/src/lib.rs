@@ -41,6 +41,11 @@
 //!   it before every command's side effects and completes injected
 //!   failures as [`NvmeError::MediaError`]/[`NvmeError::Busy`]
 //!   (DESIGN.md §6).
+//! * **Device health** — a windowed, virtual-time
+//!   [`HealthMonitor`] classifies error/busy rates
+//!   `Healthy → Degraded → Failing`, and a seed-deterministic
+//!   [`RetryPolicy`] unifies every retry loop in the stack
+//!   (DESIGN.md §6.7).
 
 #![warn(missing_docs)]
 pub mod command;
@@ -48,11 +53,13 @@ pub mod controller;
 pub mod datastore;
 pub mod error;
 pub mod fault;
+pub mod health;
 pub mod identify;
 pub mod logpage;
 pub mod namespace;
 pub mod queue;
 pub mod reactor;
+pub mod retry;
 
 pub use command::{DeallocRange, IoCommand};
 pub use controller::{
@@ -63,11 +70,13 @@ pub use datastore::HashStore;
 pub use datastore::{DataStore, MemStore, NullStore};
 pub use error::NvmeError;
 pub use fault::{
-    FaultConfig, FaultKind, FaultOp, FaultPlan, FaultStore, FaultTotals, InjectedFault,
+    FaultConfig, FaultKind, FaultOp, FaultPlan, FaultRates, FaultStore, FaultTotals, InjectedFault,
     ScriptedFault,
 };
+pub use health::{HealthConfig, HealthIoStats, HealthMonitor, HealthState, HealthTransition};
 pub use identify::{ControllerIdentity, FdpConfigDescriptor};
 pub use logpage::{FdpConfigLog, RuhUsageDescriptor, RuhUsageLog};
 pub use namespace::{Namespace, NamespaceId};
 pub use queue::{CommandId, Completion, QueuePair};
 pub use reactor::{IoReactor, ReactorConfig, ReactorIoStats, ServiceMode, SubmitTelemetry};
+pub use retry::{RetryPolicy, RetrySchedule};

@@ -128,6 +128,11 @@ pub struct ReactorIoStats {
     /// Total wall-clock nanoseconds callers spent parked on
     /// completion gates.
     pub parked_ns: u64,
+    /// Requests for this device's reactor whose worker count did not
+    /// match the running reactor's (the request is ignored — one
+    /// reactor per device). Bench sweeps assert this stays 0 instead
+    /// of scraping stderr for the warning.
+    pub config_mismatches: u64,
 }
 
 impl ReactorIoStats {
@@ -138,6 +143,7 @@ impl ReactorIoStats {
             completions: self.completions + other.completions,
             ring_full_waits: self.ring_full_waits + other.ring_full_waits,
             parked_ns: self.parked_ns + other.parked_ns,
+            config_mismatches: self.config_mismatches + other.config_mismatches,
         }
     }
 }
@@ -168,6 +174,7 @@ struct Ring {
     completions: AtomicU64,
     ring_full_waits: AtomicU64,
     parked_ns: AtomicU64,
+    config_mismatches: AtomicU64,
 }
 
 impl Ring {
@@ -281,6 +288,7 @@ impl IoReactor {
             completions: AtomicU64::new(0),
             ring_full_waits: AtomicU64::new(0),
             parked_ns: AtomicU64::new(0),
+            config_mismatches: AtomicU64::new(0),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -306,7 +314,14 @@ impl IoReactor {
             completions: self.ring.completions.load(Ordering::Relaxed),
             ring_full_waits: self.ring.ring_full_waits.load(Ordering::Relaxed),
             parked_ns: self.ring.parked_ns.load(Ordering::Relaxed),
+            config_mismatches: self.ring.config_mismatches.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counts a worker-count request that did not match this running
+    /// reactor (the controller ignores the request; this records it).
+    pub fn note_config_mismatch(&self) {
+        self.ring.config_mismatches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Push a job, blocking while the ring is full. Returns the
@@ -528,13 +543,34 @@ mod tests {
 
     #[test]
     fn stats_merge_is_field_wise() {
-        let a = ReactorIoStats { submissions: 1, completions: 2, ring_full_waits: 3, parked_ns: 4 };
-        let b =
-            ReactorIoStats { submissions: 10, completions: 20, ring_full_waits: 30, parked_ns: 40 };
+        let a = ReactorIoStats {
+            submissions: 1,
+            completions: 2,
+            ring_full_waits: 3,
+            parked_ns: 4,
+            config_mismatches: 5,
+        };
+        let b = ReactorIoStats {
+            submissions: 10,
+            completions: 20,
+            ring_full_waits: 30,
+            parked_ns: 40,
+            config_mismatches: 50,
+        };
         let m = a.merge(&b);
         assert_eq!(m.submissions, 11);
         assert_eq!(m.completions, 22);
         assert_eq!(m.ring_full_waits, 33);
         assert_eq!(m.parked_ns, 44);
+        assert_eq!(m.config_mismatches, 55);
+    }
+
+    #[test]
+    fn config_mismatches_count_through_stats() {
+        let reactor = IoReactor::new(ReactorConfig { workers: 2, ring_capacity: 4 });
+        assert_eq!(reactor.stats().config_mismatches, 0);
+        reactor.note_config_mismatch();
+        reactor.note_config_mismatch();
+        assert_eq!(reactor.stats().config_mismatches, 2);
     }
 }

@@ -1,0 +1,218 @@
+//! Unified, seed-deterministic retry/backoff policy.
+//!
+//! Before this module every retry loop in the stack carried its own
+//! magic attempt count (`SEAL_ATTEMPTS`, `META_WRITE_ATTEMPTS`, the SOC
+//! bucket rewrite cap). A [`RetryPolicy`] replaces them with one
+//! description of a retry schedule — attempt budget, exponential
+//! virtual-time backoff, hashed jitter, and an optional per-op deadline
+//! — and a [`RetrySchedule`] walks one operation through it.
+//!
+//! Determinism: backoff durations are *virtual* nanoseconds (callers
+//! charge them to their shard's virtual clock, never to wall clock),
+//! and jitter is a pure hash of `(seed, op token, attempt)` using the
+//! same splitmix64 mixer as the fault plan. Two replays of the same
+//! seed therefore back off by bit-identical amounts at bit-identical
+//! points, and schedules never communicate across shards.
+//!
+//! The legacy loops are reproduced exactly by
+//! [`RetryPolicy::immediate`]: the same attempt budget with zero
+//! backoff, so replacing a `for attempt in 0..4` loop changes no gate.
+//! The exponential variants are for paths that face a *failing* device
+//! (chaos storms, degraded mode), where hammering immediate retries
+//! into a saturated device wastes the fault-service budget.
+
+use crate::fault::decision_hash;
+
+/// A retry schedule description: how many attempts an operation gets
+/// and how long it backs off (in virtual time) between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (first try included). 0 is treated as 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry (ns of virtual time); doubles
+    /// per retry. 0 retries immediately (the legacy loops).
+    pub base_backoff_ns: u64,
+    /// Cap on a single backoff step (ns). 0 means uncapped.
+    pub max_backoff_ns: u64,
+    /// Hashed jitter added to each backoff, as ppm of the step (e.g.
+    /// 250_000 adds up to +25%). 0 disables jitter.
+    pub jitter_ppm: u32,
+    /// Total backoff budget per operation (ns); once cumulative
+    /// backoff would exceed it the schedule gives up. 0 = unlimited.
+    pub deadline_ns: u64,
+    /// Seed mixed into every jitter roll.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// The legacy schedule: `max_attempts` tries, zero backoff. This
+    /// reproduces the stack's historical `for attempt in 0..N` loops
+    /// bit-identically (failed attempts still pay the device's
+    /// deterministic fault-service time; the policy adds nothing).
+    pub fn immediate(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff_ns: 0,
+            max_backoff_ns: 0,
+            jitter_ppm: 0,
+            deadline_ns: 0,
+            seed: 0,
+        }
+    }
+
+    /// Exponential virtual-time backoff: `base_backoff_ns` before the
+    /// first retry, doubling per retry, with hashed jitter derived
+    /// from `seed`.
+    pub fn exponential(seed: u64, max_attempts: u32, base_backoff_ns: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff_ns,
+            max_backoff_ns: base_backoff_ns.saturating_mul(16),
+            jitter_ppm: 250_000,
+            deadline_ns: 0,
+            seed,
+        }
+    }
+
+    /// Returns the policy with a per-op total backoff budget.
+    pub fn with_deadline(mut self, deadline_ns: u64) -> RetryPolicy {
+        self.deadline_ns = deadline_ns;
+        self
+    }
+
+    /// Returns the policy with a different jitter fraction (ppm).
+    pub fn with_jitter(mut self, jitter_ppm: u32) -> RetryPolicy {
+        self.jitter_ppm = jitter_ppm;
+        self
+    }
+
+    /// Starts a schedule for one operation. `token` identifies the
+    /// operation deterministically (a key hash, an LBA, a region id —
+    /// anything stable across replays) and decorrelates jitter between
+    /// operations sharing a policy.
+    pub fn schedule(&self, token: u64) -> RetrySchedule {
+        RetrySchedule { policy: *self, token, retries: 0, spent_ns: 0 }
+    }
+}
+
+/// One operation's walk through a [`RetryPolicy`]. Ask
+/// [`RetrySchedule::next_backoff_ns`] after each failed attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct RetrySchedule {
+    policy: RetryPolicy,
+    token: u64,
+    retries: u32,
+    spent_ns: u64,
+}
+
+impl RetrySchedule {
+    /// Called after a failed attempt: `Some(backoff_ns)` grants a
+    /// retry after that much virtual time (0 = immediately), `None`
+    /// exhausts the schedule (attempt budget or deadline spent). The
+    /// caller charges the backoff to its virtual clock.
+    pub fn next_backoff_ns(&mut self) -> Option<u64> {
+        let budget = self.policy.max_attempts.max(1);
+        if self.retries + 1 >= budget {
+            return None;
+        }
+        let mut step = if self.policy.base_backoff_ns == 0 {
+            0
+        } else {
+            let raw = self.policy.base_backoff_ns.saturating_mul(1u64 << self.retries.min(62));
+            if self.policy.max_backoff_ns > 0 {
+                raw.min(self.policy.max_backoff_ns)
+            } else {
+                raw
+            }
+        };
+        if step > 0 && self.policy.jitter_ppm > 0 {
+            let span = step.saturating_mul(self.policy.jitter_ppm as u64) / 1_000_000;
+            if span > 0 {
+                let roll =
+                    decision_hash(self.policy.seed, 0x5E7_11CE, self.token, self.retries as u64);
+                step = step.saturating_add(roll % (span + 1));
+            }
+        }
+        if self.policy.deadline_ns > 0
+            && self.spent_ns.saturating_add(step) > self.policy.deadline_ns
+        {
+            return None;
+        }
+        self.spent_ns += step;
+        self.retries += 1;
+        Some(step)
+    }
+
+    /// Retries granted so far.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Cumulative backoff granted so far (virtual ns).
+    pub fn spent_ns(&self) -> u64 {
+        self.spent_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(policy: &RetryPolicy, token: u64) -> Vec<u64> {
+        let mut s = policy.schedule(token);
+        let mut out = Vec::new();
+        while let Some(b) = s.next_backoff_ns() {
+            out.push(b);
+        }
+        out
+    }
+
+    #[test]
+    fn immediate_reproduces_legacy_attempt_loops() {
+        // for attempt in 0..4 { try; } == 1 try + 3 zero-backoff retries.
+        assert_eq!(drain(&RetryPolicy::immediate(4), 7), vec![0, 0, 0]);
+        assert_eq!(drain(&RetryPolicy::immediate(2), 7), vec![0]);
+        assert_eq!(drain(&RetryPolicy::immediate(1), 7), Vec::<u64>::new());
+        assert_eq!(drain(&RetryPolicy::immediate(0), 7), Vec::<u64>::new(), "0 acts as 1");
+    }
+
+    #[test]
+    fn exponential_backoff_doubles_and_caps() {
+        let p = RetryPolicy::exponential(0, 6, 1_000).with_jitter(0);
+        assert_eq!(drain(&p, 1), vec![1_000, 2_000, 4_000, 8_000, 16_000]);
+        let capped = RetryPolicy { max_backoff_ns: 4_000, ..p };
+        assert_eq!(drain(&capped, 1), vec![1_000, 2_000, 4_000, 4_000, 4_000]);
+    }
+
+    #[test]
+    fn same_seed_same_token_replays_identically() {
+        let p = RetryPolicy::exponential(42, 8, 10_000);
+        assert_eq!(drain(&p, 5), drain(&p, 5), "same coordinates, same schedule");
+        assert_ne!(drain(&p, 5), drain(&p, 6), "tokens decorrelate jitter");
+        let q = RetryPolicy { seed: 43, ..p };
+        assert_ne!(drain(&p, 5), drain(&q, 5), "seeds decorrelate jitter");
+    }
+
+    #[test]
+    fn jitter_stays_within_its_fraction() {
+        let p = RetryPolicy::exponential(9, 8, 1_000_000).with_jitter(250_000);
+        let plain = RetryPolicy { jitter_ppm: 0, ..p };
+        for (with, without) in drain(&p, 3).into_iter().zip(drain(&plain, 3)) {
+            assert!(with >= without, "jitter only adds");
+            assert!(with <= without + without / 4, "jitter bounded by 25%");
+        }
+    }
+
+    #[test]
+    fn deadline_budget_cuts_the_schedule_short() {
+        let p = RetryPolicy::exponential(1, 32, 1_000).with_jitter(0).with_deadline(5_000);
+        // 1_000 + 2_000 spends 3_000; the next step (4_000) would
+        // exceed the 5_000 budget.
+        assert_eq!(drain(&p, 0), vec![1_000, 2_000]);
+        let mut s = p.schedule(0);
+        s.next_backoff_ns();
+        s.next_backoff_ns();
+        assert_eq!(s.spent_ns(), 3_000);
+        assert_eq!(s.retries(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests for the device-health state machine and the unified
+//! retry/backoff policy:
+//!
+//! * **Monotone one-level transitions** — under arbitrary observation
+//!   schedules (ok / error / busy / recovery-credit at arbitrary
+//!   virtual times) every recorded transition moves exactly one level
+//!   and timestamps never run backwards.
+//! * **Replay determinism** — the same schedule fed to a fresh monitor
+//!   reproduces the identical transition trace and counters.
+//! * **Fault-free plans stay `Healthy`** — a monitor that only ever
+//!   sees successful completions never leaves `Healthy`, so the cache
+//!   tier's circuit breaker (which opens on `Failing` only) can never
+//!   open on a fault-free plan.
+//! * **Backoff-schedule determinism** — a [`RetryPolicy`] drains the
+//!   identical backoff sequence for the same `(seed, token)` across
+//!   replays, respects its attempt budget, step cap and deadline, and
+//!   keeps jitter inside its configured fraction.
+//! * **`classify_totals` monotonicity** — more cumulative errors at the
+//!   same traffic never classify as healthier.
+
+use proptest::prelude::*;
+
+use fdpcache_nvme::{FaultTotals, HealthConfig, HealthMonitor, HealthState, RetryPolicy};
+
+/// One health observation: what happened and how much virtual time
+/// passed since the previous observation.
+#[derive(Debug, Clone, Copy)]
+enum Obs {
+    Ok(u64),
+    Error(u64),
+    Busy(u64),
+    CreditRecovery(u64),
+}
+
+fn obs() -> impl Strategy<Value = Obs> {
+    // The vendored proptest has no weighted arms; repeating the ok arm
+    // biases schedules toward mixed-rate windows rather than pure
+    // storms.
+    let dt = 0..5_000_000u64; // up to 5 ms between observations
+    prop_oneof![
+        dt.clone().prop_map(Obs::Ok),
+        dt.clone().prop_map(Obs::Ok),
+        dt.clone().prop_map(Obs::Error),
+        dt.clone().prop_map(Obs::Busy),
+        dt.prop_map(Obs::CreditRecovery),
+    ]
+}
+
+/// A small-window config so arbitrary schedules actually close windows.
+fn health_config() -> impl Strategy<Value = HealthConfig> {
+    (1..4_000_000u64, 2..12u64, 1..3u32).prop_map(|(window_ns, min_events, recover_windows)| {
+        HealthConfig {
+            window_ns,
+            min_events,
+            degraded_ppm: 50_000,
+            failing_ppm: 200_000,
+            recover_windows,
+        }
+    })
+}
+
+/// Feeds a schedule to a monitor, returning the final virtual clock.
+fn run_schedule(m: &mut HealthMonitor, schedule: &[Obs]) -> u64 {
+    let mut now = 0u64;
+    for o in schedule {
+        match *o {
+            Obs::Ok(dt) => {
+                now += dt;
+                m.record_ok(now);
+            }
+            Obs::Error(dt) => {
+                now += dt;
+                m.record_error(now);
+            }
+            Obs::Busy(dt) => {
+                now += dt;
+                m.record_busy(now);
+            }
+            Obs::CreditRecovery(dt) => {
+                now += dt;
+                m.credit_recovery(now);
+            }
+        }
+    }
+    now
+}
+
+fn one_level_apart(a: HealthState, b: HealthState) -> bool {
+    matches!(
+        (a, b),
+        (HealthState::Healthy, HealthState::Degraded)
+            | (HealthState::Degraded, HealthState::Healthy)
+            | (HealthState::Degraded, HealthState::Failing)
+            | (HealthState::Failing, HealthState::Degraded)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary schedules: every transition moves exactly one level,
+    /// timestamps are monotone, the counters agree with the trace, and
+    /// the final state is the fold of the transitions.
+    #[test]
+    fn transitions_move_one_level_with_monotone_stamps(
+        cfg in health_config(),
+        schedule in prop::collection::vec(obs(), 1..400),
+    ) {
+        let mut m = HealthMonitor::new(cfg);
+        run_schedule(&mut m, &schedule);
+        let mut prev = HealthState::Healthy;
+        let mut prev_ns = 0u64;
+        let mut ups = 0u64;
+        let mut downs = 0u64;
+        for tr in m.transitions() {
+            prop_assert!(
+                one_level_apart(prev, tr.state),
+                "transition {:?} -> {:?} skipped a level", prev, tr.state
+            );
+            prop_assert!(tr.at_ns >= prev_ns, "timestamps ran backwards");
+            if tr.state > prev { ups += 1 } else { downs += 1 }
+            prev = tr.state;
+            prev_ns = tr.at_ns;
+        }
+        prop_assert_eq!(m.state(), prev, "state must be the fold of the transitions");
+        let stats = m.io_stats();
+        prop_assert_eq!(stats.degradations, ups);
+        prop_assert_eq!(stats.recoveries, downs);
+        prop_assert_eq!(stats.state, m.state());
+    }
+
+    /// The same schedule fed to a fresh monitor replays bit-identically:
+    /// same transitions at the same virtual times, same counters.
+    #[test]
+    fn same_schedule_replays_identically(
+        cfg in health_config(),
+        schedule in prop::collection::vec(obs(), 1..400),
+    ) {
+        let mut a = HealthMonitor::new(cfg);
+        let mut b = HealthMonitor::new(cfg);
+        run_schedule(&mut a, &schedule);
+        run_schedule(&mut b, &schedule);
+        prop_assert_eq!(a.transitions(), b.transitions());
+        prop_assert_eq!(a.io_stats(), b.io_stats());
+        prop_assert_eq!(a.state(), b.state());
+    }
+
+    /// A fault-free plan never leaves `Healthy` — no matter the pacing
+    /// — so a breaker keyed on `Failing` can never open on one.
+    #[test]
+    fn fault_free_plan_never_leaves_healthy(
+        cfg in health_config(),
+        dts in prop::collection::vec(0..50_000_000u64, 1..500),
+    ) {
+        let mut m = HealthMonitor::new(cfg);
+        let mut now = 0u64;
+        for dt in dts {
+            now += dt;
+            m.record_ok(now);
+        }
+        prop_assert_eq!(m.state(), HealthState::Healthy);
+        prop_assert!(m.transitions().is_empty(), "clean traffic must record no transitions");
+        let stats = m.io_stats();
+        prop_assert_eq!((stats.errors, stats.busys, stats.degradations), (0, 0, 0));
+    }
+
+    /// Backoff schedules are pure functions of `(policy, token)`:
+    /// replays drain identical sequences, the attempt budget bounds the
+    /// retry count, each step respects the cap plus the jitter
+    /// fraction, and the deadline bounds cumulative backoff.
+    #[test]
+    fn backoff_schedules_are_seed_deterministic(
+        seed in any::<u64>(),
+        token in any::<u64>(),
+        max_attempts in 0..12u32,
+        base in 0..100_000u64,
+        jitter_ppm in 0..500_000u32,
+        deadline in 0..1_000_000u64,
+    ) {
+        let policy = RetryPolicy::exponential(seed, max_attempts, base)
+            .with_jitter(jitter_ppm)
+            .with_deadline(deadline);
+        let drain = |p: &RetryPolicy| {
+            let mut s = p.schedule(token);
+            let mut out = Vec::new();
+            while let Some(b) = s.next_backoff_ns() {
+                out.push(b);
+            }
+            (out, s.retries(), s.spent_ns())
+        };
+        let (steps_a, retries_a, spent_a) = drain(&policy);
+        let (steps_b, _, _) = drain(&policy);
+        prop_assert_eq!(&steps_a, &steps_b, "same coordinates must replay the same schedule");
+        prop_assert!(steps_a.len() < policy.max_attempts.max(1) as usize);
+        prop_assert_eq!(retries_a as usize, steps_a.len());
+        prop_assert_eq!(spent_a, steps_a.iter().sum::<u64>());
+        if deadline > 0 {
+            prop_assert!(spent_a <= deadline, "cumulative backoff exceeded the deadline");
+        }
+        for step in &steps_a {
+            let cap = policy.max_backoff_ns;
+            let bound = cap + cap.saturating_mul(jitter_ppm as u64) / 1_000_000;
+            prop_assert!(cap == 0 || *step <= bound, "step {step} above cap-plus-jitter {bound}");
+        }
+    }
+
+    /// More cumulative errors at the same successful-command count
+    /// never classify as healthier.
+    #[test]
+    fn classify_totals_is_monotone_in_errors(
+        commands in 0..10_000u64,
+        errors_a in 0..5_000u64,
+        extra in 0..5_000u64,
+    ) {
+        let cfg = HealthConfig::default();
+        let t = |n: u64| FaultTotals { read_errors: n, ..FaultTotals::default() };
+        let lo = HealthMonitor::classify_totals(&cfg, &t(errors_a), commands);
+        let hi = HealthMonitor::classify_totals(&cfg, &t(errors_a + extra), commands);
+        prop_assert!(hi >= lo, "more errors classified healthier ({lo:?} -> {hi:?})");
+    }
+}

@@ -17,7 +17,7 @@
 //! path thousands of times per replay without tipping healthy
 //! workloads into permanent-failure territory.
 
-use fdpcache_nvme::{FaultConfig, FaultKind, ScriptedFault};
+use fdpcache_nvme::{FaultConfig, FaultKind, FaultRates, ScriptedFault};
 
 /// A named, seed-replayable fault schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -170,9 +170,180 @@ impl FaultScenario {
     }
 }
 
+/// One phase of a chaos storm: the live fault rates to apply for a
+/// share of the replay's operation budget. Retuning happens at
+/// deterministic op-count boundaries, so the same storm replays the
+/// same faults ([`fdpcache_nvme::FaultPlan::set_rates`] keeps the seed
+/// and access counters; only the probabilities move).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPhase {
+    /// Stable phase name (`warmup`, `storm`, ...).
+    pub name: &'static str,
+    /// Relative share of the total operation budget this phase runs
+    /// for (the driver divides ops proportionally).
+    pub weight: u32,
+    /// The probability knobs in force during the phase.
+    pub rates: FaultRates,
+}
+
+/// A named multi-phase fault storm for chaos-soak replays: the chaos
+/// counterpart of [`FaultScenario`] (which fixes one rate set for a
+/// whole replay).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosStorm {
+    /// Stable storm name (`storm_recover`, ...).
+    pub name: &'static str,
+    /// Seed for the device fault plan backing the storm.
+    pub seed: u64,
+    /// Scripted faults present for the storm's whole lifetime (the
+    /// rates only gate the probabilistic kinds).
+    pub scripted: Vec<ScriptedFault>,
+    /// The phase schedule, in replay order.
+    pub phases: Vec<ChaosPhase>,
+}
+
+impl ChaosStorm {
+    /// The device fault plan to build the storm's stack with: the
+    /// storm seed and scripted faults, with every probability at zero
+    /// (phase one's rates are applied by the driver at op 0).
+    pub fn base_config(&self) -> FaultConfig {
+        FaultConfig { seed: self.seed, scripted: self.scripted.clone(), ..Default::default() }
+    }
+
+    /// Media-error escalation to a failing device, then a clean
+    /// recovery window: drives the full breaker arc — degrade, open,
+    /// DRAM-only serving, half-open probe, reclose, drain.
+    pub fn storm_recover() -> Self {
+        ChaosStorm {
+            name: "storm_recover",
+            seed: 0xC4A0_0001,
+            scripted: Vec::new(),
+            phases: vec![
+                ChaosPhase { name: "warmup", weight: 2, rates: FaultRates::default() },
+                ChaosPhase {
+                    name: "escalate",
+                    weight: 1,
+                    rates: FaultRates {
+                        write_err_ppm: 20_000,
+                        read_err_ppm: 5_000,
+                        ..Default::default()
+                    },
+                },
+                ChaosPhase {
+                    name: "storm",
+                    weight: 2,
+                    rates: FaultRates {
+                        write_err_ppm: 900_000,
+                        read_err_ppm: 300_000,
+                        busy_ppm: 50_000,
+                        ..Default::default()
+                    },
+                },
+                ChaosPhase { name: "clear", weight: 3, rates: FaultRates::default() },
+            ],
+        }
+    }
+
+    /// A pure availability brownout: heavy transient busy rejections
+    /// with no data-affecting fault. Busys count as bad events in the
+    /// health vote, so a deep brownout opens the breaker exactly like
+    /// media errors — and recloses without a single repair.
+    pub fn busy_brownout() -> Self {
+        ChaosStorm {
+            name: "busy_brownout",
+            seed: 0xC4A0_0002,
+            scripted: Vec::new(),
+            phases: vec![
+                ChaosPhase { name: "warmup", weight: 2, rates: FaultRates::default() },
+                ChaosPhase {
+                    name: "brownout",
+                    weight: 3,
+                    rates: FaultRates { busy_ppm: 600_000, ..Default::default() },
+                },
+                ChaosPhase { name: "clear", weight: 3, rates: FaultRates::default() },
+            ],
+        }
+    }
+
+    /// Silent corruption accumulating while rates stay low: the storm
+    /// the scrubber exists for. Patrol reads must find and repair the
+    /// corrupted pages during the quiet phases, before the final
+    /// read-back verifies every acknowledged key.
+    pub fn latent_corruption() -> Self {
+        ChaosStorm {
+            name: "latent_corruption",
+            seed: 0xC4A0_0003,
+            scripted: Vec::new(),
+            phases: vec![
+                ChaosPhase { name: "warmup", weight: 2, rates: FaultRates::default() },
+                ChaosPhase {
+                    name: "tarnish",
+                    weight: 2,
+                    rates: FaultRates { corruption_ppm: 60_000, ..Default::default() },
+                },
+                ChaosPhase { name: "clear", weight: 4, rates: FaultRates::default() },
+            ],
+        }
+    }
+
+    /// Every built-in storm, in stable gate order.
+    pub fn all_builtin() -> Vec<ChaosStorm> {
+        vec![
+            ChaosStorm::storm_recover(),
+            ChaosStorm::busy_brownout(),
+            ChaosStorm::latent_corruption(),
+        ]
+    }
+
+    /// Looks a built-in storm up by name.
+    pub fn by_name(name: &str) -> Option<ChaosStorm> {
+        ChaosStorm::all_builtin().into_iter().find(|s| s.name == name)
+    }
+
+    /// The op-count boundaries at which each phase's rates take effect
+    /// for a `total_ops` replay: `(start_op, phase)` pairs in order.
+    /// Weights are normalized; the final phase absorbs rounding.
+    pub fn boundaries(&self, total_ops: u64) -> Vec<(u64, ChaosPhase)> {
+        let total_weight: u64 = self.phases.iter().map(|p| u64::from(p.weight)).sum();
+        let mut out = Vec::with_capacity(self.phases.len());
+        let mut start = 0u64;
+        for p in &self.phases {
+            out.push((start, *p));
+            start += total_ops * u64::from(p.weight) / total_weight.max(1);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn storm_boundaries_are_ordered_and_start_at_zero() {
+        for storm in ChaosStorm::all_builtin() {
+            let b = storm.boundaries(10_000);
+            assert_eq!(b[0].0, 0, "{}: first phase must start at op 0", storm.name);
+            for w in b.windows(2) {
+                assert!(w[0].0 < w[1].0, "{}: phases must not collapse", storm.name);
+            }
+            assert!(storm.base_config().rates() == FaultRates::default());
+            assert_eq!(ChaosStorm::by_name(storm.name).as_ref(), Some(&storm));
+        }
+        assert!(ChaosStorm::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn storms_end_in_a_clear_phase() {
+        for storm in ChaosStorm::all_builtin() {
+            let last = storm.phases.last().unwrap();
+            assert!(
+                !last.rates.any(),
+                "{}: final phase must clear faults so recovery is reachable",
+                storm.name
+            );
+        }
+    }
 
     #[test]
     fn builtin_names_are_unique_and_resolvable() {

@@ -37,7 +37,7 @@ pub mod zipf;
 pub use concurrent::{
     run_pool_round, run_workers, PoolMode, PoolWorkerReport, Worker, WorkerReport,
 };
-pub use faults::FaultScenario;
+pub use faults::{ChaosPhase, ChaosStorm, FaultScenario};
 pub use profiles::WorkloadProfile;
 pub use replay::{replay_pool, ExperimentResult, PoolReplayConfig, ReplayConfig, Replayer};
 pub use sizes::SizeDist;
