@@ -35,7 +35,7 @@
 //! record (format documented in the README).
 
 use fdpcache_bench::{
-    parse_count_flag, parse_path_flag, sweep_chaos, ChaosGateConfig, ChaosRunResult,
+    json_destination, parse_count_flag, sweep_chaos, ChaosGateConfig, ChaosRunResult,
     TrajectoryRecord,
 };
 use fdpcache_metrics::Table;
@@ -43,7 +43,7 @@ use fdpcache_metrics::Table;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
-    let json_path = parse_path_flag(&args, "--json");
+    let json_path = json_destination(&args, "chaos");
     let mut cfg = ChaosGateConfig::default();
     parse_count_flag(&args, "--ops", &mut cfg.ops);
 

@@ -28,7 +28,7 @@
 //! record (format documented in the README).
 
 use fdpcache_bench::{
-    parse_count_flag, parse_path_flag, run_plain_baseline, sweep_faults, FaultGateConfig,
+    json_destination, parse_count_flag, run_plain_baseline, sweep_faults, FaultGateConfig,
     TrajectoryRecord,
 };
 use fdpcache_metrics::Table;
@@ -36,7 +36,7 @@ use fdpcache_metrics::Table;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
-    let json_path = parse_path_flag(&args, "--json");
+    let json_path = json_destination(&args, "faults");
     let mut cfg = FaultGateConfig::default();
     parse_count_flag(&args, "--ops", &mut cfg.ops);
 

@@ -47,7 +47,7 @@
 //!   flash misses, not read-path synchronization).
 
 use fdpcache_bench::{
-    emit_trajectory, parse_count_flag, parse_path_flag, sweep_fullstack, sweep_read,
+    emit_trajectory, json_destination, parse_count_flag, sweep_fullstack, sweep_read,
     FullstackConfig, ReadScalingConfig, TrajectoryRecord,
 };
 use fdpcache_metrics::Table;
@@ -166,8 +166,9 @@ fn run_read_gate(args: &[String], check: bool, json_path: Option<String>) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
-    let json_path = parse_path_flag(&args, "--json");
-    if args.iter().any(|a| a == "--read") {
+    let read_mode = args.iter().any(|a| a == "--read");
+    let json_path = json_destination(&args, if read_mode { "read" } else { "throughput" });
+    if read_mode {
         run_read_gate(&args, check, json_path);
         return;
     }

@@ -35,7 +35,7 @@
 //! trajectory record (format documented in the README).
 
 use fdpcache_bench::{
-    parse_count_flag, parse_path_flag, sweep_recovery, RecoveryGateConfig, TrajectoryRecord,
+    json_destination, parse_count_flag, sweep_recovery, RecoveryGateConfig, TrajectoryRecord,
 };
 use fdpcache_metrics::Table;
 
@@ -46,7 +46,7 @@ const HIT_RATIO_TOLERANCE: f64 = 0.03;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
-    let json_path = parse_path_flag(&args, "--json");
+    let json_path = json_destination(&args, "recovery");
     let mut cfg = RecoveryGateConfig::default();
     parse_count_flag(&args, "--ops", &mut cfg.ops);
 

@@ -28,7 +28,7 @@
 //! depth-1 pipeline to the legacy synchronous model.
 
 use fdpcache_bench::{
-    emit_trajectory, parse_count_flag, parse_path_flag, qd_sweep, run_qd_replay, sweep,
+    emit_trajectory, json_destination, parse_count_flag, qd_sweep, run_qd_replay, sweep,
     ThroughputConfig, TrajectoryRecord,
 };
 use fdpcache_metrics::Table;
@@ -102,12 +102,13 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
     let qd_mode = args.iter().any(|a| a == "--qd");
-    let json_path = parse_path_flag(&args, "--json");
     let mut cfg = ThroughputConfig::default();
     let mut trials = 3u64;
     parse_count_flag(&args, "--ops", &mut cfg.ops_per_worker);
     parse_count_flag(&args, "--trials", &mut trials);
 
+    let bench = if qd_mode { "throughput_qd" } else { "throughput_device" };
+    let json_path = json_destination(&args, bench);
     if qd_mode {
         run_qd_mode(&cfg, check, json_path);
         return;

@@ -47,7 +47,7 @@ use fdpcache_bench::wallclock::{
     REACTOR_SHARDS,
 };
 use fdpcache_bench::{
-    parse_count_flag, parse_path_flag, sweep_wallclock, sweep_wallclock_reactor, TrajectoryRecord,
+    json_destination, parse_count_flag, sweep_wallclock, sweep_wallclock_reactor, TrajectoryRecord,
     WallclockConfig,
 };
 use fdpcache_core::ServiceMode;
@@ -123,7 +123,7 @@ fn main() {
         run_pool(&args, i);
     }
     let check = args.iter().any(|a| a == "--check");
-    let json_path = parse_path_flag(&args, "--json");
+    let json_path = json_destination(&args, "wallclock");
     let mut cfg = WallclockConfig::default();
     let mut trials = 2u64;
     parse_count_flag(&args, "--ops", &mut cfg.ops);

@@ -23,11 +23,20 @@ fn main() {
     base.utilization = 1.0; // both halves in use; no host OP anywhere
     let base = if cli.quick { base.quick() } else { base };
 
-    let run = if cli.concurrent { run_multitenant_concurrent } else { run_multitenant };
+    let run = |cfg: &ExpConfig| {
+        if cli.concurrent {
+            run_multitenant_concurrent(cfg, 2).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            })
+        } else {
+            run_multitenant(cfg, 2)
+        }
+    };
     let mode = if cli.concurrent { "2 worker threads, concurrent pool" } else { "round-robin" };
     println!("== Figure 11: two WO-KV tenants on one shared device ({mode}) ==\n");
-    let fdp = run(&ExpConfig { fdp: true, ..base.clone() }, 2);
-    let non = run(&ExpConfig { fdp: false, ..base.clone() }, 2);
+    let fdp = run(&ExpConfig { fdp: true, ..base.clone() });
+    let non = run(&ExpConfig { fdp: false, ..base.clone() });
 
     let mut t =
         Table::new(vec!["config", "DLWA", "DLWA(steady)", "tenant hit ratios", "GC events"])

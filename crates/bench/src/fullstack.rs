@@ -510,6 +510,63 @@ pub struct ChaosTrajectoryPoint {
     pub deterministic: bool,
 }
 
+/// One per-tenant row of a `bench_fleet` trajectory: the open-loop
+/// SLO rollup plus per-phase p99 evidence from the base worker-count
+/// run of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetTenantTrajectoryPoint {
+    /// Tenant name from the catalog.
+    pub tenant: String,
+    /// Arrivals admitted into the serving path.
+    pub admitted: u64,
+    /// Arrivals shed by the tenant's admission budget.
+    pub shed: u64,
+    /// Sheds whose arrival predates the overload burst (a correctly
+    /// sized budget sheds only under the burst, so this must be 0).
+    pub shed_pre: u64,
+    /// p50 sojourn (µs) across the whole run.
+    pub p50_us: Option<f64>,
+    /// p99 sojourn (µs) across the whole run.
+    pub p99_us: Option<f64>,
+    /// Whether the tenant's declared SLO was met.
+    pub slo_met: bool,
+    /// p99 sojourn (µs) for arrivals before the burst window.
+    pub pre_p99_us: Option<f64>,
+    /// p99 sojourn (µs) for arrivals inside the burst window.
+    pub burst_p99_us: Option<f64>,
+    /// p99 sojourn (µs) for arrivals after the burst window.
+    pub post_p99_us: Option<f64>,
+    /// Whole-run device DLWA (run-level, repeated on every tenant
+    /// row).
+    pub dlwa: f64,
+    /// Whether every worker count and the rerun matched the base run
+    /// bit-for-bit.
+    pub deterministic: bool,
+}
+
+/// The scripted device-failure outcome of a `bench_fleet` trajectory:
+/// per-device routing/health evidence plus the acknowledged-write
+/// verification tallies.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetFailoverTrajectoryPoint {
+    /// Per-device reports in fleet order.
+    pub devices: Vec<crate::fleet::FleetDeviceReport>,
+    /// Injected-fault errors that surfaced to the driver.
+    pub surfaced: u64,
+    /// Acknowledged writes tracked by the verification shadow map.
+    pub acked: u64,
+    /// Acknowledged keys verified exactly on their acking device.
+    pub verified: u64,
+    /// Torn/wrong acknowledged keys (the gate requires 0).
+    pub lost: u64,
+    /// Acknowledged keys absent from flash (legal for a cache).
+    pub absent: u64,
+    /// Acknowledged keys whose verification read itself faulted.
+    pub unverifiable: u64,
+    /// Whether the rerun replayed bit-identically.
+    pub deterministic: bool,
+}
+
 /// The `BENCH_throughput.json` / `BENCH_wallclock.json` /
 /// `BENCH_faults.json` / `BENCH_recovery.json` / `BENCH_chaos.json`
 /// record the benchmark binaries emit with `--json <path>`: enough
@@ -556,6 +613,12 @@ pub struct TrajectoryRecord {
     /// Scrub-precedence scenario outcome (`None` unless produced by
     /// `bench_chaos`).
     pub chaos_precedence: Option<crate::chaos::ScrubPrecedenceResult>,
+    /// Per-tenant open-loop SLO rows (empty unless produced by
+    /// `bench_fleet`).
+    pub fleet_tenant_points: Vec<FleetTenantTrajectoryPoint>,
+    /// Failover-scenario outcome rows, one per determinism pair
+    /// (empty unless produced by `bench_fleet`).
+    pub fleet_failover_points: Vec<FleetFailoverTrajectoryPoint>,
 }
 
 impl TrajectoryRecord {
@@ -592,6 +655,8 @@ impl TrajectoryRecord {
             recovery_points: Vec::new(),
             chaos_points: Vec::new(),
             chaos_precedence: None,
+            fleet_tenant_points: Vec::new(),
+            fleet_failover_points: Vec::new(),
         }
     }
 
@@ -628,6 +693,8 @@ impl TrajectoryRecord {
             recovery_points: Vec::new(),
             chaos_points: Vec::new(),
             chaos_precedence: None,
+            fleet_tenant_points: Vec::new(),
+            fleet_failover_points: Vec::new(),
         }
     }
 
@@ -692,6 +759,8 @@ impl TrajectoryRecord {
             recovery_points: Vec::new(),
             chaos_points: Vec::new(),
             chaos_precedence: None,
+            fleet_tenant_points: Vec::new(),
+            fleet_failover_points: Vec::new(),
         }
     }
 
@@ -733,6 +802,8 @@ impl TrajectoryRecord {
             recovery_points: Vec::new(),
             chaos_points: Vec::new(),
             chaos_precedence: None,
+            fleet_tenant_points: Vec::new(),
+            fleet_failover_points: Vec::new(),
         }
     }
 
@@ -778,6 +849,8 @@ impl TrajectoryRecord {
             recovery_points: Vec::new(),
             chaos_points: Vec::new(),
             chaos_precedence: None,
+            fleet_tenant_points: Vec::new(),
+            fleet_failover_points: Vec::new(),
         }
     }
 
@@ -821,6 +894,8 @@ impl TrajectoryRecord {
                 .collect(),
             chaos_points: Vec::new(),
             chaos_precedence: None,
+            fleet_tenant_points: Vec::new(),
+            fleet_failover_points: Vec::new(),
         }
     }
 
@@ -871,6 +946,66 @@ impl TrajectoryRecord {
             recovery_points: Vec::new(),
             chaos_points,
             chaos_precedence: Some(sweep.precedence.clone()),
+            fleet_tenant_points: Vec::new(),
+            fleet_failover_points: Vec::new(),
+        }
+    }
+
+    /// Builds a `fleet` record from the fleet sweep: one row per
+    /// tenant (SLO rollup + per-phase p99s from the base worker-count
+    /// run, each carrying the sweep-wide determinism verdict) and one
+    /// failover row for the scripted device-failure pair.
+    pub fn new_fleet(device_mib: u64, sweep: &crate::fleet::FleetSweep) -> Self {
+        let base = &sweep.tenant_runs[0];
+        let tenants_deterministic = sweep.tenant_runs[1..].iter().all(|r| base.matches(r))
+            && base.matches(&sweep.tenant_rerun);
+        let fleet_tenant_points = base
+            .summaries
+            .iter()
+            .zip(&base.phases)
+            .map(|(s, p)| FleetTenantTrajectoryPoint {
+                tenant: s.tenant.clone(),
+                admitted: s.admitted,
+                shed: s.shed,
+                shed_pre: p.shed_pre,
+                p50_us: s.p50_us,
+                p99_us: s.p99_us,
+                slo_met: s.met,
+                pre_p99_us: p.pre_p99_us,
+                burst_p99_us: p.burst_p99_us,
+                post_p99_us: p.post_p99_us,
+                dlwa: base.dlwa,
+                deterministic: tenants_deterministic,
+            })
+            .collect();
+        let f = &sweep.failover;
+        let fleet_failover_points = vec![FleetFailoverTrajectoryPoint {
+            devices: f.devices.clone(),
+            surfaced: f.surfaced,
+            acked: f.acked,
+            verified: f.verified,
+            lost: f.lost,
+            absent: f.absent,
+            unverifiable: f.unverifiable,
+            deterministic: f.matches(&sweep.failover_rerun),
+        }];
+        TrajectoryRecord {
+            bench: "fleet".to_string(),
+            device_mib,
+            ops_per_worker: base.summaries.iter().map(|s| s.admitted + s.shed).sum(),
+            trials: 2,
+            host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            points: Vec::new(),
+            qd_points: Vec::new(),
+            wallclock_points: Vec::new(),
+            wallclock_pool_points: Vec::new(),
+            fault_points: Vec::new(),
+            read_points: Vec::new(),
+            recovery_points: Vec::new(),
+            chaos_points: Vec::new(),
+            chaos_precedence: None,
+            fleet_tenant_points,
+            fleet_failover_points,
         }
     }
 

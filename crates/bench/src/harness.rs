@@ -368,15 +368,24 @@ pub fn run_multitenant(cfg: &ExpConfig, tenants: usize) -> MultiTenantResult {
 /// shape, and the sampled series is representative rather than
 /// bit-reproducible.
 ///
+/// # Errors
+///
+/// Returns the first tenant failure (device error or a worker panic,
+/// with context) instead of panicking, so callers can report it and
+/// exit cleanly. Failure never deadlocks the run: workers publish
+/// errors through a shared flag instead of panicking on their own
+/// threads, every wait loop (worker and observer alike) also watches
+/// that flag, and the error is surfaced from the main thread after
+/// the worker scope has drained.
+///
 /// # Panics
 ///
-/// Panics (with context) on configuration errors and on the first
-/// tenant device error. Failure never deadlocks the run: workers
-/// publish errors through a shared flag instead of panicking on their
-/// own threads, every wait loop (worker and observer alike) also
-/// watches that flag, and the panic is raised from the main thread
-/// after the worker scope has drained.
-pub fn run_multitenant_concurrent(cfg: &ExpConfig, tenants: usize) -> MultiTenantResult {
+/// Panics only on configuration errors (bad device/pool parameters),
+/// which are programmer mistakes, not runtime failures.
+pub fn run_multitenant_concurrent(
+    cfg: &ExpConfig,
+    tenants: usize,
+) -> Result<MultiTenantResult, String> {
     use fdpcache_cache::builder::build_device;
     use fdpcache_cache::value::Value;
     use fdpcache_cache::ConcurrentPool;
@@ -529,13 +538,13 @@ pub fn run_multitenant_concurrent(cfg: &ExpConfig, tenants: usize) -> MultiTenan
     });
 
     if let Some(e) = failure.into_inner().unwrap_or_else(|p| p.into_inner()) {
-        panic!("concurrent multitenant run failed: {e}");
+        return Err(format!("concurrent multitenant run failed: {e}"));
     }
 
     ctrl.with_ftl(|f| f.check_invariants());
     let dlog = ctrl.fdp_stats_log().delta(&log0);
     let dlwa_series = sampler.map(DlwaSampler::into_series).unwrap_or_default();
-    MultiTenantResult {
+    Ok(MultiTenantResult {
         label: cfg.label().to_string(),
         dlwa: dlog.dlwa(),
         dlwa_steady: dlwa_steady(&dlwa_series, dlog.dlwa()),
@@ -547,7 +556,7 @@ pub fn run_multitenant_concurrent(cfg: &ExpConfig, tenants: usize) -> MultiTenan
             })
             .collect(),
         gc_events: dlog.media_relocated_events,
-    }
+    })
 }
 
 /// Parses a `--flag N` positive-integer argument into `target`
@@ -581,6 +590,22 @@ pub fn parse_path_flag(args: &[String], flag: &str) -> Option<String> {
             std::process::exit(2);
         }
     })
+}
+
+/// Resolves where a bench binary writes its `BENCH_<name>.json`
+/// trajectory (shared by every bench bin so CI artifacts land in one
+/// place):
+///
+/// * `--json PATH` — write to `PATH` exactly;
+/// * `--json none` — suppress the JSON artifact;
+/// * flag absent — default to `results/BENCH_<name>.json` beside the
+///   CSV artifacts (the writer creates the directory).
+pub fn json_destination(args: &[String], bench: &str) -> Option<String> {
+    match parse_path_flag(args, "--json") {
+        Some(p) if p == "none" => None,
+        Some(p) => Some(p),
+        None => Some(format!("results/BENCH_{bench}.json")),
+    }
 }
 
 /// Common CLI handling: `--quick` shrinks runs; `--out <dir>` selects
@@ -744,6 +769,7 @@ mod tests {
             retries: 0,
             repairs: 0,
             requeues: 0,
+            tenants: Vec::new(),
         };
         let a = mk("FDP");
         let b = mk("Non-FDP");

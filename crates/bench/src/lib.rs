@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 pub mod chaos;
 pub mod faults;
+pub mod fleet;
 pub mod fullstack;
 pub mod harness;
 pub mod recovery;
@@ -21,11 +22,17 @@ pub use faults::{
     run_fault_scenario, run_plain_baseline, sweep_faults, FaultGateConfig, FaultRunResult,
     FaultSweepEntry,
 };
+pub use fleet::{
+    run_fleet_failover, run_fleet_tenants, sweep_fleet, FleetDeviceReport, FleetFailoverResult,
+    FleetGateConfig, FleetSweep, FleetTenantsResult, TenantPhaseStats, FLEET_DLWA_CEILING,
+    FLEET_TENANTS, FLEET_WORKERS, ISOLATION_P99_FACTOR, OVERLOAD_P99_FACTOR,
+};
 pub use fullstack::{
     emit_trajectory, run_fullstack, run_read_contended, sweep_fullstack, sweep_read,
-    ChaosTrajectoryPoint, FaultTrajectoryPoint, FullstackConfig, PoolWallclockTrajectoryPoint,
-    QdTrajectoryPoint, ReadScalingConfig, ReadScalingResult, ReadTrajectoryPoint,
-    RecoveryTrajectoryPoint, TrajectoryPoint, TrajectoryRecord, WallclockTrajectoryPoint,
+    ChaosTrajectoryPoint, FaultTrajectoryPoint, FleetFailoverTrajectoryPoint,
+    FleetTenantTrajectoryPoint, FullstackConfig, PoolWallclockTrajectoryPoint, QdTrajectoryPoint,
+    ReadScalingConfig, ReadScalingResult, ReadTrajectoryPoint, RecoveryTrajectoryPoint,
+    TrajectoryPoint, TrajectoryRecord, WallclockTrajectoryPoint,
 };
 pub use harness::*;
 pub use recovery::{

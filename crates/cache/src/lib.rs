@@ -48,6 +48,7 @@ pub mod concurrent;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fleet;
 pub mod index;
 pub mod loc;
 pub mod pool;
@@ -63,6 +64,7 @@ pub use concurrent::ConcurrentPool;
 pub use config::{CacheConfig, LocEviction, NvmConfig};
 pub use engine::FlashVerify;
 pub use error::CacheError;
+pub use fleet::{DeviceRouteStats, FleetDevice, FleetRouter, HashRing, DEFAULT_VNODES};
 pub use index::{IndexEntry, ReadIndex};
 pub use pool::{shard_index, EnginePool};
 pub use stats::{CacheStats, ReadSideStats};

@@ -1,0 +1,114 @@
+//! Property tests for the fleet consistent-hash ring: chi-square
+//! balance over contiguous key blocks, minimal remapping when a device
+//! leaves rotation, and deterministic routing.
+
+use fdpcache_cache::fleet::{HashRing, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+proptest! {
+    /// Contiguous key blocks spread near-uniformly across the fleet.
+    /// Same statistic as the pool's `shard_index` chi-square test, but
+    /// the bound carries an extra term a plain hash does not need:
+    /// consistent hashing has *arc-length* variance — each device owns
+    /// ring arcs whose total share deviates by ~1/√vnodes — which adds
+    /// roughly SAMPLES/vnodes to the expected statistic on top of the
+    /// multinomial sampling term. 3× that plus the 4n + 24 sampling
+    /// bound never fires on an honest ring (measured worst ≈ 25 at 512
+    /// vnodes) and still catches a lost device or a degenerate ring,
+    /// which land in the hundreds.
+    #[test]
+    fn ring_balances_contiguous_keys(devices in 2..9usize, base in any::<u32>()) {
+        const SAMPLES: u64 = 8_000;
+        let ring = HashRing::new(devices, DEFAULT_VNODES);
+        let mut counts = vec![0u64; devices];
+        for i in 0..SAMPLES {
+            counts[ring.preferred(u64::from(base) + i)] += 1;
+        }
+        let expected = SAMPLES as f64 / devices as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        let arc_term = 3.0 * SAMPLES as f64 / DEFAULT_VNODES as f64;
+        let bound = 4.0 * devices as f64 + 24.0 + arc_term;
+        prop_assert!(
+            chi2 < bound,
+            "chi-square {chi2:.1} over bound {bound:.1} for {devices} devices: {counts:?}"
+        );
+        for (d, &c) in counts.iter().enumerate() {
+            prop_assert!(c > 0, "device {d} received no keys out of {SAMPLES}");
+        }
+    }
+
+    /// Removing one device from rotation moves exactly the keys that
+    /// routed to it — every other key keeps its device. This is the
+    /// consistent-hash contract: failover churn is proportional to the
+    /// failed device's share, not the fleet size.
+    #[test]
+    fn removal_remaps_only_the_removed_devices_keys(
+        devices in 2..8usize,
+        victim_pick in any::<u16>(),
+        base in any::<u32>(),
+    ) {
+        let ring = HashRing::new(devices, DEFAULT_VNODES);
+        let victim = victim_pick as usize % devices;
+        let mut moved = 0u64;
+        const SAMPLES: u64 = 2_000;
+        for i in 0..SAMPLES {
+            let key = u64::from(base) ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let full = ring.preferred(key);
+            let after = ring
+                .route(key, |d| d != victim)
+                .expect("devices - 1 >= 1 still serve");
+            prop_assert_ne!(after, victim, "removed device must never be routed to");
+            if full == victim {
+                moved += 1;
+            } else {
+                prop_assert_eq!(after, full, "key off the removed device moved");
+            }
+        }
+        // The victim's share is ~SAMPLES/devices; with 64 vnodes the
+        // spread is a few percent, so a 4x envelope never fires on an
+        // honest ring but catches a full-reshuffle regression.
+        let share = SAMPLES / devices as u64;
+        prop_assert!(moved <= 4 * share, "moved {moved} keys, expected ~{share}");
+    }
+
+    /// Routing is a pure function of (ring parameters, key,
+    /// availability): two independently built rings agree on every
+    /// key, under full availability and under any failure subset.
+    #[test]
+    fn routing_is_deterministic_across_ring_rebuilds(
+        devices in 1..8usize,
+        vnodes_pick in 0..3usize,
+        down_mask in any::<u8>(),
+        keys in prop::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let vnodes = [1usize, 16, DEFAULT_VNODES][vnodes_pick];
+        let a = HashRing::new(devices, vnodes);
+        let b = HashRing::new(devices, vnodes);
+        let up = |d: usize| down_mask & (1 << d) == 0;
+        for &key in &keys {
+            prop_assert_eq!(a.preferred(key), b.preferred(key));
+            prop_assert_eq!(a.route(key, up), b.route(key, up));
+            // route under full availability must agree with preferred
+            prop_assert_eq!(a.route(key, |_| true), Some(a.preferred(key)));
+        }
+    }
+
+    /// A ring with one serving device routes every key to it; a ring
+    /// with none serves nothing. Pins the walk's wrap-around at the
+    /// top of the u64 circle.
+    #[test]
+    fn degenerate_availability_is_total(devices in 1..8usize, keys in prop::collection::vec(any::<u64>(), 1..32)) {
+        let ring = HashRing::new(devices, 16);
+        let survivor = devices - 1;
+        for &key in &keys {
+            prop_assert_eq!(ring.route(key, |d| d == survivor), Some(survivor));
+            prop_assert_eq!(ring.route(key, |_| false), None);
+        }
+    }
+}

@@ -39,7 +39,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::datastore::DataStore;
 use crate::error::NvmeError;
 use crate::fault::{FaultOp, FaultRates, FaultTotals};
-use crate::health::{HealthConfig, HealthMonitor, HealthState};
+use crate::health::{HealthConfig, HealthReport, HealthState};
 use crate::identify::{ControllerIdentity, FdpConfigDescriptor};
 use crate::logpage::{FdpConfigLog, RuhUsageDescriptor, RuhUsageLog};
 use crate::namespace::{Namespace, NamespaceId};
@@ -362,11 +362,25 @@ impl Controller {
     /// default [`HealthConfig`] thresholds. This is the fleet
     /// dashboard view; the authoritative degraded-mode signal is the
     /// windowed per-shard monitor embedded in each I/O manager (see
-    /// [`HealthMonitor`]).
+    /// [`HealthMonitor`](crate::health::HealthMonitor)).
     pub fn health(&self) -> HealthState {
+        self.health_report().state
+    }
+
+    /// The cumulative health view behind [`Controller::health`], with
+    /// the evidence (command/fault counts and the exact rate) a fleet
+    /// router or dashboard wants alongside the classification.
+    pub fn health_report(&self) -> HealthReport {
+        self.health_report_with(&HealthConfig::default())
+    }
+
+    /// [`Controller::health_report`] against caller-supplied
+    /// thresholds — a serving tier may evict devices from rotation at
+    /// a tighter rate than the default degraded-mode ladder.
+    pub fn health_report_with(&self, config: &HealthConfig) -> HealthReport {
         let io = self.device_io_stats();
         let commands = io.writes + io.reads + io.discards;
-        HealthMonitor::classify_totals(&HealthConfig::default(), &self.fault_totals(), commands)
+        HealthReport::from_totals(config, &self.fault_totals(), commands)
     }
 
     /// Unallocated LBAs remaining for namespace creation.

@@ -110,6 +110,67 @@ impl Default for HealthConfig {
     }
 }
 
+/// Exact error rate in parts per million: `bad / events` scaled by
+/// 1e6, computed in 128-bit arithmetic so arbitrarily large windows
+/// (or all-time cumulative totals) cannot overflow the scaling
+/// multiply, and saturating to `u64::MAX` in the degenerate case the
+/// quotient itself exceeds 64 bits (`bad` astronomically larger than
+/// `events`). Returns 0 for an empty window.
+pub fn rate_ppm(bad: u64, events: u64) -> u64 {
+    if events == 0 {
+        return 0;
+    }
+    u64::try_from((bad as u128).saturating_mul(1_000_000) / events as u128).unwrap_or(u64::MAX)
+}
+
+/// Classifies an error rate against the config thresholds: `Failing`
+/// at or above `failing_ppm`, `Degraded` at or above `degraded_ppm`,
+/// `Healthy` below. Thresholds widen to `u64` before comparison so
+/// the ladder is exact at the boundaries for any `u32` threshold.
+fn classify_rate(config: &HealthConfig, bad: u64, events: u64) -> HealthState {
+    let rate = rate_ppm(bad, events);
+    if rate >= u64::from(config.failing_ppm) {
+        HealthState::Failing
+    } else if rate >= u64::from(config.degraded_ppm) {
+        HealthState::Degraded
+    } else {
+        HealthState::Healthy
+    }
+}
+
+/// Snapshot of the cumulative device-wide health view — the numbers a
+/// fleet router keys placement and failover off
+/// ([`Controller::health_report`](crate::Controller::health_report)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Classification of the cumulative rate.
+    pub state: HealthState,
+    /// Commands that completed successfully.
+    pub commands: u64,
+    /// Injected failures (errors + busy rejections) across all time.
+    pub faults: u64,
+    /// Cumulative error rate in ppm of all completions.
+    pub rate_ppm: u64,
+}
+
+impl HealthReport {
+    /// Builds the cumulative report from injection totals and the
+    /// successful-command count, against `config`'s thresholds. Fewer
+    /// than [`HealthConfig::min_events`] completions classify
+    /// `Healthy` — a young device is innocent until it has produced
+    /// enough evidence.
+    pub fn from_totals(config: &HealthConfig, totals: &FaultTotals, commands: u64) -> Self {
+        let bad = totals.total();
+        let events = commands.saturating_add(bad);
+        let state = if events < config.min_events {
+            HealthState::Healthy
+        } else {
+            classify_rate(config, bad, events)
+        };
+        HealthReport { state, commands, faults: bad, rate_ppm: rate_ppm(bad, events) }
+    }
+}
+
 /// One recorded state change, stamped with the observer's virtual
 /// clock at the window close that caused it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -258,14 +319,7 @@ impl HealthMonitor {
             return;
         }
         let bad = self.errors_in_window + self.busys_in_window;
-        let rate_ppm = bad.saturating_mul(1_000_000) / events;
-        let vote = if rate_ppm >= self.config.failing_ppm as u64 {
-            HealthState::Failing
-        } else if rate_ppm >= self.config.degraded_ppm as u64 {
-            HealthState::Degraded
-        } else {
-            HealthState::Healthy
-        };
+        let vote = classify_rate(&self.config, bad, events);
         self.stats.windows += 1;
         if vote > self.state {
             self.down_votes = 0;
@@ -309,19 +363,7 @@ impl HealthMonitor {
         totals: &FaultTotals,
         commands: u64,
     ) -> HealthState {
-        let bad = totals.total();
-        let events = commands.saturating_add(bad);
-        if events < config.min_events {
-            return HealthState::Healthy;
-        }
-        let rate_ppm = bad.saturating_mul(1_000_000) / events;
-        if rate_ppm >= config.failing_ppm as u64 {
-            HealthState::Failing
-        } else if rate_ppm >= config.degraded_ppm as u64 {
-            HealthState::Degraded
-        } else {
-            HealthState::Healthy
-        }
+        HealthReport::from_totals(config, totals, commands).state
     }
 }
 

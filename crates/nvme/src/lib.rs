@@ -73,7 +73,9 @@ pub use fault::{
     FaultConfig, FaultKind, FaultOp, FaultPlan, FaultRates, FaultStore, FaultTotals, InjectedFault,
     ScriptedFault,
 };
-pub use health::{HealthConfig, HealthIoStats, HealthMonitor, HealthState, HealthTransition};
+pub use health::{
+    HealthConfig, HealthIoStats, HealthMonitor, HealthReport, HealthState, HealthTransition,
+};
 pub use identify::{ControllerIdentity, FdpConfigDescriptor};
 pub use logpage::{FdpConfigLog, RuhUsageDescriptor, RuhUsageLog};
 pub use namespace::{Namespace, NamespaceId};

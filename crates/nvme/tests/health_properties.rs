@@ -20,7 +20,10 @@
 
 use proptest::prelude::*;
 
-use fdpcache_nvme::{FaultTotals, HealthConfig, HealthMonitor, HealthState, RetryPolicy};
+use fdpcache_nvme::health::rate_ppm;
+use fdpcache_nvme::{
+    FaultTotals, HealthConfig, HealthMonitor, HealthReport, HealthState, RetryPolicy,
+};
 
 /// One health observation: what happened and how much virtual time
 /// passed since the previous observation.
@@ -217,5 +220,105 @@ proptest! {
         let lo = HealthMonitor::classify_totals(&cfg, &t(errors_a), commands);
         let hi = HealthMonitor::classify_totals(&cfg, &t(errors_a + extra), commands);
         prop_assert!(hi >= lo, "more errors classified healthier ({lo:?} -> {hi:?})");
+    }
+
+    /// The ppm rate is exact (no saturating-multiply truncation) for
+    /// arbitrarily large windows: it always equals the 128-bit
+    /// reference quotient, and a window of all-bad events always rates
+    /// exactly 1e6 ppm no matter the count.
+    #[test]
+    fn rate_ppm_is_exact_at_any_scale(
+        bad in any::<u64>(),
+        good in any::<u64>(),
+    ) {
+        let events = bad.saturating_add(good);
+        let expect = if events == 0 {
+            0
+        } else {
+            u64::try_from((bad as u128) * 1_000_000 / events as u128).unwrap_or(u64::MAX)
+        };
+        prop_assert_eq!(rate_ppm(bad, events), expect);
+        if bad > 0 && bad.checked_add(good).is_some() {
+            prop_assert!(rate_ppm(bad, events) <= 1_000_000);
+        }
+        prop_assert_eq!(rate_ppm(bad, bad), if bad == 0 { 0 } else { 1_000_000 });
+    }
+
+    /// Threshold boundaries are pinned to `>=`: a window whose rate
+    /// lands *exactly* on a threshold votes for the worse level, one
+    /// event under it votes below. Exercised through `classify_totals`
+    /// by constructing totals that hit the boundary exactly.
+    #[test]
+    fn classify_totals_pins_exact_threshold_boundaries(scale in 1..2_000u64) {
+        // bad/events == failing_ppm/1e6 exactly: pick events as a
+        // multiple of 1e6/gcd and bad accordingly. Use thresholds that
+        // divide 1e6 cleanly so exact boundaries exist at every scale.
+        let cfg = HealthConfig {
+            degraded_ppm: 50_000,  // 1/20
+            failing_ppm: 200_000,  // 1/5
+            min_events: 1,
+            ..HealthConfig::default()
+        };
+        let t = |n: u64| FaultTotals { busy_events: n, ..FaultTotals::default() };
+        // Exactly at failing: bad = scale, events = 5*scale.
+        let bad = scale;
+        let commands = 4 * scale; // events = commands + bad = 5*scale
+        prop_assert_eq!(
+            HealthMonitor::classify_totals(&cfg, &t(bad), commands),
+            HealthState::Failing,
+            "exact failing boundary must classify Failing"
+        );
+        // One good event past the boundary drops strictly below it.
+        prop_assert_eq!(
+            HealthMonitor::classify_totals(&cfg, &t(bad), commands + 1),
+            HealthState::Degraded,
+            "one event under the failing boundary must not classify Failing"
+        );
+        // Exactly at degraded: bad = scale, events = 20*scale.
+        let commands = 19 * scale;
+        prop_assert_eq!(
+            HealthMonitor::classify_totals(&cfg, &t(bad), commands),
+            HealthState::Degraded,
+            "exact degraded boundary must classify Degraded"
+        );
+        prop_assert_eq!(
+            HealthMonitor::classify_totals(&cfg, &t(bad), commands + 1),
+            HealthState::Healthy,
+            "one event under the degraded boundary must not classify Degraded"
+        );
+    }
+
+    /// Huge cumulative totals never overflow or misclassify: the
+    /// report's rate matches the reference quotient and the state
+    /// matches a direct threshold comparison, even at `u64::MAX`.
+    #[test]
+    fn health_report_survives_huge_totals(
+        bad_pick in 0..6usize,
+        commands_pick in 0..5usize,
+    ) {
+        let bad = [0u64, 1, u32::MAX as u64, u64::MAX / 2, u64::MAX - 1, u64::MAX][bad_pick];
+        let commands = [0u64, 1, 1_000_000, u64::MAX / 2, u64::MAX][commands_pick];
+        let cfg = HealthConfig::default();
+        let totals = FaultTotals { write_errors: bad, ..FaultTotals::default() };
+        let report = HealthReport::from_totals(&cfg, &totals, commands);
+        let events = commands.saturating_add(bad);
+        let expect_rate = if events == 0 {
+            0
+        } else {
+            u64::try_from((bad as u128) * 1_000_000 / events as u128).unwrap_or(u64::MAX)
+        };
+        prop_assert_eq!(report.rate_ppm, expect_rate);
+        prop_assert_eq!(report.faults, bad);
+        prop_assert_eq!(report.commands, commands);
+        let expect_state = if events < cfg.min_events {
+            HealthState::Healthy
+        } else if expect_rate >= u64::from(cfg.failing_ppm) {
+            HealthState::Failing
+        } else if expect_rate >= u64::from(cfg.degraded_ppm) {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        };
+        prop_assert_eq!(report.state, expect_state);
     }
 }

@@ -25,15 +25,18 @@
 //! of Figures 5, 7, 8 and 11, plus throughput/hit-ratio/latency rollups.
 
 #![warn(missing_docs)]
+pub mod arrivals;
 pub mod concurrent;
 pub mod faults;
 pub mod profiles;
 pub mod replay;
 pub mod sizes;
+pub mod tenants;
 pub mod trace;
 pub mod tracefile;
 pub mod zipf;
 
+pub use arrivals::{ArrivalProcess, BurstWindow, RateShape};
 pub use concurrent::{
     run_pool_round, run_workers, PoolMode, PoolWorkerReport, Worker, WorkerReport,
 };
@@ -41,6 +44,10 @@ pub use faults::{ChaosPhase, ChaosStorm, FaultScenario};
 pub use profiles::WorkloadProfile;
 pub use replay::{replay_pool, ExperimentResult, PoolReplayConfig, ReplayConfig, Replayer};
 pub use sizes::SizeDist;
+pub use tenants::{
+    AdmissionBudget, SloTarget, TenantCatalog, TenantSloSummary, TenantSloTracker, TenantSpec,
+    TokenBucket,
+};
 pub use trace::{Op, Request, TraceGen};
 pub use tracefile::{FileReplay, RequestSource, TraceReader, TraceWriter};
 pub use zipf::Zipf;

@@ -122,6 +122,9 @@ pub struct ExperimentResult {
     pub repairs: u64,
     /// Objects requeued out of failed region seals during measurement.
     pub requeues: u64,
+    /// Per-tenant SLO rollups (empty for single-tenant runs; populated
+    /// by the open-loop fleet driver).
+    pub tenants: Vec<crate::tenants::TenantSloSummary>,
 }
 
 /// Replays traces against a cache.
@@ -280,6 +283,7 @@ impl Replayer {
             retries: stats.retries,
             repairs: stats.repairs,
             requeues: stats.requeues,
+            tenants: Vec::new(),
         })
     }
 }
@@ -435,6 +439,7 @@ pub fn replay_pool<S: RequestSource + Send>(
         retries: stats.retries,
         repairs: stats.repairs,
         requeues: stats.requeues,
+        tenants: Vec::new(),
     })
 }
 

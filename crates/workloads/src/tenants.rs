@@ -1,0 +1,342 @@
+//! N-tenant serving catalog: per-tenant workloads, open-loop arrival
+//! shapes, RUH budgets, admission control and p50/p99 SLO tracking.
+//!
+//! Generalizes the two-tenant Figure 11 experiment into a catalog of
+//! heterogeneous tenants, each with its own workload profile, offered
+//! arrival rate/shape ([`crate::arrivals`]), admission budget and
+//! latency SLO. The open-loop driver (in `fdpcache-bench`) pins tenant
+//! `t` to shard `t` of a concurrent pool — which gives each tenant a
+//! private namespace and a disjoint placement-handle (RUH) slice via
+//! the pool's staggered allocator, the paper's per-tenant isolation
+//! story — and feeds each tenant's arrival stream through a
+//! [`TenantSloTracker`] that models the tenant as a single-server
+//! queue in virtual time:
+//!
+//! ```text
+//! wait     = max(0, busy_until − arrival)
+//! sojourn  = wait + service            (what the SLO is scored on)
+//! busy_until = max(busy_until, arrival) + service
+//! ```
+//!
+//! Admission control is a deterministic token bucket in virtual
+//! *arrival* time: a tenant bursting past its budget has the excess
+//! arrivals shed at the door (counted, never queued), which is what
+//! keeps an over-driven tenant's own p99 bounded and the device
+//! protected. Tenants with no budget are unthrottled — the aggressor
+//! configuration.
+//!
+//! Zero-sample safety (the SLO gate sits on this): a tenant that
+//! admitted nothing reports its percentiles as **absent**
+//! ([`TenantSloSummary::p50_us`]/[`TenantSloSummary::p99_us`] are
+//! `None`, serialized as `null`), never `NaN`, zero-as-data, or a
+//! panic, and its SLO is vacuously met.
+
+use fdpcache_metrics::Histogram;
+use serde::Serialize;
+
+use crate::arrivals::RateShape;
+use crate::profiles::WorkloadProfile;
+
+/// Latency objective on virtual-time sojourn (queue wait + service).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SloTarget {
+    /// p50 sojourn bound in virtual microseconds.
+    pub p50_us: u64,
+    /// p99 sojourn bound in virtual microseconds.
+    pub p99_us: u64,
+}
+
+/// Admission budget: a token bucket refilled in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionBudget {
+    /// Sustained admitted rate (ops per virtual second).
+    pub rate_ops_per_sec: f64,
+    /// Bucket depth — the burst the tenant may spend above the
+    /// sustained rate before shedding starts.
+    pub burst: u64,
+}
+
+/// One tenant's full serving contract.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (`iso-a`, `aggressor`, …).
+    pub name: String,
+    /// Workload shape (op mix, skew, sizes).
+    pub profile: WorkloadProfile,
+    /// Keys this tenant draws from.
+    pub keyspace: u64,
+    /// Mean offered arrival rate (ops per virtual second).
+    pub base_rate_ops_per_sec: f64,
+    /// How the offered rate varies over virtual time.
+    pub shape: RateShape,
+    /// Admission budget; `None` = unthrottled.
+    pub admission: Option<AdmissionBudget>,
+    /// Latency objective scored over admitted ops.
+    pub slo: SloTarget,
+}
+
+/// An N-tenant catalog — the unit the fleet driver serves.
+#[derive(Debug, Clone)]
+pub struct TenantCatalog {
+    /// Tenant specs; tenant `t` is pinned to pool shard `t`.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl TenantCatalog {
+    /// Wraps specs into a catalog.
+    pub fn new(tenants: Vec<TenantSpec>) -> Self {
+        TenantCatalog { tenants }
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+}
+
+/// Deterministic token bucket over virtual arrival time.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_ns: f64,
+    burst: f64,
+    tokens: f64,
+    last_ns: u64,
+}
+
+impl TokenBucket {
+    /// A bucket starting full.
+    pub fn new(budget: &AdmissionBudget) -> Self {
+        let burst = budget.burst.max(1) as f64;
+        TokenBucket {
+            rate_per_ns: budget.rate_ops_per_sec.max(0.0) / 1e9,
+            burst,
+            tokens: burst,
+            last_ns: 0,
+        }
+    }
+
+    /// Admits or sheds one arrival at virtual time `now_ns`.
+    /// Deterministic: depends only on the arrival-stamp sequence.
+    pub fn admit(&mut self, now_ns: u64) -> bool {
+        let dt = now_ns.saturating_sub(self.last_ns) as f64;
+        self.last_ns = self.last_ns.max(now_ns);
+        self.tokens = (self.tokens + dt * self.rate_per_ns).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-tenant SLO rollup — serialized through
+/// [`crate::replay::ExperimentResult`] and the fleet trajectory
+/// record. Percentiles are `None` (JSON `null`) when the tenant
+/// admitted zero ops.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantSloSummary {
+    /// Tenant name.
+    pub tenant: String,
+    /// Arrivals admitted (and therefore served and scored).
+    pub admitted: u64,
+    /// Arrivals shed at admission.
+    pub shed: u64,
+    /// p50 sojourn in virtual µs; absent with zero admitted ops.
+    pub p50_us: Option<f64>,
+    /// p99 sojourn in virtual µs; absent with zero admitted ops.
+    pub p99_us: Option<f64>,
+    /// The tenant's p50 objective (µs).
+    pub slo_p50_us: u64,
+    /// The tenant's p99 objective (µs).
+    pub slo_p99_us: u64,
+    /// Whether both percentiles meet the objective (vacuously true
+    /// with zero admitted ops).
+    pub met: bool,
+}
+
+/// Accumulates one tenant's open-loop queueing evidence: the virtual
+/// single-server queue state plus a sojourn histogram.
+#[derive(Debug, Clone)]
+pub struct TenantSloTracker {
+    hist: Histogram,
+    admitted: u64,
+    shed: u64,
+    busy_until_ns: u64,
+    sojourn_sum_ns: u128,
+}
+
+impl Default for TenantSloTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TenantSloTracker {
+    /// An empty tracker (idle server, no samples).
+    pub fn new() -> Self {
+        TenantSloTracker {
+            hist: Histogram::new(),
+            admitted: 0,
+            shed: 0,
+            busy_until_ns: 0,
+            sojourn_sum_ns: 0,
+        }
+    }
+
+    /// Records an admitted op that arrived at `arrival_ns` and took
+    /// `service_ns` of virtual service time; returns its sojourn
+    /// (queue wait + service).
+    pub fn observe(&mut self, arrival_ns: u64, service_ns: u64) -> u64 {
+        let wait = self.busy_until_ns.saturating_sub(arrival_ns);
+        self.busy_until_ns = self.busy_until_ns.max(arrival_ns).saturating_add(service_ns);
+        let sojourn = wait.saturating_add(service_ns);
+        self.hist.record(sojourn.max(1));
+        self.sojourn_sum_ns += sojourn as u128;
+        self.admitted += 1;
+        sojourn
+    }
+
+    /// Records one shed arrival.
+    pub fn record_shed(&mut self) {
+        self.shed += 1;
+    }
+
+    /// Admitted (scored) ops.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Shed arrivals.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// When the tenant's virtual server next goes idle.
+    pub fn busy_until_ns(&self) -> u64 {
+        self.busy_until_ns
+    }
+
+    /// Exact sojourn sum — the bit-identity fingerprint determinism
+    /// comparisons use (histogram buckets quantize).
+    pub fn sojourn_sum_ns(&self) -> u128 {
+        self.sojourn_sum_ns
+    }
+
+    /// p50 sojourn in virtual µs, absent with zero samples.
+    pub fn p50_us(&self) -> Option<f64> {
+        self.hist.try_percentile(50.0).map(|ns| ns as f64 / 1_000.0)
+    }
+
+    /// p99 sojourn in virtual µs, absent with zero samples.
+    pub fn p99_us(&self) -> Option<f64> {
+        self.hist.try_percentile(99.0).map(|ns| ns as f64 / 1_000.0)
+    }
+
+    /// Rolls the tracker up against `spec`'s objective.
+    pub fn summary(&self, spec: &TenantSpec) -> TenantSloSummary {
+        let p50 = self.p50_us();
+        let p99 = self.p99_us();
+        let met = p50.is_none_or(|v| v <= spec.slo.p50_us as f64)
+            && p99.is_none_or(|v| v <= spec.slo.p99_us as f64);
+        TenantSloSummary {
+            tenant: spec.name.clone(),
+            admitted: self.admitted,
+            shed: self.shed,
+            p50_us: p50,
+            p99_us: p99,
+            slo_p50_us: spec.slo.p50_us,
+            slo_p99_us: spec.slo.p99_us,
+            met,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            profile: WorkloadProfile::meta_kv_cache(),
+            keyspace: 10_000,
+            base_rate_ops_per_sec: 50_000.0,
+            shape: RateShape::Steady,
+            admission: None,
+            slo: SloTarget { p50_us: 100, p99_us: 1_000 },
+        }
+    }
+
+    /// Regression (satellite bugfix): a tenant that admitted zero ops
+    /// during a window reports absent percentiles — no NaN, no
+    /// fabricated zero, no panic — and its SLO is vacuously met.
+    #[test]
+    fn zero_admitted_tenant_reports_absent_percentiles() {
+        let mut t = TenantSloTracker::new();
+        t.record_shed();
+        t.record_shed();
+        assert_eq!(t.admitted(), 0);
+        assert_eq!(t.shed(), 2);
+        assert_eq!(t.p50_us(), None);
+        assert_eq!(t.p99_us(), None);
+        let s = t.summary(&spec("starved"));
+        assert_eq!((s.p50_us, s.p99_us), (None, None));
+        assert!(s.met, "an unserved tenant cannot violate its SLO");
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"p50_us\":null"), "absence must serialize as null: {json}");
+        assert!(!json.contains("NaN"), "no NaN may leak into the record: {json}");
+    }
+
+    /// The virtual single-server queue: back-to-back arrivals queue
+    /// behind each other; spaced arrivals see only their own service.
+    #[test]
+    fn sojourn_models_a_single_server_queue() {
+        let mut t = TenantSloTracker::new();
+        // Arrival at 0, service 10: sojourn 10, busy until 10.
+        assert_eq!(t.observe(0, 10), 10);
+        // Arrival at 5 (server busy until 10): waits 5, sojourn 15.
+        assert_eq!(t.observe(5, 10), 15);
+        // Arrival at 100 (idle since 20): no wait.
+        assert_eq!(t.observe(100, 7), 7);
+        assert_eq!(t.busy_until_ns(), 107);
+        assert_eq!(t.admitted(), 3);
+        assert_eq!(t.sojourn_sum_ns(), 10 + 15 + 7);
+    }
+
+    /// One admitted op yields identical, present percentiles.
+    #[test]
+    fn single_sample_percentiles_are_present_and_equal() {
+        let mut t = TenantSloTracker::new();
+        t.observe(0, 42_000);
+        let (p50, p99) = (t.p50_us().unwrap(), t.p99_us().unwrap());
+        assert!((p50 - p99).abs() < 1e-9, "lone sample must answer both percentiles");
+        assert!(p50 > 0.0);
+    }
+
+    /// Token bucket: sustained rate is honoured, bursts above the
+    /// bucket depth shed deterministically, and identical arrival
+    /// sequences shed identically.
+    #[test]
+    fn token_bucket_sheds_overload_deterministically() {
+        let budget = AdmissionBudget { rate_ops_per_sec: 1_000.0, burst: 4 };
+        let run = |stamps: &[u64]| {
+            let mut b = TokenBucket::new(&budget);
+            stamps.iter().map(|&t| b.admit(t)).collect::<Vec<_>>()
+        };
+        // 10 arrivals in the same microsecond: the first 4 (bucket
+        // depth) pass, the rest shed.
+        let packed: Vec<u64> = (0..10).map(|i| i * 100).collect();
+        let verdicts = run(&packed);
+        assert_eq!(verdicts.iter().filter(|&&v| v).count(), 4);
+        assert_eq!(run(&packed), verdicts, "admission must replay identically");
+        // Arrivals at exactly the sustained rate (1 per ms) all pass.
+        let paced: Vec<u64> = (1..50).map(|i| i * 1_000_000).collect();
+        assert!(run(&paced).iter().all(|&v| v), "paced arrivals within budget must admit");
+    }
+}
